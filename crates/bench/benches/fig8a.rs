@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 8(a)'s headline point: 16.6% overlap,
+//! Apriori+ vs the quasi-succinct optimizer.
+
+use cfq_bench::experiments::ExpEnv;
+use cfq_constraints::{bind_query, parse_query};
+use cfq_core::{Optimizer, QueryEnv};
+use cfq_datagen::ScenarioBuilder;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let e = ExpEnv { scale: 0.02, ..ExpEnv::default() };
+    let sc = ScenarioBuilder::new(e.quest())
+        .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+        .unwrap();
+    let support = e.abs_support(sc.db.len());
+    let q = bind_query(
+        &parse_query("max(S.Price) <= min(T.Price)").unwrap(),
+        &sc.catalog,
+    )
+    .unwrap();
+    let env = QueryEnv::new(&sc.db, &sc.catalog, support)
+        .with_s_universe(sc.s_items.clone())
+        .with_t_universe(sc.t_items.clone());
+
+    let mut g = c.benchmark_group("fig8a_overlap16.6");
+    g.sample_size(10);
+    g.bench_function("apriori_plus", |b| {
+        b.iter(|| Optimizer::apriori_plus().run(&q, &env).pair_result.count)
+    });
+    g.bench_function("quasi_succinct", |b| {
+        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 8(b)'s 40%-overlap point: the three
+//! strategies the paper compares.
+
+use cfq_bench::experiments::ExpEnv;
+use cfq_constraints::{bind_query, parse_query};
+use cfq_core::{Optimizer, QueryEnv};
+use cfq_datagen::ScenarioBuilder;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let e = ExpEnv { scale: 0.02, ..ExpEnv::default() };
+    let sc = ScenarioBuilder::new(e.quest()).typed_overlap(400.0, 600.0, 10, 40.0).unwrap();
+    let support = e.abs_support(sc.db.len());
+    let q = bind_query(
+        &parse_query("max(S.Price) <= 400 & min(T.Price) >= 600 & S.Type = T.Type").unwrap(),
+        &sc.catalog,
+    )
+    .unwrap();
+    let env = QueryEnv::new(&sc.db, &sc.catalog, support);
+
+    let mut g = c.benchmark_group("fig8b_overlap40");
+    g.sample_size(10);
+    g.bench_function("apriori_plus", |b| {
+        b.iter(|| Optimizer::apriori_plus().run(&q, &env).pair_result.count)
+    });
+    g.bench_function("cap_one_var", |b| {
+        b.iter(|| Optimizer::cap_one_var().run(&q, &env).pair_result.count)
+    });
+    g.bench_function("full_optimizer", |b| {
+        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

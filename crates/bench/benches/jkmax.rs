@@ -1,0 +1,41 @@
+//! Criterion bench for the §7.3 workload: sum(S.Price) <= sum(T.Price)
+//! with and without J^k_max iterative pruning (T mean 400 — the paper's
+//! most selective point).
+
+use cfq_bench::experiments::{workload_73, ExpEnv};
+use cfq_constraints::{bind_query, parse_query};
+use cfq_core::{Optimizer, QueryEnv};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let e = ExpEnv { scale: 0.01, ..ExpEnv::default() };
+    let (sc, s_support, t_support) = workload_73(&e, 400.0);
+    let q = bind_query(
+        &parse_query("sum(S.Price) <= sum(T.Price)").unwrap(),
+        &sc.catalog,
+    )
+    .unwrap();
+    let env = QueryEnv::new(&sc.db, &sc.catalog, 0)
+        .with_s_universe(sc.s_items.clone())
+        .with_t_universe(sc.t_items.clone())
+        .with_supports(s_support, t_support)
+        .without_pair_formation();
+
+    let mut g = c.benchmark_group("jkmax_tmean400");
+    g.sample_size(10);
+    g.bench_function("no_jkmax", |b| {
+        b.iter(|| {
+            Optimizer { use_jkmax: false, ..Optimizer::default() }
+                .run(&q, &env)
+                .s_sets
+                .len()
+        })
+    });
+    g.bench_function("jkmax", |b| {
+        b.iter(|| Optimizer::default().run(&q, &env).s_sets.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

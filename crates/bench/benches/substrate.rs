@@ -1,0 +1,87 @@
+//! Criterion benches for the mining substrate: plain Apriori on Quest data
+//! and the two support counters.
+
+use cfq_bench::experiments::ExpEnv;
+use cfq_mining::{
+    apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, HashTreeCounter,
+    NaiveCounter, ParallelTrieCounter, PartitionConfig, SupportCounter, TidsetIndex, TrieCounter,
+    VerticalCounter, WorkStats,
+};
+use cfq_types::Itemset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let e = ExpEnv { scale: 0.02, ..ExpEnv::default() };
+    let db = cfq_datagen::generate_transactions(&e.quest()).unwrap();
+    let support = e.abs_support(db.len());
+
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+    g.bench_function("apriori_quest", |b| {
+        b.iter(|| {
+            let mut stats = WorkStats::new();
+            apriori(&db, &AprioriConfig::new(support), &mut stats).total()
+        })
+    });
+    g.bench_function("fp_growth_quest", |b| {
+        b.iter(|| {
+            let mut stats = WorkStats::new();
+            fp_growth(&db, &FpGrowthConfig::new(support), &mut stats).total()
+        })
+    });
+    g.bench_function("partition_quest", |b| {
+        b.iter(|| {
+            let mut stats = WorkStats::new();
+            let cfg = PartitionConfig {
+                universe: Vec::new(),
+                min_support: support,
+                n_partitions: 8,
+            };
+            partition_mine(&db, &cfg, &mut stats).total()
+        })
+    });
+
+    // Counter comparison on one level-2 candidate batch.
+    let mut stats = WorkStats::new();
+    let l1 = apriori(&db, &AprioriConfig::new(support).with_max_level(1), &mut stats);
+    let singles: Vec<Itemset> = l1.level_sets(1);
+    let cands = cfq_mining::generate_candidates(&singles, |_| true);
+    g.bench_function("trie_counter_level2", |b| {
+        b.iter(|| TrieCounter.count(&db, &cands).len())
+    });
+    g.bench_function("parallel_trie_counter_level2", |b| {
+        b.iter(|| ParallelTrieCounter::default().count(&db, &cands).len())
+    });
+    g.bench_function("hashtree_counter_level2", |b| {
+        b.iter(|| HashTreeCounter.count(&db, &cands).len())
+    });
+    let index = TidsetIndex::build(&db);
+    g.bench_function("vertical_counter_level2", |b| {
+        b.iter(|| VerticalCounter::new(&index).count(&db, &cands).len())
+    });
+    if cands.len() <= 2000 {
+        g.bench_function("naive_counter_level2", |b| {
+            b.iter(|| NaiveCounter.count(&db, &cands).len())
+        });
+    }
+    g.bench_function("parse_bind_query", |b| {
+        let mut cb = cfq_types::CatalogBuilder::new(10);
+        cb.num_attr("Price", (0..10).map(|i| i as f64).collect()).unwrap();
+        cb.cat_attr("Type", &["a", "b", "a", "b", "a", "b", "a", "b", "a", "b"]).unwrap();
+        let cat = cb.build();
+        let src = "sum(S.Price) <= 100 & S.Type = {a} & max(S.Price) <= min(T.Price)                    & count(T.Type) = 1";
+        b.iter(|| {
+            let q = cfq_constraints::parse_query(src).unwrap();
+            cfq_constraints::bind_query(&q, &cat).unwrap().two_var.len()
+        })
+    });
+    g.bench_function("quest_generate_2k", |b| {
+        b.iter(|| {
+            cfq_datagen::generate_transactions(&e.quest()).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

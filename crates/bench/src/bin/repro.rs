@@ -1,0 +1,58 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p cfq-bench --release --bin repro -- all
+//! cargo run -p cfq-bench --release --bin repro -- fig8a fig8b
+//! CFQ_SCALE=1.0 cargo run -p cfq-bench --release --bin repro -- all   # paper scale
+//! ```
+//!
+//! Environment: `CFQ_SCALE` (fraction of 100k transactions, default 0.1),
+//! `CFQ_SEED`, `CFQ_SUPPORT` (relative support, default 0.004).
+
+use cfq_bench::experiments as exp;
+use cfq_bench::ExpEnv;
+
+const USAGE: &str = "usage: repro [fig8a|table-levels|table-ranges|fig8b|table-72|table-73|fig1|cap-suite|backbones|ablations|all]...";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        println!("{USAGE}");
+        return;
+    }
+    let env = ExpEnv::from_env();
+    println!(
+        "# cfq reproduction run (scale={}, seed={}, support={})\n",
+        env.scale, env.seed, env.support_frac
+    );
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "fig8a", "table-levels", "table-ranges", "fig8b", "table-72", "table-73",
+            "cap-suite", "backbones", "ablations",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for t in targets {
+        match t {
+            "fig1" => exp::fig1().print(),
+            "fig8a" => exp::fig8a(&env).print(),
+            "table-levels" => exp::table_levels(&env).print(),
+            "table-ranges" => exp::table_ranges(&env).print(),
+            "fig8b" => exp::fig8b(&env).print(),
+            "table-72" => exp::table_72(&env).print(),
+            "table-73" => exp::table_73(&env).print(),
+            "cap-suite" => exp::cap_suite(&env).print(),
+            "backbones" => exp::backbone_comparison(&env).print(),
+            "ablations" => {
+                exp::ablation_layers(&env).print();
+                exp::ablation_dovetail(&env).print();
+                exp::ablation_bound_tightness(&env).print();
+            }
+            other => {
+                eprintln!("unknown target `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

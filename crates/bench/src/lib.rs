@@ -1,0 +1,23 @@
+//! # cfq-bench
+//!
+//! The benchmark harness reproducing every table and figure of the paper's
+//! §7 evaluation (see `DESIGN.md` for the experiment index):
+//!
+//! * [`experiments`] — one runner per table/figure; each runner
+//!   cross-checks that every strategy returns the same answer before
+//!   reporting times and work counters.
+//! * [`table`] — report rendering.
+//!
+//! The `repro` binary drives the runners
+//! (`cargo run -p cfq-bench --release --bin repro -- all`); the criterion
+//! benches (`cargo bench`) measure the headline configurations with
+//! statistical rigor.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    ablation_bound_tightness, ablation_dovetail, ablation_layers, backbone_comparison, cap_suite,
+    fig1, fig8a, fig8b, table_72, table_73, table_levels, table_ranges, ExpEnv,
+};
+pub use table::Table;

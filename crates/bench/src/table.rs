@@ -1,0 +1,117 @@
+//! Minimal fixed-width / markdown table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A printable experiment table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a caption and headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, " {:<width$} |", c, width = w[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.header);
+        let mut sep = String::from("|");
+        for width in &w {
+            let _ = write!(sep, "{:-<1$}|", "", width + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+    }
+}
+
+/// Formats seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn speedup(base: f64, opt: f64) -> String {
+    if opt <= 0.0 {
+        return "inf".into();
+    }
+    format!("{:.2}x", base / opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "longer"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let text = t.to_text();
+        assert!(text.contains("## Demo"));
+        assert!(text.contains("| a   | longer |"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0123), "12.3ms");
+        assert_eq!(speedup(4.0, 2.0), "2.00x");
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal argument parsing (no external dependencies): `--key value`
+//! options, `--flag` booleans, and positional arguments.
+
+use cfq_types::{CfqError, Result};
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program/subcommand names). Options take
+    /// the next token as value unless listed in `flag_names`.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I, flag_names: &[&str]) -> Result<Args> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let value = it.next().ok_or_else(|| {
+                        CfqError::Config(format!("option --{name} needs a value"))
+                    })?;
+                    out.options.insert(name.to_string(), value);
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CfqError::Config(format!("missing required option --{name}")))
+    }
+
+    /// A parsed numeric option with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CfqError::Config(format!("option --{name}: cannot parse `{v}`"))
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string()), &["explain", "rules"]).unwrap()
+    }
+
+    #[test]
+    fn options_flags_positional() {
+        let a = parse(&["query.txt", "--min-support", "0.01", "--explain", "extra"]);
+        assert_eq!(a.positional, vec!["query.txt", "extra"]);
+        assert_eq!(a.get("min-support"), Some("0.01"));
+        assert!(a.flag("explain"));
+        assert!(!a.flag("rules"));
+    }
+
+    #[test]
+    fn numeric_parsing_and_defaults() {
+        let a = parse(&["--n", "42"]);
+        assert_eq!(a.num("n", 0u32).unwrap(), 42);
+        assert_eq!(a.num("missing", 7u32).unwrap(), 7);
+        assert!(a.num::<u32>("n", 0).is_ok());
+        let b = parse(&["--n", "xyz"]);
+        assert!(b.num::<u32>("n", 0).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let r = Args::parse(vec!["--lonely".to_string()], &[]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]);
+        assert!(a.require("data").is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use cfq_constraints::{bind_dnf, parse_dnf};
+use cfq_core::{form_rules, Optimizer, QueryEnv, RuleConfig};
+use cfq_datagen::{generate_transactions, io, QuestConfig};
+use cfq_mining::{
+    apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,
+    PartitionConfig, WorkStats,
+};
+use cfq_types::{Catalog, CatalogBuilder, CfqError, Result, TransactionDb};
+use rand_lite::Pcg;
+
+/// `cfq gen` — write a Quest database.
+pub fn gen(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq gen --out FILE [--items N] [--transactions N] [--seed N]\n\
+             [--avg-trans-len F] [--avg-pattern-len F] [--patterns N]"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let cfg = QuestConfig {
+        n_items: a.num("items", 1000usize)?,
+        n_transactions: a.num("transactions", 10_000usize)?,
+        avg_trans_len: a.num("avg-trans-len", 10.0f64)?,
+        avg_pattern_len: a.num("avg-pattern-len", 4.0f64)?,
+        n_patterns: a.num("patterns", 2000usize)?,
+        seed: a.num("seed", 19990601u64)?,
+        ..QuestConfig::default()
+    };
+    let out = a.require("out")?;
+    let db = generate_transactions(&cfg)?;
+    io::save_transactions(&db, out)?;
+    println!(
+        "wrote {} transactions over {} items (avg len {:.2}) to {out}",
+        db.len(),
+        db.n_items(),
+        db.avg_transaction_len()
+    );
+    Ok(())
+}
+
+/// `cfq gen-catalog` — write an itemInfo catalog. Attribute specs:
+/// `--num "Name:uniform:LO:HI"`, `--num "Name:normal:MEAN:SD"`,
+/// `--cat "Name:N_TYPES"`. (Options are single-valued; separate several
+/// attributes with commas: `--num "Price:uniform:0:1000,Weight:normal:5:1"`.)
+pub fn gen_catalog(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq gen-catalog --items N --out FILE [--seed N]\n\
+             [--num \"Name:uniform:LO:HI[,...]\"] [--num \"Name:normal:MEAN:SD\"]\n\
+             [--cat \"Name:NTYPES[,...]\"]"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let n_items: usize = a.num("items", 0usize)?;
+    if n_items == 0 {
+        return Err(CfqError::Config("--items must be given and positive".into()));
+    }
+    let out = a.require("out")?;
+    let mut rng = Pcg::new(a.num("seed", 7u64)?);
+    let mut b = CatalogBuilder::new(n_items);
+
+    let num_specs = a.get("num").unwrap_or("Price:uniform:0:1000");
+    for spec in num_specs.split(',') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [name, dist, p1, p2] = parts.as_slice() else {
+            return Err(CfqError::Config(format!("bad numeric spec `{spec}`")));
+        };
+        let p1: f64 = p1.parse().map_err(|_| CfqError::Config(format!("bad number in `{spec}`")))?;
+        let p2: f64 = p2.parse().map_err(|_| CfqError::Config(format!("bad number in `{spec}`")))?;
+        let values: Vec<f64> = match *dist {
+            "uniform" => (0..n_items).map(|_| p1 + rng.f64() * (p2 - p1)).collect(),
+            "normal" => (0..n_items).map(|_| (p1 + rng.gauss() * p2).max(0.0)).collect(),
+            other => return Err(CfqError::Config(format!("unknown distribution `{other}`"))),
+        };
+        b.num_attr(name, values)?;
+    }
+    if let Some(cat_specs) = a.get("cat") {
+        for spec in cat_specs.split(',') {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [name, k] = parts.as_slice() else {
+                return Err(CfqError::Config(format!("bad categorical spec `{spec}`")));
+            };
+            let k: usize = k
+                .parse()
+                .map_err(|_| CfqError::Config(format!("bad type count in `{spec}`")))?;
+            if k == 0 {
+                return Err(CfqError::Config("type count must be positive".into()));
+            }
+            let labels: Vec<String> =
+                (0..n_items).map(|_| format!("{}{}", name, rng.below(k))).collect();
+            b.cat_attr(name, &labels)?;
+        }
+    }
+    let catalog = b.build();
+    io::write_catalog(&catalog, std::fs::File::create(out)?)?;
+    println!("wrote catalog with {} attribute(s) for {} items to {out}", catalog.n_attrs(), n_items);
+    Ok(())
+}
+
+/// `cfq query` — run a CFQ.
+pub fn query(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq query --data FILE --catalog FILE \"CONSTRAINTS\"\n\
+             [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
+             [--explain] [--limit N] [--rules] [--min-confidence F] [--threads N]\n\
+             [--out pairs.csv]"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &["explain", "rules"])?;
+    let (db, catalog) = load(&a)?;
+    let text = a
+        .positional
+        .first()
+        .ok_or_else(|| CfqError::Config("give the query as a positional argument".into()))?;
+    let disjuncts = bind_dnf(&parse_dnf(text)?, &catalog)?;
+
+    let min_support = match a.get("abs-support") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CfqError::Config(format!("bad --abs-support `{v}`")))?,
+        None => {
+            let frac: f64 = a.num("min-support", 0.01f64)?;
+            ((db.len() as f64) * frac).round().max(1.0) as u64
+        }
+    };
+    let optimizer = match a.get("strategy").unwrap_or("full") {
+        "full" => Optimizer::default(),
+        "cap1" => Optimizer::cap_one_var(),
+        "apriori+" | "naive" => Optimizer::apriori_plus(),
+        other => return Err(CfqError::Config(format!("unknown strategy `{other}`"))),
+    };
+
+    let env = QueryEnv::new(&db, &catalog, min_support)
+        .with_counting_threads(a.num("threads", 1usize)?);
+    if a.flag("explain") {
+        for (i, bound) in disjuncts.iter().enumerate() {
+            if disjuncts.len() > 1 {
+                println!("-- disjunct {} --", i + 1);
+            }
+            println!("{}", optimizer.plan(bound, &env).explain(&catalog));
+        }
+    }
+    let start = std::time::Instant::now();
+    let out = if disjuncts.len() == 1 {
+        optimizer.run(&disjuncts[0], &env)
+    } else {
+        optimizer.run_dnf(&disjuncts, &env)
+    };
+    let took = start.elapsed().as_secs_f64();
+
+    println!(
+        "{} valid pairs ({} S-sets x {} T-sets) | min_support={} | {:.3}s | {} sets counted | {} db scans",
+        out.pair_result.count,
+        out.s_sets.len(),
+        out.t_sets.len(),
+        min_support,
+        took,
+        out.s_stats.support_counted + out.t_stats.support_counted,
+        out.db_scans,
+    );
+    let limit: usize = a.num("limit", 20usize)?;
+    for &(si, ti) in out.pair_result.pairs.iter().take(limit) {
+        let (s, s_sup) = &out.s_sets[si as usize];
+        let (t, t_sup) = &out.t_sets[ti as usize];
+        println!("  {s} (sup {s_sup})  =>  {t} (sup {t_sup})");
+    }
+    if out.pair_result.count as usize > limit {
+        println!("  … {} more (raise --limit)", out.pair_result.count as usize - limit);
+    }
+
+    if let Some(path) = a.get("out") {
+        out.write_pairs_csv(std::fs::File::create(path)?)?;
+        println!("wrote {} pairs to {path}", out.pair_result.pairs.len());
+    }
+
+    if a.flag("rules") {
+        let cfg = RuleConfig {
+            min_support: 1,
+            min_confidence: a.num("min-confidence", 0.5f64)?,
+        };
+        let rules = form_rules(&out, &db, &cfg);
+        println!("\n{} rules at confidence >= {}:", rules.len(), cfg.min_confidence);
+        for r in rules.iter().take(limit) {
+            println!(
+                "  {} => {}  (sup {}, conf {:.2}, lift {:.2})",
+                r.antecedent, r.consequent, r.support, r.confidence, r.lift
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `cfq mine` — plain frequent-set mining with a selectable backbone.
+pub fn mine(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
+             [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &["maximal", "closed"])?;
+    let db = io::load_transactions(a.require("data")?)?;
+    let min_support = match a.get("abs-support") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CfqError::Config(format!("bad --abs-support `{v}`")))?,
+        None => {
+            let frac: f64 = a.num("min-support", 0.01f64)?;
+            ((db.len() as f64) * frac).round().max(1.0) as u64
+        }
+    };
+    let backbone = a.get("backbone").unwrap_or("fpgrowth");
+    let mut stats = WorkStats::new();
+    let start = std::time::Instant::now();
+    let fs: FrequentSets = match backbone {
+        "apriori" => apriori(&db, &AprioriConfig::new(min_support), &mut stats),
+        "fpgrowth" | "fp-growth" => {
+            fp_growth(&db, &FpGrowthConfig::new(min_support), &mut stats)
+        }
+        "partition" => {
+            let cfg = PartitionConfig {
+                universe: Vec::new(),
+                min_support,
+                n_partitions: 8,
+            };
+            partition_mine(&db, &cfg, &mut stats)
+        }
+        other => return Err(CfqError::Config(format!("unknown backbone `{other}`"))),
+    };
+    let took = start.elapsed().as_secs_f64();
+    println!(
+        "{} frequent sets (max size {}) | min_support={} | {} db scans | {:.3}s [{backbone}]",
+        fs.total(),
+        fs.n_levels(),
+        min_support,
+        stats.db_scans,
+        took
+    );
+    let limit: usize = a.num("limit", 20usize)?;
+    if a.flag("maximal") {
+        let max = fs.maximal();
+        println!("{} maximal sets:", max.len());
+        for s in max.iter().take(limit) {
+            println!("  {s} (sup {})", fs.support(s).unwrap_or(0));
+        }
+    } else if a.flag("closed") {
+        let closed = fs.closed();
+        println!("{} closed sets:", closed.len());
+        for (s, sup) in closed.iter().take(limit) {
+            println!("  {s} (sup {sup})");
+        }
+    } else {
+        let mut all: Vec<(&cfq_types::Itemset, u64)> = fs.iter().collect();
+        all.sort_by_key(|&(_, sup)| std::cmp::Reverse(sup));
+        for (s, sup) in all.into_iter().take(limit) {
+            println!("  {s} (sup {sup})");
+        }
+    }
+    Ok(())
+}
+
+/// `cfq stats` — database summary.
+pub fn stats(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!("cfq stats --data FILE");
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let db = io::load_transactions(a.require("data")?)?;
+    let mut freq = vec![0u64; db.n_items()];
+    let mut max_len = 0usize;
+    for t in db.iter() {
+        max_len = max_len.max(t.len());
+        for &i in t {
+            freq[i.index()] += 1;
+        }
+    }
+    let active = freq.iter().filter(|&&f| f > 0).count();
+    let top = freq.iter().copied().max().unwrap_or(0);
+    println!(
+        "transactions: {}\nitems: {} ({} active)\navg transaction length: {:.2}\nmax transaction length: {}\nmost frequent item occurs in: {} transactions ({:.2}%)",
+        db.len(),
+        db.n_items(),
+        active,
+        db.avg_transaction_len(),
+        max_len,
+        top,
+        100.0 * top as f64 / db.len().max(1) as f64,
+    );
+    Ok(())
+}
+
+fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
+    let db = io::load_transactions(a.require("data")?)?;
+    let catalog = match a.get("catalog") {
+        Some(path) => io::read_catalog(std::fs::File::open(path)?)?,
+        None => Catalog::empty(db.n_items()),
+    };
+    if catalog.n_items() != db.n_items() {
+        return Err(CfqError::Config(format!(
+            "catalog covers {} items but database has {}",
+            catalog.n_items(),
+            db.n_items()
+        )));
+    }
+    Ok((db, catalog))
+}
+
+fn wants_help(argv: &[String]) -> bool {
+    argv.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// A tiny self-contained PCG32 random generator so the CLI crate does not
+/// need the `rand` dependency for its few catalog draws.
+mod rand_lite {
+    /// PCG-XSH-RR 64/32.
+    pub struct Pcg {
+        state: u64,
+    }
+
+    impl Pcg {
+        pub fn new(seed: u64) -> Pcg {
+            let mut p = Pcg { state: seed.wrapping_mul(0x853c_49e6_748f_ea9b) ^ 0x94d0_49bb_1331_11eb };
+            p.next_u32();
+            p
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            let old = self.state;
+            self.state = old
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+            let rot = (old >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u32() as f64) / (u32::MAX as f64 + 1.0)
+        }
+
+        /// Uniform integer below `n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.f64() * n as f64) as usize % n
+        }
+
+        /// Standard normal via Box–Muller.
+        pub fn gauss(&mut self) -> f64 {
+            let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+            let u2 = self.f64();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cfq_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(v: &[String]) -> Vec<String> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn gen_query_roundtrip() {
+        let data = tmp("d.txt");
+        let cat = tmp("c.txt");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "40".into(),
+            "--transactions".into(),
+            "300".into(),
+            "--patterns".into(),
+            "20".into(),
+        ]))
+        .unwrap();
+        gen_catalog(argv(&[
+            "--items".into(),
+            "40".into(),
+            "--out".into(),
+            cat.clone(),
+            "--num".into(),
+            "Price:uniform:0:100".into(),
+            "--cat".into(),
+            "Type:3".into(),
+        ]))
+        .unwrap();
+        query(argv(&[
+            "--data".into(),
+            data.clone(),
+            "--catalog".into(),
+            cat.clone(),
+            "--min-support".into(),
+            "0.08".into(),
+            "--explain".into(),
+            "--rules".into(),
+            "max(S.Price) <= min(T.Price)".into(),
+        ]))
+        .unwrap();
+        stats(argv(&["--data".into(), data.clone()])).unwrap();
+        for backbone in ["apriori", "fpgrowth", "partition"] {
+            mine(argv(&[
+                "--data".into(),
+                data.clone(),
+                "--backbone".into(),
+                backbone.into(),
+                "--min-support".into(),
+                "0.05".into(),
+            ]))
+            .unwrap();
+        }
+        mine(argv(&["--data".into(), data.clone(), "--maximal".into()])).unwrap();
+        mine(argv(&["--data".into(), data, "--closed".into()])).unwrap();
+    }
+
+    #[test]
+    fn mine_rejects_unknown_backbone() {
+        let data = tmp("d3.txt");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "10".into(),
+            "--transactions".into(),
+            "40".into(),
+            "--patterns".into(),
+            "5".into(),
+        ]))
+        .unwrap();
+        assert!(mine(argv(&["--data".into(), data, "--backbone".into(), "magic".into()])).is_err());
+    }
+
+    #[test]
+    fn query_errors() {
+        assert!(query(argv(&["--data".into(), "/nonexistent".into(), "freq(S)".into()])).is_err());
+        let data = tmp("d2.txt");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "10".into(),
+            "--transactions".into(),
+            "50".into(),
+            "--patterns".into(),
+            "5".into(),
+        ]))
+        .unwrap();
+        // Missing query text.
+        assert!(query(argv(&["--data".into(), data.clone()])).is_err());
+        // Unknown strategy.
+        assert!(query(argv(&[
+            "--data".into(),
+            data,
+            "--strategy".into(),
+            "warp".into(),
+            "freq(S)".into()
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn gen_catalog_spec_errors() {
+        let out = tmp("c2.txt");
+        assert!(gen_catalog(argv(&["--out".into(), out.clone()])).is_err()); // no --items
+        assert!(gen_catalog(argv(&[
+            "--items".into(),
+            "5".into(),
+            "--out".into(),
+            out.clone(),
+            "--num".into(),
+            "Price:banana:0:1".into()
+        ]))
+        .is_err());
+        assert!(gen_catalog(argv(&[
+            "--items".into(),
+            "5".into(),
+            "--out".into(),
+            out,
+            "--cat".into(),
+            "Type:0".into()
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn pcg_is_sane() {
+        let mut p = rand_lite::Pcg::new(42);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let x = p.f64();
+            assert!((0.0..1.0).contains(&x));
+            seen.insert((x * 1e9) as u64);
+        }
+        assert!(seen.len() > 900, "PCG output looks degenerate");
+        for _ in 0..100 {
+            assert!(p.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The parsed (unresolved) form of a CFQ.
+//!
+//! Attribute names and symbols are still strings here; [`crate::bound`]
+//! resolves them against a [`cfq_types::Catalog`]. The AST prints back to
+//! parseable query text (round-trip is property-tested).
+
+use crate::lang::{Agg, CmpOp, SetRel, Var};
+use std::fmt;
+
+/// A variable with an optional attribute: `S`, `T.Price`, `S.Type`, …
+#[derive(Clone, PartialEq, Debug)]
+pub struct VarAttr {
+    /// The set variable.
+    pub var: Var,
+    /// The attribute, or `None` for the bare variable (item-level sets).
+    pub attr: Option<String>,
+}
+
+impl fmt::Display for VarAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.attr {
+            Some(a) => write!(f, "{}.{}", self.var, a),
+            None => write!(f, "{}", self.var),
+        }
+    }
+}
+
+/// A literal element of a set literal: a number or a symbol.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// Numeric literal.
+    Num(f64),
+    /// Symbolic literal (a categorical value such as `Snacks`).
+    Sym(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Num(n) => write!(f, "{n}"),
+            Literal::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One side of a domain (set) constraint.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetExpr {
+    /// A variable's value set, e.g. `S.Type`.
+    Var(VarAttr),
+    /// A literal set, e.g. `{Snacks, Beers}` or `{100, 200}`.
+    Lit(Vec<Literal>),
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Var(v) => write!(f, "{v}"),
+            SetExpr::Lit(items) => {
+                write!(f, "{{")?;
+                for (i, l) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// One side of an aggregate comparison.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AggExpr {
+    /// `agg(Var.Attr)`
+    Agg {
+        /// The aggregate function.
+        agg: Agg,
+        /// The aggregated variable attribute.
+        operand: VarAttr,
+    },
+    /// A numeric constant.
+    Const(f64),
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggExpr::Agg { agg, operand } => write!(f, "{agg}({operand})"),
+            AggExpr::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A single constraint of a CFQ conjunction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Constraint {
+    /// `freq(S)` / `freq(T)` — the frequency constraint. Implicit in every
+    /// CFQ; accepted syntactically for fidelity with the paper's examples.
+    Freq(Var),
+    /// `agg(X.A) op agg(Y.B)` or `agg(X.A) op c` (and the mirrored form).
+    AggCmp {
+        /// Left side.
+        lhs: AggExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right side.
+        rhs: AggExpr,
+    },
+    /// `count(X) op n` / `count(X.A) op n` — class constraints.
+    CountCmp {
+        /// The counted variable/attribute (distinct values).
+        operand: VarAttr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The constant.
+        value: f64,
+    },
+    /// `count(X.A) op count(Y.B)` — a 2-var class constraint (an extension
+    /// beyond the paper's tabulated language; see §8 open problem 3).
+    CountCmp2 {
+        /// Left counted side.
+        lhs: VarAttr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right counted side.
+        rhs: VarAttr,
+    },
+    /// `X.A rel Y.B`, `X.A rel {…}`, `{…} rel X.A` — domain constraints.
+    SetCmp {
+        /// Left side.
+        lhs: SetExpr,
+        /// Set relation.
+        rel: SetRel,
+        /// Right side.
+        rhs: SetExpr,
+    },
+    /// `lit in X.A` — membership, sugar for `{lit} subset X.A`.
+    Member {
+        /// The element.
+        value: Literal,
+        /// The containing value set.
+        operand: VarAttr,
+    },
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Freq(v) => write!(f, "freq({v})"),
+            Constraint::AggCmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Constraint::CountCmp { operand, op, value } => {
+                write!(f, "count({operand}) {op} {value}")
+            }
+            Constraint::CountCmp2 { lhs, op, rhs } => {
+                write!(f, "count({lhs}) {op} count({rhs})")
+            }
+            Constraint::SetCmp { lhs, rel, rhs } => write!(f, "{lhs} {rel} {rhs}"),
+            Constraint::Member { value, operand } => write!(f, "{value} in {operand}"),
+        }
+    }
+}
+
+/// A disjunction of conjunctive CFQs — the DNF extension of the paper's
+/// conjunction-only language (§8 open problem 3). The answer is the union
+/// of the disjuncts' answers.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Dnf {
+    /// The disjuncts (each a conjunctive CFQ).
+    pub disjuncts: Vec<Query>,
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed CFQ: the conjunction `C` of `{(S, T) | C}`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Query {
+    /// The conjuncts.
+    pub constraints: Vec<Constraint>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let c = Constraint::AggCmp {
+            lhs: AggExpr::Agg {
+                agg: Agg::Sum,
+                operand: VarAttr { var: Var::S, attr: Some("Price".into()) },
+            },
+            op: CmpOp::Le,
+            rhs: AggExpr::Const(100.0),
+        };
+        assert_eq!(c.to_string(), "sum(S.Price) <= 100");
+
+        let c = Constraint::SetCmp {
+            lhs: SetExpr::Var(VarAttr { var: Var::S, attr: Some("Type".into()) }),
+            rel: SetRel::Eq,
+            rhs: SetExpr::Lit(vec![Literal::Sym("Snacks".into())]),
+        };
+        assert_eq!(c.to_string(), "S.Type = {Snacks}");
+
+        let c = Constraint::Member {
+            value: Literal::Num(5.0),
+            operand: VarAttr { var: Var::T, attr: Some("Price".into()) },
+        };
+        assert_eq!(c.to_string(), "5 in T.Price");
+
+        let q = Query {
+            constraints: vec![
+                Constraint::Freq(Var::S),
+                Constraint::CountCmp {
+                    operand: VarAttr { var: Var::S, attr: Some("Type".into()) },
+                    op: CmpOp::Eq,
+                    value: 1.0,
+                },
+            ],
+        };
+        assert_eq!(q.to_string(), "freq(S) & count(S.Type) = 1");
+    }
+}

@@ -1,0 +1,663 @@
+//! Constraints resolved against a catalog.
+//!
+//! Binding resolves attribute names to [`AttrId`]s, validates attribute
+//! kinds (aggregates need numeric columns), and interns literal values into
+//! the catalog-wide *value key* encoding, so evaluation and reduction never
+//! touch strings. The same types also carry the *induced* 1-var constraints
+//! produced by quasi-succinct reduction — their constants (`L1^T.B` etc.)
+//! are value-key sets / numbers computed at run time.
+
+use crate::ast;
+use crate::lang::{Agg, CmpOp, SetRel, Var};
+use cfq_types::{AttrId, AttrKind, Catalog, CfqError, Result};
+use std::fmt;
+
+/// A resolved 1-var constraint on `var`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum OneVar {
+    /// `var.A rel V` for a constant value-key set `V` (sorted, deduped).
+    /// `attr = None` means the bare variable (V holds item ids).
+    Domain {
+        /// The constrained variable.
+        var: Var,
+        /// The attribute, or `None` for the bare variable.
+        attr: Option<AttrId>,
+        /// The set relation, oriented as `value_set(var.attr) rel value`.
+        rel: SetRel,
+        /// The constant side (sorted, deduplicated value keys).
+        value: Vec<u64>,
+    },
+    /// `agg(var.A) op c`.
+    AggCmp {
+        /// The constrained variable.
+        var: Var,
+        /// The aggregate function.
+        agg: Agg,
+        /// The (numeric) attribute.
+        attr: AttrId,
+        /// The comparison.
+        op: CmpOp,
+        /// The constant.
+        value: f64,
+    },
+    /// `count(distinct var.A) op c` (`attr = None` counts items).
+    CountCmp {
+        /// The constrained variable.
+        var: Var,
+        /// The attribute, or `None` to count items.
+        attr: Option<AttrId>,
+        /// The comparison.
+        op: CmpOp,
+        /// The constant.
+        value: f64,
+    },
+}
+
+impl OneVar {
+    /// The variable this constraint restricts.
+    pub fn var(&self) -> Var {
+        match self {
+            OneVar::Domain { var, .. }
+            | OneVar::AggCmp { var, .. }
+            | OneVar::CountCmp { var, .. } => *var,
+        }
+    }
+}
+
+/// A resolved 2-var constraint, always oriented `S`-side first.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TwoVar {
+    /// `S.A rel T.B`.
+    Domain {
+        /// S-side attribute (`None` = bare variable).
+        s_attr: Option<AttrId>,
+        /// The set relation.
+        rel: SetRel,
+        /// T-side attribute (`None` = bare variable).
+        t_attr: Option<AttrId>,
+    },
+    /// `agg1(S.A) op agg2(T.B)`.
+    AggCmp {
+        /// S-side aggregate.
+        s_agg: Agg,
+        /// S-side attribute.
+        s_attr: AttrId,
+        /// The comparison.
+        op: CmpOp,
+        /// T-side aggregate.
+        t_agg: Agg,
+        /// T-side attribute.
+        t_attr: AttrId,
+    },
+    /// `count(S.A) op count(T.B)` — 2-var class constraint (language
+    /// extension; §8 open problem 3). `None` attributes count items.
+    CountCmp {
+        /// S-side attribute (`None` = bare variable).
+        s_attr: Option<AttrId>,
+        /// The comparison.
+        op: CmpOp,
+        /// T-side attribute (`None` = bare variable).
+        t_attr: Option<AttrId>,
+    },
+}
+
+/// A bound constraint: one of the three shapes of the CFQ language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Bound {
+    /// Constraint over a single variable.
+    One(OneVar),
+    /// Constraint binding both variables.
+    Two(TwoVar),
+}
+
+/// A bound CFQ: 1-var and 2-var conjuncts, separated (the optimizer's first
+/// step in Fig. 7 is purely syntactic separation — done here at binding).
+#[derive(Clone, Debug, Default)]
+pub struct BoundQuery {
+    /// 1-var conjuncts.
+    pub one_var: Vec<OneVar>,
+    /// 2-var conjuncts.
+    pub two_var: Vec<TwoVar>,
+}
+
+impl BoundQuery {
+    /// The 1-var conjuncts restricting `var`.
+    pub fn one_var_for(&self, var: Var) -> impl Iterator<Item = &OneVar> {
+        self.one_var.iter().filter(move |c| c.var() == var)
+    }
+}
+
+/// Binds a parsed query against a catalog.
+pub fn bind_query(q: &ast::Query, catalog: &Catalog) -> Result<BoundQuery> {
+    let mut out = BoundQuery::default();
+    for c in &q.constraints {
+        match bind_constraint(c, catalog)? {
+            Some(Bound::One(c)) => out.one_var.push(c),
+            Some(Bound::Two(c)) => out.two_var.push(c),
+            None => {} // freq(S)/freq(T): implicit
+        }
+    }
+    Ok(out)
+}
+
+/// Binds each disjunct of a DNF query against a catalog.
+pub fn bind_dnf(d: &ast::Dnf, catalog: &Catalog) -> Result<Vec<BoundQuery>> {
+    d.disjuncts.iter().map(|q| bind_query(q, catalog)).collect()
+}
+
+/// Binds a single constraint. `freq(...)` binds to `None` (implicit).
+pub fn bind_constraint(c: &ast::Constraint, catalog: &Catalog) -> Result<Option<Bound>> {
+    match c {
+        ast::Constraint::Freq(_) => Ok(None),
+        ast::Constraint::AggCmp { lhs, op, rhs } => bind_agg_cmp(lhs, *op, rhs, catalog).map(Some),
+        ast::Constraint::CountCmp { operand, op, value } => {
+            let attr = bind_attr(operand, catalog)?;
+            Ok(Some(Bound::One(OneVar::CountCmp {
+                var: operand.var,
+                attr,
+                op: *op,
+                value: *value,
+            })))
+        }
+        ast::Constraint::CountCmp2 { lhs, op, rhs } => {
+            if lhs.var == rhs.var {
+                return Err(CfqError::UnsupportedConstraint(format!(
+                    "both counted sides range over `{}` — 2-var constraints need S and T",
+                    lhs.var
+                )));
+            }
+            let attr_l = bind_attr(lhs, catalog)?;
+            let attr_r = bind_attr(rhs, catalog)?;
+            let c = if lhs.var == Var::S {
+                TwoVar::CountCmp { s_attr: attr_l, op: *op, t_attr: attr_r }
+            } else {
+                TwoVar::CountCmp { s_attr: attr_r, op: op.mirror(), t_attr: attr_l }
+            };
+            Ok(Some(Bound::Two(c)))
+        }
+        ast::Constraint::SetCmp { lhs, rel, rhs } => bind_set_cmp(lhs, *rel, rhs, catalog).map(Some),
+        ast::Constraint::Member { value, operand } => {
+            let attr = bind_attr(operand, catalog)?;
+            let key = literal_key(value, operand.attr.as_deref(), attr, catalog)?;
+            Ok(Some(Bound::One(OneVar::Domain {
+                var: operand.var,
+                attr,
+                rel: SetRel::Superset,
+                value: vec![key],
+            })))
+        }
+    }
+}
+
+fn bind_attr(va: &ast::VarAttr, catalog: &Catalog) -> Result<Option<AttrId>> {
+    match &va.attr {
+        None => Ok(None),
+        Some(name) => catalog.require_attr(name).map(Some),
+    }
+}
+
+fn require_num_attr(va: &ast::VarAttr, catalog: &Catalog) -> Result<AttrId> {
+    let name = va.attr.as_deref().ok_or_else(|| {
+        CfqError::UnsupportedConstraint(format!(
+            "aggregate over bare variable `{}` needs an attribute",
+            va.var
+        ))
+    })?;
+    let attr = catalog.require_attr(name)?;
+    if catalog.kind(attr) != AttrKind::Num {
+        return Err(CfqError::Attr(format!("attribute `{name}` is not numeric")));
+    }
+    Ok(attr)
+}
+
+fn bind_agg_cmp(
+    lhs: &ast::AggExpr,
+    op: CmpOp,
+    rhs: &ast::AggExpr,
+    catalog: &Catalog,
+) -> Result<Bound> {
+    match (lhs, rhs) {
+        (ast::AggExpr::Agg { agg, operand }, ast::AggExpr::Const(c)) => {
+            let attr = require_num_attr(operand, catalog)?;
+            Ok(Bound::One(OneVar::AggCmp {
+                var: operand.var,
+                agg: *agg,
+                attr,
+                op,
+                value: *c,
+            }))
+        }
+        (ast::AggExpr::Const(c), ast::AggExpr::Agg { agg, operand }) => {
+            let attr = require_num_attr(operand, catalog)?;
+            Ok(Bound::One(OneVar::AggCmp {
+                var: operand.var,
+                agg: *agg,
+                attr,
+                op: op.mirror(),
+                value: *c,
+            }))
+        }
+        (
+            ast::AggExpr::Agg { agg: a1, operand: o1 },
+            ast::AggExpr::Agg { agg: a2, operand: o2 },
+        ) => {
+            if o1.var == o2.var {
+                return Err(CfqError::UnsupportedConstraint(format!(
+                    "both aggregate operands range over `{}` — 2-var constraints need S and T",
+                    o1.var
+                )));
+            }
+            let attr1 = require_num_attr(o1, catalog)?;
+            let attr2 = require_num_attr(o2, catalog)?;
+            // Orient S-side first.
+            if o1.var == Var::S {
+                Ok(Bound::Two(TwoVar::AggCmp {
+                    s_agg: *a1,
+                    s_attr: attr1,
+                    op,
+                    t_agg: *a2,
+                    t_attr: attr2,
+                }))
+            } else {
+                Ok(Bound::Two(TwoVar::AggCmp {
+                    s_agg: *a2,
+                    s_attr: attr2,
+                    op: op.mirror(),
+                    t_agg: *a1,
+                    t_attr: attr1,
+                }))
+            }
+        }
+        (ast::AggExpr::Const(_), ast::AggExpr::Const(_)) => Err(CfqError::UnsupportedConstraint(
+            "comparison between two constants".into(),
+        )),
+    }
+}
+
+fn bind_set_cmp(
+    lhs: &ast::SetExpr,
+    rel: SetRel,
+    rhs: &ast::SetExpr,
+    catalog: &Catalog,
+) -> Result<Bound> {
+    match (lhs, rhs) {
+        (ast::SetExpr::Var(a), ast::SetExpr::Var(b)) => {
+            if a.var == b.var {
+                return Err(CfqError::UnsupportedConstraint(format!(
+                    "both sides range over `{}` — use a literal or two variables",
+                    a.var
+                )));
+            }
+            let attr_a = bind_attr(a, catalog)?;
+            let attr_b = bind_attr(b, catalog)?;
+            check_comparable(a, attr_a, b, attr_b, catalog)?;
+            if a.var == Var::S {
+                Ok(Bound::Two(TwoVar::Domain { s_attr: attr_a, rel, t_attr: attr_b }))
+            } else {
+                Ok(Bound::Two(TwoVar::Domain { s_attr: attr_b, rel: rel.mirror(), t_attr: attr_a }))
+            }
+        }
+        (ast::SetExpr::Var(a), ast::SetExpr::Lit(lits)) => {
+            let attr = bind_attr(a, catalog)?;
+            let value = literal_keys(lits, a.attr.as_deref(), attr, catalog)?;
+            Ok(Bound::One(OneVar::Domain { var: a.var, attr, rel, value }))
+        }
+        (ast::SetExpr::Lit(lits), ast::SetExpr::Var(a)) => {
+            let attr = bind_attr(a, catalog)?;
+            let value = literal_keys(lits, a.attr.as_deref(), attr, catalog)?;
+            Ok(Bound::One(OneVar::Domain { var: a.var, attr, rel: rel.mirror(), value }))
+        }
+        (ast::SetExpr::Lit(_), ast::SetExpr::Lit(_)) => Err(CfqError::UnsupportedConstraint(
+            "set comparison between two literals".into(),
+        )),
+    }
+}
+
+/// Two variable value-sets are comparable when their attribute kinds agree
+/// (Num vs Num, Cat vs Cat, bare vs bare). Mixing kinds is almost certainly
+/// a query bug, so we reject it at binding.
+fn check_comparable(
+    a: &ast::VarAttr,
+    attr_a: Option<AttrId>,
+    b: &ast::VarAttr,
+    attr_b: Option<AttrId>,
+    catalog: &Catalog,
+) -> Result<()> {
+    let kind = |attr: Option<AttrId>| attr.map(|x| catalog.kind(x));
+    if kind(attr_a) != kind(attr_b) {
+        return Err(CfqError::Attr(format!(
+            "cannot compare value sets of `{a}` and `{b}`: attribute kinds differ"
+        )));
+    }
+    Ok(())
+}
+
+/// Resolves one literal into a value key consistent with the attribute.
+fn literal_key(
+    lit: &ast::Literal,
+    attr_name: Option<&str>,
+    attr: Option<AttrId>,
+    catalog: &Catalog,
+) -> Result<u64> {
+    match (lit, attr.map(|a| catalog.kind(a))) {
+        (ast::Literal::Num(n), Some(AttrKind::Num)) => Ok(n.to_bits()),
+        (ast::Literal::Num(n), None) => {
+            // Bare variable: the literal is an item id.
+            if n.fract() != 0.0 || *n < 0.0 {
+                return Err(CfqError::Parse(format!("item id literal `{n}` must be a non-negative integer")));
+            }
+            Ok(*n as u64)
+        }
+        (ast::Literal::Sym(s), Some(AttrKind::Cat)) => {
+            // Unknown symbols match no item: reserve keys from the top.
+            Ok(catalog
+                .symbol(s)
+                .map(|id| id.0 as u64)
+                .unwrap_or_else(|| u64::MAX - fxhash_str(s) % (1 << 31)))
+        }
+        (ast::Literal::Num(_), Some(AttrKind::Cat)) => Err(CfqError::Attr(format!(
+            "attribute `{}` is categorical; numeric literal not allowed",
+            attr_name.unwrap_or("?")
+        ))),
+        (ast::Literal::Sym(s), Some(AttrKind::Num)) => Err(CfqError::Attr(format!(
+            "attribute `{}` is numeric; symbol `{s}` not allowed",
+            attr_name.unwrap_or("?")
+        ))),
+        (ast::Literal::Sym(s), None) => Err(CfqError::Attr(format!(
+            "bare variable compares item ids; symbol `{s}` not allowed"
+        ))),
+    }
+}
+
+fn literal_keys(
+    lits: &[ast::Literal],
+    attr_name: Option<&str>,
+    attr: Option<AttrId>,
+    catalog: &Catalog,
+) -> Result<Vec<u64>> {
+    let mut keys = Vec::with_capacity(lits.len());
+    for l in lits {
+        keys.push(literal_key(l, attr_name, attr, catalog)?);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    Ok(keys)
+}
+
+/// Tiny deterministic string hash for unknown-symbol sentinels.
+fn fxhash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Catalog-aware pretty printer for a [`OneVar`] constraint: attribute
+/// names instead of ids, symbol names instead of value keys.
+pub struct DisplayOneVar<'a> {
+    c: &'a OneVar,
+    catalog: &'a Catalog,
+}
+
+/// Catalog-aware pretty printer for a [`TwoVar`] constraint.
+pub struct DisplayTwoVar<'a> {
+    c: &'a TwoVar,
+    catalog: &'a Catalog,
+}
+
+impl OneVar {
+    /// Renders with attribute and symbol names resolved from the catalog.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> DisplayOneVar<'a> {
+        DisplayOneVar { c: self, catalog }
+    }
+}
+
+impl TwoVar {
+    /// Renders with attribute names resolved from the catalog.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> DisplayTwoVar<'a> {
+        DisplayTwoVar { c: self, catalog }
+    }
+}
+
+fn fmt_attr_named(catalog: &Catalog, attr: &Option<AttrId>) -> String {
+    match attr {
+        Some(a) => format!(".{}", catalog.attr_name(*a)),
+        None => String::new(),
+    }
+}
+
+fn fmt_keys(catalog: &Catalog, attr: &Option<AttrId>, keys: &[u64], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{{")?;
+    let kind = attr.map(|a| catalog.kind(a));
+    for (i, &k) in keys.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        match kind {
+            Some(cfq_types::AttrKind::Num) => write!(f, "{}", f64::from_bits(k))?,
+            Some(cfq_types::AttrKind::Cat) if k < catalog.n_symbols() as u64 => {
+                write!(f, "{}", catalog.symbol_name(cfq_types::SymbolId(k as u32)))?
+            }
+            Some(cfq_types::AttrKind::Cat) => write!(f, "<unknown>")?,
+            None => write!(f, "{k}")?,
+        }
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Display for DisplayOneVar<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cat = self.catalog;
+        match self.c {
+            OneVar::Domain { var, attr, rel, value } => {
+                write!(f, "{var}{} {rel} ", fmt_attr_named(cat, attr))?;
+                if value.len() > 8 {
+                    write!(f, "<{} values>", value.len())
+                } else {
+                    fmt_keys(cat, attr, value, f)
+                }
+            }
+            OneVar::AggCmp { var, agg, attr, op, value } => {
+                write!(f, "{agg}({var}.{}) {op} {value}", cat.attr_name(*attr))
+            }
+            OneVar::CountCmp { var, attr, op, value } => {
+                write!(f, "count({var}{}) {op} {value}", fmt_attr_named(cat, attr))
+            }
+        }
+    }
+}
+
+impl fmt::Display for DisplayTwoVar<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cat = self.catalog;
+        match self.c {
+            TwoVar::Domain { s_attr, rel, t_attr } => write!(
+                f,
+                "S{} {rel} T{}",
+                fmt_attr_named(cat, s_attr),
+                fmt_attr_named(cat, t_attr)
+            ),
+            TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => write!(
+                f,
+                "{s_agg}(S.{}) {op} {t_agg}(T.{})",
+                cat.attr_name(*s_attr),
+                cat.attr_name(*t_attr)
+            ),
+            TwoVar::CountCmp { s_attr, op, t_attr } => write!(
+                f,
+                "count(S{}) {op} count(T{})",
+                fmt_attr_named(cat, s_attr),
+                fmt_attr_named(cat, t_attr)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for OneVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OneVar::Domain { var, attr, rel, value } => {
+                write!(f, "{var}{} {rel} <{} keys>", fmt_attr(attr), value.len())
+            }
+            OneVar::AggCmp { var, agg, attr, op, value } => {
+                write!(f, "{agg}({var}.#{}) {op} {value}", attr.0)
+            }
+            OneVar::CountCmp { var, attr, op, value } => {
+                write!(f, "count({var}{}) {op} {value}", fmt_attr(attr))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TwoVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoVar::Domain { s_attr, rel, t_attr } => {
+                write!(f, "S{} {rel} T{}", fmt_attr(s_attr), fmt_attr(t_attr))
+            }
+            TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => {
+                write!(f, "{s_agg}(S.#{}) {op} {t_agg}(T.#{})", s_attr.0, t_attr.0)
+            }
+            TwoVar::CountCmp { s_attr, op, t_attr } => {
+                write!(f, "count(S{}) {op} count(T{})", fmt_attr(s_attr), fmt_attr(t_attr))
+            }
+        }
+    }
+}
+
+fn fmt_attr(attr: &Option<AttrId>) -> String {
+    match attr {
+        Some(a) => format!(".#{}", a.0),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cfq_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        b.cat_attr("Type", &["Snacks", "Beers", "Snacks", "Dairy"]).unwrap();
+        b.build()
+    }
+
+    fn bind(src: &str) -> BoundQuery {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap()
+    }
+
+    #[test]
+    fn binds_paper_intro_query() {
+        let q = bind("freq(S) & freq(T) & sum(S.Price) <= 100 & avg(T.Price) >= 200");
+        assert_eq!(q.one_var.len(), 2);
+        assert!(q.two_var.is_empty());
+        assert!(matches!(
+            q.one_var[0],
+            OneVar::AggCmp { var: Var::S, agg: Agg::Sum, op: CmpOp::Le, value, .. } if value == 100.0
+        ));
+    }
+
+    #[test]
+    fn orients_two_var_s_first() {
+        let q = bind("min(T.Price) >= max(S.Price)");
+        assert_eq!(q.two_var.len(), 1);
+        match &q.two_var[0] {
+            TwoVar::AggCmp { s_agg, op, t_agg, .. } => {
+                assert_eq!(*s_agg, Agg::Max);
+                assert_eq!(*op, CmpOp::Le);
+                assert_eq!(*t_agg, Agg::Min);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = bind("T.Type superset S.Type");
+        match &q.two_var[0] {
+            TwoVar::Domain { rel, .. } => assert_eq!(*rel, SetRel::Subset),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binds_domain_literals() {
+        let q = bind("S.Type = {Snacks}");
+        match &q.one_var[0] {
+            OneVar::Domain { rel: SetRel::Eq, value, .. } => {
+                assert_eq!(value.len(), 1);
+                let snacks = catalog().symbol("Snacks").unwrap().0 as u64;
+                assert_eq!(value[0], snacks);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Literal on the left mirrors the relation.
+        let q = bind("{Snacks} subset S.Type");
+        match &q.one_var[0] {
+            OneVar::Domain { rel, .. } => assert_eq!(*rel, SetRel::Superset),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_is_superset_singleton() {
+        let q = bind("20 in S.Price");
+        match &q.one_var[0] {
+            OneVar::Domain { rel: SetRel::Superset, value, attr: Some(_), .. } => {
+                assert_eq!(value[0], 20.0f64.to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_variable_constraints() {
+        let q = bind("S disjoint T");
+        assert!(matches!(
+            q.two_var[0],
+            TwoVar::Domain { s_attr: None, rel: SetRel::Disjoint, t_attr: None }
+        ));
+        let q = bind("S subset {0, 2}");
+        match &q.one_var[0] {
+            OneVar::Domain { attr: None, rel: SetRel::Subset, value, .. } => {
+                assert_eq!(value, &vec![0u64, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_symbols_get_sentinels() {
+        let q = bind("S.Type = {Gadgets}");
+        match &q.one_var[0] {
+            OneVar::Domain { value, .. } => {
+                assert!(value[0] > u32::MAX as u64, "sentinel key expected");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binding_errors() {
+        let cat = catalog();
+        let check_err = |src: &str| {
+            let q = parse_query(src).unwrap();
+            assert!(bind_query(&q, &cat).is_err(), "`{src}` should not bind");
+        };
+        check_err("sum(S.Type) <= 3"); // aggregate over categorical
+        check_err("sum(S.Weight) <= 3"); // unknown attribute
+        check_err("min(S.Price) <= max(S.Price)"); // same variable twice
+        check_err("S.Type = S.Type"); // same variable twice
+        check_err("S.Type disjoint T.Price"); // kind mismatch
+        check_err("S.Price = {Snacks}"); // symbol on numeric attr
+        check_err("S = {Snacks}"); // symbol on bare variable
+        check_err("S.Type = {5}"); // number on categorical attr
+    }
+
+    #[test]
+    fn count_binds() {
+        let q = bind("count(S.Type) = 1 & count(T) <= 4");
+        assert_eq!(q.one_var.len(), 2);
+        assert!(matches!(q.one_var[1], OneVar::CountCmp { var: Var::T, attr: None, .. }));
+    }
+}

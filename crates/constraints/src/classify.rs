@@ -1,0 +1,217 @@
+//! Constraint classification: anti-monotonicity, succinctness (1-var, from
+//! the CAP paper \[15\]), and the paper's 2-var characterization (Figure 1).
+
+use crate::bound::{OneVar, TwoVar};
+use crate::lang::{Agg, CmpOp, SetRel};
+use cfq_types::Catalog;
+
+/// Classification of a 1-var constraint (Definitions 1–2 of the paper,
+/// results from \[15\]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OneVarClass {
+    /// Anti-monotone: violated sets have only violated supersets.
+    pub anti_monotone: bool,
+    /// Succinct: the solution space has a member-generating function.
+    pub succinct: bool,
+}
+
+/// Classification of a 2-var constraint (Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoVarClass {
+    /// 2-var anti-monotone per Definition 4 (w.r.t. both variables).
+    pub anti_monotone: bool,
+    /// Quasi-succinct per Definition 5: reducible to two succinct 1-var
+    /// pruning conditions that preserve valid S- and T-sets.
+    pub quasi_succinct: bool,
+}
+
+/// Classifies a 1-var constraint.
+///
+/// The catalog is consulted for `sum` constraints: `sum(S.A) ≤ v` is
+/// anti-monotone only when the attribute domain is non-negative (the paper's
+/// standing assumption in §5; we check rather than assume).
+pub fn classify_one(c: &OneVar, catalog: &Catalog) -> OneVarClass {
+    match c {
+        OneVar::Domain { rel, .. } => OneVarClass {
+            anti_monotone: matches!(
+                rel,
+                SetRel::Subset | SetRel::Disjoint | SetRel::NotSuperset
+            ),
+            // All domain constraints are succinct (Lemma 1): their solution
+            // spaces are powerset-algebra expressions over selections.
+            succinct: true,
+        },
+        OneVar::AggCmp { agg, attr, op, .. } => match agg {
+            Agg::Min => OneVarClass {
+                anti_monotone: op.is_lower(),
+                succinct: true,
+            },
+            Agg::Max => OneVarClass {
+                anti_monotone: op.is_upper(),
+                succinct: true,
+            },
+            Agg::Sum => {
+                let non_negative = catalog
+                    .column_min_num(*attr)
+                    .map(|m| m >= 0.0)
+                    .unwrap_or(true);
+                OneVarClass {
+                    anti_monotone: op.is_upper() && non_negative,
+                    succinct: false,
+                }
+            }
+            Agg::Avg => OneVarClass { anti_monotone: false, succinct: false },
+        },
+        OneVar::CountCmp { op, .. } => OneVarClass {
+            anti_monotone: op.is_upper(),
+            // [15] classifies count constraints as only *weakly* succinct;
+            // we treat them as non-succinct (no member generating function
+            // over selections on item attributes alone).
+            succinct: false,
+        },
+    }
+}
+
+/// Classifies a 2-var constraint per Figure 1 of the paper.
+///
+/// Anti-monotone 2-var constraints are rare: among domain constraints only
+/// `S.A ∩ T.B = ∅`, and among aggregate comparisons only
+/// `max(S.A) ≤ min(T.B)` (and its mirror image `min(S.A) ≥ max(T.B)`,
+/// which is the same constraint with the variables' roles swapped).
+/// Quasi-succinct: every domain constraint, and every min/max comparison
+/// with an inequality operator; nothing involving sum/avg.
+pub fn classify_two(c: &TwoVar) -> TwoVarClass {
+    match c {
+        TwoVar::Domain { rel, .. } => TwoVarClass {
+            anti_monotone: *rel == SetRel::Disjoint,
+            quasi_succinct: true,
+        },
+        TwoVar::AggCmp { s_agg, op, t_agg, .. } => {
+            let anti_monotone = matches!(
+                (s_agg, op, t_agg),
+                (Agg::Max, CmpOp::Le | CmpOp::Lt, Agg::Min)
+                    | (Agg::Min, CmpOp::Ge | CmpOp::Gt, Agg::Max)
+            );
+            let quasi_succinct = s_agg.is_succinct_agg()
+                && t_agg.is_succinct_agg()
+                && (op.is_upper() || op.is_lower());
+            TwoVarClass { anti_monotone, quasi_succinct }
+        }
+        // 2-var count comparisons (language extension): growing S can only
+        // raise count(S.A) while growing T can raise count(T.B), so neither
+        // side presents a fixed target — not anti-monotone; and no succinct
+        // 1-var reduction exists whose constants are computable from L1
+        // alone (the bound needs the largest frequent partner, which the
+        // iterative machinery estimates instead) — not quasi-succinct.
+        TwoVar::CountCmp { .. } => {
+            TwoVarClass { anti_monotone: false, quasi_succinct: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::bind_query;
+    use crate::parser::parse_query;
+    use cfq_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        b.num_attr("Delta", vec![-5.0, 1.0, 2.0, 3.0]).unwrap();
+        b.cat_attr("Type", &["A", "B", "A", "C"]).unwrap();
+        b.build()
+    }
+
+    fn c1(src: &str) -> OneVarClass {
+        let c = catalog();
+        let q = bind_query(&parse_query(src).unwrap(), &c).unwrap();
+        classify_one(&q.one_var[0], &c)
+    }
+
+    fn c2(src: &str) -> TwoVarClass {
+        let c = catalog();
+        let q = bind_query(&parse_query(src).unwrap(), &c).unwrap();
+        classify_two(&q.two_var[0])
+    }
+
+    #[test]
+    fn one_var_domain_table() {
+        assert_eq!(c1("S.Type subset {A, B}"), OneVarClass { anti_monotone: true, succinct: true });
+        assert_eq!(c1("S.Type disjoint {A}"), OneVarClass { anti_monotone: true, succinct: true });
+        assert_eq!(
+            c1("S.Type notsuperset {A, B}"),
+            OneVarClass { anti_monotone: true, succinct: true }
+        );
+        assert_eq!(
+            c1("S.Type superset {A}"),
+            OneVarClass { anti_monotone: false, succinct: true }
+        );
+        assert_eq!(
+            c1("S.Type intersects {A}"),
+            OneVarClass { anti_monotone: false, succinct: true }
+        );
+        assert_eq!(c1("S.Type = {A}"), OneVarClass { anti_monotone: false, succinct: true });
+    }
+
+    #[test]
+    fn one_var_minmax_table() {
+        assert_eq!(c1("min(S.Price) >= 20"), OneVarClass { anti_monotone: true, succinct: true });
+        assert_eq!(c1("min(S.Price) <= 20"), OneVarClass { anti_monotone: false, succinct: true });
+        assert_eq!(c1("max(S.Price) <= 20"), OneVarClass { anti_monotone: true, succinct: true });
+        assert_eq!(c1("max(S.Price) >= 20"), OneVarClass { anti_monotone: false, succinct: true });
+        assert_eq!(c1("min(S.Price) = 20"), OneVarClass { anti_monotone: false, succinct: true });
+    }
+
+    #[test]
+    fn one_var_sum_avg_count() {
+        // Lemma 1: sum/avg not succinct. Sum ≤ AM only on non-negative domains.
+        assert_eq!(c1("sum(S.Price) <= 50"), OneVarClass { anti_monotone: true, succinct: false });
+        assert_eq!(c1("sum(S.Delta) <= 50"), OneVarClass { anti_monotone: false, succinct: false });
+        assert_eq!(c1("sum(S.Price) >= 50"), OneVarClass { anti_monotone: false, succinct: false });
+        assert_eq!(c1("avg(S.Price) <= 50"), OneVarClass { anti_monotone: false, succinct: false });
+        assert_eq!(c1("avg(S.Price) >= 50"), OneVarClass { anti_monotone: false, succinct: false });
+        assert_eq!(c1("count(S) <= 3"), OneVarClass { anti_monotone: true, succinct: false });
+        assert_eq!(c1("count(S.Type) = 1"), OneVarClass { anti_monotone: false, succinct: false });
+    }
+
+    /// Figure 1, rows 1–5 (domain constraints).
+    #[test]
+    fn figure1_domain_rows() {
+        let am_qs = |src| { let c = c2(src); (c.anti_monotone, c.quasi_succinct) };
+        assert_eq!(am_qs("S.Type disjoint T.Type"), (true, true));
+        assert_eq!(am_qs("S.Type intersects T.Type"), (false, true));
+        assert_eq!(am_qs("S.Type subset T.Type"), (false, true));
+        assert_eq!(am_qs("S.Type notsubset T.Type"), (false, true));
+        assert_eq!(am_qs("S.Type = T.Type"), (false, true));
+    }
+
+    /// Figure 1, rows 6–9 (min/max aggregate comparisons).
+    #[test]
+    fn figure1_minmax_rows() {
+        let am_qs = |src| { let c = c2(src); (c.anti_monotone, c.quasi_succinct) };
+        assert_eq!(am_qs("max(S.Price) <= min(T.Price)"), (true, true));
+        assert_eq!(am_qs("min(S.Price) <= min(T.Price)"), (false, true));
+        assert_eq!(am_qs("max(S.Price) <= max(T.Price)"), (false, true));
+        assert_eq!(am_qs("min(S.Price) <= max(T.Price)"), (false, true));
+        // The mirror image of row 6 is also anti-monotone.
+        assert_eq!(am_qs("min(T.Price) >= max(S.Price)"), (true, true));
+    }
+
+    /// Figure 1, rows 10–12 (sum/avg rows): nothing is AM or QS.
+    #[test]
+    fn figure1_sum_avg_rows() {
+        let am_qs = |src| { let c = c2(src); (c.anti_monotone, c.quasi_succinct) };
+        assert_eq!(am_qs("sum(S.Price) <= max(T.Price)"), (false, false));
+        assert_eq!(am_qs("sum(S.Price) <= sum(T.Price)"), (false, false));
+        assert_eq!(am_qs("avg(S.Price) <= avg(T.Price)"), (false, false));
+    }
+
+    #[test]
+    fn equality_aggregates_are_not_qs() {
+        let c = c2("max(S.Price) = min(T.Price)");
+        assert!(!c.quasi_succinct);
+        assert!(!c.anti_monotone);
+    }
+}

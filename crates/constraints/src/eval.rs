@@ -1,0 +1,178 @@
+//! Evaluation of bound constraints on concrete itemsets.
+
+use crate::bound::{OneVar, TwoVar};
+use crate::lang::Agg;
+use cfq_types::{AttrId, Catalog, Itemset};
+
+/// Computes `agg(set.attr)`; `None` when the set is empty and the aggregate
+/// is undefined (min/max/avg). `sum` of the empty set is 0.
+pub fn agg_value(agg: Agg, attr: AttrId, set: &Itemset, catalog: &Catalog) -> Option<f64> {
+    match agg {
+        Agg::Min => catalog.min_num(attr, set),
+        Agg::Max => catalog.max_num(attr, set),
+        Agg::Sum => Some(catalog.sum_num(attr, set)),
+        Agg::Avg => catalog.avg_num(attr, set),
+    }
+}
+
+/// Evaluates a 1-var constraint on an instance of its variable.
+///
+/// Aggregate comparisons over an empty set are `false` (no frequent set is
+/// empty in a levelwise run, but candidates built by tests may be).
+pub fn eval_one(c: &OneVar, set: &Itemset, catalog: &Catalog) -> bool {
+    match c {
+        OneVar::Domain { attr, rel, value, .. } => {
+            let keys = catalog.value_set(*attr, set);
+            rel.eval(&keys, value)
+        }
+        OneVar::AggCmp { agg, attr, op, value, .. } => match agg_value(*agg, *attr, set, catalog)
+        {
+            Some(a) => op.eval(a, *value),
+            None => false,
+        },
+        OneVar::CountCmp { attr, op, value, .. } => {
+            op.eval(catalog.count_distinct(*attr, set) as f64, *value)
+        }
+    }
+}
+
+/// Evaluates a 2-var constraint on a pair `(S, T)`.
+pub fn eval_two(c: &TwoVar, s: &Itemset, t: &Itemset, catalog: &Catalog) -> bool {
+    match c {
+        TwoVar::Domain { s_attr, rel, t_attr } => {
+            let sk = catalog.value_set(*s_attr, s);
+            let tk = catalog.value_set(*t_attr, t);
+            rel.eval(&sk, &tk)
+        }
+        TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => {
+            match (
+                agg_value(*s_agg, *s_attr, s, catalog),
+                agg_value(*t_agg, *t_attr, t, catalog),
+            ) {
+                (Some(a), Some(b)) => op.eval(a, b),
+                _ => false,
+            }
+        }
+        TwoVar::CountCmp { s_attr, op, t_attr } => op.eval(
+            catalog.count_distinct(*s_attr, s) as f64,
+            catalog.count_distinct(*t_attr, t) as f64,
+        ),
+    }
+}
+
+/// Evaluates a conjunction of 2-var constraints on a pair.
+pub fn eval_all_two(cs: &[TwoVar], s: &Itemset, t: &Itemset, catalog: &Catalog) -> bool {
+    cs.iter().all(|c| eval_two(c, s, t, catalog))
+}
+
+/// Evaluates a conjunction of 1-var constraints on an instance.
+pub fn eval_all_one(cs: &[OneVar], set: &Itemset, catalog: &Catalog) -> bool {
+    cs.iter().all(|c| eval_one(c, set, catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::bind_query;
+    use crate::parser::parse_query;
+    use cfq_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        b.cat_attr("Type", &["Snacks", "Beers", "Snacks", "Dairy"]).unwrap();
+        b.build()
+    }
+
+    fn one(src: &str) -> OneVar {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap().one_var.remove(0)
+    }
+
+    fn two(src: &str) -> TwoVar {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap().two_var.remove(0)
+    }
+
+    #[test]
+    fn agg_values() {
+        let c = catalog();
+        let price = c.attr("Price").unwrap();
+        let set: Itemset = [0u32, 2].into();
+        assert_eq!(agg_value(Agg::Min, price, &set, &c), Some(10.0));
+        assert_eq!(agg_value(Agg::Max, price, &set, &c), Some(30.0));
+        assert_eq!(agg_value(Agg::Sum, price, &set, &c), Some(40.0));
+        assert_eq!(agg_value(Agg::Avg, price, &set, &c), Some(20.0));
+        assert_eq!(agg_value(Agg::Min, price, &Itemset::empty(), &c), None);
+        assert_eq!(agg_value(Agg::Sum, price, &Itemset::empty(), &c), Some(0.0));
+    }
+
+    #[test]
+    fn one_var_agg_and_count() {
+        let c = catalog();
+        let set: Itemset = [0u32, 2].into(); // Snacks + Snacks, prices 10/30
+        assert!(eval_one(&one("sum(S.Price) <= 40"), &set, &c));
+        assert!(!eval_one(&one("sum(S.Price) < 40"), &set, &c));
+        assert!(eval_one(&one("count(S.Type) = 1"), &set, &c));
+        assert!(eval_one(&one("count(S) = 2"), &set, &c));
+        let mixed: Itemset = [0u32, 1].into();
+        assert!(!eval_one(&one("count(S.Type) = 1"), &mixed, &c));
+    }
+
+    #[test]
+    fn one_var_domain() {
+        let c = catalog();
+        let snacks_only: Itemset = [0u32, 2].into();
+        assert!(eval_one(&one("S.Type = {Snacks}"), &snacks_only, &c));
+        assert!(eval_one(&one("S.Type subset {Snacks, Beers}"), &snacks_only, &c));
+        assert!(!eval_one(&one("S.Type = {Beers}"), &snacks_only, &c));
+        assert!(eval_one(&one("S.Type disjoint {Beers}"), &snacks_only, &c));
+        assert!(eval_one(&one("20 in S.Price"), &[1u32, 3].into(), &c));
+        assert!(!eval_one(&one("20 in S.Price"), &snacks_only, &c));
+    }
+
+    #[test]
+    fn empty_set_semantics() {
+        let c = catalog();
+        let e = Itemset::empty();
+        assert!(!eval_one(&one("min(S.Price) >= 0"), &e, &c));
+        assert!(eval_one(&one("sum(S.Price) <= 10"), &e, &c));
+        assert!(eval_one(&one("count(S) = 0"), &e, &c));
+        assert!(eval_one(&one("S.Type subset {Snacks}"), &e, &c));
+    }
+
+    #[test]
+    fn two_var_agg() {
+        let c = catalog();
+        let s: Itemset = [0u32].into(); // price 10
+        let t: Itemset = [3u32].into(); // price 40
+        assert!(eval_two(&two("max(S.Price) <= min(T.Price)"), &s, &t, &c));
+        assert!(!eval_two(&two("max(S.Price) <= min(T.Price)"), &t, &s, &c));
+        assert!(eval_two(&two("sum(S.Price) <= sum(T.Price)"), &s, &t, &c));
+        assert!(eval_two(&two("avg(S.Price) != avg(T.Price)"), &s, &t, &c));
+    }
+
+    #[test]
+    fn two_var_domain() {
+        let c = catalog();
+        let s: Itemset = [0u32].into(); // Snacks
+        let t: Itemset = [1u32].into(); // Beers
+        let both: Itemset = [0u32, 1].into();
+        assert!(eval_two(&two("S.Type disjoint T.Type"), &s, &t, &c));
+        assert!(!eval_two(&two("S.Type disjoint T.Type"), &s, &both, &c));
+        assert!(eval_two(&two("S.Type subset T.Type"), &s, &both, &c));
+        assert!(eval_two(&two("S disjoint T"), &s, &t, &c));
+        assert!(!eval_two(&two("S disjoint T"), &both, &t, &c));
+    }
+
+    #[test]
+    fn conjunction_helpers() {
+        let c = catalog();
+        let q = bind_query(
+            &parse_query("max(S.Price) <= 30 & S.Type subset {Snacks}").unwrap(),
+            &c,
+        )
+        .unwrap();
+        assert!(eval_all_one(&q.one_var, &[0u32, 2].into(), &c));
+        assert!(!eval_all_one(&q.one_var, &[0u32, 1].into(), &c));
+        assert!(eval_all_two(&[], &[0u32].into(), &[1u32].into(), &c));
+    }
+}

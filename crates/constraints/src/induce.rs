@@ -1,0 +1,201 @@
+//! Induction of weaker quasi-succinct constraints from sum/avg constraints
+//! (§5.1, Figure 4).
+//!
+//! A non-quasi-succinct constraint `C` *induces* a weaker constraint `C'`
+//! when `C ⇒ C'` over the sets of interest, so every valid set w.r.t. `C`
+//! is valid w.r.t. `C'` — pruning with `C'`'s reduction is then sound (but
+//! not tight) for `C`. The replacements, for `agg1(S.A) ≤ agg2(T.B)`:
+//!
+//! * bounded side (here S): `avg → min` (min ≤ avg), `sum → max`
+//!   (max ≤ sum, requires a non-negative attribute domain — the paper's
+//!   standing assumption in §5, which we *check* against the catalog);
+//! * bounding side (here T): `avg → max` (avg ≤ max). `sum` on the bounding
+//!   side has no min/max replacement that dominates it — those constraints
+//!   are handled by the `J^k_max` iterative machinery instead (§5.2).
+//!
+//! For `≥`/`>` the roles of the sides swap. Aggregate equality induces both
+//! directional weakenings.
+
+use crate::bound::TwoVar;
+use crate::classify::classify_two;
+use crate::lang::{Agg, CmpOp};
+use cfq_types::{AttrId, Catalog};
+
+/// Returns the weaker quasi-succinct constraints induced by `c`
+/// (empty when none exists — e.g. `min(S.A) ≤ sum(T.B)`'s only handle is
+/// `J^k_max`). Quasi-succinct inputs induce themselves (singleton result).
+pub fn induce_weaker(c: &TwoVar, catalog: &Catalog) -> Vec<TwoVar> {
+    if classify_two(c).quasi_succinct {
+        return vec![c.clone()];
+    }
+    let TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } = c else {
+        // Domain constraints are always QS (handled above); 2-var count
+        // comparisons have no min/max weakening (they go to the iterative
+        // count-bound machinery).
+        return Vec::new();
+    };
+    match op {
+        CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt => {
+            directional(*s_agg, *s_attr, *op, *t_agg, *t_attr, catalog)
+                .into_iter()
+                .collect()
+        }
+        CmpOp::Eq => {
+            // agg1 = agg2 implies both ≤ and ≥.
+            let mut out = Vec::new();
+            out.extend(directional(*s_agg, *s_attr, CmpOp::Le, *t_agg, *t_attr, catalog));
+            out.extend(directional(*s_agg, *s_attr, CmpOp::Ge, *t_agg, *t_attr, catalog));
+            out
+        }
+        CmpOp::Ne => Vec::new(),
+    }
+}
+
+fn directional(
+    s_agg: Agg,
+    s_attr: AttrId,
+    op: CmpOp,
+    t_agg: Agg,
+    t_attr: AttrId,
+    catalog: &Catalog,
+) -> Option<TwoVar> {
+    let non_negative =
+        |attr: AttrId| catalog.column_min_num(attr).map(|m| m >= 0.0).unwrap_or(true);
+    // `bounded` is the side known to be ≤ the other.
+    let weaken_bounded = |agg: Agg, attr: AttrId| -> Option<Agg> {
+        match agg {
+            Agg::Min | Agg::Max => Some(agg),
+            Agg::Avg => Some(Agg::Min),
+            Agg::Sum if non_negative(attr) => Some(Agg::Max),
+            Agg::Sum => None,
+        }
+    };
+    let weaken_bounding = |agg: Agg| -> Option<Agg> {
+        match agg {
+            Agg::Min | Agg::Max => Some(agg),
+            Agg::Avg => Some(Agg::Max), // avg ≤ max, no domain assumption
+            Agg::Sum => None,           // nothing among min/max dominates sum
+        }
+    };
+    let (new_s, new_t) = if op.is_upper() {
+        // agg1(S) ≤ agg2(T): S is bounded, T bounds.
+        (weaken_bounded(s_agg, s_attr)?, weaken_bounding(t_agg)?)
+    } else {
+        // agg1(S) ≥ agg2(T): T is bounded, S bounds.
+        (weaken_bounding(s_agg)?, weaken_bounded(t_agg, t_attr)?)
+    };
+    // A weakening must actually be quasi-succinct to be useful.
+    let out = TwoVar::AggCmp { s_agg: new_s, s_attr, op, t_agg: new_t, t_attr };
+    classify_two(&out).quasi_succinct.then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::bind_query;
+    use crate::eval::eval_two;
+    use crate::parser::parse_query;
+    use cfq_types::{CatalogBuilder, Itemset};
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        b.num_attr("Delta", vec![-5.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        b.build()
+    }
+
+    fn two(src: &str) -> TwoVar {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap().two_var.remove(0)
+    }
+
+    fn agg_shape(c: &TwoVar) -> (Agg, CmpOp, Agg) {
+        match c {
+            TwoVar::AggCmp { s_agg, op, t_agg, .. } => (*s_agg, *op, *t_agg),
+            _ => panic!("not an aggregate constraint"),
+        }
+    }
+
+    /// Figure 4's three rows.
+    #[test]
+    fn figure4_rows() {
+        let w = induce_weaker(&two("avg(S.Price) <= min(T.Price)"), &catalog());
+        assert_eq!(agg_shape(&w[0]), (Agg::Min, CmpOp::Le, Agg::Min));
+
+        let w = induce_weaker(&two("sum(S.Price) <= max(T.Price)"), &catalog());
+        assert_eq!(agg_shape(&w[0]), (Agg::Max, CmpOp::Le, Agg::Max));
+
+        let w = induce_weaker(&two("avg(S.Price) <= avg(T.Price)"), &catalog());
+        assert_eq!(agg_shape(&w[0]), (Agg::Min, CmpOp::Le, Agg::Max));
+    }
+
+    #[test]
+    fn ge_direction() {
+        let w = induce_weaker(&two("avg(S.Price) >= avg(T.Price)"), &catalog());
+        assert_eq!(agg_shape(&w[0]), (Agg::Max, CmpOp::Ge, Agg::Min));
+
+        let w = induce_weaker(&two("min(S.Price) >= sum(T.Price)"), &catalog());
+        assert_eq!(agg_shape(&w[0]), (Agg::Min, CmpOp::Ge, Agg::Max));
+    }
+
+    #[test]
+    fn sum_on_bounding_side_yields_nothing() {
+        assert!(induce_weaker(&two("sum(S.Price) <= sum(T.Price)"), &catalog()).is_empty());
+        assert!(induce_weaker(&two("min(S.Price) <= sum(T.Price)"), &catalog()).is_empty());
+        assert!(induce_weaker(&two("sum(S.Price) >= min(T.Price)"), &catalog()).is_empty());
+    }
+
+    #[test]
+    fn negative_domain_blocks_sum_to_max() {
+        // Delta has negative values: max ≤ sum does not hold, so the
+        // sum → max weakening must be refused.
+        assert!(induce_weaker(&two("sum(S.Delta) <= max(T.Delta)"), &catalog()).is_empty());
+        // Price is non-negative: allowed.
+        assert!(!induce_weaker(&two("sum(S.Price) <= max(T.Price)"), &catalog()).is_empty());
+    }
+
+    #[test]
+    fn equality_induces_both_directions() {
+        let w = induce_weaker(&two("avg(S.Price) = avg(T.Price)"), &catalog());
+        assert_eq!(w.len(), 2);
+        assert_eq!(agg_shape(&w[0]), (Agg::Min, CmpOp::Le, Agg::Max));
+        assert_eq!(agg_shape(&w[1]), (Agg::Max, CmpOp::Ge, Agg::Min));
+    }
+
+    #[test]
+    fn qs_input_is_identity() {
+        let c = two("max(S.Price) <= min(T.Price)");
+        assert_eq!(induce_weaker(&c, &catalog()), vec![c.clone()]);
+    }
+
+    /// The induced constraint is implied by the original: brute-force over
+    /// all pairs of subsets of a small universe.
+    #[test]
+    fn induced_is_weaker_brute_force() {
+        let cat = catalog();
+        let all: Itemset = (0u32..6).collect();
+        for src in [
+            "avg(S.Price) <= min(T.Price)",
+            "sum(S.Price) <= max(T.Price)",
+            "avg(S.Price) <= avg(T.Price)",
+            "sum(S.Price) <= avg(T.Price)",
+            "avg(S.Price) >= avg(T.Price)",
+            "avg(S.Price) >= sum(T.Price)",
+            "sum(S.Price) = sum(T.Price)",
+        ] {
+            let c = two(src);
+            let weaker = induce_weaker(&c, &cat);
+            for s in all.all_nonempty_subsets() {
+                for t in all.all_nonempty_subsets() {
+                    if eval_two(&c, &s, &t, &cat) {
+                        for w in &weaker {
+                            assert!(
+                                eval_two(w, &s, &t, &cat),
+                                "`{src}` ⇒ `{w}` violated at ({s}, {t})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

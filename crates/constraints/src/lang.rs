@@ -1,0 +1,314 @@
+//! Shared vocabulary of the CFQ constraint language: variables, aggregate
+//! functions, comparison operators, and set relations.
+
+use std::fmt;
+
+/// A set variable of a CFQ `{(S, T) | C}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Var {
+    /// The antecedent variable.
+    S,
+    /// The consequent variable.
+    T,
+}
+
+impl Var {
+    /// The other variable.
+    pub fn other(self) -> Var {
+        match self {
+            Var::S => Var::T,
+            Var::T => Var::S,
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::S => write!(f, "S"),
+            Var::T => write!(f, "T"),
+        }
+    }
+}
+
+/// SQL-style aggregate functions over a numeric attribute of a set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Agg {
+    /// Minimum attribute value.
+    Min,
+    /// Maximum attribute value.
+    Max,
+    /// Sum of attribute values.
+    Sum,
+    /// Arithmetic mean of attribute values.
+    Avg,
+}
+
+impl Agg {
+    /// `true` for the aggregates that make a constraint succinct (Lemma 1 of
+    /// the paper: min/max yes, sum/avg no).
+    pub fn is_succinct_agg(self) -> bool {
+        matches!(self, Agg::Min | Agg::Max)
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Sum => "sum",
+            Agg::Avg => "avg",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Numeric comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two floats.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Le => a <= b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The operator with its sides swapped (`a op b` ⇔ `b op.mirror() a`).
+    pub fn mirror(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// `true` for `<=` / `<` (the "upper bound" comparisons).
+    pub fn is_upper(self) -> bool {
+        matches!(self, CmpOp::Le | CmpOp::Lt)
+    }
+
+    /// `true` for `>=` / `>`.
+    pub fn is_lower(self) -> bool {
+        matches!(self, CmpOp::Ge | CmpOp::Gt)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Set relations between two value sets (domain constraints).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SetRel {
+    /// `X ∩ Y = ∅`
+    Disjoint,
+    /// `X ∩ Y ≠ ∅`
+    Intersects,
+    /// `X ⊆ Y`
+    Subset,
+    /// `X ⊄ Y` (not a subset)
+    NotSubset,
+    /// `X ⊇ Y`
+    Superset,
+    /// `X ⊉ Y` (not a superset)
+    NotSuperset,
+    /// `X = Y`
+    Eq,
+    /// `X ≠ Y`
+    Ne,
+}
+
+impl SetRel {
+    /// The relation with its sides swapped (`X rel Y` ⇔ `Y rel.mirror() X`).
+    pub fn mirror(self) -> SetRel {
+        match self {
+            SetRel::Subset => SetRel::Superset,
+            SetRel::Superset => SetRel::Subset,
+            SetRel::NotSubset => SetRel::NotSuperset,
+            SetRel::NotSuperset => SetRel::NotSubset,
+            r => r,
+        }
+    }
+
+    /// Applies the relation to two *sorted, deduplicated* key slices.
+    pub fn eval(self, x: &[u64], y: &[u64]) -> bool {
+        match self {
+            SetRel::Disjoint => !intersects(x, y),
+            SetRel::Intersects => intersects(x, y),
+            SetRel::Subset => subset(x, y),
+            SetRel::NotSubset => !subset(x, y),
+            SetRel::Superset => subset(y, x),
+            SetRel::NotSuperset => !subset(y, x),
+            SetRel::Eq => x == y,
+            SetRel::Ne => x != y,
+        }
+    }
+}
+
+impl fmt::Display for SetRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SetRel::Disjoint => "disjoint",
+            SetRel::Intersects => "intersects",
+            SetRel::Subset => "subset",
+            SetRel::NotSubset => "!subset",
+            SetRel::Superset => "superset",
+            SetRel::NotSuperset => "!superset",
+            SetRel::Eq => "=",
+            SetRel::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn intersects(x: &[u64], y: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < x.len() && j < y.len() {
+        match x[i].cmp(&y[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+fn subset(x: &[u64], y: &[u64]) -> bool {
+    if x.len() > y.len() {
+        return false;
+    }
+    let mut j = 0;
+    'outer: for &a in x {
+        while j < y.len() {
+            match y[j].cmp(&a) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_all_ops() {
+        assert!(CmpOp::Le.eval(1.0, 1.0));
+        assert!(!CmpOp::Lt.eval(1.0, 1.0));
+        assert!(CmpOp::Ge.eval(2.0, 1.0));
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+        assert!(CmpOp::Eq.eval(3.0, 3.0));
+        assert!(CmpOp::Ne.eval(3.0, 4.0));
+    }
+
+    #[test]
+    fn cmp_mirror_is_involutive_and_correct() {
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.mirror().mirror(), op);
+            for (a, b) in [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5)] {
+                assert_eq!(op.eval(a, b), op.mirror().eval(b, a), "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn setrel_eval() {
+        let x = [1u64, 3, 5];
+        let y = [3u64, 4];
+        let z = [2u64, 4];
+        assert!(SetRel::Intersects.eval(&x, &y));
+        assert!(SetRel::Disjoint.eval(&x, &z));
+        assert!(SetRel::Subset.eval(&[3], &x));
+        assert!(SetRel::NotSubset.eval(&y, &x));
+        assert!(SetRel::Superset.eval(&x, &[1, 5]));
+        assert!(SetRel::NotSuperset.eval(&y, &x));
+        assert!(SetRel::Eq.eval(&x, &[1, 3, 5]));
+        assert!(SetRel::Ne.eval(&x, &y));
+        // Empty-set edge cases.
+        assert!(SetRel::Disjoint.eval(&[], &x));
+        assert!(SetRel::Subset.eval(&[], &x));
+        assert!(SetRel::Superset.eval(&x, &[]));
+        assert!(SetRel::Eq.eval(&[], &[]));
+    }
+
+    #[test]
+    fn setrel_mirror_matches_swapped_eval() {
+        let cases: [&[u64]; 4] = [&[1, 2], &[2, 3], &[1, 2, 3], &[]];
+        let rels = [
+            SetRel::Disjoint,
+            SetRel::Intersects,
+            SetRel::Subset,
+            SetRel::NotSubset,
+            SetRel::Superset,
+            SetRel::NotSuperset,
+            SetRel::Eq,
+            SetRel::Ne,
+        ];
+        for rel in rels {
+            assert_eq!(rel.mirror().mirror(), rel);
+            for x in cases {
+                for y in cases {
+                    assert_eq!(rel.eval(x, y), rel.mirror().eval(y, x), "{rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agg_succinctness() {
+        assert!(Agg::Min.is_succinct_agg());
+        assert!(Agg::Max.is_succinct_agg());
+        assert!(!Agg::Sum.is_succinct_agg());
+        assert!(!Agg::Avg.is_succinct_agg());
+    }
+
+    #[test]
+    fn display_roundtrip_tokens() {
+        assert_eq!(Agg::Sum.to_string(), "sum");
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(SetRel::Disjoint.to_string(), "disjoint");
+        assert_eq!(Var::S.other(), Var::T);
+    }
+}

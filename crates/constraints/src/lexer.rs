@@ -1,0 +1,249 @@
+//! Tokenizer for the CFQ query language.
+
+use cfq_types::{CfqError, Result};
+use std::fmt;
+
+/// A token with its byte offset (for error messages).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source string.
+    pub offset: usize,
+}
+
+/// Token kinds of the query language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`S`, `Price`, `sum`, `disjoint`, `in`, …).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `&` (also accepts `&&` and the keyword `and` at parse level)
+    Amp,
+    /// `|` (also accepts `||` and the keyword `or` at parse level)
+    Pipe,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Num(n) => write!(f, "number `{n}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'(' => push(&mut tokens, TokenKind::LParen, start, &mut i, 1),
+            b')' => push(&mut tokens, TokenKind::RParen, start, &mut i, 1),
+            b'{' => push(&mut tokens, TokenKind::LBrace, start, &mut i, 1),
+            b'}' => push(&mut tokens, TokenKind::RBrace, start, &mut i, 1),
+            b'.' => push(&mut tokens, TokenKind::Dot, start, &mut i, 1),
+            b',' => push(&mut tokens, TokenKind::Comma, start, &mut i, 1),
+            b'&' => {
+                let n = if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                push(&mut tokens, TokenKind::Amp, start, &mut i, n);
+            }
+            b'|' => {
+                let n = if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                push(&mut tokens, TokenKind::Pipe, start, &mut i, n);
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => push(&mut tokens, TokenKind::Le, start, &mut i, 2),
+                Some(&b'>') => push(&mut tokens, TokenKind::Ne, start, &mut i, 2),
+                _ => push(&mut tokens, TokenKind::Lt, start, &mut i, 1),
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(&b'=') => push(&mut tokens, TokenKind::Ge, start, &mut i, 2),
+                _ => push(&mut tokens, TokenKind::Gt, start, &mut i, 1),
+            },
+            b'=' => {
+                let n = if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                push(&mut tokens, TokenKind::Eq, start, &mut i, n);
+            }
+            b'!' => match bytes.get(i + 1) {
+                Some(&b'=') => push(&mut tokens, TokenKind::Ne, start, &mut i, 2),
+                _ => {
+                    return Err(CfqError::Parse(format!(
+                        "unexpected `!` at byte {start} (did you mean `!=`?)"
+                    )))
+                }
+            },
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'0'..=b'9' => j += 1,
+                        // A dot is part of the number only if a digit
+                        // follows (so `S.Price` vs `1.5` disambiguate).
+                        b'.' if !seen_dot
+                            && matches!(bytes.get(j + 1), Some(b'0'..=b'9')) =>
+                        {
+                            seen_dot = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[i..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|e| CfqError::Parse(format!("bad number `{text}`: {e}")))?;
+                tokens.push(Token { kind: TokenKind::Num(n), offset: start });
+                i = j;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && matches!(bytes[j], b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            _ => {
+                return Err(CfqError::Parse(format!(
+                    "unexpected character `{}` at byte {start}",
+                    src[start..].chars().next().unwrap()
+                )))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize, len: usize) {
+    tokens.push(Token { kind, offset: start });
+    *i += len;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("sum(S.Price) <= 100"),
+            vec![
+                Ident("sum".into()),
+                LParen,
+                Ident("S".into()),
+                Dot,
+                Ident("Price".into()),
+                RParen,
+                Le,
+                Num(100.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("< <= > >= = == != <> & && | ||"), vec![
+            Lt, Le, Gt, Ge, Eq, Eq, Ne, Ne, Amp, Amp, Pipe, Pipe, Eof
+        ]);
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        use TokenKind::*;
+        // `1.5` is one number; `S.Price` is ident dot ident; `2.` is a
+        // number followed by a dot.
+        assert_eq!(kinds("1.5"), vec![Num(1.5), Eof]);
+        assert_eq!(
+            kinds("S.Price"),
+            vec![Ident("S".into()), Dot, Ident("Price".into()), Eof]
+        );
+        assert_eq!(kinds("2."), vec![Num(2.0), Dot, Eof]);
+    }
+
+    #[test]
+    fn set_literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("{Snacks, Beers}"),
+            vec![LBrace, Ident("Snacks".into()), Comma, Ident("Beers".into()), RBrace, Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a $ b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab <= 1").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 6);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # cfq-constraints
+//!
+//! The CFQ constraint language of the paper, end to end:
+//!
+//! * [`lang`] — variables, aggregates, comparison operators, set relations.
+//! * [`ast`] / [`lexer`] / [`parser`] — query text → AST
+//!   (`"sum(S.Price) <= 100 & S.Type = {Snacks}"`).
+//! * [`bound`] — AST resolved against a [`cfq_types::Catalog`]: attribute
+//!   ids, value-key literals, S-side-first orientation, 1-var / 2-var split.
+//! * [`eval`] — constraint evaluation on concrete itemsets.
+//! * [`classify`] — anti-monotonicity and succinctness for 1-var
+//!   constraints (\[15\]'s taxonomy) and the paper's Figure 1 for 2-var
+//!   constraints (anti-monotone / quasi-succinct characterization).
+//! * [`succinct`] — compilation of 1-var constraints into executable
+//!   member-generating form: allowed-item filters, required groups,
+//!   residual anti-monotone checks, post filters.
+//! * [`reduce`] — quasi-succinct reduction (Figures 2–3): a 2-var
+//!   constraint becomes two 1-var pruning conditions whose constants are
+//!   computed from `L1^S` / `L1^T`.
+//! * [`induce`] — weaker-constraint induction for sum/avg (Figure 4).
+
+pub mod ast;
+pub mod bound;
+pub mod classify;
+pub mod eval;
+pub mod induce;
+pub mod lang;
+pub mod lexer;
+pub mod parser;
+pub mod reduce;
+pub mod succinct;
+
+pub use ast::{Dnf, Query};
+pub use bound::{bind_dnf, bind_query, Bound, BoundQuery, OneVar, TwoVar};
+pub use classify::{classify_one, classify_two, OneVarClass, TwoVarClass};
+pub use eval::{eval_all_one, eval_all_two, eval_one, eval_two};
+pub use induce::induce_weaker;
+pub use lang::{Agg, CmpOp, SetRel, Var};
+pub use parser::{parse_dnf, parse_query};
+pub use reduce::{reduce_quasi_succinct, Reduction};
+pub use succinct::SuccinctForm;

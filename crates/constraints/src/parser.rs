@@ -1,0 +1,467 @@
+//! Recursive-descent parser for the CFQ query language.
+//!
+//! Grammar (conjunctions only, as in the paper's CFQ language):
+//!
+//! ```text
+//! query      := constraint (('&' | 'and') constraint)* EOF
+//! constraint := 'freq' '(' var ')'
+//!             | agg '(' varattr ')' cmp (number | agg '(' varattr ')')
+//!             | number cmp agg '(' varattr ')'
+//!             | 'count' '(' varattr ')' cmp number
+//!             | setexpr setop setexpr
+//!             | literal 'in' varattr
+//! setexpr    := varattr | '{' literal (',' literal)* '}'
+//! setop      := '=' | '!=' | 'subset' | 'subseteq' | 'notsubset'
+//!             | 'superset' | 'superseteq' | 'notsuperset'
+//!             | 'disjoint' | 'intersects' | 'overlaps'
+//! agg        := 'min' | 'max' | 'sum' | 'avg'
+//! cmp        := '<=' | '<' | '>=' | '>' | '=' | '!='
+//! var        := 'S' | 'T'
+//! varattr    := var ('.' ident)?
+//! literal    := number | ident
+//! ```
+//!
+//! `S.Type = {Snacks}` parses as a set constraint; `sum(S.Price) <= 100` as
+//! an aggregate constraint — `=` disambiguates by operand shape.
+
+use crate::ast::{AggExpr, Constraint, Dnf, Literal, Query, SetExpr, VarAttr};
+use crate::lang::{Agg, CmpOp, SetRel, Var};
+use crate::lexer::{tokenize, Token, TokenKind};
+use cfq_types::{CfqError, Result};
+
+/// Parses a CFQ constraint conjunction.
+///
+/// ```
+/// use cfq_constraints::parse_query;
+/// let q = parse_query(
+///     "freq(S) & sum(S.Price) <= 100 & S.Type = {Snacks} & max(S.Price) <= min(T.Price)",
+/// ).unwrap();
+/// assert_eq!(q.constraints.len(), 4);
+/// assert!(parse_query("sum(S.Price) <=").is_err());
+/// ```
+pub fn parse_query(src: &str) -> Result<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    Ok(q)
+}
+
+/// Parses a disjunction of conjunctive CFQs (`… & … | … & …`; `|`/`or`
+/// binds looser than `&`/`and`). A plain conjunction parses as a
+/// single-disjunct DNF.
+///
+/// ```
+/// use cfq_constraints::parse_dnf;
+/// let d = parse_dnf("max(S.Price) <= 10 & freq(T) | S.Type disjoint T.Type").unwrap();
+/// assert_eq!(d.disjuncts.len(), 2);
+/// assert_eq!(d.disjuncts[0].constraints.len(), 2);
+/// ```
+pub fn parse_dnf(src: &str) -> Result<Dnf> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut disjuncts = vec![p.conjunction()?];
+    loop {
+        match p.peek() {
+            TokenKind::Pipe => {
+                p.advance();
+                disjuncts.push(p.conjunction()?);
+            }
+            TokenKind::Ident(w) if w == "or" => {
+                p.advance();
+                disjuncts.push(p.conjunction()?);
+            }
+            TokenKind::Eof => break,
+            _ => return p.err("expected `|`, `&`, or end of query"),
+        }
+    }
+    Ok(Dnf { disjuncts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(CfqError::Parse(format!(
+            "{msg}, found {} at byte {}",
+            self.tokens[self.pos].kind, self.tokens[self.pos].offset
+        )))
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(&format!("expected {what}"))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let q = self.conjunction()?;
+        if self.peek() != &TokenKind::Eof {
+            return self.err("expected `&` or end of query");
+        }
+        Ok(q)
+    }
+
+    /// A conjunction; stops (without consuming) at `|`, `or`, or EOF.
+    fn conjunction(&mut self) -> Result<Query> {
+        let mut constraints = vec![self.constraint()?];
+        loop {
+            match self.peek() {
+                TokenKind::Amp => {
+                    self.advance();
+                    constraints.push(self.constraint()?);
+                }
+                TokenKind::Ident(s) if s == "and" => {
+                    self.advance();
+                    constraints.push(self.constraint()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Query { constraints })
+    }
+
+    fn constraint(&mut self) -> Result<Constraint> {
+        match self.peek().clone() {
+            TokenKind::Ident(word) => match word.as_str() {
+                "freq" => self.freq_constraint(),
+                "min" | "max" | "sum" | "avg" => {
+                    let lhs = self.agg_expr()?;
+                    let op = self.cmp_op()?;
+                    let rhs = self.agg_rhs()?;
+                    Ok(Constraint::AggCmp { lhs, op, rhs })
+                }
+                "count" => self.count_constraint(),
+                "S" | "T" => self.set_or_member_from_varattr(),
+                other => self.err(&format!("unexpected identifier `{other}`")),
+            },
+            TokenKind::Num(n) => {
+                // `number cmp agg(...)` or `number in X.A`.
+                self.advance();
+                if matches!(self.peek(), TokenKind::Ident(w) if w == "in") {
+                    self.advance();
+                    let operand = self.varattr()?;
+                    return Ok(Constraint::Member { value: Literal::Num(n), operand });
+                }
+                let op = self.cmp_op()?;
+                let rhs = self.agg_rhs()?;
+                if matches!(rhs, AggExpr::Const(_)) {
+                    return self.err("constant-only comparison is not a constraint");
+                }
+                Ok(Constraint::AggCmp { lhs: AggExpr::Const(n), op, rhs })
+            }
+            TokenKind::LBrace => {
+                let lhs = SetExpr::Lit(self.set_literal()?);
+                let rel = self.set_rel()?;
+                let rhs = self.set_expr()?;
+                Ok(Constraint::SetCmp { lhs, rel, rhs })
+            }
+            _ => self.err("expected a constraint"),
+        }
+    }
+
+    fn freq_constraint(&mut self) -> Result<Constraint> {
+        self.advance(); // freq
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let var = self.var()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Constraint::Freq(var))
+    }
+
+    fn count_constraint(&mut self) -> Result<Constraint> {
+        self.advance(); // count
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let operand = self.varattr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let op = self.cmp_op()?;
+        match self.peek().clone() {
+            TokenKind::Num(n) => {
+                self.advance();
+                Ok(Constraint::CountCmp { operand, op, value: n })
+            }
+            TokenKind::Ident(w) if w == "count" => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let rhs = self.varattr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(Constraint::CountCmp2 { lhs: operand, op, rhs })
+            }
+            _ => self.err("expected a number or count(...) after the comparison"),
+        }
+    }
+
+    /// A constraint starting with `S`/`T`: either a set constraint or a
+    /// membership with a symbolic literal is impossible here, so this is a
+    /// set constraint with a varattr left side.
+    fn set_or_member_from_varattr(&mut self) -> Result<Constraint> {
+        let lhs = SetExpr::Var(self.varattr()?);
+        let rel = self.set_rel()?;
+        let rhs = self.set_expr()?;
+        Ok(Constraint::SetCmp { lhs, rel, rhs })
+    }
+
+    fn agg_expr(&mut self) -> Result<AggExpr> {
+        let agg = match self.advance() {
+            TokenKind::Ident(w) => match w.as_str() {
+                "min" => Agg::Min,
+                "max" => Agg::Max,
+                "sum" => Agg::Sum,
+                "avg" => Agg::Avg,
+                _ => return self.err("expected an aggregate function"),
+            },
+            _ => return self.err("expected an aggregate function"),
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let operand = self.varattr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(AggExpr::Agg { agg, operand })
+    }
+
+    fn agg_rhs(&mut self) -> Result<AggExpr> {
+        match self.peek() {
+            TokenKind::Num(n) => {
+                let n = *n;
+                self.advance();
+                Ok(AggExpr::Const(n))
+            }
+            TokenKind::Ident(w) if matches!(w.as_str(), "min" | "max" | "sum" | "avg") => {
+                self.agg_expr()
+            }
+            _ => self.err("expected a number or aggregate expression"),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            _ => return self.err("expected a comparison operator"),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn set_rel(&mut self) -> Result<SetRel> {
+        let rel = match self.peek() {
+            TokenKind::Eq => SetRel::Eq,
+            TokenKind::Ne => SetRel::Ne,
+            TokenKind::Ident(w) => match w.as_str() {
+                "subset" | "subseteq" => SetRel::Subset,
+                "notsubset" => SetRel::NotSubset,
+                "superset" | "superseteq" => SetRel::Superset,
+                "notsuperset" => SetRel::NotSuperset,
+                "disjoint" => SetRel::Disjoint,
+                "intersects" | "overlaps" => SetRel::Intersects,
+                _ => return self.err("expected a set relation"),
+            },
+            _ => return self.err("expected a set relation"),
+        };
+        self.advance();
+        Ok(rel)
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        match self.peek() {
+            TokenKind::LBrace => Ok(SetExpr::Lit(self.set_literal()?)),
+            TokenKind::Ident(w) if matches!(w.as_str(), "S" | "T") => {
+                Ok(SetExpr::Var(self.varattr()?))
+            }
+            _ => self.err("expected `{...}` or a variable"),
+        }
+    }
+
+    fn set_literal(&mut self) -> Result<Vec<Literal>> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        if self.peek() == &TokenKind::RBrace {
+            self.advance();
+            return Ok(items);
+        }
+        loop {
+            match self.advance() {
+                TokenKind::Num(n) => items.push(Literal::Num(n)),
+                TokenKind::Ident(s) => items.push(Literal::Sym(s)),
+                _ => return self.err("expected a literal in set"),
+            }
+            match self.advance() {
+                TokenKind::Comma => continue,
+                TokenKind::RBrace => break,
+                _ => return self.err("expected `,` or `}` in set literal"),
+            }
+        }
+        Ok(items)
+    }
+
+    fn var(&mut self) -> Result<Var> {
+        match self.advance() {
+            TokenKind::Ident(w) if w == "S" => Ok(Var::S),
+            TokenKind::Ident(w) if w == "T" => Ok(Var::T),
+            _ => self.err("expected variable `S` or `T`"),
+        }
+    }
+
+    fn varattr(&mut self) -> Result<VarAttr> {
+        // Peek before consuming so errors point at the right token.
+        if !matches!(self.peek(), TokenKind::Ident(w) if w == "S" || w == "T") {
+            return self.err("expected variable `S` or `T`");
+        }
+        let var = self.var()?;
+        if self.peek() == &TokenKind::Dot {
+            if let TokenKind::Ident(_) = self.peek2() {
+                self.advance(); // dot
+                let attr = match self.advance() {
+                    TokenKind::Ident(a) => a,
+                    _ => unreachable!("peeked"),
+                };
+                return Ok(VarAttr { var, attr: Some(attr) });
+            }
+        }
+        Ok(VarAttr { var, attr: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("parse of `{s}` failed: {e}"))
+    }
+
+    #[test]
+    fn paper_intro_query() {
+        let q = parse(
+            "freq(S) & freq(T) & sum(S.Price) <= 100 & avg(T.Price) >= 200",
+        );
+        assert_eq!(q.constraints.len(), 4);
+        assert_eq!(q.to_string(), "freq(S) & freq(T) & sum(S.Price) <= 100 & avg(T.Price) >= 200");
+    }
+
+    #[test]
+    fn two_var_aggregate() {
+        let q = parse("sum(S.Price) <= avg(T.Price)");
+        assert_eq!(q.to_string(), "sum(S.Price) <= avg(T.Price)");
+    }
+
+    #[test]
+    fn section2_queries() {
+        let q = parse("count(S.Type) = 1 & count(T.Type) = 1 & S.Type != T.Type");
+        assert_eq!(q.constraints.len(), 3);
+        let q = parse("S.Type disjoint T.Type");
+        assert_eq!(
+            q.constraints[0],
+            Constraint::SetCmp {
+                lhs: SetExpr::Var(VarAttr { var: Var::S, attr: Some("Type".into()) }),
+                rel: SetRel::Disjoint,
+                rhs: SetExpr::Var(VarAttr { var: Var::T, attr: Some("Type".into()) }),
+            }
+        );
+        let q = parse(
+            "S.Type = {Snacks} & T.Type = {Beers} & max(S.Price) <= min(T.Price)",
+        );
+        assert_eq!(q.constraints.len(), 3);
+    }
+
+    #[test]
+    fn membership_and_reversed_const() {
+        let q = parse("500 in S.Price");
+        assert_eq!(
+            q.constraints[0],
+            Constraint::Member {
+                value: Literal::Num(500.0),
+                operand: VarAttr { var: Var::S, attr: Some("Price".into()) },
+            }
+        );
+        let q = parse("100 <= min(T.Price)");
+        match &q.constraints[0] {
+            Constraint::AggCmp { lhs: AggExpr::Const(c), op: CmpOp::Le, .. } => {
+                assert_eq!(*c, 100.0)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_variables_and_literal_lhs() {
+        let q = parse("S disjoint T");
+        assert_eq!(q.to_string(), "S disjoint T");
+        let q = parse("{Snacks, Beers} superset S.Type");
+        assert_eq!(q.to_string(), "{Snacks, Beers} superset S.Type");
+        let q = parse("S.Type subseteq {a, b}");
+        assert_eq!(q.to_string(), "S.Type subset {a, b}");
+    }
+
+    #[test]
+    fn and_keyword_and_double_amp() {
+        let q = parse("freq(S) and freq(T) && S disjoint T");
+        assert_eq!(q.constraints.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_literal() {
+        let q = parse("S.Type = {}");
+        assert_eq!(q.to_string(), "S.Type = {}");
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "sum(S.Price)",
+            "sum(S.Price) <=",
+            "freq(X)",
+            "count(S) in 3",
+            "count(S) <= sum(T.Price)",
+            "S.Type maybe T.Type",
+            "100 <= 200",
+            "sum(S.Price) <= 100 extra",
+            "{1,2} = {3",
+            "min()",
+        ] {
+            assert!(parse_query(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "freq(S) & sum(S.Price) <= 100",
+            "max(S.Price) <= min(T.Price)",
+            "S.Type = {Snacks} & T.Type = {Beers}",
+            "S disjoint T & count(S.Type) = 1",
+            "5 in T.Price & S.Type intersects T.Type",
+            "avg(S.Price) >= avg(T.Price)",
+            "count(S.Type) <= count(T.Type)",
+            "count(S) = count(T)",
+        ] {
+            let q1 = parse(src);
+            let q2 = parse(&q1.to_string());
+            assert_eq!(q1, q2, "round-trip failed for `{src}`");
+        }
+    }
+}

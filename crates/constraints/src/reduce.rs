@@ -1,0 +1,522 @@
+//! Quasi-succinct reduction of 2-var constraints (§4, Figures 2–3).
+//!
+//! Given a quasi-succinct 2-var constraint `C(S, T)` and the level-1
+//! frequent items `L1^S`, `L1^T` of the two lattices, produce the 1-var
+//! pruning conditions `C1(S)` and `C2(T)` whose constants are computed from
+//! `L1^T.B` / `L1^S.A`. These conditions are *sound* (never prune a valid
+//! set). They are also *tight* whenever a singleton frequent witness
+//! suffices — which covers every entry of Figures 2–3 except the
+//! "coverage" sides of `⊆` / `=` (where the witness would have to be a
+//! multi-element frequent set whose existence `L1` alone cannot promise;
+//! see `*_tight` below). Tightness never affects correctness here: the
+//! final pair-formation step re-verifies the original constraint.
+
+use crate::bound::{OneVar, TwoVar};
+use crate::classify::classify_two;
+use crate::lang::{CmpOp, SetRel, Var};
+use cfq_types::{AttrId, Catalog, ItemId};
+
+/// The result of reducing one quasi-succinct 2-var constraint.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// Pruning conditions for candidate S-sets (all with `var == S`).
+    pub s_conds: Vec<OneVar>,
+    /// Pruning conditions for candidate T-sets (all with `var == T`).
+    pub t_conds: Vec<OneVar>,
+    /// Whether `s_conds` is tight (prunes *every* invalid S-set).
+    pub s_tight: bool,
+    /// Whether `t_conds` is tight.
+    pub t_tight: bool,
+}
+
+/// Reduces a quasi-succinct constraint to its 1-var pruning conditions.
+/// Returns `None` when the constraint is not quasi-succinct (sum/avg or
+/// equality aggregates — see [`crate::induce`] for those).
+///
+/// `l1_s` / `l1_t` are the frequent level-1 items of the S and T lattices.
+pub fn reduce_quasi_succinct(
+    c: &TwoVar,
+    l1_s: &[ItemId],
+    l1_t: &[ItemId],
+    catalog: &Catalog,
+) -> Option<Reduction> {
+    if !classify_two(c).quasi_succinct {
+        return None;
+    }
+    match c {
+        TwoVar::Domain { s_attr, rel, t_attr } => {
+            Some(reduce_domain(*s_attr, *rel, *t_attr, l1_s, l1_t, catalog))
+        }
+        TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => Some(reduce_agg(
+            *s_agg, *s_attr, *op, *t_agg, *t_attr, l1_s, l1_t, catalog,
+        )),
+        // 2-var count comparisons are never quasi-succinct (the classifier
+        // returned above); kept explicit for exhaustiveness.
+        TwoVar::CountCmp { .. } => None,
+    }
+}
+
+/// `count(X) >= 1` — the trivially-true "X is non-empty" condition.
+fn nonempty(var: Var) -> OneVar {
+    OneVar::CountCmp { var, attr: None, op: CmpOp::Ge, value: 1.0 }
+}
+
+/// `count(X) < 0` — the never-true condition (used when the partner lattice
+/// has no frequent items at all, so no valid sets exist).
+fn never(var: Var) -> OneVar {
+    OneVar::CountCmp { var, attr: None, op: CmpOp::Lt, value: 0.0 }
+}
+
+fn value_set(attr: Option<AttrId>, items: &[ItemId], catalog: &Catalog) -> Vec<u64> {
+    let set: cfq_types::Itemset = items.iter().copied().collect();
+    catalog.value_set(attr, &set)
+}
+
+/// Figure 2 (plus the symmetric completions for ⊇, ⊉, ≠, which the paper
+/// discusses in text but does not tabulate).
+fn reduce_domain(
+    s_attr: Option<AttrId>,
+    rel: SetRel,
+    t_attr: Option<AttrId>,
+    l1_s: &[ItemId],
+    l1_t: &[ItemId],
+    catalog: &Catalog,
+) -> Reduction {
+    let vs = value_set(s_attr, l1_s, catalog); // L1^S.A
+    let vt = value_set(t_attr, l1_t, catalog); // L1^T.B
+    let dom_s = |rel: SetRel, value: Vec<u64>| OneVar::Domain { var: Var::S, attr: s_attr, rel, value };
+    let dom_t = |rel: SetRel, value: Vec<u64>| OneVar::Domain { var: Var::T, attr: t_attr, rel, value };
+
+    // If a lattice has no frequent items, no frequent partner exists for
+    // the *other* variable — that side's condition becomes `never`.
+    // Each side's condition depends only on the partner's L1.
+    if l1_t.is_empty() || l1_s.is_empty() {
+        let mut r = Reduction {
+            s_conds: vec![nonempty(Var::S)],
+            t_conds: vec![nonempty(Var::T)],
+            s_tight: false,
+            t_tight: false,
+        };
+        if l1_t.is_empty() {
+            r.s_conds = vec![never(Var::S)];
+            r.s_tight = true;
+        }
+        if l1_s.is_empty() {
+            r.t_conds = vec![never(Var::T)];
+            r.t_tight = true;
+        }
+        return r;
+    }
+
+    match rel {
+        // Row 1: S.A ∩ T.B = ∅  →  CS.A ⊉ L1^T.B ; CT.B ⊉ L1^S.A.
+        SetRel::Disjoint => Reduction {
+            s_conds: vec![dom_s(SetRel::NotSuperset, vt)],
+            t_conds: vec![dom_t(SetRel::NotSuperset, vs)],
+            s_tight: true,
+            t_tight: true,
+        },
+        // Row 2: S.A ∩ T.B ≠ ∅  →  CS.A ∩ L1^T.B ≠ ∅ ; CT.B ∩ L1^S.A ≠ ∅.
+        SetRel::Intersects => Reduction {
+            s_conds: vec![dom_s(SetRel::Intersects, vt)],
+            t_conds: vec![dom_t(SetRel::Intersects, vs)],
+            s_tight: true,
+            t_tight: true,
+        },
+        // Row 3: S.A ⊆ T.B  →  CS.A ⊆ L1^T.B ; L1^S.A ∩ CT.B ≠ ∅.
+        // The S side needs a frequent T covering all of CS.A — L1 alone
+        // cannot promise one, so it is sound but not tight.
+        SetRel::Subset => Reduction {
+            s_conds: vec![dom_s(SetRel::Subset, vt)],
+            t_conds: vec![dom_t(SetRel::Intersects, vs)],
+            s_tight: false,
+            t_tight: true,
+        },
+        // Row 4: S.A ⊄ T.B  →  CS ≠ ∅ ; L1^S.A ⊄ CT.B (i.e. CT.B ⊉ L1^S.A).
+        SetRel::NotSubset => Reduction {
+            s_conds: vec![nonempty(Var::S)],
+            t_conds: vec![dom_t(SetRel::NotSuperset, vs)],
+            s_tight: false,
+            t_tight: true,
+        },
+        // Row 5: S.A = T.B  →  CS.A ⊆ L1^T.B ; CT.B ⊆ L1^S.A.
+        SetRel::Eq => Reduction {
+            s_conds: vec![dom_s(SetRel::Subset, vt)],
+            t_conds: vec![dom_t(SetRel::Subset, vs)],
+            s_tight: false,
+            t_tight: false,
+        },
+        // Mirror of row 3.
+        SetRel::Superset => Reduction {
+            s_conds: vec![dom_s(SetRel::Intersects, vt)],
+            t_conds: vec![dom_t(SetRel::Subset, vs)],
+            s_tight: true,
+            t_tight: false,
+        },
+        // Mirror of row 4: S.A ⊉ T.B → CS.A ⊉ L1^T.B ; CT ≠ ∅-ish.
+        SetRel::NotSuperset => Reduction {
+            s_conds: vec![dom_s(SetRel::NotSuperset, vt)],
+            t_conds: vec![reduce_not_superset_t(t_attr, &vs)],
+            s_tight: true,
+            t_tight: true,
+        },
+        // S.A ≠ T.B: the paper's "extreme example" with virtually no
+        // pruning power; both sides reduce to non-emptiness.
+        SetRel::Ne => Reduction {
+            s_conds: vec![nonempty(Var::S)],
+            t_conds: vec![nonempty(Var::T)],
+            s_tight: false,
+            t_tight: false,
+        },
+    }
+}
+
+/// Tight T-side condition for `S.A ⊉ T.B`: a frequent singleton `{s}` is a
+/// witness iff `CT.B ⊄ {s.A}`. With ≥2 distinct values in `L1^S.A` any
+/// non-empty `CT.B` has a witness; with exactly one value `{a}`, the
+/// condition is `CT.B ⊄ {a}`.
+fn reduce_not_superset_t(t_attr: Option<AttrId>, vs: &[u64]) -> OneVar {
+    if vs.len() >= 2 {
+        nonempty(Var::T)
+    } else {
+        OneVar::Domain {
+            var: Var::T,
+            attr: t_attr,
+            rel: SetRel::NotSubset,
+            value: vs.to_vec(),
+        }
+    }
+}
+
+/// Figure 3 (and the `≥`/`>` mirror): `agg1(S.A) op agg2(T.B)` reduces to
+/// `agg1(CS.A) op max(L1^T.B)` and `agg2(CT.B) op⁻¹ min(L1^S.A)` for upper
+/// comparisons, and symmetrically for lower ones.
+#[allow(clippy::too_many_arguments)]
+fn reduce_agg(
+    s_agg: crate::lang::Agg,
+    s_attr: AttrId,
+    op: CmpOp,
+    t_agg: crate::lang::Agg,
+    t_attr: AttrId,
+    l1_s: &[ItemId],
+    l1_t: &[ItemId],
+    catalog: &Catalog,
+) -> Reduction {
+    let set_s: cfq_types::Itemset = l1_s.iter().copied().collect();
+    let set_t: cfq_types::Itemset = l1_t.iter().copied().collect();
+    if set_s.is_empty() || set_t.is_empty() {
+        let mut r = Reduction {
+            s_conds: vec![nonempty(Var::S)],
+            t_conds: vec![nonempty(Var::T)],
+            s_tight: false,
+            t_tight: false,
+        };
+        if set_t.is_empty() {
+            r.s_conds = vec![never(Var::S)];
+            r.s_tight = true;
+        }
+        if set_s.is_empty() {
+            r.t_conds = vec![never(Var::T)];
+            r.t_tight = true;
+        }
+        return r;
+    }
+    let (s_bound, t_bound) = if op.is_upper() {
+        // agg1(S) ≤ agg2(T): the loosest frequent partner on the T side is
+        // the singleton holding max(L1^T.B); on the S side min(L1^S.A).
+        (
+            catalog.max_num(t_attr, &set_t).expect("non-empty"),
+            catalog.min_num(s_attr, &set_s).expect("non-empty"),
+        )
+    } else {
+        (
+            catalog.min_num(t_attr, &set_t).expect("non-empty"),
+            catalog.max_num(s_attr, &set_s).expect("non-empty"),
+        )
+    };
+    Reduction {
+        s_conds: vec![OneVar::AggCmp {
+            var: Var::S,
+            agg: s_agg,
+            attr: s_attr,
+            op,
+            value: s_bound,
+        }],
+        t_conds: vec![OneVar::AggCmp {
+            var: Var::T,
+            agg: t_agg,
+            attr: t_attr,
+            op: op.mirror(),
+            value: t_bound,
+        }],
+        s_tight: true,
+        t_tight: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::bind_query;
+    use crate::eval::eval_one;
+    use crate::lang::Agg;
+    use crate::parser::parse_query;
+    use cfq_types::{CatalogBuilder, Itemset};
+
+    /// Catalog: 6 items; Price 10..60; Type A/B/A/C/B/C.
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        b.cat_attr("Type", &["A", "B", "A", "C", "B", "C"]).unwrap();
+        b.build()
+    }
+
+    fn two(src: &str) -> TwoVar {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap().two_var.remove(0)
+    }
+
+    fn ids(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn minmax_reduction_constants_match_figure3() {
+        let cat = catalog();
+        // L1^S = {0,1} (prices 10,20); L1^T = {3,4} (prices 40,50).
+        let l1s = ids(&[0, 1]);
+        let l1t = ids(&[3, 4]);
+        let r = reduce_quasi_succinct(&two("max(S.Price) <= min(T.Price)"), &l1s, &l1t, &cat)
+            .unwrap();
+        // C1(S): max(CS.Price) ≤ max(L1^T.Price) = 50.
+        match &r.s_conds[0] {
+            OneVar::AggCmp { agg: Agg::Max, op: CmpOp::Le, value, .. } => assert_eq!(*value, 50.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // C2(T): min(CT.Price) ≥ min(L1^S.Price) = 10.
+        match &r.t_conds[0] {
+            OneVar::AggCmp { agg: Agg::Min, op: CmpOp::Ge, value, .. } => assert_eq!(*value, 10.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(r.s_tight && r.t_tight);
+
+        // All four min/max combinations share the constants (the paper's
+        // observed regularity).
+        for src in [
+            "min(S.Price) <= min(T.Price)",
+            "min(S.Price) <= max(T.Price)",
+            "max(S.Price) <= max(T.Price)",
+        ] {
+            let r = reduce_quasi_succinct(&two(src), &l1s, &l1t, &cat).unwrap();
+            match &r.s_conds[0] {
+                OneVar::AggCmp { value, op: CmpOp::Le, .. } => assert_eq!(*value, 50.0),
+                other => panic!("unexpected {other:?}"),
+            }
+            match &r.t_conds[0] {
+                OneVar::AggCmp { value, op: CmpOp::Ge, .. } => assert_eq!(*value, 10.0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ge_direction_mirrors() {
+        let cat = catalog();
+        let l1s = ids(&[3, 4]); // prices 40, 50
+        let l1t = ids(&[0, 1]); // prices 10, 20
+        let r = reduce_quasi_succinct(&two("min(S.Price) >= max(T.Price)"), &l1s, &l1t, &cat)
+            .unwrap();
+        // C1(S): min(CS.Price) ≥ min(L1^T.Price) = 10.
+        match &r.s_conds[0] {
+            OneVar::AggCmp { agg: Agg::Min, op: CmpOp::Ge, value, .. } => assert_eq!(*value, 10.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // C2(T): max(CT.Price) ≤ max(L1^S.Price) = 50.
+        match &r.t_conds[0] {
+            OneVar::AggCmp { agg: Agg::Max, op: CmpOp::Le, value, .. } => assert_eq!(*value, 50.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_reduction_is_lemma_2_and_3() {
+        let cat = catalog();
+        let l1s = ids(&[0, 1, 2]);
+        let l1t = ids(&[0, 1]); // types {A, B}
+        let r =
+            reduce_quasi_succinct(&two("S.Type disjoint T.Type"), &l1s, &l1t, &cat).unwrap();
+        // CS.Type must not contain all of {A, B}.
+        let s_ok: Itemset = [0u32, 2].into(); // {A}
+        let s_bad: Itemset = [0u32, 1].into(); // {A, B} ⊇ {A, B}
+        assert!(eval_one(&r.s_conds[0], &s_ok, &cat));
+        assert!(!eval_one(&r.s_conds[0], &s_bad, &cat));
+        assert!(r.s_tight && r.t_tight);
+    }
+
+    #[test]
+    fn subset_reduction() {
+        let cat = catalog();
+        let l1s = ids(&[0]); // type {A}
+        let l1t = ids(&[0, 1]); // types {A, B}
+        let r = reduce_quasi_succinct(&two("S.Type subset T.Type"), &l1s, &l1t, &cat).unwrap();
+        // C1(S): CS.Type ⊆ {A, B}.
+        assert!(eval_one(&r.s_conds[0], &[0u32, 1].into(), &cat));
+        assert!(!eval_one(&r.s_conds[0], &[0u32, 3].into(), &cat)); // has C
+        assert!(!r.s_tight, "⊆ needs a covering witness — not tight");
+        // C2(T): CT.Type ∩ {A} ≠ ∅.
+        assert!(eval_one(&r.t_conds[0], &[0u32].into(), &cat));
+        assert!(!eval_one(&r.t_conds[0], &[1u32].into(), &cat));
+        assert!(r.t_tight);
+    }
+
+    #[test]
+    fn not_subset_has_trivial_s_side() {
+        let cat = catalog();
+        let r = reduce_quasi_succinct(
+            &two("S.Type notsubset T.Type"),
+            &ids(&[0, 1]),
+            &ids(&[0, 1]),
+            &cat,
+        )
+        .unwrap();
+        // The paper: "CS ≠ ∅ … has virtually no pruning power".
+        assert!(eval_one(&r.s_conds[0], &[5u32].into(), &cat));
+        assert!(!eval_one(&r.s_conds[0], &Itemset::empty(), &cat));
+    }
+
+    #[test]
+    fn eq_reduction_both_subsets() {
+        let cat = catalog();
+        let r = reduce_quasi_succinct(
+            &two("S.Type = T.Type"),
+            &ids(&[0, 1]), // {A, B}
+            &ids(&[1, 3]), // {B, C}
+            &cat,
+        )
+        .unwrap();
+        // CS.Type ⊆ {B, C}: item 1 (B) ok, item 0 (A) not.
+        assert!(eval_one(&r.s_conds[0], &[1u32].into(), &cat));
+        assert!(!eval_one(&r.s_conds[0], &[0u32].into(), &cat));
+        // CT.Type ⊆ {A, B}.
+        assert!(eval_one(&r.t_conds[0], &[1u32].into(), &cat));
+        assert!(!eval_one(&r.t_conds[0], &[3u32].into(), &cat));
+        assert!(!r.s_tight && !r.t_tight);
+    }
+
+    #[test]
+    fn not_superset_t_side_special_cases() {
+        let cat = catalog();
+        // Two distinct S values → any non-empty T is valid.
+        let r = reduce_quasi_succinct(
+            &two("S.Type notsuperset T.Type"),
+            &ids(&[0, 1]),
+            &ids(&[0, 1]),
+            &cat,
+        )
+        .unwrap();
+        assert!(eval_one(&r.t_conds[0], &[0u32].into(), &cat));
+        // One S value {A} → CT.Type must not be ⊆ {A}.
+        let r = reduce_quasi_succinct(
+            &two("S.Type notsuperset T.Type"),
+            &ids(&[0, 2]), // both type A
+            &ids(&[0, 1]),
+            &cat,
+        )
+        .unwrap();
+        assert!(!eval_one(&r.t_conds[0], &[0u32, 2].into(), &cat)); // {A}
+        assert!(eval_one(&r.t_conds[0], &[0u32, 1].into(), &cat)); // {A,B}
+    }
+
+    #[test]
+    fn empty_l1_gives_never_conditions() {
+        let cat = catalog();
+        // Empty L1^T ⇒ no frequent partner for S ⇒ S side is `never`.
+        let r = reduce_quasi_succinct(&two("S.Type disjoint T.Type"), &ids(&[0]), &[], &cat)
+            .unwrap();
+        assert!(!eval_one(&r.s_conds[0], &[0u32].into(), &cat));
+        // Empty L1^S ⇒ T side is `never`; the S side stays trivially sound.
+        let r = reduce_quasi_succinct(
+            &two("max(S.Price) <= min(T.Price)"),
+            &[],
+            &ids(&[0]),
+            &cat,
+        )
+        .unwrap();
+        assert!(!eval_one(&r.t_conds[0], &[0u32].into(), &cat));
+        assert!(eval_one(&r.s_conds[0], &[0u32].into(), &cat));
+    }
+
+    #[test]
+    fn non_qs_returns_none() {
+        let cat = catalog();
+        assert!(reduce_quasi_succinct(
+            &two("sum(S.Price) <= sum(T.Price)"),
+            &ids(&[0]),
+            &ids(&[0]),
+            &cat
+        )
+        .is_none());
+    }
+
+    /// Soundness property: reduction conditions never reject a valid set.
+    /// Brute-force over all subsets of a small universe.
+    #[test]
+    fn reduction_soundness_brute_force() {
+        use crate::eval::eval_two;
+        let cat = catalog();
+        let universe: Vec<ItemId> = (0..6).map(ItemId).collect();
+        let all: Itemset = universe.iter().copied().collect();
+        // "Frequent" sets for this oracle test: every non-empty subset of
+        // the respective L1 closure (frequency itself is orthogonal here).
+        let l1s = ids(&[0, 1, 2]);
+        let l1t = ids(&[2, 3, 4]);
+        let freq_t: Vec<Itemset> = {
+            let t_all: Itemset = l1t.iter().copied().collect();
+            t_all.all_nonempty_subsets()
+        };
+        let freq_s: Vec<Itemset> = {
+            let s_all: Itemset = l1s.iter().copied().collect();
+            s_all.all_nonempty_subsets()
+        };
+        for src in [
+            "S.Type disjoint T.Type",
+            "S.Type intersects T.Type",
+            "S.Type subset T.Type",
+            "S.Type notsubset T.Type",
+            "S.Type superset T.Type",
+            "S.Type notsuperset T.Type",
+            "S.Type = T.Type",
+            "max(S.Price) <= min(T.Price)",
+            "min(S.Price) <= min(T.Price)",
+            "max(S.Price) >= max(T.Price)",
+            "min(S.Price) > max(T.Price)",
+        ] {
+            let c = two(src);
+            let r = reduce_quasi_succinct(&c, &l1s, &l1t, &cat).unwrap();
+            for cs in all.all_nonempty_subsets() {
+                let valid = freq_t.iter().any(|t| eval_two(&c, &cs, t, &cat));
+                if valid {
+                    assert!(
+                        r.s_conds.iter().all(|cond| eval_one(cond, &cs, &cat)),
+                        "`{src}`: sound S-condition pruned valid set {cs}"
+                    );
+                }
+                // Tightness where claimed.
+                if r.s_tight && r.s_conds.iter().all(|cond| eval_one(cond, &cs, &cat)) {
+                    assert!(valid, "`{src}`: tight S-condition admitted invalid set {cs}");
+                }
+            }
+            for ct in all.all_nonempty_subsets() {
+                let valid = freq_s.iter().any(|s| eval_two(&c, s, &ct, &cat));
+                if valid {
+                    assert!(
+                        r.t_conds.iter().all(|cond| eval_one(cond, &ct, &cat)),
+                        "`{src}`: sound T-condition pruned valid set {ct}"
+                    );
+                }
+                if r.t_tight && r.t_conds.iter().all(|cond| eval_one(cond, &ct, &cat)) {
+                    assert!(valid, "`{src}`: tight T-condition admitted invalid set {ct}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Disjunctive queries (the DNF extension of the paper's conjunction-only
+//! language — §8 open problem 3).
+//!
+//! A DNF query's answer is the union of its disjuncts' answers. Each
+//! disjunct runs through the full Figure-7 optimizer independently (each
+//! gets its own reductions and bounds — they genuinely differ per
+//! disjunct), and the outcomes are merged: pairs are deduplicated on the
+//! `(S, T)` itemset pair, the per-side sets are rebuilt from the surviving
+//! pairs, and work counters accumulate.
+
+use crate::optimizer::{ExecutionOutcome, Optimizer, QueryEnv};
+use crate::pairs::PairResult;
+use cfq_constraints::BoundQuery;
+use cfq_mining::WorkStats;
+use cfq_types::Itemset;
+use std::collections::{BTreeMap, BTreeSet};
+
+impl Optimizer {
+    /// Runs a disjunction of bound conjunctive queries and unions the
+    /// answers.
+    ///
+    /// For exact pair counts run without a materialization cap
+    /// (`env.max_pairs = None`); with a cap, a truncated disjunct can hide
+    /// pairs from the union and the merged result is marked truncated.
+    pub fn run_dnf(&self, disjuncts: &[BoundQuery], env: &QueryEnv<'_>) -> ExecutionOutcome {
+        let mut s_supports: BTreeMap<Itemset, u64> = BTreeMap::new();
+        let mut t_supports: BTreeMap<Itemset, u64> = BTreeMap::new();
+        let mut pair_keys: BTreeSet<(Itemset, Itemset)> = BTreeSet::new();
+        let mut s_stats = WorkStats::new();
+        let mut t_stats = WorkStats::new();
+        let mut db_scans = 0;
+        let mut v_histories = Vec::new();
+        let mut checks = 0;
+        let mut truncated = false;
+
+        for q in disjuncts {
+            let out = self.run(q, env);
+            truncated |= out.pair_result.truncated;
+            checks += out.pair_result.checks;
+            for &(si, ti) in &out.pair_result.pairs {
+                let (s, s_sup) = &out.s_sets[si as usize];
+                let (t, t_sup) = &out.t_sets[ti as usize];
+                s_supports.insert(s.clone(), *s_sup);
+                t_supports.insert(t.clone(), *t_sup);
+                pair_keys.insert((s.clone(), t.clone()));
+            }
+            s_stats.absorb(&out.s_stats);
+            t_stats.absorb(&out.t_stats);
+            db_scans += out.db_scans;
+            v_histories.extend(out.v_histories);
+        }
+
+        // Rebuild indexed form, ordered by (size, lexicographic).
+        let order = |m: &BTreeMap<Itemset, u64>| -> Vec<(Itemset, u64)> {
+            let mut v: Vec<(Itemset, u64)> =
+                m.iter().map(|(s, &n)| (s.clone(), n)).collect();
+            v.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
+            v
+        };
+        let s_sets = order(&s_supports);
+        let t_sets = order(&t_supports);
+        let index = |v: &[(Itemset, u64)]| -> BTreeMap<Itemset, u32> {
+            v.iter().enumerate().map(|(i, (s, _))| (s.clone(), i as u32)).collect()
+        };
+        let s_index = index(&s_sets);
+        let t_index = index(&t_sets);
+        let pairs: Vec<(u32, u32)> =
+            pair_keys.iter().map(|(s, t)| (s_index[s], t_index[t])).collect();
+
+        ExecutionOutcome {
+            pair_result: PairResult {
+                count: pair_keys.len() as u64,
+                s_used: vec![true; s_sets.len()],
+                t_used: vec![true; t_sets.len()],
+                pairs,
+                truncated,
+                checks,
+            },
+            s_sets,
+            t_sets,
+            s_stats,
+            t_stats,
+            db_scans,
+            v_histories,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfq_constraints::{bind_dnf, eval_all_one, eval_all_two, parse_dnf, Var};
+    use cfq_types::{Catalog, CatalogBuilder, TransactionDb};
+
+    fn setup() -> (TransactionDb, Catalog) {
+        let db = TransactionDb::from_u32(
+            5,
+            &[&[0, 1, 2], &[1, 2, 3], &[0, 2, 4], &[1, 2], &[2, 3, 4], &[0, 1, 2, 3]],
+        );
+        let mut b = CatalogBuilder::new(5);
+        b.num_attr("Price", vec![5.0, 10.0, 15.0, 20.0, 25.0]).unwrap();
+        b.cat_attr("Type", &["a", "b", "a", "b", "c"]).unwrap();
+        (db, b.build())
+    }
+
+    /// Brute-force DNF oracle: a pair is in the answer iff some disjunct
+    /// accepts it.
+    fn oracle(db: &TransactionDb, cat: &Catalog, qs: &[BoundQuery], min_support: u64) -> u64 {
+        let all: Itemset = (0..db.n_items() as u32).collect();
+        let frequent: Vec<Itemset> = all
+            .all_nonempty_subsets()
+            .into_iter()
+            .filter(|s| db.support(s) >= min_support)
+            .collect();
+        let mut count = 0u64;
+        for s in &frequent {
+            for t in &frequent {
+                let any = qs.iter().any(|q| {
+                    let s_one: Vec<_> =
+                        q.one_var_for(Var::S).cloned().collect();
+                    let t_one: Vec<_> =
+                        q.one_var_for(Var::T).cloned().collect();
+                    eval_all_one(&s_one, s, cat)
+                        && eval_all_one(&t_one, t, cat)
+                        && eval_all_two(&q.two_var, s, t, cat)
+                });
+                if any {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn dnf_matches_oracle() {
+        let (db, cat) = setup();
+        for src in [
+            "max(S.Price) <= 10 & freq(T) | min(S.Price) >= 20 & freq(T)",
+            "S.Type disjoint T.Type | S.Type = T.Type",
+            "max(S.Price) <= min(T.Price) | sum(S.Price) <= sum(T.Price)",
+            "freq(S) & freq(T)",
+        ] {
+            let dnf = parse_dnf(src).unwrap();
+            let qs = bind_dnf(&dnf, &cat).unwrap();
+            for min_support in [1u64, 2, 3] {
+                let env = QueryEnv::new(&db, &cat, min_support);
+                let out = Optimizer::default().run_dnf(&qs, &env);
+                let expected = oracle(&db, &cat, &qs, min_support);
+                assert_eq!(out.pair_result.count, expected, "`{src}` @ {min_support}");
+                assert_eq!(out.pair_result.pairs.len() as u64, expected);
+                // Indices are valid and sets deduplicated.
+                for &(si, ti) in &out.pair_result.pairs {
+                    assert!((si as usize) < out.s_sets.len());
+                    assert!((ti as usize) < out.t_sets.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_disjuncts_deduplicate() {
+        let (db, cat) = setup();
+        // Identical disjuncts: union equals one of them.
+        let dnf = parse_dnf("S.Type = T.Type | S.Type = T.Type").unwrap();
+        let qs = bind_dnf(&dnf, &cat).unwrap();
+        let env = QueryEnv::new(&db, &cat, 2);
+        let both = Optimizer::default().run_dnf(&qs, &env);
+        let single = Optimizer::default().run(&qs[0], &env);
+        assert_eq!(both.pair_result.count, single.pair_result.count);
+    }
+
+    #[test]
+    fn single_disjunct_equals_run() {
+        let (db, cat) = setup();
+        let dnf = parse_dnf("max(S.Price) <= min(T.Price)").unwrap();
+        let qs = bind_dnf(&dnf, &cat).unwrap();
+        let env = QueryEnv::new(&db, &cat, 2);
+        let dnf_out = Optimizer::default().run_dnf(&qs, &env);
+        let direct = Optimizer::default().run(&qs[0], &env);
+        assert_eq!(dnf_out.pair_result.count, direct.pair_result.count);
+        assert_eq!(dnf_out.s_sets, direct.s_sets);
+    }
+}

@@ -1,0 +1,1141 @@
+//! The CFQ query optimizer (§6, Figure 7).
+//!
+//! Given a bound CFQ, the optimizer:
+//!
+//! 1. separates 1-var and 2-var constraints (done at binding);
+//! 2. splits the 2-var constraints into quasi-succinct (`C_qs`) and not
+//!    (`C_nqs`); induces weaker quasi-succinct constraints from `C_nqs`
+//!    (Figure 4) and adds them to `C_qs`;
+//! 3. after the first counting iteration, reduces every constraint in
+//!    `C_qs` to succinct 1-var pruning conditions (Figures 2–3) and pushes
+//!    them into the CAP lattices;
+//! 4. for `C_nqs` constraints bounded by a `sum`, attaches `J^k_max`
+//!    iterative pruning (§5.2) to the bounded lattice, fed by the bounding
+//!    lattice's levels as the two lattices are computed *dovetailed* over
+//!    shared database scans;
+//! 5. forms the final pairs, re-verifying every original 2-var constraint
+//!    (which also absorbs the non-tight and induced-weaker looseness).
+//!
+//! Setting all three `push_*` flags to `false` yields exactly the Apriori⁺
+//! baseline; `push_one_var` alone yields the CAP-1-var strategy the paper
+//! compares against in §7.2.
+
+use crate::cap::{LatticeConfig, LatticeRun};
+use crate::jkmax::{CountSeries, VSeries};
+use crate::pairs::{form_pairs, form_pairs_with, PairResult};
+use cfq_constraints::{
+    classify_two, eval_all_one, induce_weaker, reduce_quasi_succinct, Agg, BoundQuery, CmpOp,
+    OneVar, SuccinctForm, TwoVar, Var,
+};
+use cfq_mining::counter::count_supports_with;
+use cfq_mining::{ParallelTrieCounter, SupportCounter, WorkStats};
+use cfq_types::{AttrId, Catalog, ItemId, Itemset, TransactionDb};
+
+/// How a 2-var constraint ends up being handled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StrategyKind {
+    /// Reduced to succinct 1-var conditions after level 1 (Figures 2–3).
+    QuasiSuccinct,
+    /// A weaker quasi-succinct constraint was induced and reduced (Fig. 4).
+    InducedWeaker,
+    /// `J^k_max` iterative pruning attached (§5.2).
+    JkmaxIterative,
+    /// Only verified at pair formation.
+    FinalVerifyOnly,
+}
+
+/// Execution environment of a query: data, domains, thresholds.
+pub struct QueryEnv<'a> {
+    /// The transaction database (shared by both variables).
+    pub db: &'a TransactionDb,
+    /// The attribute catalog.
+    pub catalog: &'a Catalog,
+    /// Domain of `S` (empty = all items).
+    pub s_universe: Vec<ItemId>,
+    /// Domain of `T` (empty = all items).
+    pub t_universe: Vec<ItemId>,
+    /// Absolute minimum support for `S`.
+    pub s_min_support: u64,
+    /// Absolute minimum support for `T`.
+    pub t_min_support: u64,
+    /// Level cap (0 = unbounded).
+    pub max_level: usize,
+    /// Materialization cap for pairs (`None` = materialize all).
+    pub max_pairs: Option<usize>,
+    /// When `false`, skip pair formation entirely: the outcome reports the
+    /// raw frequent valid-per-1-var sets and an empty pair result. Used by
+    /// benchmarks that compare mining work only.
+    pub form_pairs: bool,
+    /// Support-counting worker threads: 1 = sequential (default), 0 = one
+    /// per core, n = exactly n. Counting shards transactions; results are
+    /// bit-identical to sequential.
+    pub counting_threads: usize,
+}
+
+impl<'a> QueryEnv<'a> {
+    /// Environment over the full item universe with one threshold.
+    pub fn new(db: &'a TransactionDb, catalog: &'a Catalog, min_support: u64) -> Self {
+        QueryEnv {
+            db,
+            catalog,
+            s_universe: Vec::new(),
+            t_universe: Vec::new(),
+            s_min_support: min_support,
+            t_min_support: min_support,
+            max_level: 0,
+            max_pairs: None,
+            form_pairs: true,
+            counting_threads: 1,
+        }
+    }
+
+    /// Enables multi-threaded support counting (0 = one worker per core).
+    pub fn with_counting_threads(mut self, threads: usize) -> Self {
+        self.counting_threads = threads;
+        self
+    }
+
+    /// Disables final pair formation (mining-only benchmarks).
+    pub fn without_pair_formation(mut self) -> Self {
+        self.form_pairs = false;
+        self
+    }
+
+    /// Sets the S domain.
+    pub fn with_s_universe(mut self, u: Vec<ItemId>) -> Self {
+        self.s_universe = u;
+        self
+    }
+
+    /// Sets the T domain.
+    pub fn with_t_universe(mut self, u: Vec<ItemId>) -> Self {
+        self.t_universe = u;
+        self
+    }
+
+    /// Sets distinct thresholds.
+    pub fn with_supports(mut self, s: u64, t: u64) -> Self {
+        self.s_min_support = s;
+        self.t_min_support = t;
+        self
+    }
+
+    /// Caps the lattice depth.
+    pub fn with_max_level(mut self, max_level: usize) -> Self {
+        self.max_level = max_level;
+        self
+    }
+
+    fn universe(&self, var: Var) -> Vec<ItemId> {
+        let u = match var {
+            Var::S => &self.s_universe,
+            Var::T => &self.t_universe,
+        };
+        if u.is_empty() {
+            (0..self.db.n_items() as u32).map(ItemId).collect()
+        } else {
+            u.clone()
+        }
+    }
+
+    fn min_support(&self, var: Var) -> u64 {
+        match var {
+            Var::S => self.s_min_support,
+            Var::T => self.t_min_support,
+        }
+    }
+}
+
+/// What an iterative bound task prunes with: a `sum(T.B)` bound (the
+/// paper's §5.2) or a `count(distinct T.B)` bound (the 2-var count
+/// extension).
+#[derive(Clone, Debug)]
+enum BoundTarget {
+    /// `bounded_agg(S.attr) op V`, `V` from the partner's sum series.
+    Sum { bounded_agg: Agg, bounded_attr: AttrId, source_attr: AttrId },
+    /// `count(S.attr) op C`, `C` from the partner's count series.
+    Count { bounded_attr: Option<AttrId>, source_attr: Option<AttrId> },
+}
+
+/// An iterative pruning task: the `pruned` variable's candidates are
+/// bounded through the partner lattice's evolving series.
+#[derive(Clone, Debug)]
+struct JkTask {
+    pruned: Var,
+    /// `Le` or `Lt`, oriented as `bounded(pruned) op BOUND`.
+    op: CmpOp,
+    target: BoundTarget,
+}
+
+impl JkTask {
+    /// Whether the per-candidate bound check is anti-monotone (pushable
+    /// during the run, not just at output).
+    fn is_am(&self, catalog: &Catalog) -> bool {
+        match &self.target {
+            BoundTarget::Sum { bounded_agg, bounded_attr, .. } => match bounded_agg {
+                Agg::Max => true,
+                Agg::Sum => catalog
+                    .column_min_num(*bounded_attr)
+                    .map(|m| m >= 0.0)
+                    .unwrap_or(true),
+                Agg::Min | Agg::Avg => false,
+            },
+            // count(X) ≤ c is always anti-monotone.
+            BoundTarget::Count { .. } => true,
+        }
+    }
+
+    fn condition(&self, value: f64) -> OneVar {
+        match &self.target {
+            BoundTarget::Sum { bounded_agg, bounded_attr, .. } => OneVar::AggCmp {
+                var: self.pruned,
+                agg: *bounded_agg,
+                attr: *bounded_attr,
+                op: self.op,
+                value,
+            },
+            BoundTarget::Count { bounded_attr, .. } => OneVar::CountCmp {
+                var: self.pruned,
+                attr: *bounded_attr,
+                op: self.op,
+                value,
+            },
+        }
+    }
+
+    fn make_series(&self, source_l1: &[ItemId], catalog: &Catalog) -> Series {
+        match &self.target {
+            BoundTarget::Sum { source_attr, .. } => {
+                Series::Sum(VSeries::from_l1(source_l1, *source_attr, catalog))
+            }
+            BoundTarget::Count { source_attr, .. } => {
+                Series::Count(CountSeries::from_l1(source_l1, *source_attr, catalog))
+            }
+        }
+    }
+}
+
+/// Either bound series, unified for the executor.
+enum Series {
+    Sum(VSeries),
+    Count(CountSeries),
+}
+
+impl Series {
+    fn current(&self) -> f64 {
+        match self {
+            Series::Sum(v) => v.current(),
+            Series::Count(c) => c.current(),
+        }
+    }
+
+    fn update(&mut self, level_sets: &[Itemset], k: usize, catalog: &Catalog) {
+        match self {
+            Series::Sum(v) => v.update(level_sets, k, catalog),
+            Series::Count(c) => c.update(level_sets, k, catalog),
+        }
+    }
+
+    fn history(&self) -> &[(usize, f64)] {
+        match self {
+            Series::Sum(v) => v.history(),
+            Series::Count(c) => c.history(),
+        }
+    }
+}
+
+/// The optimizer's output plan for one CFQ.
+#[derive(Clone, Debug)]
+pub struct CfqPlan {
+    s_one: Vec<OneVar>,
+    t_one: Vec<OneVar>,
+    /// Quasi-succinct constraints to reduce after level 1 (original QS plus
+    /// induced weaker ones).
+    qs_two: Vec<TwoVar>,
+    /// All original 2-var constraints (verified at pair formation).
+    final_two: Vec<TwoVar>,
+    jk_tasks: Vec<JkTask>,
+    /// `(constraint, strategy)` per original 2-var constraint.
+    strategies: Vec<(TwoVar, StrategyKind)>,
+}
+
+impl CfqPlan {
+    /// Human-readable plan description (the optimizer's EXPLAIN).
+    pub fn explain(&self, catalog: &Catalog) -> String {
+        let mut out = String::from("CFQ plan\n========\n");
+        out.push_str(&format!(
+            "1-var constraints: {} on S, {} on T (pushed via CAP)\n",
+            self.s_one.len(),
+            self.t_one.len()
+        ));
+        for c in &self.s_one {
+            out.push_str(&format!("  [S] {}{}\n", c.display(catalog), selectivity_note(c, catalog)));
+        }
+        for c in &self.t_one {
+            out.push_str(&format!("  [T] {}{}\n", c.display(catalog), selectivity_note(c, catalog)));
+        }
+        out.push_str(&format!("2-var constraints: {}\n", self.strategies.len()));
+        for (c, s) in &self.strategies {
+            let how = match s {
+                StrategyKind::QuasiSuccinct => {
+                    "quasi-succinct: reduced to succinct 1-var conditions after level 1"
+                }
+                StrategyKind::InducedWeaker => {
+                    "not quasi-succinct: weaker constraint induced (Fig. 4) and reduced"
+                }
+                StrategyKind::JkmaxIterative => {
+                    "sum-bounded: J^k_max iterative pruning attached (Figs. 5-6)"
+                }
+                StrategyKind::FinalVerifyOnly => "verified at pair formation only",
+            };
+            out.push_str(&format!("  {}  ->  {how}\n", c.display(catalog)));
+        }
+        out.push_str(&format!(
+            "final verification: {} 2-var constraint(s) at pair formation\n",
+            self.final_two.len()
+        ));
+        out
+    }
+
+    /// The strategies chosen per original 2-var constraint.
+    pub fn strategies(&self) -> &[(TwoVar, StrategyKind)] {
+        &self.strategies
+    }
+}
+
+/// Result of executing a plan.
+pub struct ExecutionOutcome {
+    /// Frequent valid S-sets with supports.
+    pub s_sets: Vec<(Itemset, u64)>,
+    /// Frequent valid T-sets with supports.
+    pub t_sets: Vec<(Itemset, u64)>,
+    /// The valid pairs.
+    pub pair_result: PairResult,
+    /// S-lattice work counters.
+    pub s_stats: WorkStats,
+    /// T-lattice work counters.
+    pub t_stats: WorkStats,
+    /// Total database scans (a dovetailed scan counts once).
+    pub db_scans: u64,
+    /// The `V^k` histories per pruned variable (empty without `J^k_max`).
+    pub v_histories: Vec<(Var, Vec<(usize, f64)>)>,
+}
+
+/// The CFQ query optimizer. Flags select the strategy family; defaults are
+/// the full optimizer of Figure 7.
+#[derive(Clone, Copy, Debug)]
+pub struct Optimizer {
+    /// Push 1-var constraints through CAP (off = check at output, as
+    /// Apriori⁺ does).
+    pub push_one_var: bool,
+    /// Reduce/induce 2-var constraints into the lattices.
+    pub push_two_var: bool,
+    /// Attach `J^k_max` iterative pruning for sum-bounded constraints.
+    pub use_jkmax: bool,
+    /// Compute the two lattices dovetailed over shared scans (off = one
+    /// lattice after the other; the bounding lattice runs first so its
+    /// exact bound series is available — the paper's §5.2 alternative).
+    pub dovetail: bool,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer { push_one_var: true, push_two_var: true, use_jkmax: true, dovetail: true }
+    }
+}
+
+impl Optimizer {
+    /// The Apriori⁺ baseline configuration.
+    pub fn apriori_plus() -> Self {
+        Optimizer { push_one_var: false, push_two_var: false, use_jkmax: false, dovetail: true }
+    }
+
+    /// The CAP configuration that optimizes only 1-var constraints (the
+    /// middle curve of Fig. 8(b)).
+    pub fn cap_one_var() -> Self {
+        Optimizer { push_one_var: true, push_two_var: false, use_jkmax: false, dovetail: true }
+    }
+
+    /// Builds the plan for a bound query.
+    pub fn plan(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> CfqPlan {
+        let s_one: Vec<OneVar> = query.one_var_for(Var::S).cloned().collect();
+        let t_one: Vec<OneVar> = query.one_var_for(Var::T).cloned().collect();
+        let mut qs_two = Vec::new();
+        let mut jk_tasks = Vec::new();
+        let mut strategies = Vec::new();
+
+        for c in &query.two_var {
+            let mut kind = StrategyKind::FinalVerifyOnly;
+            if classify_two(c).quasi_succinct {
+                qs_two.push(c.clone());
+                kind = StrategyKind::QuasiSuccinct;
+            } else {
+                let weaker = induce_weaker(c, env.catalog);
+                if !weaker.is_empty() {
+                    qs_two.extend(weaker);
+                    kind = StrategyKind::InducedWeaker;
+                }
+                for task in jk_tasks_for(c, env.catalog) {
+                    jk_tasks.push(task);
+                    kind = StrategyKind::JkmaxIterative;
+                }
+            }
+            strategies.push((c.clone(), kind));
+        }
+
+        CfqPlan {
+            s_one,
+            t_one,
+            qs_two,
+            final_two: query.two_var.clone(),
+            jk_tasks,
+            strategies,
+        }
+    }
+
+    /// Plans and executes in one step.
+    pub fn run(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> ExecutionOutcome {
+        let plan = self.plan(query, env);
+        self.execute(&plan, env)
+    }
+
+    /// Executes a plan.
+    ///
+    /// # Panics
+    /// If the catalog covers fewer items than the database references —
+    /// an inconsistent environment that would otherwise surface as an
+    /// opaque index panic deep inside constraint evaluation.
+    pub fn execute(&self, plan: &CfqPlan, env: &QueryEnv<'_>) -> ExecutionOutcome {
+        assert!(
+            env.catalog.n_items() >= env.db.n_items(),
+            "catalog covers {} items but the database references up to {}",
+            env.catalog.n_items(),
+            env.db.n_items()
+        );
+        let catalog = env.catalog;
+        let mut db_scans = 0u64;
+
+        let make_run = |var: Var| {
+            let pushed: Vec<OneVar> = if self.push_one_var {
+                match var {
+                    Var::S => plan.s_one.clone(),
+                    Var::T => plan.t_one.clone(),
+                }
+            } else {
+                Vec::new()
+            };
+            let form = SuccinctForm::compile(&pushed, catalog);
+            LatticeRun::new(
+                LatticeConfig {
+                    var,
+                    universe: env.universe(var),
+                    min_support: env.min_support(var),
+                    max_level: env.max_level,
+                },
+                form,
+                catalog,
+            )
+        };
+        let mut s_run = make_run(Var::S);
+        let mut t_run = make_run(Var::T);
+
+        // ---- Level 1 ----
+        let cs = s_run.next_candidates();
+        let ct = t_run.next_candidates();
+        if self.dovetail {
+            if !(cs.is_empty() && ct.is_empty()) {
+                let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
+                db_scans += 1;
+                if !cs.is_empty() {
+                    s_run.absorb_counts(&counts[0]);
+                }
+                if !ct.is_empty() {
+                    t_run.absorb_counts(&counts[1]);
+                }
+            }
+        } else {
+            for (run, cands) in [(&mut s_run, &cs), (&mut t_run, &ct)] {
+                if !cands.is_empty() {
+                    let counts =
+                        ParallelTrieCounter { threads: env.counting_threads }.count(env.db, cands);
+                    db_scans += 1;
+                    run.absorb_counts(&counts);
+                }
+            }
+        }
+
+        let l1s = s_run.l1_items();
+        let l1t = t_run.l1_items();
+
+        // ---- Quasi-succinct reduction (the Fig. 7 "Reduction" box) ----
+        if self.push_two_var {
+            let mut s_conds = Vec::new();
+            let mut t_conds = Vec::new();
+            for c in &plan.qs_two {
+                if let Some(r) = reduce_quasi_succinct(c, &l1s, &l1t, catalog) {
+                    s_conds.extend(r.s_conds);
+                    t_conds.extend(r.t_conds);
+                }
+            }
+            if !s_conds.is_empty() {
+                s_run.push_conditions(&s_conds);
+            }
+            if !t_conds.is_empty() {
+                t_run.push_conditions(&t_conds);
+            }
+        }
+
+        // ---- J^k_max state ----
+        let mut jk_states: Vec<JkState> = if self.use_jkmax {
+            plan.jk_tasks
+                .iter()
+                .map(|task| {
+                    let (source_l1, source_run) = match task.pruned {
+                        Var::S => (&l1t, &t_run),
+                        Var::T => (&l1s, &s_run),
+                    };
+                    JkState {
+                        series: task.make_series(source_l1, catalog),
+                        updatable: source_run.form().required_groups.is_empty(),
+                        task: task.clone(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let jk_am_conds = |states: &[JkState], var: Var, catalog: &Catalog| -> Vec<OneVar> {
+            states
+                .iter()
+                .filter(|st| st.task.pruned == var && st.task.is_am(catalog))
+                .map(|st| st.task.condition(st.series.current()))
+                .collect()
+        };
+
+        // ---- Levels ≥ 2 ----
+        if self.dovetail {
+            loop {
+                s_run.set_extra_am(jk_am_conds(&jk_states, Var::S, catalog));
+                t_run.set_extra_am(jk_am_conds(&jk_states, Var::T, catalog));
+                let (s_before, t_before) = (s_run.levels_done(), t_run.levels_done());
+                let cs = s_run.next_candidates();
+                let ct = t_run.next_candidates();
+                if cs.is_empty() && ct.is_empty() {
+                    break;
+                }
+                let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
+                db_scans += 1;
+                if !cs.is_empty() {
+                    s_run.absorb_counts(&counts[0]);
+                }
+                if !ct.is_empty() {
+                    t_run.absorb_counts(&counts[1]);
+                }
+                update_jk(&mut jk_states, &s_run, &t_run, s_before, t_before, catalog);
+            }
+        } else {
+            // Sequential: the bounding lattice first (so the bound series is
+            // complete before the bounded lattice runs), then the other.
+            let t_first = jk_states.iter().any(|st| st.task.pruned == Var::S)
+                || jk_states.is_empty();
+            let order: [Var; 2] = if t_first { [Var::T, Var::S] } else { [Var::S, Var::T] };
+            for var in order {
+                loop {
+                    let run = match var {
+                        Var::S => &mut s_run,
+                        Var::T => &mut t_run,
+                    };
+                    run.set_extra_am(jk_am_conds(&jk_states, var, catalog));
+                    let before = run.levels_done();
+                    let cands = run.next_candidates();
+                    if cands.is_empty() {
+                        break;
+                    }
+                    let counts =
+                        ParallelTrieCounter { threads: env.counting_threads }.count(env.db, &cands);
+                    db_scans += 1;
+                    run.absorb_counts(&counts);
+                    let (sb, tb) = match var {
+                        Var::S => (before, t_run.levels_done()),
+                        Var::T => (s_run.levels_done(), before),
+                    };
+                    update_jk(&mut jk_states, &s_run, &t_run, sb, tb, catalog);
+                }
+            }
+        }
+
+        // ---- Outputs ----
+        // J^k_max conditions (including the non-anti-monotone ones) become
+        // output filters at their final bound values.
+        let jk_out = |states: &[JkState], var: Var| -> Vec<OneVar> {
+            states
+                .iter()
+                .filter(|st| st.task.pruned == var)
+                .map(|st| st.task.condition(st.series.current()))
+                .collect()
+        };
+        let jk_s = jk_out(&jk_states, Var::S);
+        let jk_t = jk_out(&jk_states, Var::T);
+
+        let collect = |run: &LatticeRun<'_>, one: &[OneVar], jk: &[OneVar]| {
+            run.valid_sets()
+                .into_iter()
+                .filter(|(s, _)| eval_all_one(one, s, catalog) && eval_all_one(jk, s, catalog))
+                .collect::<Vec<_>>()
+        };
+        // Without 1-var pushing the constraint check on every frequent set
+        // is the Apriori⁺ post-pass; account for it.
+        if !self.push_one_var {
+            let s_checks = s_run.frequent().total() as u64 * plan.s_one.len() as u64;
+            let t_checks = t_run.frequent().total() as u64 * plan.t_one.len() as u64;
+            s_run.stats_mut().record_checks(s_checks);
+            t_run.stats_mut().record_checks(t_checks);
+        }
+        let s_sets = collect(&s_run, &plan.s_one, &jk_s);
+        let t_sets = collect(&t_run, &plan.t_one, &jk_t);
+
+        if !env.form_pairs {
+            let empty = form_pairs(&[], &[], &plan.final_two, catalog, Some(0));
+            return ExecutionOutcome {
+                s_sets,
+                t_sets,
+                pair_result: empty,
+                s_stats: s_run.stats().clone(),
+                t_stats: t_run.stats().clone(),
+                db_scans,
+                v_histories: jk_states
+                    .into_iter()
+                    .map(|st| (st.task.pruned, st.series.history().to_vec()))
+                    .collect(),
+            };
+        }
+        let mut pair_result = form_pairs_with(
+            &s_sets,
+            &t_sets,
+            &plan.final_two,
+            catalog,
+            env.max_pairs,
+            env.counting_threads,
+        );
+
+        // Restrict the reported sets to Definition 3's *frequent valid*
+        // sets: those participating in at least one valid pair. This makes
+        // every strategy's output identical regardless of how much of the
+        // validity pruning it performed during mining.
+        let (s_sets, s_remap) = compact(s_sets, &pair_result.s_used);
+        let (t_sets, t_remap) = compact(t_sets, &pair_result.t_used);
+        for (si, ti) in &mut pair_result.pairs {
+            *si = s_remap[*si as usize];
+            *ti = t_remap[*ti as usize];
+        }
+
+        ExecutionOutcome {
+            s_sets,
+            t_sets,
+            pair_result,
+            s_stats: s_run.stats().clone(),
+            t_stats: t_run.stats().clone(),
+            db_scans,
+            v_histories: jk_states
+                .into_iter()
+                .map(|st| (st.task.pruned, st.series.history().to_vec()))
+                .collect(),
+        }
+    }
+}
+
+/// Estimated item-level selectivity of a pushed 1-var constraint: how the
+/// compiled form restricts or requires items, as a fraction of the catalog.
+/// A first step toward the paper's open problem 2 (cost models for CFQs) —
+/// today it informs the EXPLAIN output; a cost-based optimizer would
+/// consume the same numbers.
+fn selectivity_note(c: &OneVar, catalog: &Catalog) -> String {
+    let form = SuccinctForm::compile(std::slice::from_ref(c), catalog);
+    let n = catalog.n_items().max(1) as f64;
+    let mut notes = Vec::new();
+    if let Some(a) = &form.allowed {
+        notes.push(format!("allows {:.0}% of items", 100.0 * a.len() as f64 / n));
+    }
+    for g in &form.required_groups {
+        notes.push(format!("requires 1 of {} items", g.len()));
+    }
+    if !form.residual_am.is_empty() {
+        notes.push("anti-monotone check per candidate".to_string());
+    }
+    if !form.post_filters.is_empty() {
+        notes.push("post filter".to_string());
+    }
+    if notes.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", notes.join("; "))
+    }
+}
+
+/// Keeps the flagged entries, returning the survivors and an old-index →
+/// new-index remap (entries for dropped indices are unspecified).
+fn compact(
+    sets: Vec<(Itemset, u64)>,
+    used: &[bool],
+) -> (Vec<(Itemset, u64)>, Vec<u32>) {
+    let mut remap = vec![0u32; sets.len()];
+    let mut out = Vec::with_capacity(used.iter().filter(|&&u| u).count());
+    for (i, entry) in sets.into_iter().enumerate() {
+        if used[i] {
+            remap[i] = out.len() as u32;
+            out.push(entry);
+        }
+    }
+    (out, remap)
+}
+
+/// Derives the `J^k_max` tasks of a non-quasi-succinct aggregate
+/// constraint: one per side bounded by a `sum` over a non-negative domain.
+fn jk_tasks_for(c: &TwoVar, catalog: &Catalog) -> Vec<JkTask> {
+    let mut out = Vec::new();
+    match c {
+        TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => {
+            let nonneg = |attr: AttrId| {
+                catalog.column_min_num(attr).map(|m| m >= 0.0).unwrap_or(true)
+            };
+            let mut push =
+                |pruned: Var, bounded_agg: Agg, bounded_attr: AttrId, op: CmpOp, source: AttrId| {
+                    if nonneg(source) {
+                        out.push(JkTask {
+                            pruned,
+                            op,
+                            target: BoundTarget::Sum { bounded_agg, bounded_attr, source_attr: source },
+                        });
+                    }
+                };
+            match op {
+                CmpOp::Le | CmpOp::Lt if *t_agg == Agg::Sum => {
+                    push(Var::S, *s_agg, *s_attr, *op, *t_attr);
+                }
+                CmpOp::Ge | CmpOp::Gt if *s_agg == Agg::Sum => {
+                    push(Var::T, *t_agg, *t_attr, op.mirror(), *s_attr);
+                }
+                CmpOp::Eq => {
+                    if *t_agg == Agg::Sum {
+                        push(Var::S, *s_agg, *s_attr, CmpOp::Le, *t_attr);
+                    }
+                    if *s_agg == Agg::Sum {
+                        push(Var::T, *t_agg, *t_attr, CmpOp::Le, *s_attr);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // 2-var count comparisons (language extension): the bounded side is
+        // pruned through the partner's count series; no domain assumption
+        // needed (count is non-negative by construction).
+        TwoVar::CountCmp { s_attr, op, t_attr } => match op {
+            CmpOp::Le | CmpOp::Lt => out.push(JkTask {
+                pruned: Var::S,
+                op: *op,
+                target: BoundTarget::Count { bounded_attr: *s_attr, source_attr: *t_attr },
+            }),
+            CmpOp::Ge | CmpOp::Gt => out.push(JkTask {
+                pruned: Var::T,
+                op: op.mirror(),
+                target: BoundTarget::Count { bounded_attr: *t_attr, source_attr: *s_attr },
+            }),
+            CmpOp::Eq => {
+                out.push(JkTask {
+                    pruned: Var::S,
+                    op: CmpOp::Le,
+                    target: BoundTarget::Count { bounded_attr: *s_attr, source_attr: *t_attr },
+                });
+                out.push(JkTask {
+                    pruned: Var::T,
+                    op: CmpOp::Le,
+                    target: BoundTarget::Count { bounded_attr: *t_attr, source_attr: *s_attr },
+                });
+            }
+            CmpOp::Ne => {}
+        },
+        TwoVar::Domain { .. } => {}
+    }
+    out
+}
+
+/// Live state of one iterative-bound task during execution.
+struct JkState {
+    task: JkTask,
+    series: Series,
+    /// Bound updates need the source family downward-closed: no required
+    /// groups pushed on the source lattice.
+    updatable: bool,
+}
+
+/// After absorbing a level, refresh the `V` series whose source lattice
+/// just completed a level ≥ 2.
+fn update_jk(
+    states: &mut [JkState],
+    s_run: &LatticeRun<'_>,
+    t_run: &LatticeRun<'_>,
+    s_before: usize,
+    t_before: usize,
+    catalog: &Catalog,
+) {
+    for st in states.iter_mut() {
+        let (run, before) = match st.task.pruned {
+            Var::S => (t_run, t_before),
+            Var::T => (s_run, s_before),
+        };
+        let after = run.levels_done();
+        if st.updatable && after > before && after >= 2 {
+            let level_sets = run.frequent().level_sets(after);
+            st.series.update(&level_sets, after, catalog);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        b.cat_attr("Type", &["A", "B", "A", "C", "B", "C"]).unwrap();
+        b.build()
+    }
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+            ],
+        )
+    }
+
+    fn assert_same_answer(src: &str, min_support: u64) {
+        let cat = catalog();
+        let d = db();
+        let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, min_support);
+        let base = Optimizer::apriori_plus().run(&q, &env);
+        let full = Optimizer::default().run(&q, &env);
+        let seq = Optimizer { dovetail: false, ..Optimizer::default() }.run(&q, &env);
+        let one_var = Optimizer::cap_one_var().run(&q, &env);
+        for (name, o) in
+            [("full", &full), ("sequential", &seq), ("cap-1var", &one_var)]
+        {
+            assert_eq!(o.s_sets, base.s_sets, "`{src}` {name}: S-sets diverge");
+            assert_eq!(o.t_sets, base.t_sets, "`{src}` {name}: T-sets diverge");
+            assert_eq!(
+                o.pair_result.count, base.pair_result.count,
+                "`{src}` {name}: pair counts diverge"
+            );
+            let mut a = o.pair_result.pairs.clone();
+            let mut b = base.pair_result.pairs.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "`{src}` {name}: pairs diverge");
+        }
+    }
+
+    #[test]
+    fn equivalence_quasi_succinct_domain() {
+        assert_same_answer("S.Type disjoint T.Type", 2);
+        assert_same_answer("S.Type = T.Type", 2);
+        assert_same_answer("S.Type subset T.Type", 2);
+        assert_same_answer("S disjoint T", 3);
+    }
+
+    #[test]
+    fn equivalence_quasi_succinct_minmax() {
+        assert_same_answer("max(S.Price) <= min(T.Price)", 2);
+        assert_same_answer("min(S.Price) <= min(T.Price)", 2);
+        assert_same_answer("max(S.Price) >= max(T.Price)", 2);
+        assert_same_answer("min(S.Price) > max(T.Price)", 2);
+    }
+
+    #[test]
+    fn equivalence_sum_avg() {
+        assert_same_answer("sum(S.Price) <= sum(T.Price)", 2);
+        assert_same_answer("sum(S.Price) <= max(T.Price)", 2);
+        assert_same_answer("avg(S.Price) <= avg(T.Price)", 2);
+        assert_same_answer("avg(S.Price) >= avg(T.Price)", 3);
+        assert_same_answer("sum(S.Price) = sum(T.Price)", 2);
+    }
+
+    #[test]
+    fn equivalence_mixed_queries() {
+        assert_same_answer("max(S.Price) <= 40 & min(T.Price) >= 30 & S.Type = T.Type", 2);
+        assert_same_answer(
+            "S.Type subset {A, B} & max(S.Price) <= min(T.Price) & sum(S.Price) <= sum(T.Price)",
+            2,
+        );
+        assert_same_answer("count(S.Type) = 1 & count(T.Type) = 1 & S.Type != T.Type", 2);
+    }
+
+    #[test]
+    fn plan_strategies_match_figure1() {
+        let cat = catalog();
+        let d = db();
+        let env = QueryEnv::new(&d, &cat, 2);
+        let check = |src: &str, expected: StrategyKind| {
+            let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+            let plan = Optimizer::default().plan(&q, &env);
+            assert_eq!(plan.strategies()[0].1, expected, "`{src}`");
+        };
+        check("S.Type disjoint T.Type", StrategyKind::QuasiSuccinct);
+        check("max(S.Price) <= min(T.Price)", StrategyKind::QuasiSuccinct);
+        check("avg(S.Price) <= avg(T.Price)", StrategyKind::InducedWeaker);
+        check("sum(S.Price) <= sum(T.Price)", StrategyKind::JkmaxIterative);
+        check("min(S.Price) != max(T.Price)", StrategyKind::FinalVerifyOnly);
+    }
+
+    #[test]
+    fn explain_mentions_each_constraint() {
+        let cat = catalog();
+        let d = db();
+        let env = QueryEnv::new(&d, &cat, 2);
+        let q = bind_query(
+            &parse_query("max(S.Price) <= 40 & sum(S.Price) <= sum(T.Price)").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let plan = Optimizer::default().plan(&q, &env);
+        let text = plan.explain(&cat);
+        assert!(text.contains("J^k_max"));
+        assert!(text.contains("1-var constraints: 1 on S"));
+    }
+
+    #[test]
+    fn jkmax_records_v_history_and_prunes() {
+        let cat = catalog();
+        let d = db();
+        let q = bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, 2);
+        let out = Optimizer::default().run(&q, &env);
+        assert_eq!(out.v_histories.len(), 1);
+        let (var, hist) = &out.v_histories[0];
+        assert_eq!(*var, Var::S);
+        assert!(!hist.is_empty());
+        // Lemma 7: non-increasing.
+        assert!(hist.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12));
+        // Compared to no-jkmax, at most the same number of counted S-sets.
+        let no_jk = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        assert!(out.s_stats.support_counted <= no_jk.s_stats.support_counted);
+    }
+
+    #[test]
+    fn split_universes_and_supports() {
+        let cat = catalog();
+        let d = db();
+        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, 2)
+            .with_s_universe(vec![ItemId(0), ItemId(1), ItemId(2)])
+            .with_t_universe(vec![ItemId(3), ItemId(4), ItemId(5)])
+            .with_supports(2, 1);
+        let out = Optimizer::default().run(&q, &env);
+        for (s, _) in &out.s_sets {
+            assert!(s.iter().all(|i| i.0 <= 2));
+        }
+        for (t, _) in &out.t_sets {
+            assert!(t.iter().all(|i| i.0 >= 3));
+        }
+        let base = Optimizer::apriori_plus().run(&q, &env);
+        assert_eq!(out.pair_result.count, base.pair_result.count);
+    }
+
+    #[test]
+    fn max_level_env_caps_depth() {
+        let cat = catalog();
+        let d = db();
+        let q = bind_query(&parse_query("freq(S)").unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, 1).with_max_level(2);
+        let out = Optimizer::default().run(&q, &env);
+        assert!(out.s_sets.iter().all(|(s, _)| s.len() <= 2));
+    }
+}
+
+#[cfg(test)]
+mod jk_soundness_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    /// End-to-end version of the VSeries soundness regression: a heavy
+    /// frequent T *pair* with no deeper extension must keep its valid S
+    /// partners alive through J^k_max pruning.
+    #[test]
+    fn jkmax_keeps_partners_of_small_heavy_sets() {
+        // Items 0..2 are the S domain (price 150); 3,4 heavy T (100);
+        // 5..9 cheap T (1).
+        let mut b = CatalogBuilder::new(10);
+        b.num_attr(
+            "Price",
+            vec![150.0, 150.0, 150.0, 100.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let cat = b.build();
+        // Heavy pair {3,4} frequent; cheap clique {5..9} frequent deep;
+        // no transaction mixes heavy and cheap beyond what keeps {3,4}
+        // unextendable.
+        let db = TransactionDb::from_u32(
+            10,
+            &[
+                &[0, 1, 3, 4],
+                &[0, 2, 3, 4],
+                &[1, 2, 3, 4],
+                &[0, 5, 6, 7, 8, 9],
+                &[1, 5, 6, 7, 8, 9],
+                &[2, 5, 6, 7, 8, 9],
+            ],
+        );
+        let q = bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat)
+            .unwrap();
+        let env = QueryEnv::new(&db, &cat, 3)
+            .with_s_universe((0..3).map(ItemId).collect())
+            .with_t_universe((3..10).map(ItemId).collect());
+        let jk = Optimizer::default().run(&q, &env);
+        let no = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        assert_eq!(jk.pair_result.count, no.pair_result.count);
+        assert_eq!(jk.s_sets, no.s_sets);
+        // The S singleton (price 150 > any cheap T sum of ≤ 5 elements)
+        // pairs only with the heavy T pair — it must be in the answer.
+        assert!(jk.s_sets.iter().any(|(s, _)| s.len() == 1));
+    }
+}
+
+#[cfg(test)]
+mod count_extension_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    fn setup() -> (TransactionDb, Catalog) {
+        let db = TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+            ],
+        );
+        let mut b = CatalogBuilder::new(6);
+        b.cat_attr("Type", &["a", "b", "a", "c", "b", "c"]).unwrap();
+        (db, b.build())
+    }
+
+    #[test]
+    fn count_two_var_matches_baseline() {
+        let (db, cat) = setup();
+        for src in [
+            "count(S.Type) <= count(T.Type)",
+            "count(S) <= count(T)",
+            "count(S.Type) >= count(T.Type)",
+            "count(S) = count(T)",
+            "count(S.Type) < count(T)",
+        ] {
+            let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+            for min_support in [2u64, 3] {
+                let env = QueryEnv::new(&db, &cat, min_support);
+                let base = Optimizer::apriori_plus().run(&q, &env);
+                let full = Optimizer::default().run(&q, &env);
+                let seq = Optimizer { dovetail: false, ..Optimizer::default() }.run(&q, &env);
+                assert_eq!(base.pair_result.count, full.pair_result.count, "`{src}`");
+                assert_eq!(base.s_sets, full.s_sets, "`{src}`");
+                assert_eq!(base.t_sets, full.t_sets, "`{src}`");
+                assert_eq!(base.pair_result.count, seq.pair_result.count, "`{src}`");
+            }
+        }
+    }
+
+    #[test]
+    fn count_task_prunes() {
+        let (db, cat) = setup();
+        // S must have at most as many items as T has types; T types are
+        // bounded by the count series, pruning deep S-sets.
+        let q = bind_query(&parse_query("count(S) <= count(T.Type)").unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&db, &cat, 2);
+        let plan = Optimizer::default().plan(&q, &env);
+        assert_eq!(plan.strategies()[0].1, StrategyKind::JkmaxIterative);
+        let full = Optimizer::default().run(&q, &env);
+        let off = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        assert_eq!(full.pair_result.count, off.pair_result.count);
+        assert!(full.s_stats.support_counted <= off.s_stats.support_counted);
+        assert!(!full.v_histories.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod parallel_counting_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    /// Parallel counting must be bit-identical to sequential across the
+    /// whole pipeline (dovetailed and sequential execution alike).
+    #[test]
+    fn parallel_counting_is_equivalent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n_items = 20usize;
+        let txs: Vec<Vec<ItemId>> = (0..300)
+            .map(|_| {
+                (0..rng.gen_range(2..8))
+                    .map(|_| ItemId(rng.gen_range(0..n_items as u32)))
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(n_items, txs).unwrap();
+        let mut b = CatalogBuilder::new(n_items);
+        b.num_attr("Price", (0..n_items).map(|i| (i * 7 % 50) as f64).collect()).unwrap();
+        let cat = b.build();
+        let q = bind_query(
+            &parse_query("max(S.Price) <= min(T.Price) & sum(S.Price) <= sum(T.Price)")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let seq_env = QueryEnv::new(&db, &cat, 5);
+        let par_env = QueryEnv::new(&db, &cat, 5).with_counting_threads(0);
+        for opt in [
+            Optimizer::default(),
+            Optimizer { dovetail: false, ..Optimizer::default() },
+        ] {
+            let a = opt.run(&q, &seq_env);
+            let b = opt.run(&q, &par_env);
+            assert_eq!(a.pair_result.count, b.pair_result.count);
+            assert_eq!(a.s_sets, b.s_sets);
+            assert_eq!(a.t_sets, b.t_sets);
+            assert_eq!(a.s_stats.support_counted, b.s_stats.support_counted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod env_validation_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+
+    #[test]
+    #[should_panic(expected = "catalog covers 2 items")]
+    fn mismatched_catalog_fails_fast() {
+        let db = TransactionDb::from_u32(5, &[&[0, 4]]);
+        let cat = Catalog::empty(2);
+        let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
+        let _ = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
+    }
+}

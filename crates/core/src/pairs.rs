@@ -1,0 +1,390 @@
+//! Final pair formation (the last box of Figure 7).
+//!
+//! Given the frequent valid S- and T-sets, form the pairs satisfying every
+//! *original* 2-var constraint. This step also absorbs the looseness of any
+//! non-tight or induced-weaker pruning upstream: whatever survived the
+//! lattices is re-verified here, so the optimizer's answer is exact
+//! regardless of how aggressive (or lazy) the pruning was.
+//!
+//! The cross product is the hot path of queries with weak 2-var
+//! selectivity (tens of millions of candidate pairs at paper scale), so
+//! constraints are *prepared* first: per-side value sets and aggregate
+//! values are computed once per set, and each pair check touches only the
+//! precomputed summaries. A sorted fast path answers count-only queries
+//! with a single inequality constraint in `O((m+n) log n)`.
+
+use cfq_constraints::{eval::agg_value, CmpOp, TwoVar};
+use cfq_types::{Catalog, Itemset};
+
+/// Result of pair formation.
+#[derive(Clone, Debug)]
+pub struct PairResult {
+    /// Number of valid pairs.
+    pub count: u64,
+    /// Materialized pairs as `(s_index, t_index)` into the input slices —
+    /// truncated at the materialization cap if one was given.
+    pub pairs: Vec<(u32, u32)>,
+    /// Whether `pairs` was truncated.
+    pub truncated: bool,
+    /// 2-var constraint evaluations performed.
+    pub checks: u64,
+    /// Per S-set: participates in at least one valid pair. This is exactly
+    /// Definition 3's *frequent valid S-set* (a frequent partner exists).
+    pub s_used: Vec<bool>,
+    /// Per T-set: participates in at least one valid pair.
+    pub t_used: Vec<bool>,
+}
+
+/// A 2-var constraint with its per-side inputs precomputed.
+enum Prepared {
+    /// Domain constraint over precomputed sorted value-key sets.
+    Domain { rel: cfq_constraints::SetRel, s_keys: Vec<Vec<u64>>, t_keys: Vec<Vec<u64>> },
+    /// Numeric comparison over precomputed aggregate (or count) values.
+    Num { op: CmpOp, s_vals: Vec<f64>, t_vals: Vec<f64> },
+}
+
+impl Prepared {
+    fn build(
+        c: &TwoVar,
+        s_sets: &[(Itemset, u64)],
+        t_sets: &[(Itemset, u64)],
+        catalog: &Catalog,
+    ) -> Prepared {
+        match c {
+            TwoVar::Domain { s_attr, rel, t_attr } => Prepared::Domain {
+                rel: *rel,
+                s_keys: s_sets.iter().map(|(s, _)| catalog.value_set(*s_attr, s)).collect(),
+                t_keys: t_sets.iter().map(|(t, _)| catalog.value_set(*t_attr, t)).collect(),
+            },
+            TwoVar::AggCmp { s_agg, s_attr, op, t_agg, t_attr } => Prepared::Num {
+                op: *op,
+                s_vals: s_sets
+                    .iter()
+                    .map(|(s, _)| agg_value(*s_agg, *s_attr, s, catalog).unwrap_or(f64::NAN))
+                    .collect(),
+                t_vals: t_sets
+                    .iter()
+                    .map(|(t, _)| agg_value(*t_agg, *t_attr, t, catalog).unwrap_or(f64::NAN))
+                    .collect(),
+            },
+            TwoVar::CountCmp { s_attr, op, t_attr } => Prepared::Num {
+                op: *op,
+                s_vals: s_sets
+                    .iter()
+                    .map(|(s, _)| catalog.count_distinct(*s_attr, s) as f64)
+                    .collect(),
+                t_vals: t_sets
+                    .iter()
+                    .map(|(t, _)| catalog.count_distinct(*t_attr, t) as f64)
+                    .collect(),
+            },
+        }
+    }
+
+    #[inline]
+    fn holds(&self, si: usize, ti: usize) -> bool {
+        match self {
+            Prepared::Domain { rel, s_keys, t_keys } => rel.eval(&s_keys[si], &t_keys[ti]),
+            Prepared::Num { op, s_vals, t_vals } => op.eval(s_vals[si], t_vals[ti]),
+        }
+    }
+}
+
+/// Forms all valid pairs; materializes up to `max_materialized` of them
+/// (`None` = all).
+pub fn form_pairs(
+    s_sets: &[(Itemset, u64)],
+    t_sets: &[(Itemset, u64)],
+    two_var: &[TwoVar],
+    catalog: &Catalog,
+    max_materialized: Option<usize>,
+) -> PairResult {
+    form_pairs_with(s_sets, t_sets, two_var, catalog, max_materialized, 1)
+}
+
+/// [`form_pairs`] with `threads` workers sharding the S side (0 = one per
+/// core). The result is identical to sequential, including pair order.
+pub fn form_pairs_with(
+    s_sets: &[(Itemset, u64)],
+    t_sets: &[(Itemset, u64)],
+    two_var: &[TwoVar],
+    catalog: &Catalog,
+    max_materialized: Option<usize>,
+    threads: usize,
+) -> PairResult {
+    let cap = max_materialized.unwrap_or(usize::MAX);
+    let prepared: Vec<Prepared> =
+        two_var.iter().map(|c| Prepared::build(c, s_sets, t_sets, catalog)).collect();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // One S-range worth of work; returns (pairs, t_used) for the range.
+    type Shard = (Vec<(u32, u32)>, Vec<bool>);
+    let scan_range = |lo: usize, hi: usize| -> Shard {
+        let mut pairs = Vec::new();
+        let mut t_used = vec![false; t_sets.len()];
+        for si in lo..hi {
+            for (ti, used) in t_used.iter_mut().enumerate() {
+                if prepared.iter().all(|p| p.holds(si, ti)) {
+                    *used = true;
+                    pairs.push((si as u32, ti as u32));
+                }
+            }
+        }
+        (pairs, t_used)
+    };
+
+    let shards: Vec<Shard> =
+        if threads <= 1 || s_sets.len() < 2 * threads {
+            vec![scan_range(0, s_sets.len())]
+        } else {
+            let n = s_sets.len();
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    if lo < hi {
+                        let scan_range = &scan_range;
+                        handles.push(scope.spawn(move || scan_range(lo, hi)));
+                    }
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+        };
+
+    let mut result = PairResult {
+        count: 0,
+        pairs: Vec::new(),
+        truncated: false,
+        checks: (s_sets.len() * t_sets.len() * prepared.len()) as u64,
+        s_used: vec![false; s_sets.len()],
+        t_used: vec![false; t_sets.len()],
+    };
+    for (pairs, t_used) in shards {
+        for (acc, x) in result.t_used.iter_mut().zip(t_used) {
+            *acc |= x;
+        }
+        result.count += pairs.len() as u64;
+        for (si, ti) in pairs {
+            result.s_used[si as usize] = true;
+            if result.pairs.len() < cap {
+                result.pairs.push((si, ti));
+            } else {
+                result.truncated = true;
+            }
+        }
+    }
+    result
+}
+
+/// Counts valid pairs without materializing them. With a single numeric
+/// inequality constraint the count is computed by sorting one side and
+/// binary-searching the other (`O((m+n) log n)` instead of `O(m·n)`).
+pub fn count_pairs(
+    s_sets: &[(Itemset, u64)],
+    t_sets: &[(Itemset, u64)],
+    two_var: &[TwoVar],
+    catalog: &Catalog,
+) -> u64 {
+    if two_var.len() == 1 {
+        if let [c] = two_var {
+            if let Prepared::Num { op, s_vals, t_vals } =
+                Prepared::build(c, s_sets, t_sets, catalog)
+            {
+                if let Some(n) = count_sorted(op, &s_vals, &t_vals) {
+                    return n;
+                }
+            }
+        }
+    }
+    form_pairs(s_sets, t_sets, two_var, catalog, Some(0)).count
+}
+
+/// Sorted counting for `s op t` with an inequality operator; `None` when
+/// the operator is not an inequality or a NaN is present.
+fn count_sorted(op: CmpOp, s_vals: &[f64], t_vals: &[f64]) -> Option<u64> {
+    if !(op.is_upper() || op.is_lower()) {
+        return None;
+    }
+    if s_vals.iter().chain(t_vals).any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted_t: Vec<f64> = t_vals.to_vec();
+    sorted_t.sort_by(f64::total_cmp);
+    let mut count = 0u64;
+    for &s in s_vals {
+        // Number of t with `s op t` via partition point.
+        let n = match op {
+            // s <= t: t ≥ s.
+            CmpOp::Le => sorted_t.len() - sorted_t.partition_point(|&t| t < s),
+            // s < t: t > s.
+            CmpOp::Lt => sorted_t.len() - sorted_t.partition_point(|&t| t <= s),
+            // s >= t: t ≤ s.
+            CmpOp::Ge => sorted_t.partition_point(|&t| t <= s),
+            // s > t: t < s.
+            CmpOp::Gt => sorted_t.partition_point(|&t| t < s),
+            _ => unreachable!("guarded above"),
+        };
+        count += n as u64;
+    }
+    Some(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        b.cat_attr("Type", &["a", "b", "a", "b"]).unwrap();
+        b.build()
+    }
+
+    fn sets(v: &[&[u32]]) -> Vec<(Itemset, u64)> {
+        v.iter().map(|s| (s.iter().copied().collect(), 1)).collect()
+    }
+
+    fn two(src: &str) -> Vec<TwoVar> {
+        bind_query(&parse_query(src).unwrap(), &catalog()).unwrap().two_var
+    }
+
+    #[test]
+    fn filters_by_two_var_constraint() {
+        let cat = catalog();
+        let q = two("max(S.Price) <= min(T.Price)");
+        let s = sets(&[&[0], &[0, 1], &[3]]);
+        let t = sets(&[&[2], &[2, 3]]);
+        let r = form_pairs(&s, &t, &q, &cat, None);
+        // {0} (max 10) and {0,1} (max 20) pair with both T sets (min 30);
+        // {3} (max 40) pairs with neither.
+        assert_eq!(r.count, 4);
+        assert_eq!(r.pairs.len(), 4);
+        assert!(!r.truncated);
+        assert_eq!(r.checks, 6);
+        assert!(r.pairs.contains(&(0, 0)));
+        assert!(!r.pairs.contains(&(2, 0)));
+        assert_eq!(r.s_used, vec![true, true, false]);
+        assert_eq!(r.t_used, vec![true, true]);
+    }
+
+    #[test]
+    fn domain_constraints_use_precomputed_keys() {
+        let cat = catalog();
+        let q = two("S.Type disjoint T.Type");
+        let s = sets(&[&[0], &[1], &[0, 1]]); // types {a}, {b}, {a,b}
+        let t = sets(&[&[2], &[3]]); // types {a}, {b}
+        let r = form_pairs(&s, &t, &q, &cat, None);
+        // {a}⟂{b}, {b}⟂{a}; {a,b} disjoint with nothing.
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn no_constraints_means_cross_product() {
+        let cat = catalog();
+        let s = sets(&[&[0], &[1]]);
+        let t = sets(&[&[2], &[3], &[2, 3]]);
+        let r = form_pairs(&s, &t, &[], &cat, None);
+        assert_eq!(r.count, 6);
+        assert_eq!(r.checks, 0);
+    }
+
+    #[test]
+    fn truncation_and_counting() {
+        let cat = catalog();
+        let s = sets(&[&[0], &[1]]);
+        let t = sets(&[&[2], &[3]]);
+        let r = form_pairs(&s, &t, &[], &cat, Some(2));
+        assert_eq!(r.count, 4);
+        assert_eq!(r.pairs.len(), 2);
+        assert!(r.truncated);
+        assert_eq!(count_pairs(&s, &t, &[], &cat), 4);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let cat = catalog();
+        let r = form_pairs(&[], &sets(&[&[0]]), &[], &cat, None);
+        assert_eq!(r.count, 0);
+        assert!(r.pairs.is_empty());
+    }
+
+    #[test]
+    fn sorted_count_fast_path_matches_enumeration() {
+        let cat = catalog();
+        let s = sets(&[&[0], &[1], &[2], &[3], &[0, 3]]);
+        let t = sets(&[&[0], &[1], &[2], &[3], &[1, 2]]);
+        for src in [
+            "max(S.Price) <= min(T.Price)",
+            "max(S.Price) < min(T.Price)",
+            "min(S.Price) >= max(T.Price)",
+            "sum(S.Price) > sum(T.Price)",
+            "avg(S.Price) <= avg(T.Price)",
+            "count(S) <= count(T)",
+        ] {
+            let q = two(src);
+            let fast = count_pairs(&s, &t, &q, &cat);
+            let slow = form_pairs(&s, &t, &q, &cat, Some(0)).count;
+            assert_eq!(fast, slow, "`{src}`");
+        }
+    }
+
+    #[test]
+    fn equality_ops_skip_fast_path_but_agree() {
+        let cat = catalog();
+        let s = sets(&[&[0], &[1]]);
+        let t = sets(&[&[0], &[2]]);
+        let q = two("max(S.Price) = min(T.Price)");
+        assert_eq!(
+            count_pairs(&s, &t, &q, &cat),
+            form_pairs(&s, &t, &q, &cat, Some(0)).count
+        );
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    #[test]
+    fn parallel_pairs_identical_to_sequential() {
+        let n = 40usize;
+        let mut b = CatalogBuilder::new(n);
+        b.num_attr("Price", (0..n).map(|i| ((i * 13) % 60) as f64).collect()).unwrap();
+        let cat = b.build();
+        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &cat)
+            .unwrap();
+        let sets: Vec<(Itemset, u64)> = (0..n as u32)
+            .map(|i| (Itemset::from([i, (i + 1) % n as u32]), 1))
+            .collect();
+        let seq = form_pairs_with(&sets, &sets, &q.two_var, &cat, None, 1);
+        for threads in [0usize, 2, 3, 7] {
+            let par = form_pairs_with(&sets, &sets, &q.two_var, &cat, None, threads);
+            assert_eq!(par.count, seq.count, "threads={threads}");
+            assert_eq!(par.pairs, seq.pairs, "threads={threads}");
+            assert_eq!(par.s_used, seq.s_used);
+            assert_eq!(par.t_used, seq.t_used);
+        }
+    }
+
+    #[test]
+    fn parallel_truncation_keeps_count_exact() {
+        let cat = cfq_types::Catalog::empty(10);
+        let sets: Vec<(Itemset, u64)> =
+            (0..10u32).map(|i| (Itemset::singleton(cfq_types::ItemId(i)), 1)).collect();
+        let r = form_pairs_with(&sets, &sets, &[], &cat, Some(5), 4);
+        assert_eq!(r.count, 100);
+        assert_eq!(r.pairs.len(), 5);
+        assert!(r.truncated);
+        assert!(r.s_used.iter().all(|&u| u));
+    }
+}

@@ -1,0 +1,216 @@
+//! Phase 2 of the paper's exploratory-mining architecture: forming rules.
+//!
+//! The paper computes constrained frequent set *pairs* as the phase-1
+//! intermediate because "frequent sets represent a common denominator for
+//! many kinds of rules of the form S ⇒ T" (§1); phase 2 turns selected
+//! pairs into rules with their interestingness metrics. This module
+//! implements the classic association-rule metrics over a
+//! [`PairResult`](crate::pairs::PairResult): support and confidence of
+//! `S ⇒ T` (and lift as a bonus), with the union supports counted in one
+//! extra database scan.
+
+use crate::optimizer::ExecutionOutcome;
+use cfq_mining::{SupportCounter, TrieCounter};
+use cfq_types::{Itemset, TransactionDb};
+
+/// An association rule `S ⇒ T` with its metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// The antecedent.
+    pub antecedent: Itemset,
+    /// The consequent.
+    pub consequent: Itemset,
+    /// Absolute support of `S ∪ T`.
+    pub support: u64,
+    /// `support(S ∪ T) / support(S)`.
+    pub confidence: f64,
+    /// `confidence / (support(T) / |D|)`.
+    pub lift: f64,
+}
+
+/// Rule-formation thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleConfig {
+    /// Minimum absolute support of `S ∪ T`.
+    pub min_support: u64,
+    /// Minimum confidence in `[0, 1]`.
+    pub min_confidence: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig { min_support: 1, min_confidence: 0.5 }
+    }
+}
+
+/// Forms the rules `S ⇒ T` for every materialized valid pair of `outcome`,
+/// counting each distinct `S ∪ T` once (single extra scan), and filters by
+/// the thresholds. Rules are returned ordered by descending confidence,
+/// then descending support.
+pub fn form_rules(
+    outcome: &ExecutionOutcome,
+    db: &TransactionDb,
+    cfg: &RuleConfig,
+) -> Vec<Rule> {
+    // Distinct unions across pairs (pairs often share unions, e.g. when S
+    // and T overlap or repeat).
+    let mut unions: Vec<Itemset> = outcome
+        .pair_result
+        .pairs
+        .iter()
+        .map(|&(si, ti)| {
+            outcome.s_sets[si as usize].0.union(&outcome.t_sets[ti as usize].0)
+        })
+        .collect();
+    let order: Vec<Itemset> = {
+        unions.sort();
+        unions.dedup();
+        unions
+    };
+    let counts = TrieCounter.count(db, &order);
+    let support_of = |u: &Itemset| -> u64 {
+        let idx = order.binary_search(u).expect("union counted");
+        counts[idx]
+    };
+
+    let n = db.len() as f64;
+    let mut rules = Vec::new();
+    for &(si, ti) in &outcome.pair_result.pairs {
+        let (s, s_sup) = &outcome.s_sets[si as usize];
+        let (t, t_sup) = &outcome.t_sets[ti as usize];
+        let u = s.union(t);
+        let support = support_of(&u);
+        if support < cfg.min_support || *s_sup == 0 {
+            continue;
+        }
+        let confidence = support as f64 / *s_sup as f64;
+        if confidence < cfg.min_confidence {
+            continue;
+        }
+        let lift = if *t_sup > 0 { confidence / (*t_sup as f64 / n) } else { 0.0 };
+        rules.push(Rule {
+            antecedent: s.clone(),
+            consequent: t.clone(),
+            support,
+            confidence,
+            lift,
+        });
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.cmp(&a.support))
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Optimizer, QueryEnv};
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    fn setup() -> (TransactionDb, cfq_types::Catalog) {
+        let db = TransactionDb::from_u32(
+            4,
+            &[&[0, 1, 2], &[0, 1], &[1, 2, 3], &[0, 2, 3], &[0, 1, 2, 3], &[0, 1, 2]],
+        );
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        (db, b.build())
+    }
+
+    #[test]
+    fn metrics_match_hand_computation() {
+        let (db, catalog) = setup();
+        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &catalog)
+            .unwrap();
+        let env = QueryEnv::new(&db, &catalog, 2);
+        let out = Optimizer::default().run(&q, &env);
+        let rules = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
+        assert_eq!(rules.len(), out.pair_result.count as usize);
+        for r in &rules {
+            let u = r.antecedent.union(&r.consequent);
+            assert_eq!(r.support, db.support(&u), "union support for {u}");
+            let s_sup = db.support(&r.antecedent);
+            assert!((r.confidence - r.support as f64 / s_sup as f64).abs() < 1e-12);
+            assert!(r.confidence <= 1.0 + 1e-12);
+        }
+        // Ordered by descending confidence.
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn thresholds_filter() {
+        let (db, catalog) = setup();
+        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &catalog)
+            .unwrap();
+        let env = QueryEnv::new(&db, &catalog, 2);
+        let out = Optimizer::default().run(&q, &env);
+        let all = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
+        let strict = form_rules(&out, &db, &RuleConfig { min_support: 3, min_confidence: 0.9 });
+        assert!(strict.len() < all.len());
+        for r in &strict {
+            assert!(r.support >= 3);
+            assert!(r.confidence >= 0.9);
+        }
+    }
+
+    #[test]
+    fn lift_sanity() {
+        let (db, catalog) = setup();
+        let q = bind_query(&parse_query("freq(S) & freq(T)").unwrap(), &catalog).unwrap();
+        let env = QueryEnv::new(&db, &catalog, 2);
+        let out = Optimizer::default().run(&q, &env);
+        let rules = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
+        // Lift of S => T where T = S-ish strongly associated items must be
+        // positive; spot check finiteness.
+        assert!(rules.iter().all(|r| r.lift.is_finite() && r.lift >= 0.0));
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use crate::optimizer::{Optimizer, QueryEnv};
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Rule metrics recomputed from raw supports on random databases.
+    #[test]
+    fn randomized_metric_consistency() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        for _ in 0..15 {
+            let n_items = rng.gen_range(3..7);
+            let txs: Vec<Vec<cfq_types::ItemId>> = (0..rng.gen_range(4..20))
+                .map(|_| {
+                    (0..rng.gen_range(1..=n_items))
+                        .map(|_| cfq_types::ItemId(rng.gen_range(0..n_items as u32)))
+                        .collect()
+                })
+                .collect();
+            let db = TransactionDb::new(n_items, txs).unwrap();
+            let mut b = CatalogBuilder::new(n_items);
+            b.num_attr("Price", (0..n_items).map(|i| (i + 1) as f64).collect()).unwrap();
+            let cat = b.build();
+            let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
+            let env = QueryEnv::new(&db, &cat, rng.gen_range(1..3));
+            let out = Optimizer::default().run(&q, &env);
+            let rules =
+                form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
+            for r in &rules {
+                let u = r.antecedent.union(&r.consequent);
+                assert_eq!(r.support, db.support(&u));
+                let a_sup = db.support(&r.antecedent) as f64;
+                assert!((r.confidence - r.support as f64 / a_sup).abs() < 1e-12);
+                let t_frac = db.support(&r.consequent) as f64 / db.len() as f64;
+                assert!((r.lift - r.confidence / t_frac).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Random-variate samplers used by the Quest generator.
+//!
+//! Only uniform randomness is taken from `rand`; Poisson, exponential, and
+//! normal variates are derived here with textbook methods (Knuth's product
+//! method, inversion, Box–Muller). Precision requirements are mild — these
+//! shape a synthetic workload — and every method is exact in distribution.
+
+use rand::Rng;
+
+/// Samples a Poisson variate with the given `mean` using Knuth's product
+/// method. Suitable for the small means the Quest generator uses
+/// (|T| ≈ 5–20, |I| ≈ 2–6); cost is O(mean).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "Poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    // For larger means, fall back to a normal approximation to keep cost
+    // bounded; the generator never needs mean > 60 in practice.
+    if mean > 60.0 {
+        let n = normal(rng, mean, mean.sqrt());
+        return n.max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k: u64 = 0;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples an exponential variate with the given `mean` by inversion.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    // 1 - U avoids ln(0).
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Samples a normal variate via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Weighted index sampling (roulette wheel) over cumulative weights.
+///
+/// `cumulative` must be non-decreasing with a positive final entry; returns
+/// an index with probability proportional to the weight increments.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    assert!(total > 0.0, "total weight must be positive");
+    let x = rng.gen::<f64>() * total;
+    match cumulative.binary_search_by(|c| c.total_cmp(&x)) {
+        Ok(i) => (i + 1).min(cumulative.len() - 1),
+        Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = 6.5;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut r, mean)).collect();
+        let m = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 0.15, "sample mean {m} too far from {mean}");
+        assert!((var - mean).abs() < 0.4, "sample var {var} too far from {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_and_large_mean() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        let n = 5_000;
+        let mean = 100.0; // exercises the normal-approximation branch
+        let m = (0..n).map(|_| poisson(&mut r, mean)).sum::<u64>() as f64 / n as f64;
+        assert!((m - mean).abs() < 1.5);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = 0.5;
+        let m = (0..n).map(|_| exponential(&mut r, mean)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let (mu, sd) = (1000.0, 10.0);
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, mu, sd)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - mu).abs() < 0.5);
+        assert!((var.sqrt() - sd).abs() < 0.3);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        // Weights 1, 3 → cumulative [1, 4]; index 1 should appear ~75%.
+        let cum = [1.0, 4.0];
+        let n = 40_000;
+        let ones = (0..n).filter(|_| weighted_index(&mut r, &cum) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn weighted_index_always_in_range() {
+        let mut r = rng();
+        let cum = [0.2, 0.2, 1.0]; // middle weight zero
+        for _ in 0..10_000 {
+            let i = weighted_index(&mut r, &cum);
+            assert!(i < 3);
+            assert_ne!(i, 1, "zero-weight index sampled");
+        }
+    }
+}

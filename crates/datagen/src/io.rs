@@ -1,0 +1,297 @@
+//! Plain-text dataset persistence.
+//!
+//! Format (line-oriented, human-inspectable):
+//!
+//! ```text
+//! # cfq-transactions v1 n_items=<N>
+//! <item> <item> ...          (one transaction per line, ascending ids)
+//! ```
+
+use cfq_types::{CfqError, ItemId, Result, TransactionDb};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const HEADER_PREFIX: &str = "# cfq-transactions v1 n_items=";
+
+/// Writes a transaction database to `w`.
+pub fn write_transactions<W: Write>(db: &TransactionDb, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{HEADER_PREFIX}{}", db.n_items())?;
+    let mut line = String::new();
+    for t in db.iter() {
+        line.clear();
+        for (i, item) in t.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&item.0.to_string());
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a transaction database from `r`.
+pub fn read_transactions<R: Read>(r: R) -> Result<TransactionDb> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CfqError::Io("empty transaction file".into()))??;
+    let n_items: usize = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or_else(|| CfqError::Io(format!("bad header: {header}")))?
+        .trim()
+        .parse()
+        .map_err(|e| CfqError::Io(format!("bad n_items in header: {e}")))?;
+
+    let mut transactions = Vec::new();
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let items: std::result::Result<Vec<ItemId>, _> = trimmed
+            .split_ascii_whitespace()
+            .map(|tok| tok.parse::<u32>().map(ItemId))
+            .collect();
+        let items = items.map_err(|e| CfqError::Io(format!("bad item id: {e}")))?;
+        transactions.push(items);
+    }
+    TransactionDb::new(n_items, transactions)
+}
+
+/// Writes a database to a file path.
+pub fn save_transactions<P: AsRef<Path>>(db: &TransactionDb, path: P) -> Result<()> {
+    write_transactions(db, std::fs::File::create(path)?)
+}
+
+/// Reads a database from a file path.
+pub fn load_transactions<P: AsRef<Path>>(path: P) -> Result<TransactionDb> {
+    read_transactions(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quest::{generate_transactions, QuestConfig};
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let db = generate_transactions(&QuestConfig::tiny()).unwrap();
+        let mut buf = Vec::new();
+        write_transactions(&db, &mut buf).unwrap();
+        let back = read_transactions(&buf[..]).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.n_items(), db.n_items());
+        for i in 0..db.len() {
+            assert_eq!(back.transaction(i), db.transaction(i));
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read_transactions(&b"1 2 3\n"[..]).is_err());
+        assert!(read_transactions(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("{HEADER_PREFIX}10\n\n# comment\n1 2 3\n");
+        let db = read_transactions(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.transaction(0).len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_item_ids() {
+        let text = format!("{HEADER_PREFIX}10\n1 x 3\n");
+        assert!(read_transactions(text.as_bytes()).is_err());
+        // Out-of-universe id rejected by TransactionDb validation.
+        let text = format!("{HEADER_PREFIX}2\n5\n");
+        assert!(read_transactions(text.as_bytes()).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog persistence
+// ---------------------------------------------------------------------------
+
+use cfq_types::{AttrKind, Catalog, CatalogBuilder};
+
+const CATALOG_HEADER_PREFIX: &str = "# cfq-catalog v1 n_items=";
+
+/// Writes a catalog to `w`. Format:
+///
+/// ```text
+/// # cfq-catalog v1 n_items=<N>
+/// num <name> <v0> <v1> ...
+/// cat <name> <label0> <label1> ...
+/// ```
+pub fn write_catalog<W: Write>(catalog: &Catalog, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{CATALOG_HEADER_PREFIX}{}", catalog.n_items())?;
+    for a in 0..catalog.n_attrs() as u32 {
+        let attr = cfq_types::AttrId(a);
+        let name = catalog.attr_name(attr).to_string();
+        match catalog.kind(attr) {
+            AttrKind::Num => {
+                write!(w, "num {name}")?;
+                for i in 0..catalog.n_items() as u32 {
+                    write!(w, " {}", catalog.num(attr, cfq_types::ItemId(i)))?;
+                }
+                writeln!(w)?;
+            }
+            AttrKind::Cat => {
+                write!(w, "cat {name}")?;
+                for i in 0..catalog.n_items() as u32 {
+                    let sym = catalog.cat(attr, cfq_types::ItemId(i));
+                    write!(w, " {}", catalog.symbol_name(sym))?;
+                }
+                writeln!(w)?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a catalog from `r` (format of [`write_catalog`]).
+pub fn read_catalog<R: Read>(r: R) -> Result<Catalog> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CfqError::Io("empty catalog file".into()))??;
+    let n_items: usize = header
+        .strip_prefix(CATALOG_HEADER_PREFIX)
+        .ok_or_else(|| CfqError::Io(format!("bad catalog header: {header}")))?
+        .trim()
+        .parse()
+        .map_err(|e| CfqError::Io(format!("bad n_items: {e}")))?;
+    let mut b = CatalogBuilder::new(n_items);
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let kind = parts.next().ok_or_else(|| CfqError::Io("empty attr line".into()))?;
+        let name = parts
+            .next()
+            .ok_or_else(|| CfqError::Io("attribute line missing a name".into()))?;
+        match kind {
+            "num" => {
+                let values: std::result::Result<Vec<f64>, _> =
+                    parts.map(str::parse::<f64>).collect();
+                let values =
+                    values.map_err(|e| CfqError::Io(format!("bad numeric value: {e}")))?;
+                b.num_attr(name, values)?;
+            }
+            "cat" => {
+                let labels: Vec<&str> = parts.collect();
+                b.cat_attr(name, &labels)?;
+            }
+            other => {
+                return Err(CfqError::Io(format!("unknown attribute kind `{other}`")));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod catalog_io_tests {
+    use super::*;
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut b = CatalogBuilder::new(3);
+        b.num_attr("Price", vec![1.5, 2.0, 3.25]).unwrap();
+        b.cat_attr("Type", &["a", "b", "a"]).unwrap();
+        let cat = b.build();
+        let mut buf = Vec::new();
+        write_catalog(&cat, &mut buf).unwrap();
+        let back = read_catalog(&buf[..]).unwrap();
+        assert_eq!(back.n_items(), 3);
+        let price = back.attr("Price").unwrap();
+        let ty = back.attr("Type").unwrap();
+        assert_eq!(back.num(price, cfq_types::ItemId(2)), 3.25);
+        assert_eq!(back.symbol_name(back.cat(ty, cfq_types::ItemId(1))), "b");
+    }
+
+    #[test]
+    fn catalog_read_errors() {
+        assert!(read_catalog(&b"junk\n"[..]).is_err());
+        let text = format!("{CATALOG_HEADER_PREFIX}2\nblob X 1 2\n");
+        assert!(read_catalog(text.as_bytes()).is_err());
+        let text = format!("{CATALOG_HEADER_PREFIX}2\nnum P 1 x\n");
+        assert!(read_catalog(text.as_bytes()).is_err());
+        let text = format!("{CATALOG_HEADER_PREFIX}2\nnum P 1\n");
+        assert!(read_catalog(text.as_bytes()).is_err(), "wrong arity");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIMI .dat format
+// ---------------------------------------------------------------------------
+
+/// Reads the headerless space-separated format used by the FIMI repository
+/// datasets (retail, kosarak, T10I4D100K, …): one transaction per line,
+/// items as non-negative integers. The universe size is inferred as
+/// `max item + 1`.
+pub fn read_transactions_dat<R: Read>(r: R) -> Result<TransactionDb> {
+    let mut transactions: Vec<Vec<ItemId>> = Vec::new();
+    let mut max_item = 0u32;
+    for line in BufReader::new(r).lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut items = Vec::new();
+        for tok in trimmed.split_ascii_whitespace() {
+            let id: u32 =
+                tok.parse().map_err(|e| CfqError::Io(format!("bad item `{tok}`: {e}")))?;
+            max_item = max_item.max(id);
+            items.push(ItemId(id));
+        }
+        transactions.push(items);
+    }
+    let n_items = if transactions.is_empty() { 0 } else { max_item as usize + 1 };
+    TransactionDb::new(n_items, transactions)
+}
+
+/// Loads a FIMI `.dat` file from a path.
+pub fn load_transactions_dat<P: AsRef<Path>>(path: P) -> Result<TransactionDb> {
+    read_transactions_dat(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod dat_tests {
+    use super::*;
+
+    #[test]
+    fn reads_fimi_format() {
+        let text = "1 2 5\n\n3 1\n7\n";
+        let db = read_transactions_dat(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.n_items(), 8);
+        assert_eq!(db.transaction(0), &[ItemId(1), ItemId(2), ItemId(5)]);
+        assert_eq!(db.transaction(2), &[ItemId(7)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_transactions_dat("1 x 3\n".as_bytes()).is_err());
+        assert!(read_transactions_dat("-4\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_db() {
+        let db = read_transactions_dat("".as_bytes()).unwrap();
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.n_items(), 0);
+    }
+}

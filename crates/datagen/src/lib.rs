@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # cfq-datagen
+//!
+//! Workload generation for the CFQ reproduction:
+//!
+//! * [`quest`] — a faithful Rust reimplementation of the IBM Almaden (Quest)
+//!   synthetic transaction generator of Agrawal & Srikant (VLDB 1994), which
+//!   the paper uses for all experiments ("We used the program developed at
+//!   IBM Almaden Research Center to generate the transaction databases",
+//!   §7). Deterministic given a seed.
+//! * [`dist`] — the Poisson / exponential / normal samplers the generator
+//!   needs, implemented in-house on top of `rand`'s uniform source (the
+//!   `rand_distr` crate is outside the workspace dependency policy).
+//! * [`scenario`] — builders for the `itemInfo` catalogs and item-domain
+//!   splits of each §7 experiment (uniform price ranges with controlled
+//!   overlap, Type assignment with controlled overlap, normal prices).
+//! * [`io`] — plain-text dataset persistence, so benches can run against
+//!   the exact same database across processes.
+
+pub mod dist;
+pub mod io;
+pub mod quest;
+pub mod scenario;
+
+pub use quest::{generate_transactions, QuestConfig};
+pub use scenario::{Scenario, ScenarioBuilder};

@@ -1,0 +1,269 @@
+//! Builders for the §7 experiment setups.
+//!
+//! Every experiment in the paper combines the Quest transaction database
+//! with an `itemInfo` catalog shaped to give the constraints a controlled
+//! selectivity:
+//!
+//! * §7.1 (Fig. 8(a)): the item universe is split into an S-domain and a
+//!   T-domain (the paper's §3 setting of two domains; footnote 2 notes that
+//!   1-var constraints can equivalently force the variables into different
+//!   parts of one domain). S-items draw `Price ~ U[400, 1000]`, T-items
+//!   `Price ~ U[0, v]`; the x-axis is the percentage overlap of the ranges.
+//! * §7.2 (Fig. 8(b)): one shared domain; `Price ~ U[0, 1000]`; `Type`
+//!   assigned from two pools with a controlled overlap percentage between
+//!   the types of cheap items (S-eligible) and expensive items (T-eligible).
+//! * §7.3: split domains with *normally* distributed prices (S: μ=1000,
+//!   σ²=100; T: μ ∈ {400..1000}, same variance).
+
+use crate::quest::{generate_transactions, QuestConfig};
+use cfq_types::{Catalog, CatalogBuilder, ItemId, Result, TransactionDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully materialized experiment scenario: transactions, the `itemInfo`
+/// catalog, and the item domains of the two query variables.
+pub struct Scenario {
+    /// The transaction database (shared by both variables).
+    pub db: TransactionDb,
+    /// Item attributes (`Price`, and `Type` where the experiment needs it).
+    pub catalog: Catalog,
+    /// The domain of variable `S` (universe restriction; ascending).
+    pub s_items: Vec<ItemId>,
+    /// The domain of variable `T` (universe restriction; ascending).
+    pub t_items: Vec<ItemId>,
+}
+
+/// Percentage overlap between `[s_lo, s_hi]` and `[t_lo, t_hi]` as the paper
+/// computes it for Fig. 8(a): `100 * (t_hi - s_lo) / (s_hi - s_lo)`,
+/// clamped to `[0, 100]`.
+pub fn range_overlap_percent(s_range: (f64, f64), t_range: (f64, f64)) -> f64 {
+    let (s_lo, s_hi) = s_range;
+    let (_, t_hi) = t_range;
+    (100.0 * (t_hi - s_lo) / (s_hi - s_lo)).clamp(0.0, 100.0)
+}
+
+/// Configurable scenario builder over a single Quest database.
+pub struct ScenarioBuilder {
+    quest: QuestConfig,
+    attr_seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder from Quest parameters. Attribute randomness is
+    /// seeded independently of the transaction stream so the same database
+    /// can carry different catalogs.
+    pub fn new(quest: QuestConfig) -> Self {
+        let attr_seed = quest.seed ^ 0xA77F_5EED;
+        ScenarioBuilder { quest, attr_seed }
+    }
+
+    /// Overrides the attribute seed.
+    pub fn attr_seed(mut self, seed: u64) -> Self {
+        self.attr_seed = seed;
+        self
+    }
+
+    /// §7.1 setup: even-indexed items form the S-domain with
+    /// `Price ~ U[s_range]`, odd-indexed items the T-domain with
+    /// `Price ~ U[t_range]`.
+    pub fn split_uniform_prices(
+        &self,
+        s_range: (f64, f64),
+        t_range: (f64, f64),
+    ) -> Result<Scenario> {
+        let db = generate_transactions(&self.quest)?;
+        let n = self.quest.n_items;
+        let mut rng = StdRng::seed_from_u64(self.attr_seed);
+        let mut prices = vec![0.0f64; n];
+        let mut s_items = Vec::with_capacity(n / 2 + 1);
+        let mut t_items = Vec::with_capacity(n / 2 + 1);
+        for (i, price) in prices.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *price = rng.gen_range(s_range.0..=s_range.1);
+                s_items.push(ItemId(i as u32));
+            } else {
+                *price = rng.gen_range(t_range.0..=t_range.1);
+                t_items.push(ItemId(i as u32));
+            }
+        }
+        let mut b = CatalogBuilder::new(n);
+        b.num_attr("Price", prices)?;
+        Ok(Scenario { db, catalog: b.build(), s_items, t_items })
+    }
+
+    /// §7.3 setup: like [`Self::split_uniform_prices`] but prices are
+    /// normal, clamped to be non-negative (the paper's sum/avg machinery
+    /// assumes non-negative attribute domains).
+    pub fn split_normal_prices(
+        &self,
+        s_mean: f64,
+        s_sd: f64,
+        t_mean: f64,
+        t_sd: f64,
+    ) -> Result<Scenario> {
+        let db = generate_transactions(&self.quest)?;
+        let n = self.quest.n_items;
+        let mut rng = StdRng::seed_from_u64(self.attr_seed);
+        let mut prices = vec![0.0f64; n];
+        let mut s_items = Vec::with_capacity(n / 2 + 1);
+        let mut t_items = Vec::with_capacity(n / 2 + 1);
+        for (i, price) in prices.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *price = crate::dist::normal(&mut rng, s_mean, s_sd).max(0.0);
+                s_items.push(ItemId(i as u32));
+            } else {
+                *price = crate::dist::normal(&mut rng, t_mean, t_sd).max(0.0);
+                t_items.push(ItemId(i as u32));
+            }
+        }
+        let mut b = CatalogBuilder::new(n);
+        b.num_attr("Price", prices)?;
+        Ok(Scenario { db, catalog: b.build(), s_items, t_items })
+    }
+
+    /// §7.2 setup: one shared domain. `Price ~ U[0, 1000]`. Types come from
+    /// two pools of `types_per_side` types each, sharing
+    /// `round(overlap_percent/100 × types_per_side)` types. Items that are
+    /// S-eligible (`price ≤ s_price_max`) draw from the S pool, T-eligible
+    /// items (`price ≥ t_price_min`) from the T pool, and mid-range items
+    /// from the union.
+    pub fn typed_overlap(
+        &self,
+        s_price_max: f64,
+        t_price_min: f64,
+        types_per_side: usize,
+        overlap_percent: f64,
+    ) -> Result<Scenario> {
+        let db = generate_transactions(&self.quest)?;
+        let n = self.quest.n_items;
+        let mut rng = StdRng::seed_from_u64(self.attr_seed);
+
+        let shared = ((overlap_percent / 100.0) * types_per_side as f64).round() as usize;
+        let shared = shared.min(types_per_side);
+        let distinct = types_per_side - shared;
+        // Type name layout: shared types, then S-only, then T-only.
+        let n_types = shared + 2 * distinct;
+        let type_name = |t: usize| format!("Ty{t}");
+        let s_pool: Vec<usize> = (0..shared).chain(shared..shared + distinct).collect();
+        let t_pool: Vec<usize> =
+            (0..shared).chain(shared + distinct..shared + 2 * distinct).collect();
+        let all_pool: Vec<usize> = (0..n_types).collect();
+
+        let mut prices = vec![0.0f64; n];
+        let mut labels = Vec::with_capacity(n);
+        for price in prices.iter_mut() {
+            *price = rng.gen_range(0.0..=1000.0);
+            let pool = if *price <= s_price_max {
+                &s_pool
+            } else if *price >= t_price_min {
+                &t_pool
+            } else {
+                &all_pool
+            };
+            let t = pool[rng.gen_range(0..pool.len())];
+            labels.push(type_name(t));
+        }
+
+        let mut b = CatalogBuilder::new(n);
+        b.num_attr("Price", prices)?;
+        b.cat_attr("Type", &labels)?;
+        let all: Vec<ItemId> = (0..n as u32).map(ItemId).collect();
+        Ok(Scenario { db, catalog: b.build(), s_items: all.clone(), t_items: all })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new(QuestConfig::tiny())
+    }
+
+    #[test]
+    fn overlap_percent_matches_paper_examples() {
+        // v = 500 → 16.6%, v = 700 → 50% (paper §7.1).
+        let p1 = range_overlap_percent((400.0, 1000.0), (0.0, 500.0));
+        assert!((p1 - 16.666).abs() < 0.1, "{p1}");
+        let p2 = range_overlap_percent((400.0, 1000.0), (0.0, 700.0));
+        assert!((p2 - 50.0).abs() < 1e-9);
+        assert_eq!(range_overlap_percent((400.0, 1000.0), (0.0, 300.0)), 0.0);
+        assert_eq!(range_overlap_percent((400.0, 1000.0), (0.0, 2000.0)), 100.0);
+    }
+
+    #[test]
+    fn split_uniform_assigns_ranges_by_domain() {
+        let sc = builder().split_uniform_prices((400.0, 1000.0), (0.0, 500.0)).unwrap();
+        let price = sc.catalog.attr("Price").unwrap();
+        assert!(!sc.s_items.is_empty() && !sc.t_items.is_empty());
+        for &i in &sc.s_items {
+            let p = sc.catalog.num(price, i);
+            assert!((400.0..=1000.0).contains(&p));
+        }
+        for &i in &sc.t_items {
+            let p = sc.catalog.num(price, i);
+            assert!((0.0..=500.0).contains(&p));
+        }
+        // Domains partition the universe.
+        assert_eq!(sc.s_items.len() + sc.t_items.len(), sc.db.n_items());
+    }
+
+    #[test]
+    fn split_normal_prices_have_right_means() {
+        let quest = QuestConfig { n_items: 2000, n_transactions: 10, ..QuestConfig::tiny() };
+        let sc = ScenarioBuilder::new(quest)
+            .split_normal_prices(1000.0, 10.0, 400.0, 10.0)
+            .unwrap();
+        let price = sc.catalog.attr("Price").unwrap();
+        let mean = |items: &[ItemId]| {
+            items.iter().map(|&i| sc.catalog.num(price, i)).sum::<f64>() / items.len() as f64
+        };
+        assert!((mean(&sc.s_items) - 1000.0).abs() < 2.0);
+        assert!((mean(&sc.t_items) - 400.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn typed_overlap_controls_type_pools() {
+        let quest = QuestConfig { n_items: 3000, n_transactions: 10, ..QuestConfig::tiny() };
+        let sc = ScenarioBuilder::new(quest).typed_overlap(400.0, 600.0, 10, 40.0).unwrap();
+        let price = sc.catalog.attr("Price").unwrap();
+        let ty = sc.catalog.attr("Type").unwrap();
+        let mut s_types = std::collections::BTreeSet::new();
+        let mut t_types = std::collections::BTreeSet::new();
+        for i in 0..sc.db.n_items() as u32 {
+            let p = sc.catalog.num(price, ItemId(i));
+            let t = sc.catalog.cat(ty, ItemId(i));
+            if p <= 400.0 {
+                s_types.insert(t);
+            } else if p >= 600.0 {
+                t_types.insert(t);
+            }
+        }
+        // 10 types per side with 40% overlap → 4 shared, 6 exclusive each.
+        assert_eq!(s_types.len(), 10);
+        assert_eq!(t_types.len(), 10);
+        let shared: Vec<_> = s_types.intersection(&t_types).collect();
+        assert_eq!(shared.len(), 4);
+    }
+
+    #[test]
+    fn zero_and_full_overlap_edge_cases() {
+        let quest = QuestConfig { n_items: 2000, n_transactions: 10, ..QuestConfig::tiny() };
+        let sc0 = ScenarioBuilder::new(quest.clone()).typed_overlap(400.0, 600.0, 5, 0.0).unwrap();
+        let sc100 = ScenarioBuilder::new(quest).typed_overlap(400.0, 600.0, 5, 100.0).unwrap();
+        // 0% overlap → 10 types total; 100% → 5 types total.
+        assert_eq!(sc0.catalog.n_symbols(), 10);
+        assert_eq!(sc100.catalog.n_symbols(), 5);
+    }
+
+    #[test]
+    fn same_attr_seed_reproduces_catalog() {
+        let a = builder().split_uniform_prices((400.0, 1000.0), (0.0, 500.0)).unwrap();
+        let b = builder().split_uniform_prices((400.0, 1000.0), (0.0, 500.0)).unwrap();
+        let pa = a.catalog.attr("Price").unwrap();
+        let pb = b.catalog.attr("Price").unwrap();
+        for i in 0..a.db.n_items() as u32 {
+            assert_eq!(a.catalog.num(pa, ItemId(i)), b.catalog.num(pb, ItemId(i)));
+        }
+    }
+}

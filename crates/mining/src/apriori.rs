@@ -1,0 +1,180 @@
+//! Plain Apriori over a restricted item universe.
+
+use crate::candidates::generate_candidates;
+use crate::counter::{SupportCounter, TrieCounter};
+use crate::frequent::FrequentSets;
+use crate::stats::WorkStats;
+use cfq_types::{ItemId, Itemset, TransactionDb};
+
+/// Configuration of an Apriori run.
+#[derive(Clone, Debug)]
+pub struct AprioriConfig {
+    /// Items the lattice ranges over (the variable's domain). Must be
+    /// ascending. Empty means "all items of the database".
+    pub universe: Vec<ItemId>,
+    /// Absolute minimum support.
+    pub min_support: u64,
+    /// Hard level cap; 0 = unbounded.
+    pub max_level: usize,
+}
+
+impl AprioriConfig {
+    /// All items, given threshold, no level cap.
+    pub fn new(min_support: u64) -> Self {
+        AprioriConfig { universe: Vec::new(), min_support, max_level: 0 }
+    }
+
+    /// Restricts the universe.
+    pub fn with_universe(mut self, universe: Vec<ItemId>) -> Self {
+        debug_assert!(universe.windows(2).all(|w| w[0] < w[1]));
+        self.universe = universe;
+        self
+    }
+
+    /// Caps the level.
+    pub fn with_max_level(mut self, max_level: usize) -> Self {
+        self.max_level = max_level;
+        self
+    }
+}
+
+/// Runs levelwise Apriori, recording work in `stats`.
+///
+/// This is the frequency backbone of both the Apriori⁺ baseline and (with
+/// its pruning hooks, in `cfq-core`) the CAP algorithm.
+pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -> FrequentSets {
+    let universe: Vec<ItemId> = if cfg.universe.is_empty() {
+        (0..db.n_items() as u32).map(ItemId).collect()
+    } else {
+        cfg.universe.clone()
+    };
+
+    let mut result = FrequentSets::new();
+    let counter = TrieCounter;
+
+    // Level 1.
+    let candidates: Vec<Itemset> =
+        universe.iter().map(|&i| Itemset::singleton(i)).collect();
+    let counts = counter.count(db, &candidates);
+    stats.record_scan();
+    let mut frequent: Vec<(Itemset, u64)> = candidates
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, n)| n >= cfg.min_support)
+        .collect();
+    stats.record_level(1, universe.len() as u64, frequent.len() as u64);
+
+    let mut level = 1usize;
+    while !frequent.is_empty() {
+        let sets: Vec<Itemset> = frequent.iter().map(|(s, _)| s.clone()).collect();
+        result.push_level(std::mem::take(&mut frequent));
+        if cfg.max_level != 0 && level >= cfg.max_level {
+            break;
+        }
+        let candidates = generate_candidates(&sets, |_| true);
+        if candidates.is_empty() {
+            break;
+        }
+        let n_candidates = candidates.len() as u64;
+        let counts = counter.count(db, &candidates);
+        stats.record_scan();
+        level += 1;
+        frequent = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, n)| n >= cfg.min_support)
+            .collect();
+        stats.record_level(level, n_candidates, frequent.len() as u64);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        // Classic tiny example.
+        TransactionDb::from_u32(
+            5,
+            &[
+                &[0, 1, 2],
+                &[0, 1, 2, 3],
+                &[0, 2],
+                &[1, 2, 3],
+                &[0, 1, 3],
+                &[2, 3, 4],
+            ],
+        )
+    }
+
+    /// Brute-force frequent sets for cross-checking.
+    fn brute(db: &TransactionDb, universe: &[ItemId], min_support: u64) -> Vec<(Itemset, u64)> {
+        let all: Itemset = universe.iter().copied().collect();
+        let mut out = Vec::new();
+        for sub in all.all_nonempty_subsets() {
+            let sup = db.support(&sub);
+            if sup >= min_support {
+                out.push((sub, sup));
+            }
+        }
+        out.sort_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
+        out
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let d = db();
+        for min_support in 1..=4u64 {
+            let mut stats = WorkStats::new();
+            let fs = apriori(&d, &AprioriConfig::new(min_support), &mut stats);
+            let expected = brute(&d, &(0..5).map(ItemId).collect::<Vec<_>>(), min_support);
+            let got: Vec<(Itemset, u64)> =
+                fs.iter().map(|(s, n)| (s.clone(), n)).collect();
+            assert_eq!(got, expected, "min_support={min_support}");
+        }
+    }
+
+    #[test]
+    fn respects_universe_restriction() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = AprioriConfig::new(1).with_universe(vec![ItemId(0), ItemId(2)]);
+        let fs = apriori(&d, &cfg, &mut stats);
+        for (s, _) in fs.iter() {
+            for i in s.iter() {
+                assert!(i == ItemId(0) || i == ItemId(2));
+            }
+        }
+        assert!(fs.contains(&[0u32, 2].into()));
+        assert!(!fs.contains(&[1u32].into()));
+    }
+
+    #[test]
+    fn respects_max_level() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = AprioriConfig::new(1).with_max_level(2);
+        let fs = apriori(&d, &cfg, &mut stats);
+        assert_eq!(fs.n_levels(), 2);
+    }
+
+    #[test]
+    fn counts_scans_per_level() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let fs = apriori(&d, &AprioriConfig::new(2), &mut stats);
+        // One scan per counted level.
+        assert_eq!(stats.db_scans as usize, stats.levels.len());
+        assert!(fs.total() > 0);
+    }
+
+    #[test]
+    fn empty_result_when_threshold_exceeds_db() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let fs = apriori(&d, &AprioriConfig::new(100), &mut stats);
+        assert_eq!(fs.total(), 0);
+        assert_eq!(fs.n_levels(), 0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Support counting.
+//!
+//! [`TrieCounter`] is the production counter: candidates are loaded into a
+//! prefix trie and each transaction is streamed through it once, so a level
+//! costs one database scan regardless of candidate count. [`NaiveCounter`]
+//! is the obviously-correct reference used by tests and tiny instances.
+
+use cfq_types::transaction::contains_sorted;
+use cfq_types::{ItemId, Itemset, TransactionDb};
+
+/// A strategy for counting the supports of a candidate batch in one pass.
+pub trait SupportCounter {
+    /// Returns the absolute support of each candidate, in input order.
+    /// Implementations must make exactly one pass over `db`.
+    fn count(&self, db: &TransactionDb, candidates: &[Itemset]) -> Vec<u64>;
+}
+
+/// Reference counter: per transaction, test each candidate by sorted-slice
+/// inclusion. `O(|D| × |C| × |t|)` — correct and slow.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NaiveCounter;
+
+impl SupportCounter for NaiveCounter {
+    fn count(&self, db: &TransactionDb, candidates: &[Itemset]) -> Vec<u64> {
+        let mut counts = vec![0u64; candidates.len()];
+        for t in db.iter() {
+            for (ci, c) in candidates.iter().enumerate() {
+                if contains_sorted(t, c.as_slice()) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Prefix-trie counter (the hash-tree of Apriori in trie form).
+///
+/// The trie is rebuilt per call: construction is `O(Σ|c|)` over sorted
+/// candidates, and counting walks each transaction against the trie,
+/// visiting a node only when its prefix is contained in the transaction.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct TrieCounter;
+
+struct Trie {
+    nodes: Vec<TrieNode>,
+}
+
+struct TrieNode {
+    item: ItemId,
+    /// Index range of children in `nodes` (children are contiguous and
+    /// sorted by item because candidates arrive lexicographically sorted).
+    children: std::ops::Range<u32>,
+    /// Candidate index if a candidate ends at this node.
+    candidate: Option<u32>,
+}
+
+impl Trie {
+    /// Builds the trie from lexicographically sorted, distinct candidates of
+    /// uniform positive length.
+    fn build(candidates: &[Itemset]) -> Trie {
+        let mut trie = Trie { nodes: Vec::new() };
+        if candidates.is_empty() {
+            return trie;
+        }
+        debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted");
+        // Breadth-first construction so each node's children are contiguous.
+        // Frontier entries: (candidate range, depth, node index or root).
+        struct Frame {
+            lo: usize,
+            hi: usize,
+            depth: usize,
+            node: Option<usize>,
+        }
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(Frame { lo: 0, hi: candidates.len(), depth: 0, node: None });
+        while let Some(f) = queue.pop_front() {
+            let child_start = trie.nodes.len() as u32;
+            let mut i = f.lo;
+            while i < f.hi {
+                let c = &candidates[i];
+                debug_assert!(
+                    c.len() > f.depth,
+                    "candidate ending at this depth was consumed by its parent frame"
+                );
+                let item = c.as_slice()[f.depth];
+                let mut j = i + 1;
+                while j < f.hi && candidates[j].len() > f.depth
+                    && candidates[j].as_slice()[f.depth] == item
+                {
+                    j += 1;
+                }
+                let ends_here = candidates[i].len() == f.depth + 1;
+                let candidate = if ends_here { Some(i as u32) } else { None };
+                trie.nodes.push(TrieNode { item, children: 0..0, candidate });
+                let node_idx = trie.nodes.len() - 1;
+                let lo = if ends_here { i + 1 } else { i };
+                if lo < j {
+                    queue.push_back(Frame { lo, hi: j, depth: f.depth + 1, node: Some(node_idx) });
+                }
+                i = j;
+            }
+            let child_end = trie.nodes.len() as u32;
+            match f.node {
+                Some(n) => trie.nodes[n].children = child_start..child_end,
+                None => {
+                    // Root children occupy the prefix of `nodes`; remember
+                    // by convention: they are nodes[0..child_end] from the
+                    // first frame. Store in a sentinel handled by count().
+                }
+            }
+        }
+        trie
+    }
+
+    /// Number of root children: the first frame's nodes are emitted first
+    /// and contiguously, so they span `0..n_roots`.
+    fn n_roots(&self, candidates: &[Itemset]) -> u32 {
+        if candidates.is_empty() {
+            return 0;
+        }
+        let mut n = 0u32;
+        let mut last: Option<ItemId> = None;
+        for c in candidates {
+            let first = c.as_slice()[0];
+            if last != Some(first) {
+                n += 1;
+                last = Some(first);
+            }
+        }
+        n
+    }
+
+    fn count_transaction(
+        &self,
+        roots: std::ops::Range<u32>,
+        t: &[ItemId],
+        counts: &mut [u64],
+    ) {
+        self.walk(roots, t, counts);
+    }
+
+    fn walk(&self, children: std::ops::Range<u32>, t: &[ItemId], counts: &mut [u64]) {
+        if children.is_empty() || t.is_empty() {
+            return;
+        }
+        let (mut ci, mut ti) = (children.start as usize, 0usize);
+        let end = children.end as usize;
+        while ci < end && ti < t.len() {
+            let node = &self.nodes[ci];
+            match node.item.cmp(&t[ti]) {
+                std::cmp::Ordering::Less => ci += 1,
+                std::cmp::Ordering::Greater => ti += 1,
+                std::cmp::Ordering::Equal => {
+                    if let Some(cand) = node.candidate {
+                        counts[cand as usize] += 1;
+                    }
+                    let rest = &t[ti + 1..];
+                    if !node.children.is_empty() && !rest.is_empty() {
+                        self.walk(node.children.clone(), rest, counts);
+                    }
+                    ci += 1;
+                    ti += 1;
+                }
+            }
+        }
+    }
+}
+
+impl SupportCounter for TrieCounter {
+    fn count(&self, db: &TransactionDb, candidates: &[Itemset]) -> Vec<u64> {
+        let mut counts = vec![0u64; candidates.len()];
+        if candidates.is_empty() {
+            return counts;
+        }
+        // The trie builder requires sorted input; sort indices if needed.
+        let sorted = candidates.windows(2).all(|w| w[0] < w[1]);
+        if sorted {
+            let trie = Trie::build(candidates);
+            let roots = 0..trie.n_roots(candidates);
+            for t in db.iter() {
+                trie.count_transaction(roots.clone(), t, &mut counts);
+            }
+            counts
+        } else {
+            let mut order: Vec<u32> = (0..candidates.len() as u32).collect();
+            order.sort_by(|&a, &b| candidates[a as usize].cmp(&candidates[b as usize]));
+            order.dedup_by(|a, b| candidates[*a as usize] == candidates[*b as usize]);
+            let sorted_c: Vec<Itemset> =
+                order.iter().map(|&i| candidates[i as usize].clone()).collect();
+            let inner = self.count(db, &sorted_c);
+            // Scatter back (duplicates get recounted via a map).
+            let mut by_set: std::collections::HashMap<&Itemset, u64> =
+                std::collections::HashMap::with_capacity(sorted_c.len());
+            for (c, n) in sorted_c.iter().zip(inner.iter()) {
+                by_set.insert(c, *n);
+            }
+            for (i, c) in candidates.iter().enumerate() {
+                counts[i] = by_set[c];
+            }
+            counts
+        }
+    }
+}
+
+/// Counts several independent candidate batches in a *single* database scan
+/// (the scan-sharing primitive behind the paper's dovetailing argument,
+/// §5.2). Returns per-batch support vectors.
+pub fn count_supports(db: &TransactionDb, batches: &[&[Itemset]]) -> Vec<Vec<u64>> {
+    count_supports_with(db, batches, 1)
+}
+
+/// [`count_supports`] with `threads` workers sharding the transactions
+/// (still one logical scan). `threads == 0` uses all available cores.
+pub fn count_supports_with(
+    db: &TransactionDb,
+    batches: &[&[Itemset]],
+    threads: usize,
+) -> Vec<Vec<u64>> {
+    let tries: Vec<(Trie, std::ops::Range<u32>, usize)> = batches
+        .iter()
+        .map(|b| {
+            debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+            let trie = Trie::build(b);
+            let roots = 0..trie.n_roots(b);
+            (trie, roots, b.len())
+        })
+        .collect();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let count_range = |lo: usize, hi: usize| -> Vec<Vec<u64>> {
+        let mut counts: Vec<Vec<u64>> =
+            tries.iter().map(|(_, _, n)| vec![0u64; *n]).collect();
+        for i in lo..hi {
+            let t = db.transaction(i);
+            for (bi, (trie, roots, _)) in tries.iter().enumerate() {
+                trie.count_transaction(roots.clone(), t, &mut counts[bi]);
+            }
+        }
+        counts
+    };
+    if threads <= 1 || db.len() < 4 * threads {
+        return count_range(0, db.len());
+    }
+    let n = db.len();
+    let chunk = n.div_ceil(threads);
+    let partials: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo < hi {
+                let count_range = &count_range;
+                handles.push(scope.spawn(move || count_range(lo, hi)));
+            }
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut counts: Vec<Vec<u64>> = tries.iter().map(|(_, _, n)| vec![0u64; *n]).collect();
+    for p in partials {
+        for (bi, batch) in p.into_iter().enumerate() {
+            for (acc, x) in counts[bi].iter_mut().zip(batch) {
+                *acc += x;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[1, 2, 3],
+                &[0, 2, 4],
+                &[1, 2],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4, 5],
+            ],
+        )
+    }
+
+    fn sets(v: &[&[u32]]) -> Vec<Itemset> {
+        v.iter().map(|s| s.iter().copied().collect()).collect()
+    }
+
+    #[test]
+    fn trie_matches_naive_on_fixed_case() {
+        let d = db();
+        let cands = sets(&[&[0, 1], &[0, 2], &[1, 2], &[2, 3], &[3, 4], &[4, 5]]);
+        let naive = NaiveCounter.count(&d, &cands);
+        let trie = TrieCounter.count(&d, &cands);
+        assert_eq!(naive, trie);
+        assert_eq!(naive, vec![2, 3, 4, 4, 2, 2]);
+    }
+
+    #[test]
+    fn singleton_level() {
+        let d = db();
+        let cands = sets(&[&[0], &[1], &[2], &[5]]);
+        assert_eq!(TrieCounter.count(&d, &cands), vec![3, 4, 6, 2]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let d = db();
+        assert!(TrieCounter.count(&d, &[]).is_empty());
+        assert!(NaiveCounter.count(&d, &[]).is_empty());
+    }
+
+    #[test]
+    fn deep_candidates() {
+        let d = db();
+        let cands = sets(&[&[0, 1, 2, 3], &[1, 2, 3], &[2, 3, 4], &[0, 1, 2, 3, 4, 5]]);
+        // Mixed lengths exercised one batch at a time (engine always counts
+        // uniform levels, but the counter tolerates mixtures).
+        for c in &cands {
+            let single = vec![c.clone()];
+            assert_eq!(
+                TrieCounter.count(&d, &single)[0],
+                d.support(c),
+                "support mismatch for {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let d = db();
+        let cands = sets(&[&[2, 3], &[0, 1], &[1, 2]]);
+        let trie = TrieCounter.count(&d, &cands);
+        let naive = NaiveCounter.count(&d, &cands);
+        assert_eq!(trie, naive);
+    }
+
+    #[test]
+    fn shared_scan_counts_match_individual() {
+        let d = db();
+        let a = sets(&[&[0, 1], &[1, 2]]);
+        let b = sets(&[&[2], &[3], &[4]]);
+        let shared = count_supports(&d, &[&a, &b]);
+        assert_eq!(shared[0], TrieCounter.count(&d, &a));
+        assert_eq!(shared[1], TrieCounter.count(&d, &b));
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let n_items = rng.gen_range(4..12);
+            let n_tx = rng.gen_range(1..40);
+            let txs: Vec<Vec<cfq_types::ItemId>> = (0..n_tx)
+                .map(|_| {
+                    let len = rng.gen_range(1..=n_items);
+                    (0..len).map(|_| cfq_types::ItemId(rng.gen_range(0..n_items as u32))).collect()
+                })
+                .collect();
+            let d = TransactionDb::new(n_items, txs).unwrap();
+            let k = rng.gen_range(1..4usize);
+            let mut cands: Vec<Itemset> = (0..rng.gen_range(1..30))
+                .map(|_| {
+                    (0..k).map(|_| rng.gen_range(0..n_items as u32)).collect::<Itemset>()
+                })
+                .filter(|c: &Itemset| !c.is_empty())
+                .collect();
+            cands.sort();
+            cands.dedup();
+            let naive = NaiveCounter.count(&d, &cands);
+            let trie = TrieCounter.count(&d, &cands);
+            assert_eq!(naive, trie, "trial {trial} diverged");
+        }
+    }
+}
+
+/// Multi-threaded trie counter: the candidate trie is built once and shared
+/// read-only; transactions are sharded across scoped threads, each counting
+/// into a local vector, reduced at the end. Still one logical database
+/// scan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelTrieCounter {
+    /// Worker thread count (0 = one per available core).
+    pub threads: usize,
+}
+
+impl SupportCounter for ParallelTrieCounter {
+    fn count(&self, db: &TransactionDb, candidates: &[Itemset]) -> Vec<u64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        // Small inputs: the sequential counter wins.
+        if threads <= 1 || db.len() < 4 * threads {
+            return TrieCounter.count(db, candidates);
+        }
+        let sorted = candidates.windows(2).all(|w| w[0] < w[1]);
+        if !sorted {
+            // Fall back: the sequential path handles reordering.
+            return TrieCounter.count(db, candidates);
+        }
+        let trie = Trie::build(candidates);
+        let roots = 0..trie.n_roots(candidates);
+        let n = db.len();
+        let chunk = n.div_ceil(threads);
+        let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let trie = &trie;
+                let roots = roots.clone();
+                handles.push(scope.spawn(move || {
+                    let mut counts = vec![0u64; candidates.len()];
+                    for i in lo..hi {
+                        trie.count_transaction(roots.clone(), db.transaction(i), &mut counts);
+                    }
+                    counts
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut counts = vec![0u64; candidates.len()];
+        for p in partials {
+            for (acc, x) in counts.iter_mut().zip(p) {
+                *acc += x;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n_items = 30usize;
+        let txs: Vec<Vec<ItemId>> = (0..500)
+            .map(|_| {
+                (0..rng.gen_range(2..12))
+                    .map(|_| ItemId(rng.gen_range(0..n_items as u32)))
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::new(n_items, txs).unwrap();
+        let mut cands: Vec<Itemset> = (0..200)
+            .map(|_| {
+                (0..rng.gen_range(1..4))
+                    .map(|_| rng.gen_range(0..n_items as u32))
+                    .collect()
+            })
+            .collect();
+        cands.sort();
+        cands.dedup();
+        for threads in [0usize, 1, 2, 5] {
+            let par = ParallelTrieCounter { threads }.count(&db, &cands);
+            let seq = TrieCounter.count(&db, &cands);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_database_falls_back() {
+        let db = TransactionDb::from_u32(3, &[&[0, 1], &[1, 2]]);
+        let cands: Vec<Itemset> = vec![[0u32].into(), [1u32].into(), [1u32, 2].into()];
+        assert_eq!(
+            ParallelTrieCounter::default().count(&db, &cands),
+            vec![1, 2, 1]
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! FP-Growth (Han, Pei & Yin, SIGMOD 2000): frequent-set mining without
+//! candidate generation.
+//!
+//! Included as the post-Apriori frequency backbone a production release of
+//! this system would ship: two database scans build a compressed prefix
+//! tree (FP-tree) ordered by descending item frequency, and frequent sets
+//! are mined by recursive conditional-tree projection. Results are
+//! identical to Apriori's (property-tested); the constrained machinery in
+//! `cfq-core` stays levelwise (CAP's pruning hooks need levels), but
+//! unconstrained sub-problems — e.g. the Apriori⁺ baseline's raw frequency
+//! phase or downstream analyses — can use this instead.
+
+use crate::frequent::FrequentSets;
+use crate::stats::WorkStats;
+use cfq_types::{FxHashMap, ItemId, Itemset, TransactionDb};
+
+/// Configuration for an FP-Growth run.
+#[derive(Clone, Debug)]
+pub struct FpGrowthConfig {
+    /// Item universe (empty = all items).
+    pub universe: Vec<ItemId>,
+    /// Absolute minimum support.
+    pub min_support: u64,
+    /// Maximum itemset size to report (0 = unbounded).
+    pub max_len: usize,
+}
+
+impl FpGrowthConfig {
+    /// All items, given threshold, unbounded length.
+    pub fn new(min_support: u64) -> Self {
+        FpGrowthConfig { universe: Vec::new(), min_support, max_len: 0 }
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// An FP-tree over *ranked* items (0 = most frequent). Nodes live in an
+/// arena; each header entry chains the nodes of one rank.
+struct FpTree {
+    /// (rank, count, parent) per node; node 0 is the root sentinel.
+    items: Vec<u32>,
+    counts: Vec<u64>,
+    parents: Vec<u32>,
+    next: Vec<u32>,
+    /// Head of the node chain per rank.
+    headers: Vec<u32>,
+    /// Total count per rank in this tree.
+    rank_totals: Vec<u64>,
+    /// Child lookup: (parent node, rank) → node.
+    children: FxHashMap<(u32, u32), u32>,
+}
+
+impl FpTree {
+    fn new(n_ranks: usize) -> FpTree {
+        FpTree {
+            items: vec![NONE],
+            counts: vec![0],
+            parents: vec![NONE],
+            next: vec![NONE],
+            headers: vec![NONE; n_ranks],
+            rank_totals: vec![0; n_ranks],
+            children: FxHashMap::default(),
+        }
+    }
+
+    /// Inserts a rank-sorted path with a weight.
+    fn insert(&mut self, path: &[u32], weight: u64) {
+        let mut node = 0u32;
+        for &rank in path {
+            let key = (node, rank);
+            let child = match self.children.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = self.items.len() as u32;
+                    self.items.push(rank);
+                    self.counts.push(0);
+                    self.parents.push(node);
+                    self.next.push(self.headers[rank as usize]);
+                    self.headers[rank as usize] = c;
+                    self.children.insert(key, c);
+                    c
+                }
+            };
+            self.counts[child as usize] += weight;
+            self.rank_totals[rank as usize] += weight;
+            node = child;
+        }
+    }
+
+    /// The conditional pattern base of a rank: (prefix path of ranks,
+    /// count) per node in its chain.
+    fn pattern_base(&self, rank: u32) -> Vec<(Vec<u32>, u64)> {
+        let mut out = Vec::new();
+        let mut node = self.headers[rank as usize];
+        while node != NONE {
+            let count = self.counts[node as usize];
+            let mut path = Vec::new();
+            let mut p = self.parents[node as usize];
+            while p != NONE && p != 0 {
+                path.push(self.items[p as usize]);
+                p = self.parents[p as usize];
+            }
+            path.reverse();
+            if !path.is_empty() {
+                out.push((path, count));
+            }
+            node = self.next[node as usize];
+        }
+        out
+    }
+}
+
+/// Runs FP-Growth. The result equals plain Apriori's on the same universe
+/// and threshold. Records exactly two database scans in `stats`.
+pub fn fp_growth(db: &TransactionDb, cfg: &FpGrowthConfig, stats: &mut WorkStats) -> FrequentSets {
+    let universe: Vec<ItemId> = if cfg.universe.is_empty() {
+        (0..db.n_items() as u32).map(ItemId).collect()
+    } else {
+        cfg.universe.clone()
+    };
+    let in_universe = {
+        let mut mask = vec![false; db.n_items()];
+        for &i in &universe {
+            mask[i.index()] = true;
+        }
+        mask
+    };
+
+    // Scan 1: item frequencies.
+    let mut freq = vec![0u64; db.n_items()];
+    for t in db.iter() {
+        for &i in t {
+            if in_universe[i.index()] {
+                freq[i.index()] += 1;
+            }
+        }
+    }
+    stats.record_scan();
+
+    // The f-list: frequent items by descending frequency (ties by id).
+    let mut flist: Vec<ItemId> = universe
+        .iter()
+        .copied()
+        .filter(|i| freq[i.index()] >= cfg.min_support)
+        .collect();
+    flist.sort_by(|a, b| freq[b.index()].cmp(&freq[a.index()]).then(a.cmp(b)));
+    let mut rank_of = vec![NONE; db.n_items()];
+    for (r, &i) in flist.iter().enumerate() {
+        rank_of[i.index()] = r as u32;
+    }
+
+    // Scan 2: build the global FP-tree.
+    let mut tree = FpTree::new(flist.len());
+    let mut path = Vec::new();
+    for t in db.iter() {
+        path.clear();
+        path.extend(t.iter().filter_map(|&i| {
+            let r = rank_of[i.index()];
+            (r != NONE).then_some(r)
+        }));
+        path.sort_unstable();
+        if !path.is_empty() {
+            tree.insert(&path, 1);
+        }
+    }
+    stats.record_scan();
+
+    // Mine recursively; collect (ranks-suffix, support).
+    let mut found: Vec<(Vec<u32>, u64)> = Vec::new();
+    let mut suffix: Vec<u32> = Vec::new();
+    mine(&tree, cfg, &mut suffix, &mut found);
+
+    // Convert rank-space results to itemsets, grouped by level.
+    let mut by_level: Vec<Vec<(Itemset, u64)>> = Vec::new();
+    for (ranks, support) in found {
+        let set = Itemset::from_items(ranks.iter().map(|&r| flist[r as usize]));
+        let lvl = set.len();
+        if by_level.len() < lvl {
+            by_level.resize(lvl, Vec::new());
+        }
+        by_level[lvl - 1].push((set, support));
+    }
+    let mut out = FrequentSets::new();
+    for (idx, mut level) in by_level.into_iter().enumerate() {
+        level.sort_by(|a, b| a.0.cmp(&b.0));
+        stats.record_level(idx + 1, level.len() as u64, level.len() as u64);
+        out.push_level(level);
+    }
+    out
+}
+
+fn mine(tree: &FpTree, cfg: &FpGrowthConfig, suffix: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, u64)>) {
+    if cfg.max_len != 0 && suffix.len() >= cfg.max_len {
+        return;
+    }
+    // Process ranks from least to most frequent (bottom of the f-list up).
+    for rank in (0..tree.headers.len() as u32).rev() {
+        let support = tree.rank_totals[rank as usize];
+        if support < cfg.min_support {
+            continue;
+        }
+        suffix.push(rank);
+        out.push((suffix.clone(), support));
+
+        if cfg.max_len == 0 || suffix.len() < cfg.max_len {
+            // Conditional tree over the prefix paths of this rank.
+            let base = tree.pattern_base(rank);
+            if !base.is_empty() {
+                let mut cond = FpTree::new(rank as usize); // ranks < rank only
+                for (path, count) in &base {
+                    // Paths contain only ranks < rank by construction.
+                    cond.insert(path, *count);
+                }
+                mine(&cond, cfg, suffix, out);
+            }
+        }
+        suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+            ],
+        )
+    }
+
+    fn collect(fs: &FrequentSets) -> Vec<(Itemset, u64)> {
+        fs.iter().map(|(s, n)| (s.clone(), n)).collect()
+    }
+
+    #[test]
+    fn matches_apriori_on_fixed_db() {
+        let d = db();
+        for min_support in 1..=4u64 {
+            let mut s1 = WorkStats::new();
+            let expected = apriori(&d, &AprioriConfig::new(min_support), &mut s1);
+            let mut s2 = WorkStats::new();
+            let got = fp_growth(&d, &FpGrowthConfig::new(min_support), &mut s2);
+            assert_eq!(collect(&got), collect(&expected), "min_support={min_support}");
+            assert_eq!(s2.db_scans, 2);
+        }
+    }
+
+    #[test]
+    fn randomized_agreement_with_apriori() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..25 {
+            let n_items = rng.gen_range(3..10);
+            let txs: Vec<Vec<ItemId>> = (0..rng.gen_range(1..40))
+                .map(|_| {
+                    (0..rng.gen_range(1..=n_items))
+                        .map(|_| ItemId(rng.gen_range(0..n_items as u32)))
+                        .collect()
+                })
+                .collect();
+            let d = TransactionDb::new(n_items, txs).unwrap();
+            let min_support = rng.gen_range(1..5);
+            let mut s1 = WorkStats::new();
+            let expected = apriori(&d, &AprioriConfig::new(min_support), &mut s1);
+            let mut s2 = WorkStats::new();
+            let got = fp_growth(&d, &FpGrowthConfig::new(min_support), &mut s2);
+            assert_eq!(collect(&got), collect(&expected), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn universe_restriction() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = FpGrowthConfig {
+            universe: vec![ItemId(1), ItemId(2), ItemId(3)],
+            min_support: 2,
+            max_len: 0,
+        };
+        let got = fp_growth(&d, &cfg, &mut stats);
+        for (s, _) in got.iter() {
+            assert!(s.iter().all(|i| (1..=3).contains(&i.0)));
+        }
+        let mut s1 = WorkStats::new();
+        let expected = apriori(
+            &d,
+            &AprioriConfig::new(2).with_universe(vec![ItemId(1), ItemId(2), ItemId(3)]),
+            &mut s1,
+        );
+        assert_eq!(collect(&got), collect(&expected));
+    }
+
+    #[test]
+    fn max_len_caps_output() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = FpGrowthConfig { universe: Vec::new(), min_support: 1, max_len: 2 };
+        let got = fp_growth(&d, &cfg, &mut stats);
+        assert!(got.iter().all(|(s, _)| s.len() <= 2));
+        assert_eq!(got.n_levels(), 2);
+    }
+
+    #[test]
+    fn empty_and_infrequent() {
+        let d = TransactionDb::new(4, Vec::new()).unwrap();
+        let mut stats = WorkStats::new();
+        assert_eq!(fp_growth(&d, &FpGrowthConfig::new(1), &mut stats).total(), 0);
+        let d = db();
+        let mut stats = WorkStats::new();
+        assert_eq!(fp_growth(&d, &FpGrowthConfig::new(100), &mut stats).total(), 0);
+    }
+
+    #[test]
+    fn quest_data_equivalence() {
+        let quest = cfq_datagen_stub();
+        let mut s1 = WorkStats::new();
+        let expected = apriori(&quest, &AprioriConfig::new(8), &mut s1);
+        let mut s2 = WorkStats::new();
+        let got = fp_growth(&quest, &FpGrowthConfig::new(8), &mut s2);
+        assert_eq!(collect(&got), collect(&expected));
+        assert!(got.total() > 50, "workload too trivial: {}", got.total());
+    }
+
+    /// A deterministic pseudo-Quest database without the datagen dependency
+    /// (mining is below datagen in the crate graph).
+    fn cfq_datagen_stub() -> TransactionDb {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let patterns: Vec<Vec<u32>> = (0..12)
+            .map(|_| (0..rng.gen_range(2..5)).map(|_| rng.gen_range(0..40)).collect())
+            .collect();
+        let txs: Vec<Vec<ItemId>> = (0..400)
+            .map(|_| {
+                let mut t: Vec<ItemId> = Vec::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let p = &patterns[rng.gen_range(0..patterns.len())];
+                    t.extend(p.iter().map(|&i| ItemId(i)));
+                }
+                t
+            })
+            .collect();
+        TransactionDb::new(40, txs).unwrap()
+    }
+}

@@ -1,0 +1,280 @@
+//! The levelled collection of frequent sets produced by a lattice run.
+
+use cfq_types::{FxHashMap, ItemId, Itemset};
+
+/// Frequent sets organized by level (cardinality), with support lookup.
+///
+/// Levels are 1-based: `level(1)` holds the frequent singletons (`L1` in the
+/// paper, whose elements feed quasi-succinct reduction), `level(k)` the
+/// frequent k-sets (whose element summary `L_k` feeds `J^k_max` pruning).
+#[derive(Clone, Default)]
+pub struct FrequentSets {
+    levels: Vec<Vec<(Itemset, u64)>>,
+    index: FxHashMap<Itemset, u64>,
+}
+
+impl FrequentSets {
+    /// An empty collection.
+    pub fn new() -> Self {
+        FrequentSets::default()
+    }
+
+    /// Appends the next level. `sets` must be the frequent sets of level
+    /// `n_levels() + 1`, sorted, with their supports.
+    pub fn push_level(&mut self, sets: Vec<(Itemset, u64)>) {
+        let expected = self.levels.len() + 1;
+        debug_assert!(sets.iter().all(|(s, _)| s.len() == expected));
+        debug_assert!(sets.windows(2).all(|w| w[0].0 < w[1].0));
+        for (s, sup) in &sets {
+            self.index.insert(s.clone(), *sup);
+        }
+        self.levels.push(sets);
+    }
+
+    /// Number of levels stored (the size of the largest frequent set).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The frequent k-sets with supports (empty slice when k is out of
+    /// range; `k` is 1-based).
+    pub fn level(&self, k: usize) -> &[(Itemset, u64)] {
+        if k == 0 || k > self.levels.len() {
+            &[]
+        } else {
+            &self.levels[k - 1]
+        }
+    }
+
+    /// Just the itemsets of level k.
+    pub fn level_sets(&self, k: usize) -> Vec<Itemset> {
+        self.level(k).iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// Whether `set` is frequent.
+    pub fn contains(&self, set: &Itemset) -> bool {
+        self.index.contains_key(set)
+    }
+
+    /// The support of `set`, if frequent.
+    pub fn support(&self, set: &Itemset) -> Option<u64> {
+        self.index.get(set).copied()
+    }
+
+    /// Iterates all frequent sets across levels (ascending level, then
+    /// lexicographic).
+    pub fn iter(&self) -> impl Iterator<Item = (&Itemset, u64)> {
+        self.levels.iter().flatten().map(|(s, n)| (s, *n))
+    }
+
+    /// Total number of frequent sets.
+    pub fn total(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// `L_k` as the paper uses it: the set of all *elements* contained in
+    /// any frequent set of size k, ascending. `elements(1)` is `L1`.
+    pub fn elements(&self, k: usize) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> =
+            self.level(k).iter().flat_map(|(s, _)| s.iter()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Drops all levels above `k` (used by tests constructing partial
+    /// lattices) — keeps index entries consistent.
+    pub fn truncate(&mut self, k: usize) {
+        while self.levels.len() > k {
+            let popped = self.levels.pop().unwrap();
+            for (s, _) in popped {
+                self.index.remove(&s);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FrequentSets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrequentSets[")?;
+        for (k, lvl) in self.levels.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "L{}:{}", k + 1, lvl.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrequentSets {
+        let mut fs = FrequentSets::new();
+        fs.push_level(vec![
+            ([1u32].into(), 5),
+            ([2u32].into(), 4),
+            ([3u32].into(), 3),
+        ]);
+        fs.push_level(vec![([1u32, 2].into(), 3), ([2u32, 3].into(), 2)]);
+        fs
+    }
+
+    #[test]
+    fn levels_and_lookup() {
+        let fs = sample();
+        assert_eq!(fs.n_levels(), 2);
+        assert_eq!(fs.level(1).len(), 3);
+        assert_eq!(fs.level(2).len(), 2);
+        assert!(fs.level(3).is_empty());
+        assert!(fs.level(0).is_empty());
+        assert!(fs.contains(&[1u32, 2].into()));
+        assert!(!fs.contains(&[1u32, 3].into()));
+        assert_eq!(fs.support(&[2u32].into()), Some(4));
+        assert_eq!(fs.support(&[9u32].into()), None);
+        assert_eq!(fs.total(), 5);
+    }
+
+    #[test]
+    fn elements_summary() {
+        let fs = sample();
+        assert_eq!(fs.elements(1), vec![ItemId(1), ItemId(2), ItemId(3)]);
+        assert_eq!(fs.elements(2), vec![ItemId(1), ItemId(2), ItemId(3)]);
+        assert!(fs.elements(5).is_empty());
+    }
+
+    #[test]
+    fn iteration_order() {
+        let fs = sample();
+        let all: Vec<_> = fs.iter().map(|(s, n)| (s.clone(), n)).collect();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], ([1u32].into(), 5));
+        assert_eq!(all[3], ([1u32, 2].into(), 3));
+    }
+
+    #[test]
+    fn truncate_drops_index_too() {
+        let mut fs = sample();
+        fs.truncate(1);
+        assert_eq!(fs.n_levels(), 1);
+        assert!(!fs.contains(&[1u32, 2].into()));
+        assert!(fs.contains(&[1u32].into()));
+    }
+}
+
+impl FrequentSets {
+    /// The *maximal* frequent sets: those with no frequent proper superset
+    /// (Bayardo's long-pattern representation, the paper's citation \[3\]).
+    /// The downward closure of the maximal sets regenerates the full
+    /// collection (without supports).
+    pub fn maximal(&self) -> Vec<Itemset> {
+        let mut out = Vec::new();
+        for k in 1..=self.n_levels() {
+            let next: &[(Itemset, u64)] = self.level(k + 1);
+            for (s, _) in self.level(k) {
+                let has_super = next.iter().any(|(sup, _)| s.is_subset_of(sup));
+                if !has_super {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The *closed* frequent sets: those with no frequent proper superset of
+    /// the **same support** (Pasquier et al.'s lossless condensation — the
+    /// closed sets plus their supports determine every frequent set's
+    /// support).
+    pub fn closed(&self) -> Vec<(Itemset, u64)> {
+        let mut out = Vec::new();
+        for k in 1..=self.n_levels() {
+            let next: &[(Itemset, u64)] = self.level(k + 1);
+            for (s, sup) in self.level(k) {
+                let absorbed = next
+                    .iter()
+                    .any(|(bigger, bsup)| bsup == sup && s.is_subset_of(bigger));
+                if !absorbed {
+                    out.push((s.clone(), *sup));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod condensation_tests {
+    use super::*;
+
+    /// L1: {1}:5 {2}:4 {3}:3 — L2: {1,2}:4 {2,3}:2.
+    fn sample() -> FrequentSets {
+        let mut fs = FrequentSets::new();
+        fs.push_level(vec![
+            ([1u32].into(), 5),
+            ([2u32].into(), 4),
+            ([3u32].into(), 3),
+        ]);
+        fs.push_level(vec![([1u32, 2].into(), 4), ([2u32, 3].into(), 2)]);
+        fs
+    }
+
+    #[test]
+    fn maximal_sets() {
+        let fs = sample();
+        let max = fs.maximal();
+        // {3} is maximal? No: {2,3} ⊇ {3} is frequent. {1},{2} absorbed by
+        // {1,2}. Maximal = {1,2}, {2,3}.
+        assert_eq!(max, vec![Itemset::from([1u32, 2]), Itemset::from([2u32, 3])]);
+    }
+
+    #[test]
+    fn closed_sets() {
+        let fs = sample();
+        let closed = fs.closed();
+        // {2} (sup 4) is absorbed by {1,2} (sup 4); {1} (5) and {3} (3)
+        // survive; both 2-sets survive.
+        let names: Vec<Itemset> = closed.iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                Itemset::from([1u32]),
+                Itemset::from([3u32]),
+                Itemset::from([1u32, 2]),
+                Itemset::from([2u32, 3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn downward_closure_of_maximal_covers_everything() {
+        let fs = sample();
+        let max = fs.maximal();
+        for (s, _) in fs.iter() {
+            assert!(
+                max.iter().any(|m| s.is_subset_of(m)),
+                "{s} not covered by any maximal set"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_preserve_support_information() {
+        // Every frequent set's support equals the max support among closed
+        // supersets... (min support among closed supersets is the set's
+        // support; actually it is the MAX support of closed sets containing
+        // it). Verify the reconstruction property.
+        let fs = sample();
+        let closed = fs.closed();
+        for (s, sup) in fs.iter() {
+            let reconstructed = closed
+                .iter()
+                .filter(|(c, _)| s.is_subset_of(c))
+                .map(|&(_, csup)| csup)
+                .max()
+                .expect("every frequent set has a closed superset");
+            assert_eq!(reconstructed, sup, "support reconstruction failed for {s}");
+        }
+    }
+}

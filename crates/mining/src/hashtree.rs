@@ -1,0 +1,233 @@
+//! The classic Apriori hash tree (Agrawal & Srikant, VLDB 1994 §2.1.2).
+//!
+//! Interior nodes hash the next item into a fixed fan-out of buckets;
+//! leaves hold candidate lists and split into interior nodes when they
+//! overflow. Counting walks each transaction through the tree: at depth d
+//! an interior node is entered once per distinct transaction item (the
+//! classic "hash every remaining item" step), and at a leaf every stored
+//! candidate is verified against the transaction.
+//!
+//! Kept alongside the prefix-trie counter both as a faithful piece of the
+//! period's standard machinery and as a benchmark comparison point; their
+//! agreement is property-tested.
+
+use crate::counter::SupportCounter;
+use cfq_types::transaction::contains_sorted;
+use cfq_types::{ItemId, Itemset, TransactionDb};
+
+const FANOUT: usize = 64;
+const LEAF_CAPACITY: usize = 16;
+
+/// Hash-tree based [`SupportCounter`].
+#[derive(Default, Clone, Copy, Debug)]
+pub struct HashTreeCounter;
+
+enum Node {
+    Interior(Box<[usize; FANOUT]>),
+    Leaf(Vec<u32>),
+}
+
+struct HashTree<'a> {
+    nodes: Vec<Node>,
+    candidates: &'a [Itemset],
+    k: usize,
+}
+
+const NO_NODE: usize = usize::MAX;
+
+impl<'a> HashTree<'a> {
+    fn hash(item: ItemId) -> usize {
+        (item.0 as usize) % FANOUT
+    }
+
+    fn build(candidates: &'a [Itemset], k: usize) -> HashTree<'a> {
+        let mut tree =
+            HashTree { nodes: vec![Node::Leaf(Vec::new())], candidates, k };
+        for ci in 0..candidates.len() {
+            tree.insert(ci as u32);
+        }
+        tree
+    }
+
+    fn insert(&mut self, ci: u32) {
+        self.insert_from(0, 0, ci);
+    }
+
+    /// Inserts candidate `ci` starting from `node` at `depth`, descending
+    /// interior nodes by hashing the candidate's item at each depth and
+    /// splitting overflowing leaves (unless all `k` items are consumed, in
+    /// which case collisions coexist in the leaf).
+    fn insert_from(&mut self, mut node: usize, mut depth: usize, ci: u32) {
+        loop {
+            if matches!(self.nodes[node], Node::Interior(_)) {
+                let item = self.candidates[ci as usize].as_slice()[depth];
+                let b = Self::hash(item);
+                let existing = match &self.nodes[node] {
+                    Node::Interior(children) => children[b],
+                    Node::Leaf(_) => unreachable!(),
+                };
+                node = if existing == NO_NODE {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node::Leaf(Vec::new()));
+                    match &mut self.nodes[node] {
+                        Node::Interior(children) => children[b] = idx,
+                        Node::Leaf(_) => unreachable!(),
+                    }
+                    idx
+                } else {
+                    existing
+                };
+                depth += 1;
+                continue;
+            }
+            // Leaf: store, then split on overflow.
+            let needs_split = match &mut self.nodes[node] {
+                Node::Leaf(list) => {
+                    list.push(ci);
+                    list.len() > LEAF_CAPACITY && depth < self.k
+                }
+                Node::Interior(_) => unreachable!(),
+            };
+            if needs_split {
+                let spilled = match &mut self.nodes[node] {
+                    Node::Leaf(list) => std::mem::take(list),
+                    Node::Interior(_) => unreachable!(),
+                };
+                self.nodes[node] = Node::Interior(Box::new([NO_NODE; FANOUT]));
+                for c in spilled {
+                    self.insert_from(node, depth, c);
+                }
+            }
+            return;
+        }
+    }
+
+    fn count_transaction(&self, t: &[ItemId], counts: &mut [u64]) {
+        self.walk(0, t, 0, counts);
+    }
+
+    /// At an interior node of depth d, hash each remaining transaction item
+    /// and recurse; at a leaf, verify candidates by containment.
+    fn walk(&self, node: usize, t: &[ItemId], from: usize, counts: &mut [u64]) {
+        match &self.nodes[node] {
+            Node::Leaf(list) => {
+                for &ci in list {
+                    if contains_sorted(t, self.candidates[ci as usize].as_slice()) {
+                        counts[ci as usize] += 1;
+                    }
+                }
+            }
+            Node::Interior(children) => {
+                // Visit each bucket at most once per distinct hash value.
+                let mut visited = [false; FANOUT];
+                for (pos, &item) in t.iter().enumerate().skip(from) {
+                    let b = Self::hash(item);
+                    if visited[b] || children[b] == NO_NODE {
+                        continue;
+                    }
+                    visited[b] = true;
+                    self.walk(children[b], t, pos + 1, counts);
+                }
+            }
+        }
+    }
+}
+
+impl SupportCounter for HashTreeCounter {
+    fn count(&self, db: &TransactionDb, candidates: &[Itemset]) -> Vec<u64> {
+        let mut counts = vec![0u64; candidates.len()];
+        if candidates.is_empty() {
+            return counts;
+        }
+        let k = candidates.iter().map(|c| c.len()).max().unwrap_or(0);
+        let tree = HashTree::build(candidates, k);
+        for t in db.iter() {
+            tree.count_transaction(t, &mut counts);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::NaiveCounter;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            10,
+            &[
+                &[0, 1, 2, 3, 8],
+                &[1, 2, 3, 9],
+                &[0, 2, 4, 6],
+                &[1, 2, 5, 7],
+                &[2, 3, 4, 5, 8, 9],
+                &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+            ],
+        )
+    }
+
+    fn sets(v: &[&[u32]]) -> Vec<Itemset> {
+        v.iter().map(|s| s.iter().copied().collect()).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_small_batch() {
+        let d = db();
+        let cands = sets(&[&[0, 1], &[1, 2], &[2, 3], &[8, 9], &[0, 9]]);
+        assert_eq!(HashTreeCounter.count(&d, &cands), NaiveCounter.count(&d, &cands));
+    }
+
+    #[test]
+    fn handles_leaf_splits() {
+        let d = db();
+        // More than LEAF_CAPACITY candidates with colliding first-item
+        // hashes force splits.
+        let cands: Vec<Itemset> = (0..10u32)
+            .flat_map(|a| (0..3u32).map(move |b| [a % 10, (a + b + 1) % 10]))
+            .map(|pair| pair.into_iter().collect::<Itemset>())
+            .filter(|s: &Itemset| s.len() == 2)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert!(cands.len() > LEAF_CAPACITY);
+        assert_eq!(HashTreeCounter.count(&d, &cands), NaiveCounter.count(&d, &cands));
+    }
+
+    #[test]
+    fn deep_candidates_with_hash_collisions() {
+        let d = db();
+        // Items 0 and 8 collide (mod 8), 1 and 9 collide.
+        let cands = sets(&[&[0, 1, 2], &[0, 8, 9], &[1, 8, 9], &[0, 1, 8, 9]]);
+        assert_eq!(HashTreeCounter.count(&d, &cands), NaiveCounter.count(&d, &cands));
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(321);
+        for _ in 0..25 {
+            let n_items = rng.gen_range(4..20);
+            let txs: Vec<Vec<ItemId>> = (0..rng.gen_range(1..40))
+                .map(|_| {
+                    (0..rng.gen_range(1..=n_items.min(12)))
+                        .map(|_| ItemId(rng.gen_range(0..n_items as u32)))
+                        .collect()
+                })
+                .collect();
+            let d = TransactionDb::new(n_items, txs).unwrap();
+            let k = rng.gen_range(1..4usize);
+            let mut cands: Vec<Itemset> = (0..rng.gen_range(1..40))
+                .map(|_| (0..k).map(|_| rng.gen_range(0..n_items as u32)).collect())
+                .collect();
+            cands.sort();
+            cands.dedup();
+            cands.retain(|c: &Itemset| !c.is_empty());
+            assert_eq!(
+                HashTreeCounter.count(&d, &cands),
+                NaiveCounter.count(&d, &cands)
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # cfq-mining
+//!
+//! The levelwise frequent-set mining substrate that the paper's algorithms
+//! (Apriori⁺, CAP, the 2-var optimizer pipeline) are built on:
+//!
+//! * [`counter`] — support counting: a candidate prefix-trie counter (one
+//!   database scan per level) and a naive reference counter; [`hashtree`]
+//!   adds the classic Apriori hash tree and [`vertical`] an Eclat-style
+//!   tidset counter. All four agree (property-tested).
+//! * [`candidates`] — the Apriori candidate generation (prefix join +
+//!   subset prune) with a pluggable *validity oracle*, so CAP can restrict
+//!   the prune to subsets that are themselves valid (required for succinct
+//!   non-anti-monotone constraints, where invalid subsets are never
+//!   counted).
+//! * [`frequent`] — the levelled collection of frequent sets with support
+//!   lookup and the `L_k` element summaries (`L1^S`, `L1^T`, `L_k^T.B` …)
+//!   that quasi-succinct reduction and `J^k_max` pruning consume.
+//! * [`apriori`](mod@apriori) — plain Apriori over a restricted item universe.
+//! * [`partition`] — the two-scan Partition algorithm (Savasere et al.,
+//!   VLDB 1995) and [`fpgrowth`] — FP-Growth (Han et al., SIGMOD 2000) —
+//!   as alternative frequency backbones, both result-equivalent to Apriori.
+//! * [`incremental`] — FUP-style maintenance of frequent sets under
+//!   insertions (Cheung et al., ICDE 1996; the paper's citation \[6\]).
+//! * [`stats`] — work accounting: database scans, sets counted for support,
+//!   constraint-check invocations; the raw material for the paper's
+//!   ccc-optimality (Definition 6) and for the §7 tables.
+
+pub mod apriori;
+pub mod candidates;
+pub mod counter;
+pub mod fpgrowth;
+pub mod frequent;
+pub mod hashtree;
+pub mod incremental;
+pub mod partition;
+pub mod stats;
+pub mod vertical;
+
+pub use apriori::{apriori, AprioriConfig};
+pub use candidates::generate_candidates;
+pub use counter::{
+    count_supports, count_supports_with, NaiveCounter, ParallelTrieCounter, SupportCounter,
+    TrieCounter,
+};
+pub use hashtree::HashTreeCounter;
+pub use incremental::{fup_update, UpdateOutcome};
+pub use partition::{partition_mine, PartitionConfig};
+pub use vertical::{TidsetIndex, VerticalCounter};
+pub use fpgrowth::{fp_growth, FpGrowthConfig};
+pub use frequent::FrequentSets;
+pub use stats::{LevelStats, WorkStats};

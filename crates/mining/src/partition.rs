@@ -1,0 +1,286 @@
+//! The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB 1995),
+//! cited by the paper's related work as one of the Apriori-era performance
+//! techniques.
+//!
+//! Partition mines frequent sets in exactly **two** database scans:
+//!
+//! 1. Split the database into `p` in-memory partitions; mine each
+//!    partition's *locally frequent* sets with a proportionally scaled
+//!    threshold. Any globally frequent set is locally frequent in at least
+//!    one partition (pigeonhole on support fractions), so the union of the
+//!    local results is a complete candidate superset.
+//! 2. One global counting pass over all candidates; keep those meeting the
+//!    global threshold.
+//!
+//! Local mining here runs levelwise against a per-partition tidset index
+//! (the original paper also works vertically). The two-scan property is
+//! what matters to the CFQ paper's dovetailing/I-O discussion, so
+//! [`WorkStats::db_scans`] records exactly 2 for the global database.
+
+use crate::candidates::generate_candidates;
+use crate::counter::{SupportCounter, TrieCounter};
+use crate::frequent::FrequentSets;
+use crate::stats::WorkStats;
+use crate::vertical::{TidsetIndex, VerticalCounter};
+use cfq_types::{ItemId, Itemset, TransactionDb};
+
+/// Configuration of a Partition run.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Item universe (empty = all items).
+    pub universe: Vec<ItemId>,
+    /// Absolute global minimum support.
+    pub min_support: u64,
+    /// Number of partitions (clamped to at least 1 and at most the number
+    /// of transactions).
+    pub n_partitions: usize,
+}
+
+/// Runs the Partition algorithm; the result equals plain Apriori's.
+pub fn partition_mine(
+    db: &TransactionDb,
+    cfg: &PartitionConfig,
+    stats: &mut WorkStats,
+) -> FrequentSets {
+    let n = db.len();
+    if n == 0 {
+        return FrequentSets::new();
+    }
+    let universe: Vec<ItemId> = if cfg.universe.is_empty() {
+        (0..db.n_items() as u32).map(ItemId).collect()
+    } else {
+        cfg.universe.clone()
+    };
+    // With too many partitions the scaled local threshold degenerates to 1
+    // and phase I enumerates every itemset occurring anywhere — an
+    // exponential blowup. Using fewer partitions is always sound (the
+    // candidate superset only shrinks), so clamp the count to keep the
+    // local threshold at 2 or higher where the global threshold allows.
+    let p_cap = if cfg.min_support >= 2 {
+        (cfg.min_support as usize - 1).max(1)
+    } else {
+        1
+    };
+    let p = cfg.n_partitions.clamp(1, n.min(p_cap));
+
+    // ---- Phase I: local mining (one pass over the database overall).
+    let mut candidates: Vec<Itemset> = Vec::new();
+    let base = n / p;
+    let extra = n % p;
+    let mut start = 0usize;
+    for pi in 0..p {
+        let len = base + usize::from(pi < extra);
+        if len == 0 {
+            continue;
+        }
+        let rows: Vec<Vec<ItemId>> =
+            (start..start + len).map(|i| db.transaction(i).to_vec()).collect();
+        start += len;
+        let part = TransactionDb::new(db.n_items(), rows).expect("rows are valid");
+        // Scaled local threshold: ceil(min_support * |part| / |D|), ≥ 1.
+        let local_min =
+            ((cfg.min_support as u128 * part.len() as u128).div_ceil(n as u128) as u64).max(1);
+        candidates.extend(local_frequent(&part, &universe, local_min));
+    }
+    stats.record_scan();
+    candidates.sort();
+    candidates.dedup();
+
+    // ---- Phase II: one global counting pass over all candidate sizes.
+    let counts = TrieCounter.count(db, &candidates);
+    stats.record_scan();
+
+    let mut by_level: Vec<Vec<(Itemset, u64)>> = Vec::new();
+    let mut counted_per_level: Vec<u64> = Vec::new();
+    for (c, n_sup) in candidates.into_iter().zip(counts) {
+        let lvl = c.len();
+        if by_level.len() < lvl {
+            by_level.resize(lvl, Vec::new());
+            counted_per_level.resize(lvl, 0);
+        }
+        counted_per_level[lvl - 1] += 1;
+        if n_sup >= cfg.min_support {
+            by_level[lvl - 1].push((c, n_sup));
+        }
+    }
+    let mut out = FrequentSets::new();
+    for (idx, mut level) in by_level.into_iter().enumerate() {
+        level.sort_by(|a, b| a.0.cmp(&b.0));
+        stats.record_level(idx + 1, counted_per_level[idx], level.len() as u64);
+        out.push_level(level);
+    }
+    out
+}
+
+/// All locally frequent itemsets of one in-memory partition, via levelwise
+/// generation against a tidset index.
+fn local_frequent(part: &TransactionDb, universe: &[ItemId], local_min: u64) -> Vec<Itemset> {
+    let index = TidsetIndex::build(part);
+    let counter = VerticalCounter::new(&index);
+    let mut out = Vec::new();
+
+    let mut frontier: Vec<Itemset> = {
+        let singles: Vec<Itemset> = universe.iter().map(|&i| Itemset::singleton(i)).collect();
+        let counts = counter.count(part, &singles);
+        singles
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= local_min)
+            .map(|(s, _)| s)
+            .collect()
+    };
+    while !frontier.is_empty() {
+        out.extend(frontier.iter().cloned());
+        let next = generate_candidates(&frontier, |_| true);
+        if next.is_empty() {
+            break;
+        }
+        let counts = counter.count(part, &next);
+        frontier = next
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= local_min)
+            .map(|(s, _)| s)
+            .collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+                &[0, 2, 3],
+                &[1, 2, 4, 5],
+            ],
+        )
+    }
+
+    fn run(db: &TransactionDb, min_support: u64, p: usize) -> (FrequentSets, WorkStats) {
+        let mut stats = WorkStats::new();
+        let cfg = PartitionConfig {
+            universe: Vec::new(),
+            min_support,
+            n_partitions: p,
+        };
+        (partition_mine(db, &cfg, &mut stats), stats)
+    }
+
+    fn collect(fs: &FrequentSets) -> Vec<(Itemset, u64)> {
+        fs.iter().map(|(s, n)| (s.clone(), n)).collect()
+    }
+
+    #[test]
+    fn matches_apriori_across_partition_counts() {
+        let d = db();
+        for min_support in [2u64, 3, 4] {
+            let mut stats = WorkStats::new();
+            let expected = apriori(&d, &AprioriConfig::new(min_support), &mut stats);
+            for p in [1usize, 2, 3, 5, 10, 50] {
+                let (got, _) = run(&d, min_support, p);
+                assert_eq!(
+                    collect(&got),
+                    collect(&expected),
+                    "min_support={min_support}, p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_two_global_scans() {
+        let d = db();
+        let (_, stats) = run(&d, 2, 4);
+        assert_eq!(stats.db_scans, 2, "Partition's defining property");
+    }
+
+    #[test]
+    fn empty_database() {
+        let d = TransactionDb::new(4, Vec::new()).unwrap();
+        let (fs, _) = run(&d, 1, 3);
+        assert_eq!(fs.total(), 0);
+    }
+
+    #[test]
+    fn universe_restriction() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = PartitionConfig {
+            universe: vec![ItemId(0), ItemId(2)],
+            min_support: 2,
+            n_partitions: 3,
+        };
+        let fs = partition_mine(&d, &cfg, &mut stats);
+        for (s, _) in fs.iter() {
+            assert!(s.iter().all(|i| i == ItemId(0) || i == ItemId(2)));
+        }
+        assert!(fs.contains(&[0u32, 2].into()));
+    }
+
+    #[test]
+    fn randomized_agreement_with_apriori() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..15 {
+            let n_items = rng.gen_range(4..10);
+            let txs: Vec<Vec<ItemId>> = (0..rng.gen_range(5..40))
+                .map(|_| {
+                    (0..rng.gen_range(1..=n_items))
+                        .map(|_| ItemId(rng.gen_range(0..n_items as u32)))
+                        .collect()
+                })
+                .collect();
+            let d = TransactionDb::new(n_items, txs).unwrap();
+            let min_support = rng.gen_range(1..5);
+            let p = rng.gen_range(1..8);
+            let mut stats = WorkStats::new();
+            let expected = apriori(&d, &AprioriConfig::new(min_support), &mut stats);
+            let (got, _) = run(&d, min_support, p);
+            assert_eq!(collect(&got), collect(&expected), "p={p} s={min_support}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod clamp_tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+
+    /// Degenerate configurations (local threshold would hit 1) are clamped
+    /// rather than exploding, and stay result-equivalent.
+    #[test]
+    fn low_support_many_partitions_is_clamped() {
+        let d = TransactionDb::from_u32(
+            8,
+            &[&[0, 1, 2, 3, 4, 5, 6, 7], &[0, 1, 2, 3], &[4, 5, 6, 7], &[0, 2, 4, 6]],
+        );
+        for min_support in [1u64, 2] {
+            let mut stats = WorkStats::new();
+            let cfg = PartitionConfig {
+                universe: Vec::new(),
+                min_support,
+                n_partitions: 100,
+            };
+            let got = partition_mine(&d, &cfg, &mut stats);
+            let mut s = WorkStats::new();
+            let expected = apriori(&d, &AprioriConfig::new(min_support), &mut s);
+            let a: Vec<_> = got.iter().map(|(s, n)| (s.clone(), n)).collect();
+            let b: Vec<_> = expected.iter().map(|(s, n)| (s.clone(), n)).collect();
+            assert_eq!(a, b, "min_support={min_support}");
+        }
+    }
+}

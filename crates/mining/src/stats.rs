@@ -1,0 +1,115 @@
+//! Work accounting for mining runs.
+//!
+//! The paper's ccc-optimality (Definition 6) measures a strategy by the
+//! number of sets counted for support and the number of constraint-checking
+//! invocations; §7's tables additionally report per-level candidate and
+//! frequent counts. [`WorkStats`] records all of these, plus database scans
+//! (the I/O-sharing argument for dovetailing in §5.2).
+
+/// Per-level candidate/frequent counts — one row of the §7.1 `a/b` table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level (itemset cardinality), 1-based.
+    pub level: usize,
+    /// Candidates counted for support at this level.
+    pub candidates: u64,
+    /// Candidates found frequent at this level.
+    pub frequent: u64,
+}
+
+/// Aggregate work counters for one mining run (or one lattice of a
+/// dovetailed run).
+#[derive(Clone, Debug, Default)]
+pub struct WorkStats {
+    /// Full passes over the transaction database.
+    pub db_scans: u64,
+    /// Total sets counted for support (ccc condition 1's currency).
+    pub support_counted: u64,
+    /// Constraint-checking invocations (ccc condition 2's currency).
+    pub constraint_checks: u64,
+    /// Candidates discarded before counting by pushed constraints.
+    pub pruned_candidates: u64,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelStats>,
+}
+
+impl WorkStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        WorkStats::default()
+    }
+
+    /// Records a counted level.
+    pub fn record_level(&mut self, level: usize, candidates: u64, frequent: u64) {
+        self.support_counted += candidates;
+        self.levels.push(LevelStats { level, candidates, frequent });
+    }
+
+    /// Records one database scan.
+    pub fn record_scan(&mut self) {
+        self.db_scans += 1;
+    }
+
+    /// Records `n` constraint-check invocations.
+    pub fn record_checks(&mut self, n: u64) {
+        self.constraint_checks += n;
+    }
+
+    /// Records `n` candidates pruned before counting.
+    pub fn record_pruned(&mut self, n: u64) {
+        self.pruned_candidates += n;
+    }
+
+    /// Merges another stats object into this one (used when combining the
+    /// S- and T-lattice halves of a run). Levels are concatenated.
+    pub fn absorb(&mut self, other: &WorkStats) {
+        self.db_scans += other.db_scans;
+        self.support_counted += other.support_counted;
+        self.constraint_checks += other.constraint_checks;
+        self.pruned_candidates += other.pruned_candidates;
+        self.levels.extend(other.levels.iter().cloned());
+    }
+
+    /// Total frequent sets found across levels.
+    pub fn total_frequent(&self) -> u64 {
+        self.levels.iter().map(|l| l.frequent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = WorkStats::new();
+        s.record_scan();
+        s.record_level(1, 100, 40);
+        s.record_scan();
+        s.record_level(2, 300, 120);
+        s.record_checks(100);
+        s.record_pruned(7);
+        assert_eq!(s.db_scans, 2);
+        assert_eq!(s.support_counted, 400);
+        assert_eq!(s.constraint_checks, 100);
+        assert_eq!(s.pruned_candidates, 7);
+        assert_eq!(s.total_frequent(), 160);
+        assert_eq!(s.levels.len(), 2);
+        assert_eq!(s.levels[1], LevelStats { level: 2, candidates: 300, frequent: 120 });
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = WorkStats::new();
+        a.record_scan();
+        a.record_level(1, 10, 5);
+        let mut b = WorkStats::new();
+        b.record_level(1, 20, 9);
+        b.record_checks(3);
+        a.absorb(&b);
+        assert_eq!(a.support_counted, 30);
+        assert_eq!(a.constraint_checks, 3);
+        assert_eq!(a.levels.len(), 2);
+        assert_eq!(a.total_frequent(), 14);
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the `cfq` crates.
+pub type Result<T> = std::result::Result<T, CfqError>;
+
+/// Errors surfaced by the `cfq` workspace.
+///
+/// The library is deliberately strict: malformed queries, attribute
+/// mismatches, and invalid configurations are reported as typed errors
+/// instead of panics, so that an embedding system (the paper's envisioned
+/// DBMS integration) can surface them to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfqError {
+    /// A query string failed to parse. Carries a human-readable message with
+    /// byte offset context.
+    Parse(String),
+    /// An attribute name was not found in the catalog, or was used with the
+    /// wrong kind (e.g. `sum(S.Type)` on a categorical attribute).
+    Attr(String),
+    /// A constraint is outside the supported CFQ language fragment.
+    UnsupportedConstraint(String),
+    /// Invalid configuration (e.g. zero items, support threshold out of
+    /// range, malformed generator parameters).
+    Config(String),
+    /// Dataset IO failure.
+    Io(String),
+}
+
+impl fmt::Display for CfqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfqError::Parse(m) => write!(f, "parse error: {m}"),
+            CfqError::Attr(m) => write!(f, "attribute error: {m}"),
+            CfqError::UnsupportedConstraint(m) => write!(f, "unsupported constraint: {m}"),
+            CfqError::Config(m) => write!(f, "configuration error: {m}"),
+            CfqError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CfqError {}
+
+impl From<std::io::Error> for CfqError {
+    fn from(e: std::io::Error) -> Self {
+        CfqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CfqError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            CfqError::Attr("no such attribute Price".into()).to_string(),
+            "attribute error: no such attribute Price"
+        );
+        assert_eq!(
+            CfqError::Config("0 items".into()).to_string(),
+            "configuration error: 0 items"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: CfqError = io.into();
+        assert!(matches!(e, CfqError::Io(_)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Item identifiers.
+
+use std::fmt;
+
+/// A compact identifier for an item of the mined domain.
+///
+/// Items are dense indices `0..n_items` into the [`Catalog`](crate::Catalog)
+/// attribute columns, exactly like the paper's `Item` domain with the
+/// auxiliary relation `itemInfo(Item, Type, Price)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Returns the item id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<ItemId> for u32 {
+    #[inline]
+    fn from(v: ItemId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_roundtrip() {
+        let i = ItemId::from(42u32);
+        assert_eq!(u32::from(i), 42);
+        assert_eq!(i.index(), 42);
+        assert_eq!(format!("{i}"), "42");
+        assert_eq!(format!("{i:?}"), "i42");
+    }
+
+    #[test]
+    fn item_id_ordering() {
+        assert!(ItemId(1) < ItemId(2));
+        assert_eq!(ItemId(7), ItemId(7));
+    }
+}

@@ -1,0 +1,235 @@
+//! The transaction database `trans(TID, Itemset)` and derived-domain
+//! projections.
+
+use crate::catalog::{AttrId, Catalog};
+use crate::item::ItemId;
+use crate::itemset::Itemset;
+use crate::{CfqError, Result};
+
+/// A horizontal transaction database.
+///
+/// Each transaction is a sorted, duplicate-free item list. TIDs are implicit
+/// (the row index), matching the paper's `trans(TID, Itemset)`.
+///
+/// ```
+/// use cfq_types::TransactionDb;
+/// let db = TransactionDb::from_u32(4, &[&[0, 1], &[1, 2, 3], &[1]]);
+/// assert_eq!(db.len(), 3);
+/// assert_eq!(db.support(&[1u32].into()), 3);
+/// assert_eq!(db.support(&[1u32, 2].into()), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct TransactionDb {
+    rows: Vec<Box<[ItemId]>>,
+    n_items: usize,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw transactions; each row is sorted and
+    /// deduplicated. `n_items` bounds the item universe (ids must be below).
+    pub fn new(n_items: usize, transactions: Vec<Vec<ItemId>>) -> Result<Self> {
+        let mut rows = Vec::with_capacity(transactions.len());
+        for mut t in transactions {
+            t.sort_unstable();
+            t.dedup();
+            if let Some(&max) = t.last() {
+                if max.index() >= n_items {
+                    return Err(CfqError::Config(format!(
+                        "transaction references item {} but universe has {} items",
+                        max, n_items
+                    )));
+                }
+            }
+            rows.push(t.into_boxed_slice());
+        }
+        Ok(TransactionDb { rows, n_items })
+    }
+
+    /// Builds from `u32` item ids (test convenience).
+    pub fn from_u32(n_items: usize, transactions: &[&[u32]]) -> Self {
+        let rows = transactions
+            .iter()
+            .map(|t| t.iter().map(|&i| ItemId(i)).collect())
+            .collect();
+        TransactionDb::new(n_items, rows).expect("valid test transactions")
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the database has no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Size of the item universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The `i`-th transaction as a sorted item slice.
+    #[inline]
+    pub fn transaction(&self, i: usize) -> &[ItemId] {
+        &self.rows[i]
+    }
+
+    /// Iterates transactions as sorted item slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[ItemId]> {
+        self.rows.iter().map(|r| &**r)
+    }
+
+    /// Average transaction length (0 for an empty database).
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.len()).sum::<usize>() as f64 / self.rows.len() as f64
+    }
+
+    /// Absolute support of an itemset: the number of transactions containing
+    /// every item of `set`. Linear scan — this is the reference oracle used
+    /// by tests; the mining crate has the fast counters.
+    pub fn support(&self, set: &Itemset) -> u64 {
+        self.iter()
+            .filter(|t| contains_sorted(t, set.as_slice()))
+            .count() as u64
+    }
+
+    /// Projects the database onto a *derived domain*: transactions become
+    /// the set of `attr` value keys of their items. This implements the
+    /// paper's §3 setting where `T` ranges over a domain `Dom ≠ Item` (e.g.
+    /// the `Type` domain): mining the projected database finds frequent
+    /// *value sets*.
+    ///
+    /// Returns the projected database (item ids are dense indices into the
+    /// returned key vector) and the sorted distinct value keys.
+    pub fn project(&self, catalog: &Catalog, attr: AttrId) -> (TransactionDb, Vec<u64>) {
+        let mut keys: Vec<u64> = (0..self.n_items as u32)
+            .map(|i| catalog.value_key(attr, ItemId(i)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let rows = self
+            .rows
+            .iter()
+            .map(|t| {
+                let mut v: Vec<ItemId> = t
+                    .iter()
+                    .map(|&i| {
+                        let k = catalog.value_key(attr, i);
+                        let idx = keys.binary_search(&k).expect("key interned above");
+                        ItemId(idx as u32)
+                    })
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v.into_boxed_slice()
+            })
+            .collect();
+        (TransactionDb { rows, n_items: keys.len() }, keys)
+    }
+}
+
+/// `needle ⊆ haystack` for sorted slices.
+#[inline]
+pub fn contains_sorted(haystack: &[ItemId], needle: &[ItemId]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut hi = 0;
+    'outer: for &n in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&n) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogBuilder;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            5,
+            &[&[0, 1, 2], &[1, 2, 3], &[0, 2, 4], &[1, 2], &[2]],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = db();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.n_items(), 5);
+        assert_eq!(d.transaction(0), &[ItemId(0), ItemId(1), ItemId(2)]);
+        assert!(!d.is_empty());
+        assert!((d.avg_transaction_len() - 12.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sorted_and_deduped() {
+        let d = TransactionDb::from_u32(4, &[&[3, 1, 1, 2]]);
+        assert_eq!(d.transaction(0), &[ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn rejects_out_of_universe_items() {
+        let r = TransactionDb::new(2, vec![vec![ItemId(5)]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn support_oracle() {
+        let d = db();
+        assert_eq!(d.support(&[2u32].into()), 5);
+        assert_eq!(d.support(&[1u32, 2].into()), 3);
+        assert_eq!(d.support(&[0u32, 1, 2].into()), 1);
+        assert_eq!(d.support(&[0u32, 3].into()), 0);
+        assert_eq!(d.support(&Itemset::empty()), 5);
+    }
+
+    #[test]
+    fn contains_sorted_edges() {
+        let hay = [ItemId(1), ItemId(3), ItemId(5)];
+        assert!(contains_sorted(&hay, &[]));
+        assert!(contains_sorted(&hay, &[ItemId(1), ItemId(5)]));
+        assert!(!contains_sorted(&hay, &[ItemId(2)]));
+        assert!(!contains_sorted(&hay, &[ItemId(1), ItemId(3), ItemId(5), ItemId(7)]));
+    }
+
+    #[test]
+    fn projection_onto_type_domain() {
+        // Items 0,1 are type A; items 2,3 type B; item 4 type C.
+        let mut b = CatalogBuilder::new(5);
+        b.cat_attr("Type", &["A", "A", "B", "B", "C"]).unwrap();
+        let c = b.build();
+        let ty = c.attr("Type").unwrap();
+        let d = db();
+        let (p, keys) = d.project(&c, ty);
+        assert_eq!(keys.len(), 3);
+        assert_eq!(p.n_items(), 3);
+        // Transaction {0,1,2} → types {A, B} → projected ids {0,1}.
+        assert_eq!(p.transaction(0).len(), 2);
+        // Transaction {2} → {B} → one projected id.
+        assert_eq!(p.transaction(4).len(), 1);
+        // Frequencies transfer: type B (from items 2 or 3) occurs everywhere.
+        let b_id = keys
+            .binary_search(&(c.symbol("B").unwrap().0 as u64))
+            .unwrap() as u32;
+        assert_eq!(p.support(&Itemset::singleton(ItemId(b_id))), 5);
+    }
+}

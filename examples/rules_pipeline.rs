@@ -1,0 +1,53 @@
+//! Phase 1 + Phase 2 of the paper's exploratory-mining architecture in one
+//! pipeline: compute the constrained frequent pairs, then turn them into
+//! association rules `S ⇒ T` with support / confidence / lift.
+//!
+//! ```text
+//! cargo run --release --example rules_pipeline
+//! ```
+
+use cfq::prelude::*;
+
+fn main() -> Result<()> {
+    // Quest market-basket data with a price catalog.
+    let quest = QuestConfig {
+        n_items: 150,
+        n_transactions: 4_000,
+        avg_trans_len: 8.0,
+        avg_pattern_len: 3.0,
+        n_patterns: 60,
+        ..QuestConfig::default()
+    };
+    let sc = ScenarioBuilder::new(quest).typed_overlap(400.0, 600.0, 5, 60.0)?;
+
+    // Phase 1: the CFQ — cheap antecedents, same-type expensive consequents.
+    let query = parse_query(
+        "max(S.Price) <= 400 & min(T.Price) >= 600 & S.Type = T.Type",
+    )?;
+    let bound = bind_query(&query, &sc.catalog)?;
+    let env = QueryEnv::new(&sc.db, &sc.catalog, 20);
+    let outcome = Optimizer::default().run(&bound, &env);
+    println!(
+        "phase 1: {} constrained frequent pairs ({} S-sets, {} T-sets)",
+        outcome.pair_result.count,
+        outcome.s_sets.len(),
+        outcome.t_sets.len()
+    );
+
+    // Phase 2: rules at three confidence levels.
+    for min_confidence in [0.2, 0.5, 0.8] {
+        let rules = form_rules(
+            &outcome,
+            &sc.db,
+            &RuleConfig { min_support: 10, min_confidence },
+        );
+        println!("\nconfidence >= {min_confidence}: {} rules", rules.len());
+        for r in rules.iter().take(5) {
+            println!(
+                "  {} => {}  (sup {}, conf {:.2}, lift {:.2})",
+                r.antecedent, r.consequent, r.support, r.confidence, r.lift
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # cfq — Constrained Frequent Set Queries with 2-variable Constraints
+//!
+//! A complete, from-scratch implementation of *Optimization of Constrained
+//! Frequent Set Queries with 2-variable Constraints* (Lakshmanan, Ng, Han,
+//! Pang — SIGMOD 1999), including every substrate the paper depends on:
+//!
+//! * the CFQ constraint language with a query parser
+//!   (`"sum(S.Price) <= 100 & S.Type = {Snacks} & S.Type disjoint T.Type"`),
+//! * constraint classification: 1-var anti-monotonicity / succinctness and
+//!   the paper's Figure 1 (2-var anti-monotonicity / quasi-succinctness),
+//! * the CAP algorithm of the companion paper \[15\] (all four pushing
+//!   strategies),
+//! * quasi-succinct reduction (Figures 2–3), weaker-constraint induction
+//!   (Figure 4), and `J^k_max` iterative pruning (Figures 5–6),
+//! * the Figure 7 query optimizer with dovetailed two-lattice execution
+//!   and EXPLAIN output, plus the Apriori⁺ baseline,
+//! * the IBM Quest synthetic data generator used by the paper's §7
+//!   evaluation, and scenario builders for each experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cfq::prelude::*;
+//!
+//! // A small market-basket database over 4 items…
+//! let db = TransactionDb::from_u32(
+//!     4,
+//!     &[&[0, 1, 2], &[0, 1], &[1, 2, 3], &[0, 2, 3], &[0, 1, 2, 3]],
+//! );
+//! // …with the paper's itemInfo(Item, Type, Price) auxiliary relation.
+//! let mut cat = CatalogBuilder::new(4);
+//! cat.num_attr("Price", vec![10.0, 25.0, 80.0, 120.0]).unwrap();
+//! cat.cat_attr("Type", &["Snacks", "Snacks", "Beers", "Beers"]).unwrap();
+//! let catalog = cat.build();
+//!
+//! // "Cheap snack sets that lead to pricier beer sets."
+//! let query = parse_query(
+//!     "S.Type = {Snacks} & T.Type = {Beers} & max(S.Price) <= min(T.Price)",
+//! )
+//! .unwrap();
+//! let bound = bind_query(&query, &catalog).unwrap();
+//!
+//! let env = QueryEnv::new(&db, &catalog, 2);
+//! let outcome = Optimizer::default().run(&bound, &env);
+//! assert!(outcome.pair_result.count > 0);
+//! for &(si, ti) in &outcome.pair_result.pairs {
+//!     let (s, _) = &outcome.s_sets[si as usize];
+//!     let (t, _) = &outcome.t_sets[ti as usize];
+//!     println!("{s} => {t}");
+//! }
+//! ```
+
+pub use cfq_constraints as constraints;
+pub use cfq_core as core;
+pub use cfq_datagen as datagen;
+pub use cfq_mining as mining;
+pub use cfq_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cfq_constraints::{
+        bind_dnf, bind_query, classify_one, classify_two, eval_one, eval_two, parse_dnf,
+        parse_query, Agg, BoundQuery,
+        CmpOp, OneVar, SetRel, SuccinctForm, TwoVar, Var,
+    };
+    pub use cfq_core::{
+        apriori_plus, count_pairs, form_pairs, form_rules, CfqPlan, ExecutionOutcome,
+        LatticeConfig, LatticeRun, Optimizer, QueryEnv, Rule, RuleConfig,
+    };
+    pub use cfq_datagen::{generate_transactions, QuestConfig, Scenario, ScenarioBuilder};
+    pub use cfq_mining::{
+        apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,
+        PartitionConfig, TrieCounter, WorkStats,
+    };
+    pub use cfq_types::{
+        Catalog, CatalogBuilder, CfqError, ItemId, Itemset, Result, TransactionDb,
+    };
+}

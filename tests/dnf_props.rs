@@ -1,0 +1,79 @@
+//! Property test for the DNF extension: the union semantics must match a
+//! brute-force oracle for random disjunction shapes.
+
+use cfq::constraints::{eval_all_one, eval_all_two};
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+fn pool() -> Vec<&'static str> {
+    vec![
+        "max(S.Price) <= 15 & freq(T)",
+        "min(S.Price) >= 20 & freq(T)",
+        "S.Type = T.Type",
+        "S.Type disjoint T.Type",
+        "max(S.Price) <= min(T.Price)",
+        "sum(S.Price) <= sum(T.Price)",
+        "count(S) <= 1 & freq(T)",
+        "avg(S.Price) >= avg(T.Price)",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dnf_union_matches_oracle(
+        txs in prop::collection::vec(prop::collection::vec(0u32..5, 1..4), 4..12),
+        prices in prop::collection::vec(1u32..40, 5),
+        types in prop::collection::vec(0u32..2, 5),
+        picks in prop::collection::vec(0usize..8, 1..4),
+        min_support in 1u64..3,
+    ) {
+        let txs: Vec<Vec<ItemId>> =
+            txs.into_iter().map(|t| t.into_iter().map(ItemId).collect()).collect();
+        let db = TransactionDb::new(5, txs).unwrap();
+        let mut b = CatalogBuilder::new(5);
+        b.num_attr("Price", prices.iter().map(|&p| p as f64).collect()).unwrap();
+        let labels: Vec<String> =
+            types.iter().map(|&t| ((b'a' + t as u8) as char).to_string()).collect();
+        b.cat_attr("Type", &labels).unwrap();
+        let catalog = b.build();
+
+        let pool = pool();
+        let text = picks
+            .iter()
+            .map(|&i| pool[i])
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let dnf = parse_dnf(&text).unwrap();
+        let qs = bind_dnf(&dnf, &catalog).unwrap();
+
+        // Oracle.
+        let all: Itemset = (0u32..5).collect();
+        let frequent: Vec<Itemset> = all
+            .all_nonempty_subsets()
+            .into_iter()
+            .filter(|s| db.support(s) >= min_support)
+            .collect();
+        let mut expected = 0u64;
+        for s in &frequent {
+            for t in &frequent {
+                let any = qs.iter().any(|q| {
+                    let s_one: Vec<OneVar> = q.one_var_for(Var::S).cloned().collect();
+                    let t_one: Vec<OneVar> = q.one_var_for(Var::T).cloned().collect();
+                    eval_all_one(&s_one, s, &catalog)
+                        && eval_all_one(&t_one, t, &catalog)
+                        && eval_all_two(&q.two_var, s, t, &catalog)
+                });
+                if any {
+                    expected += 1;
+                }
+            }
+        }
+
+        let env = QueryEnv::new(&db, &catalog, min_support);
+        let out = Optimizer::default().run_dnf(&qs, &env);
+        prop_assert_eq!(out.pair_result.count, expected, "`{}`", &text);
+        prop_assert_eq!(out.pair_result.pairs.len() as u64, expected);
+    }
+}

@@ -1,0 +1,182 @@
+//! The central correctness property of the whole system: every strategy —
+//! the full Figure-7 optimizer (dovetailed and sequential), CAP-1-var, and
+//! Apriori⁺ — returns *exactly* the answer of a brute-force oracle, for
+//! randomized databases, catalogs, and constraint conjunctions drawn from
+//! the whole CFQ language.
+
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+/// Brute-force oracle: all frequent sets per variable (with 1-var
+/// constraints applied), then all pairs satisfying the 2-var constraints,
+/// then each side restricted to pair participants (Definition 3).
+#[allow(clippy::type_complexity)]
+fn oracle(
+    db: &TransactionDb,
+    catalog: &Catalog,
+    q: &BoundQuery,
+    min_support: u64,
+) -> (Vec<Itemset>, Vec<Itemset>, u64) {
+    let all: Itemset = (0..db.n_items() as u32).collect();
+    let frequent_valid = |var: Var| -> Vec<Itemset> {
+        let one: Vec<OneVar> = q.one_var.iter().filter(|c| c.var() == var).cloned().collect();
+        all.all_nonempty_subsets()
+            .into_iter()
+            .filter(|s| db.support(s) >= min_support)
+            .filter(|s| cfq::constraints::eval_all_one(&one, s, catalog))
+            .collect()
+    };
+    let s_cand = frequent_valid(Var::S);
+    let t_cand = frequent_valid(Var::T);
+    let mut pairs = 0u64;
+    let mut s_used = vec![false; s_cand.len()];
+    let mut t_used = vec![false; t_cand.len()];
+    for (si, s) in s_cand.iter().enumerate() {
+        for (ti, t) in t_cand.iter().enumerate() {
+            if cfq::constraints::eval_all_two(&q.two_var, s, t, catalog) {
+                pairs += 1;
+                s_used[si] = true;
+                t_used[ti] = true;
+            }
+        }
+    }
+    let filter = |c: Vec<Itemset>, used: &[bool]| {
+        let mut out: Vec<Itemset> = c
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| used[*i])
+            .map(|(_, s)| s)
+            .collect();
+        out.sort_by(|a, b| (a.len(), a).cmp(&(b.len(), b)));
+        out
+    };
+    (filter(s_cand, &s_used), filter(t_cand, &t_used), pairs)
+}
+
+fn sorted_sets(v: &[(Itemset, u64)]) -> Vec<Itemset> {
+    let mut out: Vec<Itemset> = v.iter().map(|(s, _)| s.clone()).collect();
+    out.sort_by(|a, b| (a.len(), a).cmp(&(b.len(), b)));
+    out
+}
+
+/// Constraint templates instantiated with random parameters. Returned as
+/// query text so the parser/binder are exercised too.
+fn constraint_pool(p1: u32, p2: u32, ty: char) -> Vec<String> {
+    vec![
+        format!("max(S.Price) <= {p1}"),
+        format!("min(S.Price) <= {p2}"),
+        format!("min(T.Price) >= {p2}"),
+        format!("sum(S.Price) <= {}", p1 + p2),
+        format!("avg(T.Price) >= {p2}"),
+        format!("count(S) <= 3"),
+        format!("S.Type = {{{ty}}}"),
+        format!("S.Type intersects {{{ty}}}"),
+        format!("T.Type disjoint {{{ty}}}"),
+        "S.Type disjoint T.Type".to_string(),
+        "S.Type = T.Type".to_string(),
+        "S.Type subset T.Type".to_string(),
+        "max(S.Price) <= min(T.Price)".to_string(),
+        "min(S.Price) <= max(T.Price)".to_string(),
+        "max(S.Price) >= max(T.Price)".to_string(),
+        "sum(S.Price) <= sum(T.Price)".to_string(),
+        "avg(S.Price) <= avg(T.Price)".to_string(),
+        "sum(S.Price) <= avg(T.Price)".to_string(),
+        "S disjoint T".to_string(),
+        "count(S.Type) <= count(T.Type)".to_string(),
+        "count(S) >= count(T)".to_string(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_strategies_match_the_oracle(
+        n_items in 3usize..7,
+        txs in prop::collection::vec(
+            prop::collection::vec(0u32..7, 1..5),
+            4..16,
+        ),
+        prices in prop::collection::vec(1u32..50, 7),
+        types in prop::collection::vec(0u32..3, 7),
+        picks in prop::collection::vec(0usize..21, 1..3),
+        p1 in 5u32..40,
+        p2 in 1u32..25,
+        min_support in 1u64..4,
+    ) {
+        // Build database and catalog.
+        let txs: Vec<Vec<ItemId>> = txs
+            .into_iter()
+            .map(|t| t.into_iter().map(|i| ItemId(i % n_items as u32)).collect())
+            .collect();
+        let db = TransactionDb::new(n_items, txs).unwrap();
+        let mut b = CatalogBuilder::new(n_items);
+        b.num_attr("Price", prices[..n_items].iter().map(|&p| p as f64).collect()).unwrap();
+        let labels: Vec<String> =
+            types[..n_items].iter().map(|&t| ((b'a' + t as u8) as char).to_string()).collect();
+        b.cat_attr("Type", &labels).unwrap();
+        let catalog = b.build();
+
+        // Build a random conjunction from the pool.
+        let pool = constraint_pool(p1, p2, 'a');
+        let srcs: Vec<&str> = picks.iter().map(|&i| pool[i].as_str()).collect();
+        let text = srcs.join(" & ");
+        let q = bind_query(&parse_query(&text).unwrap(), &catalog).unwrap();
+
+        let (oracle_s, oracle_t, oracle_pairs) = oracle(&db, &catalog, &q, min_support);
+
+        let env = QueryEnv::new(&db, &catalog, min_support);
+        for (name, opt) in [
+            ("apriori+", Optimizer::apriori_plus()),
+            ("cap-1var", Optimizer::cap_one_var()),
+            ("full", Optimizer::default()),
+            ("sequential", Optimizer { dovetail: false, ..Optimizer::default() }),
+            ("no-jkmax", Optimizer { use_jkmax: false, ..Optimizer::default() }),
+        ] {
+            let out = opt.run(&q, &env);
+            prop_assert_eq!(
+                out.pair_result.count, oracle_pairs,
+                "{} pair count diverged for `{}`", name, &text
+            );
+            prop_assert_eq!(
+                sorted_sets(&out.s_sets), oracle_s.clone(),
+                "{} S-sets diverged for `{}`", name, &text
+            );
+            prop_assert_eq!(
+                sorted_sets(&out.t_sets), oracle_t.clone(),
+                "{} T-sets diverged for `{}`", name, &text
+            );
+        }
+    }
+}
+
+/// A fixed regression matrix covering each strategy family on a hand-built
+/// database (fast; always runs even when proptest shrinks are disabled).
+#[test]
+fn fixed_matrix() {
+    let db = TransactionDb::from_u32(
+        5,
+        &[&[0, 1, 2], &[1, 2, 3], &[0, 2, 4], &[1, 2], &[2, 3, 4], &[0, 1, 2, 3, 4]],
+    );
+    let mut b = CatalogBuilder::new(5);
+    b.num_attr("Price", vec![5.0, 10.0, 15.0, 20.0, 25.0]).unwrap();
+    b.cat_attr("Type", &["a", "b", "a", "b", "c"]).unwrap();
+    let catalog = b.build();
+
+    for text in [
+        "max(S.Price) <= min(T.Price)",
+        "S.Type disjoint T.Type & min(S.Price) <= 10",
+        "sum(S.Price) <= sum(T.Price) & count(T) <= 2",
+        "avg(S.Price) <= avg(T.Price) & S.Type = {a}",
+    ] {
+        let q = bind_query(&parse_query(text).unwrap(), &catalog).unwrap();
+        for min_support in 1..=3u64 {
+            let (os, ot, op) = oracle(&db, &catalog, &q, min_support);
+            let env = QueryEnv::new(&db, &catalog, min_support);
+            let out = Optimizer::default().run(&q, &env);
+            assert_eq!(out.pair_result.count, op, "`{text}` @ {min_support}");
+            assert_eq!(sorted_sets(&out.s_sets), os, "`{text}` @ {min_support}");
+            assert_eq!(sorted_sets(&out.t_sets), ot, "`{text}` @ {min_support}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A broad deterministic regression matrix: every constraint shape of the
+//! language × several support thresholds × every strategy configuration,
+//! all compared pairwise on a fixed mid-size database. Slower than the unit
+//! tests but deterministic — the net that catches cross-feature
+//! regressions (e.g. a reduction change breaking the sequential executor).
+
+use cfq::prelude::*;
+
+fn database() -> (TransactionDb, Catalog) {
+    // 12 items, 24 transactions with overlapping cliques so every level up
+    // to ~5 is populated at low thresholds.
+    let db = TransactionDb::from_u32(
+        12,
+        &[
+            &[0, 1, 2, 3],
+            &[0, 1, 2],
+            &[1, 2, 3, 4],
+            &[0, 2, 4, 6],
+            &[0, 1, 3, 5],
+            &[2, 3, 4, 5],
+            &[0, 1, 2, 3, 4],
+            &[1, 3, 5, 7],
+            &[4, 5, 6, 7],
+            &[5, 6, 7, 8],
+            &[6, 7, 8, 9],
+            &[4, 6, 8, 10],
+            &[5, 7, 9, 11],
+            &[8, 9, 10, 11],
+            &[0, 4, 8],
+            &[1, 5, 9],
+            &[2, 6, 10],
+            &[3, 7, 11],
+            &[0, 1, 2, 3, 4, 5],
+            &[6, 7, 8, 9, 10, 11],
+            &[0, 2, 4, 6, 8, 10],
+            &[1, 3, 5, 7, 9, 11],
+            &[2, 3, 6, 7],
+            &[4, 5, 8, 9],
+        ],
+    );
+    let mut b = CatalogBuilder::new(12);
+    b.num_attr(
+        "Price",
+        vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0],
+    )
+    .unwrap();
+    b.cat_attr(
+        "Type",
+        &["a", "b", "c", "a", "b", "c", "a", "b", "c", "a", "b", "c"],
+    )
+    .unwrap();
+    (db, b.build())
+}
+
+const QUERIES: &[&str] = &[
+    // Pure 1-var, each strategy class.
+    "max(S.Price) <= 30 & freq(T)",
+    "min(S.Price) <= 10 & min(T.Price) >= 40",
+    "S.Type subset {a, b} & T.Type intersects {c}",
+    "sum(S.Price) <= 40 & avg(T.Price) >= 30",
+    "count(S.Type) = 1 & count(T) <= 2",
+    // Quasi-succinct 2-var, each Figure 2/3 row.
+    "S.Type disjoint T.Type",
+    "S.Type intersects T.Type",
+    "S.Type subset T.Type",
+    "S.Type notsubset T.Type",
+    "S.Type superset T.Type",
+    "S.Type notsuperset T.Type",
+    "S.Type = T.Type",
+    "S.Type != T.Type",
+    "max(S.Price) <= min(T.Price)",
+    "min(S.Price) <= min(T.Price)",
+    "max(S.Price) <= max(T.Price)",
+    "min(S.Price) <= max(T.Price)",
+    "max(S.Price) >= min(T.Price)",
+    "min(S.Price) > max(T.Price)",
+    // Induced weaker / J^k_max classes.
+    "avg(S.Price) <= min(T.Price)",
+    "sum(S.Price) <= max(T.Price)",
+    "avg(S.Price) <= avg(T.Price)",
+    "sum(S.Price) <= sum(T.Price)",
+    "sum(S.Price) >= sum(T.Price)",
+    "sum(S.Price) = sum(T.Price)",
+    "min(S.Price) <= sum(T.Price)",
+    // Count extension.
+    "count(S.Type) <= count(T.Type)",
+    "count(S) >= count(T)",
+    "count(S) = count(T.Type)",
+    // Combinations across classes.
+    "max(S.Price) <= 40 & S.Type = T.Type & sum(S.Price) <= sum(T.Price)",
+    "min(S.Price) <= 15 & S.Type disjoint T.Type & avg(S.Price) <= avg(T.Price)",
+    "count(S.Type) = 1 & max(S.Price) <= min(T.Price) & count(T) <= 3",
+];
+
+#[test]
+fn full_strategy_matrix_agrees() {
+    let (db, cat) = database();
+    let strategies: [(&str, Optimizer); 5] = [
+        ("apriori+", Optimizer::apriori_plus()),
+        ("cap-1var", Optimizer::cap_one_var()),
+        ("full", Optimizer::default()),
+        ("sequential", Optimizer { dovetail: false, ..Optimizer::default() }),
+        ("no-jkmax", Optimizer { use_jkmax: false, ..Optimizer::default() }),
+    ];
+    for src in QUERIES {
+        let q = bind_query(&parse_query(src).unwrap(), &cat)
+            .unwrap_or_else(|e| panic!("`{src}`: {e}"));
+        for min_support in [2u64, 4, 6] {
+            let env = QueryEnv::new(&db, &cat, min_support);
+            let reference = strategies[0].1.run(&q, &env);
+            for (name, opt) in &strategies[1..] {
+                let out = opt.run(&q, &env);
+                assert_eq!(
+                    out.pair_result.count, reference.pair_result.count,
+                    "`{src}` @ {min_support}: {name} pair count diverged"
+                );
+                assert_eq!(
+                    out.s_sets, reference.s_sets,
+                    "`{src}` @ {min_support}: {name} S-sets diverged"
+                );
+                assert_eq!(
+                    out.t_sets, reference.t_sets,
+                    "`{src}` @ {min_support}: {name} T-sets diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The same matrix with asymmetric universes and thresholds (the split
+/// domains the §7.1 experiments use).
+#[test]
+fn split_universe_matrix_agrees() {
+    let (db, cat) = database();
+    let s_universe: Vec<ItemId> = (0..6).map(ItemId).collect();
+    let t_universe: Vec<ItemId> = (6..12).map(ItemId).collect();
+    for src in QUERIES.iter().filter(|s| !s.contains("T.Type intersects")) {
+        let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&db, &cat, 0)
+            .with_s_universe(s_universe.clone())
+            .with_t_universe(t_universe.clone())
+            .with_supports(2, 3);
+        let reference = Optimizer::apriori_plus().run(&q, &env);
+        for opt in [
+            Optimizer::default(),
+            Optimizer { dovetail: false, ..Optimizer::default() },
+        ] {
+            let out = opt.run(&q, &env);
+            assert_eq!(out.pair_result.count, reference.pair_result.count, "`{src}`");
+            assert_eq!(out.s_sets, reference.s_sets, "`{src}`");
+            assert_eq!(out.t_sets, reference.t_sets, "`{src}`");
+        }
+    }
+}
+
+/// Paper-scale smoke test (100k × 1000 Quest database, the real §7 setup).
+/// Run explicitly: `cargo test --release -- --ignored paper_scale`.
+#[test]
+#[ignore = "paper-scale; minutes in release mode"]
+fn paper_scale_smoke() {
+    let sc = ScenarioBuilder::new(QuestConfig::default())
+        .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+        .unwrap();
+    let q = bind_query(
+        &parse_query("max(S.Price) <= min(T.Price)").unwrap(),
+        &sc.catalog,
+    )
+    .unwrap();
+    let env = QueryEnv::new(&sc.db, &sc.catalog, 400)
+        .with_s_universe(sc.s_items.clone())
+        .with_t_universe(sc.t_items.clone())
+        .with_counting_threads(0);
+    let base = Optimizer::apriori_plus().run(&q, &env);
+    let opt = Optimizer::default().run(&q, &env);
+    assert_eq!(base.pair_result.count, opt.pair_result.count);
+    assert!(
+        opt.s_stats.support_counted < base.s_stats.support_counted,
+        "optimizer must prune at paper scale"
+    );
+}

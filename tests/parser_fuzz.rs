@@ -1,0 +1,73 @@
+//! Robustness: the query parser must never panic, whatever the input —
+//! errors are typed, and anything that parses must round-trip through its
+//! own display.
+
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary strings: parse either succeeds or returns CfqError::Parse,
+    /// never panics.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,80}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Token soup from the language's own alphabet: much higher chance of
+    /// almost-valid inputs; still must not panic, and successes round-trip.
+    #[test]
+    fn token_soup_round_trips(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "S", "T", "min", "max", "sum", "avg", "count", "freq",
+            "(", ")", "{", "}", ",", ".", "&", "and",
+            "<=", ">=", "<", ">", "=", "!=",
+            "subset", "disjoint", "intersects", "in", "|", "or",
+            "Price", "Type", "Snacks", "10", "3.5", "0",
+        ]),
+        1..14,
+    )) {
+        let input = tokens.join(" ");
+        if let Ok(q) = parse_query(&input) {
+            let printed = q.to_string();
+            let reparsed = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("display of `{input}` → `{printed}` failed: {e}"));
+            prop_assert_eq!(q, reparsed);
+        }
+        // The DNF entry point must be equally panic-free and round-trip.
+        if let Ok(d) = cfq::constraints::parse_dnf(&input) {
+            let printed = d.to_string();
+            let reparsed = cfq::constraints::parse_dnf(&printed)
+                .unwrap_or_else(|e| panic!("DNF display `{input}` → `{printed}` failed: {e}"));
+            prop_assert_eq!(d, reparsed);
+        }
+    }
+}
+
+// Structured round-trip over generated well-formed queries.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_queries_round_trip(
+        ops in prop::collection::vec(0usize..6, 1..4),
+        aggs in prop::collection::vec(0usize..4, 1..4),
+        vals in prop::collection::vec(0u32..1000, 1..4),
+    ) {
+        let op_names = ["<=", "<", ">=", ">", "=", "!="];
+        let agg_names = ["min", "max", "sum", "avg"];
+        let parts: Vec<String> = ops
+            .iter()
+            .zip(&aggs)
+            .zip(&vals)
+            .map(|((&o, &a), &v)| {
+                format!("{}(S.Price) {} {}", agg_names[a], op_names[o], v)
+            })
+            .collect();
+        let text = parts.join(" & ");
+        let q = parse_query(&text).expect("well-formed");
+        let reparsed = parse_query(&q.to_string()).expect("round-trip");
+        prop_assert_eq!(q, reparsed);
+    }
+}

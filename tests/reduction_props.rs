@@ -1,0 +1,208 @@
+//! Property tests for the paper's formal machinery:
+//!
+//! * quasi-succinct reduction soundness on random catalogs (Theorem 2/3),
+//! * induced-weaker implication (Lemma 4 / Figure 4),
+//! * `J^k`/`V^k` bound soundness and monotonicity on random
+//!   downward-closed families (Lemmas 5–7).
+
+use cfq::constraints::{
+    eval_one, eval_two, induce_weaker, reduce_quasi_succinct, OneVar,
+};
+use cfq::core::{j_stats, v_bound};
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+fn build_catalog(prices: &[u32], types: &[u32]) -> Catalog {
+    let n = prices.len();
+    let mut b = CatalogBuilder::new(n);
+    b.num_attr("Price", prices.iter().map(|&p| p as f64).collect()).unwrap();
+    let labels: Vec<String> =
+        types[..n].iter().map(|&t| ((b'a' + (t % 4) as u8) as char).to_string()).collect();
+    b.cat_attr("Type", &labels).unwrap();
+    b.build()
+}
+
+fn two(text: &str, catalog: &Catalog) -> TwoVar {
+    bind_query(&parse_query(text).unwrap(), catalog).unwrap().two_var.remove(0)
+}
+
+const QS_CONSTRAINTS: &[&str] = &[
+    "S.Type disjoint T.Type",
+    "S.Type intersects T.Type",
+    "S.Type subset T.Type",
+    "S.Type notsubset T.Type",
+    "S.Type superset T.Type",
+    "S.Type notsuperset T.Type",
+    "S.Type = T.Type",
+    "max(S.Price) <= min(T.Price)",
+    "min(S.Price) <= min(T.Price)",
+    "max(S.Price) <= max(T.Price)",
+    "min(S.Price) <= max(T.Price)",
+    "max(S.Price) >= min(T.Price)",
+    "min(S.Price) > max(T.Price)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Reduction soundness: no valid set (one with a frequent partner
+    /// satisfying the constraint) is ever pruned by the reduced conditions.
+    #[test]
+    fn reduction_never_prunes_valid_sets(
+        prices in prop::collection::vec(1u32..30, 6),
+        types in prop::collection::vec(0u32..4, 6),
+        l1s_mask in 1u8..63,
+        l1t_mask in 1u8..63,
+        which in 0usize..13,
+    ) {
+        let catalog = build_catalog(&prices, &types);
+        let c = two(QS_CONSTRAINTS[which], &catalog);
+        let to_items = |mask: u8| -> Vec<ItemId> {
+            (0..6u32).filter(|i| mask & (1 << i) != 0).map(ItemId).collect()
+        };
+        let l1s = to_items(l1s_mask);
+        let l1t = to_items(l1t_mask);
+        let r = reduce_quasi_succinct(&c, &l1s, &l1t, &catalog).expect("QS constraint");
+
+        // "Frequent" families: all non-empty subsets of the L1 closures.
+        let s_closure: Itemset = l1s.iter().copied().collect();
+        let t_closure: Itemset = l1t.iter().copied().collect();
+        let freq_s = s_closure.all_nonempty_subsets();
+        let freq_t = t_closure.all_nonempty_subsets();
+        let all: Itemset = (0u32..6).collect();
+
+        for cs in all.all_nonempty_subsets() {
+            let valid = freq_t.iter().any(|t| eval_two(&c, &cs, t, &catalog));
+            if valid {
+                for cond in &r.s_conds {
+                    prop_assert!(
+                        eval_one(cond, &cs, &catalog),
+                        "S-condition pruned valid {} for `{}`", cs, QS_CONSTRAINTS[which]
+                    );
+                }
+            }
+        }
+        for ct in all.all_nonempty_subsets() {
+            let valid = freq_s.iter().any(|s| eval_two(&c, s, &ct, &catalog));
+            if valid {
+                for cond in &r.t_conds {
+                    prop_assert!(
+                        eval_one(cond, &ct, &catalog),
+                        "T-condition pruned valid {} for `{}`", ct, QS_CONSTRAINTS[which]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Figure 4: the induced constraint is implied by the original on every
+    /// pair of non-empty sets.
+    #[test]
+    fn induced_weaker_is_implied(
+        prices in prop::collection::vec(1u32..30, 5),
+        which in 0usize..8,
+    ) {
+        let catalog = build_catalog(&prices, &[0, 1, 2, 3, 0]);
+        let srcs = [
+            "avg(S.Price) <= min(T.Price)",
+            "sum(S.Price) <= max(T.Price)",
+            "avg(S.Price) <= avg(T.Price)",
+            "sum(S.Price) <= avg(T.Price)",
+            "avg(S.Price) >= avg(T.Price)",
+            "avg(S.Price) >= sum(T.Price)",
+            "sum(S.Price) = sum(T.Price)",
+            "avg(S.Price) = max(T.Price)",
+        ];
+        let c = two(srcs[which], &catalog);
+        let weaker = induce_weaker(&c, &catalog);
+        let all: Itemset = (0u32..5).collect();
+        for s in all.all_nonempty_subsets() {
+            for t in all.all_nonempty_subsets() {
+                if eval_two(&c, &s, &t, &catalog) {
+                    for w in &weaker {
+                        prop_assert!(
+                            eval_two(w, &s, &t, &catalog),
+                            "`{}` did not imply its weakening at ({}, {})",
+                            srcs[which], s, t
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemmas 5–7 on random downward-closed families: `V^k` bounds the true
+    /// max sum at sizes ≥ k, and the J bound never under-estimates the
+    /// largest set.
+    #[test]
+    fn v_bound_sound_on_random_families(
+        prices in prop::collection::vec(0u32..20, 8),
+        maximal in prop::collection::vec(1u8..255, 1..4),
+    ) {
+        let catalog = build_catalog(&prices, &[0; 8]);
+        let attr = catalog.attr("Price").unwrap();
+        // Downward closure of the maximal sets.
+        let mut family: Vec<Itemset> = Vec::new();
+        for &mask in &maximal {
+            let m: Itemset = (0..8u32).filter(|i| mask & (1 << i) != 0).collect();
+            family.extend(m.all_nonempty_subsets());
+        }
+        family.sort_by(|a, b| (a.len(), a).cmp(&(b.len(), b)));
+        family.dedup();
+        let max_len = family.iter().map(|s| s.len()).max().unwrap();
+
+        for k in 2..=max_len.min(4) {
+            let level: Vec<Itemset> =
+                family.iter().filter(|s| s.len() == k).cloned().collect();
+            if level.is_empty() {
+                continue;
+            }
+            let stats = j_stats(&level, k).unwrap();
+            prop_assert!(
+                k as u64 + stats.j_max >= max_len as u64,
+                "J bound {} + {} below true max {}", k, stats.j_max, max_len
+            );
+            let v = v_bound(&level, k, attr, &catalog).unwrap();
+            let true_max = family
+                .iter()
+                .filter(|s| s.len() >= k)
+                .map(|s| catalog.sum_num(attr, s))
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                v >= true_max - 1e-9,
+                "V^{} = {} below true max {}", k, v, true_max
+            );
+        }
+    }
+}
+
+/// Deterministic spot-check that reduction output types are the expected
+/// induced conditions (Figure 2 row 1 / Figure 3 row 3).
+#[test]
+fn reduction_shapes() {
+    let catalog = build_catalog(&[10, 20, 30, 40], &[0, 1, 0, 1]);
+    let l1: Vec<ItemId> = (0..4).map(ItemId).collect();
+    let r = reduce_quasi_succinct(
+        &two("S.Type disjoint T.Type", &catalog),
+        &l1,
+        &l1,
+        &catalog,
+    )
+    .unwrap();
+    assert!(matches!(r.s_conds[0], OneVar::Domain { rel: cfq::constraints::SetRel::NotSuperset, .. }));
+    let r = reduce_quasi_succinct(
+        &two("max(S.Price) <= min(T.Price)", &catalog),
+        &l1,
+        &l1,
+        &catalog,
+    )
+    .unwrap();
+    assert!(matches!(
+        r.s_conds[0],
+        OneVar::AggCmp { agg: Agg::Max, op: CmpOp::Le, value, .. } if value == 40.0
+    ));
+    assert!(matches!(
+        r.t_conds[0],
+        OneVar::AggCmp { agg: Agg::Min, op: CmpOp::Ge, value, .. } if value == 10.0
+    ));
+}

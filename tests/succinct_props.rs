@@ -1,0 +1,86 @@
+//! The compiled [`SuccinctForm`] must be *semantically exact*: a set passes
+//! the form's four parts (allowed universe, required groups, residual
+//! anti-monotone checks, post filters) iff it satisfies the original
+//! conjunction. Soundness alone would keep answers correct (post filters
+//! re-check), but exactness is what makes the CAP output filter equal to
+//! generate-and-test — property-tested here over the whole 1-var language
+//! on random catalogs.
+
+use cfq::constraints::eval_all_one;
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+fn form_accepts(form: &SuccinctForm, s: &Itemset, catalog: &Catalog) -> bool {
+    let in_allowed = match &form.allowed {
+        None => true,
+        Some(a) => s.iter().all(|i| a.binary_search(&i).is_ok()),
+    };
+    in_allowed
+        && form.satisfies_required(s)
+        && form.admits_candidate(s, catalog)
+        && form.passes_post(s, catalog)
+}
+
+fn pool(p1: u32, p2: u32) -> Vec<String> {
+    vec![
+        format!("max(S.Price) <= {p1}"),
+        format!("max(S.Price) < {p1}"),
+        format!("max(S.Price) >= {p2}"),
+        format!("min(S.Price) <= {p2}"),
+        format!("min(S.Price) >= {p2}"),
+        format!("min(S.Price) = {p2}"),
+        format!("sum(S.Price) <= {}", p1 + p2),
+        format!("sum(S.Price) >= {p1}"),
+        format!("avg(S.Price) <= {p1}"),
+        format!("avg(S.Price) >= {p2}"),
+        format!("count(S) <= 2"),
+        format!("count(S) = 2"),
+        format!("count(S.Type) = 1"),
+        "S.Type subset {a, b}".to_string(),
+        "S.Type superset {a}".to_string(),
+        "S.Type = {a}".to_string(),
+        "S.Type != {a}".to_string(),
+        "S.Type disjoint {c}".to_string(),
+        "S.Type intersects {b, c}".to_string(),
+        "S.Type notsuperset {a, b}".to_string(),
+        "S.Type notsubset {a}".to_string(),
+        format!("{p2} in S.Price"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_form_is_semantically_exact(
+        prices in prop::collection::vec(1u32..40, 6),
+        types in prop::collection::vec(0u32..3, 6),
+        picks in prop::collection::vec(0usize..22, 1..4),
+        p1 in 5u32..40,
+        p2 in 1u32..25,
+    ) {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", prices.iter().map(|&p| p as f64).collect()).unwrap();
+        let labels: Vec<String> =
+            types.iter().map(|&t| ((b'a' + t as u8) as char).to_string()).collect();
+        b.cat_attr("Type", &labels).unwrap();
+        let catalog = b.build();
+
+        let pool = pool(p1, p2);
+        let srcs: Vec<&str> = picks.iter().map(|&i| pool[i].as_str()).collect();
+        let text = srcs.join(" & ");
+        let q = bind_query(&parse_query(&text).unwrap(), &catalog).unwrap();
+        let form = SuccinctForm::compile(&q.one_var, &catalog);
+
+        let all: Itemset = (0u32..6).collect();
+        for s in all.all_nonempty_subsets() {
+            let semantic = eval_all_one(&q.one_var, &s, &catalog);
+            let compiled = form_accepts(&form, &s, &catalog);
+            prop_assert_eq!(
+                semantic, compiled,
+                "`{}` disagrees on {} (semantic={}, form={})",
+                &text, &s, semantic, compiled
+            );
+        }
+    }
+}
