@@ -2,6 +2,8 @@
 //! and the two support counters.
 
 use cfq_bench::experiments::ExpEnv;
+use cfq_core::{Optimizer, QueryEnv};
+use cfq_datagen::ScenarioBuilder;
 use cfq_mining::{
     apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, HashTreeCounter,
     NaiveCounter, ParallelTrieCounter, PartitionConfig, SupportCounter, TidsetIndex, TrieCounter,
@@ -21,6 +23,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut stats = WorkStats::new();
             apriori(&db, &AprioriConfig::new(support), &mut stats).total()
+        })
+    });
+    g.bench_function("apriori_quest_untrimmed", |b| {
+        b.iter(|| {
+            let mut stats = WorkStats::new();
+            apriori(&db, &AprioriConfig::new(support).with_trim(false), &mut stats).total()
         })
     });
     g.bench_function("fp_growth_quest", |b| {
@@ -79,6 +87,37 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             cfq_datagen::generate_transactions(&e.quest()).unwrap().len()
         })
+    });
+
+    // End-to-end optimizer on the Fig. 8(a) workload (16.6% overlap):
+    // untrimmed sequential substrate vs per-level trimming + all-core counting.
+    let sc = ScenarioBuilder::new(e.quest())
+        .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+        .unwrap();
+    let sc_support = e.abs_support(sc.db.len());
+    let q = cfq_constraints::bind_query(
+        &cfq_constraints::parse_query("max(S.Price) <= min(T.Price)").unwrap(),
+        &sc.catalog,
+    )
+    .unwrap();
+    let opt_env = |trim: bool, threads: usize| {
+        QueryEnv::new(&sc.db, &sc.catalog, sc_support)
+            .with_s_universe(sc.s_items.clone())
+            .with_t_universe(sc.t_items.clone())
+            .with_trim(trim)
+            .with_counting_threads(threads)
+    };
+    g.bench_function("optimizer_fig8a_untrimmed_sequential", |b| {
+        let env = opt_env(false, 1);
+        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+    });
+    g.bench_function("optimizer_fig8a_trimmed_sequential", |b| {
+        let env = opt_env(true, 1);
+        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+    });
+    g.bench_function("optimizer_fig8a_trimmed_parallel", |b| {
+        let env = opt_env(true, 0);
+        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
     });
     g.finish();
 }

@@ -7,12 +7,16 @@
 //! ```
 //!
 //! Environment: `CFQ_SCALE` (fraction of 100k transactions, default 0.1),
-//! `CFQ_SEED`, `CFQ_SUPPORT` (relative support, default 0.004).
+//! `CFQ_SEED`, `CFQ_SUPPORT` (relative support, default 0.004),
+//! `CFQ_THREADS` (counting threads, default 0 = all cores), `CFQ_TRIM`
+//! (per-level database trimming, default on; `0`/`off`/`false` disables).
+//! The `substrate` target additionally writes `BENCH_substrate.json`
+//! (path override: `CFQ_BENCH_OUT`).
 
 use cfq_bench::experiments as exp;
 use cfq_bench::ExpEnv;
 
-const USAGE: &str = "usage: repro [fig8a|table-levels|table-ranges|fig8b|table-72|table-73|fig1|cap-suite|backbones|ablations|all]...";
+const USAGE: &str = "usage: repro [fig8a|table-levels|table-ranges|fig8b|table-72|table-73|fig1|cap-suite|backbones|ablations|substrate|all]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,13 +26,17 @@ fn main() {
     }
     let env = ExpEnv::from_env();
     println!(
-        "# cfq reproduction run (scale={}, seed={}, support={})\n",
-        env.scale, env.seed, env.support_frac
+        "# cfq reproduction run (scale={}, seed={}, support={}, threads={}, trim={})\n",
+        env.scale,
+        env.seed,
+        env.support_frac,
+        if env.threads == 0 { "all".to_string() } else { env.threads.to_string() },
+        if env.trim { "on" } else { "off" },
     );
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig1", "fig8a", "table-levels", "table-ranges", "fig8b", "table-72", "table-73",
-            "cap-suite", "backbones", "ablations",
+            "cap-suite", "backbones", "ablations", "substrate",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -36,6 +44,7 @@ fn main() {
     for t in targets {
         match t {
             "fig1" => exp::fig1().print(),
+            "substrate" => exp::substrate(&env).print(),
             "fig8a" => exp::fig8a(&env).print(),
             "table-levels" => exp::table_levels(&env).print(),
             "table-ranges" => exp::table_ranges(&env).print(),

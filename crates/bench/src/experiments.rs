@@ -16,7 +16,8 @@ use cfq_types::Catalog;
 use std::time::Instant;
 
 /// Experiment environment: workload scale and seeds, read once from the
-/// process environment (`CFQ_SCALE`, `CFQ_SEED`, `CFQ_SUPPORT`).
+/// process environment (`CFQ_SCALE`, `CFQ_SEED`, `CFQ_SUPPORT`,
+/// `CFQ_THREADS`, `CFQ_TRIM`).
 #[derive(Clone, Debug)]
 pub struct ExpEnv {
     /// Fraction of the paper's 100,000 transactions (1.0 = paper scale).
@@ -25,11 +26,17 @@ pub struct ExpEnv {
     pub seed: u64,
     /// Relative support threshold (fraction of |D|).
     pub support_frac: f64,
+    /// Counting threads for the optimizer runs (0 = all cores). The
+    /// *library* default is 1 (deterministic scan accounting); the repro
+    /// binary defaults to all cores since it measures wall clock.
+    pub threads: usize,
+    /// Per-level database trimming for the optimizer runs.
+    pub trim: bool,
 }
 
 impl Default for ExpEnv {
     fn default() -> Self {
-        ExpEnv { scale: 0.1, seed: 19990601, support_frac: 0.004 }
+        ExpEnv { scale: 0.1, seed: 19990601, support_frac: 0.004, threads: 0, trim: true }
     }
 }
 
@@ -51,6 +58,14 @@ impl ExpEnv {
             if let Ok(x) = v.parse() {
                 e.support_frac = x;
             }
+        }
+        if let Ok(v) = std::env::var("CFQ_THREADS") {
+            if let Ok(x) = v.parse() {
+                e.threads = x;
+            }
+        }
+        if let Ok(v) = std::env::var("CFQ_TRIM") {
+            e.trim = !matches!(v.as_str(), "0" | "off" | "false");
         }
         e
     }
@@ -78,10 +93,12 @@ fn bind(src: &str, catalog: &Catalog) -> BoundQuery {
         .expect("experiment query binds")
 }
 
-fn env_for<'a>(sc: &'a Scenario, support: u64) -> QueryEnv<'a> {
+fn env_for<'a>(e: &ExpEnv, sc: &'a Scenario, support: u64) -> QueryEnv<'a> {
     QueryEnv::new(&sc.db, &sc.catalog, support)
         .with_s_universe(sc.s_items.clone())
         .with_t_universe(sc.t_items.clone())
+        .with_counting_threads(e.threads)
+        .with_trim(e.trim)
 }
 
 fn counted(out: &ExecutionOutcome) -> u64 {
@@ -101,7 +118,7 @@ pub fn fig8a(e: &ExpEnv) -> Table {
             .expect("scenario");
         let support = e.abs_support(sc.db.len());
         let q = bind("max(S.Price) <= min(T.Price)", &sc.catalog);
-        let qenv = env_for(&sc, support);
+        let qenv = env_for(e, &sc, support);
         let (base, tb) = timed(&Optimizer::apriori_plus(), &q, &qenv);
         let (opt, to) = timed(&Optimizer::default(), &q, &qenv);
         assert_eq!(base.pair_result.count, opt.pair_result.count, "answers must agree");
@@ -126,7 +143,7 @@ pub fn table_levels(e: &ExpEnv) -> Table {
         .expect("scenario");
     let support = e.abs_support(sc.db.len());
     let q = bind("max(S.Price) <= min(T.Price)", &sc.catalog);
-    let qenv = env_for(&sc, support);
+    let qenv = env_for(e, &sc, support);
     let base = Optimizer::apriori_plus().run(&q, &qenv);
     let opt = Optimizer::default().run(&q, &qenv);
     assert_eq!(base.pair_result.count, opt.pair_result.count);
@@ -177,7 +194,7 @@ pub fn table_ranges(e: &ExpEnv) -> Table {
             .expect("scenario");
         let support = e.abs_support(sc.db.len());
         let q = bind("max(S.Price) <= min(T.Price)", &sc.catalog);
-        let qenv = env_for(&sc, support);
+        let qenv = env_for(e, &sc, support);
         let (base, tb) = timed(&Optimizer::apriori_plus(), &q, &qenv);
         let (opt, to) = timed(&Optimizer::default(), &q, &qenv);
         assert_eq!(base.pair_result.count, opt.pair_result.count);
@@ -209,7 +226,7 @@ pub fn fig8b(e: &ExpEnv) -> Table {
             .expect("scenario");
         let support = e.abs_support(sc.db.len());
         let q = bind(FIG8B_QUERY, &sc.catalog);
-        let qenv = env_for(&sc, support);
+        let qenv = env_for(e, &sc, support);
         let (base, tb) = timed(&Optimizer::apriori_plus(), &q, &qenv);
         let (one, t1) = timed(&Optimizer::cap_one_var(), &q, &qenv);
         let (full, t2) = timed(&Optimizer::default(), &q, &qenv);
@@ -246,7 +263,7 @@ pub fn table_72(e: &ExpEnv) -> Table {
             ),
             &sc.catalog,
         );
-        let qenv = env_for(&sc, support);
+        let qenv = env_for(e, &sc, support);
         let (base, tb) = timed(&Optimizer::apriori_plus(), &q, &qenv);
         let (one, t1) = timed(&Optimizer::cap_one_var(), &q, &qenv);
         let (full, t2) = timed(&Optimizer::default(), &q, &qenv);
@@ -303,7 +320,7 @@ pub fn table_73(e: &ExpEnv) -> Table {
         // a higher T threshold keeps the bounding lattice selective.
         let (sc, s_support, t_support) = workload_73(e, t_mean);
         let q = bind("sum(S.Price) <= sum(T.Price)", &sc.catalog);
-        let qenv = env_for(&sc, 0)
+        let qenv = env_for(e, &sc, 0)
             .with_supports(s_support, t_support)
             .without_pair_formation();
         let (base, tb) = timed(&Optimizer { use_jkmax: false, ..Optimizer::default() }, &q, &qenv);
@@ -395,7 +412,7 @@ pub fn fig1() -> Table {
 pub fn ablation_dovetail(e: &ExpEnv) -> Table {
     let (sc, s_support, t_support) = workload_73(e, 400.0);
     let q = bind("sum(S.Price) <= sum(T.Price)", &sc.catalog);
-    let qenv = env_for(&sc, 0)
+    let qenv = env_for(e, &sc, 0)
         .with_supports(s_support, t_support)
         .without_pair_formation();
     let mut t = Table::new(
@@ -469,7 +486,7 @@ pub fn ablation_layers(e: &ExpEnv) -> Table {
         .expect("scenario");
     let support = e.abs_support(sc.db.len());
     let q = bind(FIG8B_QUERY, &sc.catalog);
-    let qenv = env_for(&sc, support);
+    let qenv = env_for(e, &sc, support);
     let mut t = Table::new(
         "Ablation: constraint-pushing layers on the Fig. 8(b) workload (40% overlap)",
         &["strategy", "time", "counted", "constraint checks", "pairs"],
@@ -521,7 +538,7 @@ pub fn cap_suite(e: &ExpEnv) -> Table {
         let q = bind(src, &sc.catalog);
         // [15] measures the frequent-set computation phase; pair formation
         // is identical across strategies and would drown the signal here.
-        let qenv = env_for(&sc, support).without_pair_formation();
+        let qenv = env_for(e, &sc, support).without_pair_formation();
         let (base, tb) = timed(&Optimizer::apriori_plus(), &q, &qenv);
         let (cap, tc) = timed(&Optimizer::default(), &q, &qenv);
         assert_eq!(base.s_sets, cap.s_sets, "`{src}`");
@@ -584,4 +601,187 @@ pub fn backbone_comparison(e: &ExpEnv) -> Table {
         t.row(vec!["fp-growth".into(), secs(secs_taken), stats.db_scans.to_string(), fs.total().to_string()]);
     }
     t
+}
+
+/// Aggregates scan extents by level: `[(level, rows, items)]`.
+fn levels_scanned(extents: &[cfq_mining::ScanExtent]) -> Vec<(usize, u64, u64)> {
+    let mut agg: std::collections::BTreeMap<usize, (u64, u64)> = std::collections::BTreeMap::new();
+    for x in extents {
+        let e = agg.entry(x.level).or_default();
+        e.0 += x.rows;
+        e.1 += x.items;
+    }
+    agg.into_iter().map(|(l, (r, i))| (l, r, i)).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// **E12 (mining substrate)** — end-to-end optimizer runs on the Fig. 8(a)
+/// (16.6% overlap) and Fig. 8(b) (40% Type overlap) workloads, comparing the
+/// untrimmed sequential substrate against per-level database trimming +
+/// parallel counting. Returns the report table and the machine-readable
+/// JSON document (`BENCH_substrate.json`).
+pub fn substrate_report(e: &ExpEnv) -> (Table, String) {
+    let mut t = Table::new(
+        "Mining substrate: per-level DB trimming + parallel counting vs untrimmed sequential",
+        &[
+            "workload", "config", "time", "counted", "rows scanned", "items scanned",
+            "KiB scanned", "trim dropped (rows/items)", "speedup",
+        ],
+    );
+    // The Fig. 8(a) workload runs at half the environment support so the
+    // lattice reaches level 3+: level 1 is always a full scan, so a 2-level
+    // run structurally caps the items-scanned reduction below 2x.
+    let workloads: Vec<(&str, Scenario, &str, u64)> = vec![
+        (
+            "fig8a_overlap16.6",
+            ScenarioBuilder::new(e.quest())
+                .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+                .expect("scenario"),
+            "max(S.Price) <= min(T.Price)",
+            2,
+        ),
+        (
+            "fig8b_type_overlap40",
+            ScenarioBuilder::new(e.quest())
+                .typed_overlap(400.0, 600.0, TYPES_PER_SIDE, 40.0)
+                .expect("scenario"),
+            FIG8B_QUERY,
+            1,
+        ),
+    ];
+    let mut json_workloads: Vec<String> = Vec::new();
+    for (name, sc, query, support_div) in &workloads {
+        let support = (e.abs_support(sc.db.len()) / support_div).max(1);
+        let q = bind(query, &sc.catalog);
+        let mk_env = |trim: bool, threads: usize| {
+            QueryEnv::new(&sc.db, &sc.catalog, support)
+                .with_s_universe(sc.s_items.clone())
+                .with_t_universe(sc.t_items.clone())
+                .with_trim(trim)
+                .with_counting_threads(threads)
+        };
+        let base_env = mk_env(false, 1);
+        let opt_env = mk_env(true, e.threads);
+        let (base, tb) = timed(&Optimizer::default(), &q, &base_env);
+        let (opt, to) = timed(&Optimizer::default(), &q, &opt_env);
+        assert_eq!(base.pair_result.count, opt.pair_result.count, "{name}: answers must agree");
+        assert_eq!(base.s_sets, opt.s_sets, "{name}: S answers must agree");
+        assert_eq!(base.t_sets, opt.t_sets, "{name}: T answers must agree");
+
+        let mut json_configs: Vec<String> = Vec::new();
+        for (cfg, wall, out) in [("untrimmed_sequential", tb, &base), ("trimmed_parallel", to, &opt)] {
+            let sp =
+                if cfg == "untrimmed_sequential" { "1.00x".to_string() } else { speedup(tb, to) };
+            t.row(vec![
+                name.to_string(),
+                cfg.to_string(),
+                secs(wall),
+                counted(out).to_string(),
+                out.scan.rows_scanned.to_string(),
+                out.scan.items_scanned.to_string(),
+                format!("{:.1}", out.scan.bytes_scanned() as f64 / 1024.0),
+                format!("{}/{}", out.scan.trim_rows_dropped, out.scan.trim_items_dropped),
+                sp,
+            ]);
+            let levels: Vec<String> = levels_scanned(&out.scan.extents)
+                .into_iter()
+                .map(|(l, r, i)| format!("{{\"level\":{l},\"rows\":{r},\"items\":{i}}}"))
+                .collect();
+            json_configs.push(format!(
+                concat!(
+                    "{{\"config\":\"{}\",\"wall_clock_s\":{:.6},\"candidates_counted\":{},",
+                    "\"rows_scanned\":{},\"items_scanned\":{},\"bytes_scanned\":{},",
+                    "\"trim_passes\":{},\"trim_rows_dropped\":{},\"trim_items_dropped\":{},",
+                    "\"pairs\":{},\"levels\":[{}]}}"
+                ),
+                cfg,
+                wall,
+                counted(out),
+                out.scan.rows_scanned,
+                out.scan.items_scanned,
+                out.scan.bytes_scanned(),
+                out.scan.trim_passes,
+                out.scan.trim_rows_dropped,
+                out.scan.trim_items_dropped,
+                out.pair_result.count,
+                levels.join(","),
+            ));
+        }
+        let reduction = base.scan.items_scanned as f64 / (opt.scan.items_scanned.max(1)) as f64;
+        json_workloads.push(format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"query\":\"{}\",\"transactions\":{},\"support\":{},",
+                "\"configs\":[{}],\"speedup\":{:.3},\"items_scanned_reduction\":{:.3}}}"
+            ),
+            json_escape(name),
+            json_escape(query),
+            sc.db.len(),
+            support,
+            json_configs.join(","),
+            tb / to.max(1e-9),
+            reduction,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"substrate\",\"scale\":{},\"seed\":{},\"support_frac\":{},",
+            "\"threads\":{},\"workloads\":[{}]}}\n"
+        ),
+        e.scale,
+        e.seed,
+        e.support_frac,
+        e.threads,
+        json_workloads.join(","),
+    );
+    (t, json)
+}
+
+/// Runs [`substrate_report`] and writes the JSON document to
+/// `BENCH_substrate.json` (override the path with `CFQ_BENCH_OUT`).
+pub fn substrate(e: &ExpEnv) -> Table {
+    let (t, json) = substrate_report(e);
+    let path =
+        std::env::var("CFQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_substrate.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_report_is_consistent() {
+        // Tiny workload: the report must agree between configs and the JSON
+        // document must carry the headline counters.
+        let e = ExpEnv { scale: 0.01, threads: 2, ..ExpEnv::default() };
+        let (t, json) = substrate_report(&e);
+        assert_eq!(t.rows.len(), 4, "two workloads x two configs");
+        for key in [
+            "\"bench\":\"substrate\"",
+            "\"workload\":\"fig8a_overlap16.6\"",
+            "\"workload\":\"fig8b_type_overlap40\"",
+            "\"config\":\"untrimmed_sequential\"",
+            "\"config\":\"trimmed_parallel\"",
+            "\"items_scanned_reduction\"",
+            "\"levels\":[{\"level\":1,",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}: {json}");
+        }
+        // The untrimmed config never drops anything.
+        assert!(json.contains("\"trim_passes\":0"));
+    }
+
+    #[test]
+    fn env_knobs_are_read() {
+        let e = ExpEnv::default();
+        assert_eq!(e.threads, 0);
+        assert!(e.trim);
+    }
 }

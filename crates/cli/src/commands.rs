@@ -108,7 +108,8 @@ pub fn query(argv: Vec<String>) -> Result<()> {
         println!(
             "cfq query --data FILE --catalog FILE \"CONSTRAINTS\"\n\
              [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
-             [--explain] [--limit N] [--rules] [--min-confidence F] [--threads N]\n\
+             [--explain] [--limit N] [--rules] [--min-confidence F]\n\
+             [--threads N (default 0 = all cores)] [--trim on|off]\n\
              [--out pairs.csv]"
         );
         return Ok(());
@@ -137,8 +138,11 @@ pub fn query(argv: Vec<String>) -> Result<()> {
         other => return Err(CfqError::Config(format!("unknown strategy `{other}`"))),
     };
 
+    // The CLI defaults to all cores (0); the library default stays 1 so
+    // programmatic runs are deterministic in their work accounting.
     let env = QueryEnv::new(&db, &catalog, min_support)
-        .with_counting_threads(a.num("threads", 1usize)?);
+        .with_counting_threads(a.num("threads", 0usize)?)
+        .with_trim(parse_on_off(a.get("trim"), "trim")?);
     if a.flag("explain") {
         for (i, bound) in disjuncts.iter().enumerate() {
             if disjuncts.len() > 1 {
@@ -164,6 +168,15 @@ pub fn query(argv: Vec<String>) -> Result<()> {
         took,
         out.s_stats.support_counted + out.t_stats.support_counted,
         out.db_scans,
+    );
+    println!(
+        "scan volume: {} rows / {} items ({} KiB); trim dropped {} rows / {} items over {} passes",
+        out.scan.rows_scanned,
+        out.scan.items_scanned,
+        out.scan.bytes_scanned() / 1024,
+        out.scan.trim_rows_dropped,
+        out.scan.trim_items_dropped,
+        out.scan.trim_passes,
     );
     let limit: usize = a.num("limit", 20usize)?;
     for &(si, ti) in out.pair_result.pairs.iter().take(limit) {
@@ -202,7 +215,8 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
     if wants_help(&argv) {
         println!(
             "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
-             [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]"
+             [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]\n\
+             [--threads N (default 0 = all cores; apriori only)] [--trim on|off]"
         );
         return Ok(());
     }
@@ -221,7 +235,12 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
     let mut stats = WorkStats::new();
     let start = std::time::Instant::now();
     let fs: FrequentSets = match backbone {
-        "apriori" => apriori(&db, &AprioriConfig::new(min_support), &mut stats),
+        "apriori" => {
+            let cfg = AprioriConfig::new(min_support)
+                .with_counting_threads(a.num("threads", 0usize)?)
+                .with_trim(parse_on_off(a.get("trim"), "trim")?);
+            apriori(&db, &cfg, &mut stats)
+        }
         "fpgrowth" | "fp-growth" => {
             fp_growth(&db, &FpGrowthConfig::new(min_support), &mut stats)
         }
@@ -316,6 +335,15 @@ fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
 
 fn wants_help(argv: &[String]) -> bool {
     argv.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Parses an `on`/`off` option value; absent means `on`.
+fn parse_on_off(value: Option<&str>, name: &str) -> Result<bool> {
+    match value {
+        None | Some("on") | Some("true") | Some("1") => Ok(true),
+        Some("off") | Some("false") | Some("0") => Ok(false),
+        Some(other) => Err(CfqError::Config(format!("bad --{name} `{other}` (use on|off)"))),
+    }
 }
 
 /// A tiny self-contained PCG32 random generator so the CLI crate does not
@@ -428,6 +456,53 @@ mod tests {
         }
         mine(argv(&["--data".into(), data.clone(), "--maximal".into()])).unwrap();
         mine(argv(&["--data".into(), data, "--closed".into()])).unwrap();
+    }
+
+    #[test]
+    fn trim_and_thread_flags() {
+        let data = tmp("d4.txt");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "30".into(),
+            "--transactions".into(),
+            "200".into(),
+            "--patterns".into(),
+            "10".into(),
+        ]))
+        .unwrap();
+        for trim in ["on", "off"] {
+            query(argv(&[
+                "--data".into(),
+                data.clone(),
+                "--min-support".into(),
+                "0.05".into(),
+                "--trim".into(),
+                trim.into(),
+                "--threads".into(),
+                "2".into(),
+                "S disjoint T".into(),
+            ]))
+            .unwrap();
+            mine(argv(&[
+                "--data".into(),
+                data.clone(),
+                "--backbone".into(),
+                "apriori".into(),
+                "--trim".into(),
+                trim.into(),
+            ]))
+            .unwrap();
+        }
+        assert!(query(argv(&[
+            "--data".into(),
+            data,
+            "--trim".into(),
+            "sideways".into(),
+            "S disjoint T".into(),
+        ]))
+        .is_err());
     }
 
     #[test]

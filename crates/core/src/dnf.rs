@@ -28,6 +28,7 @@ impl Optimizer {
         let mut pair_keys: BTreeSet<(Itemset, Itemset)> = BTreeSet::new();
         let mut s_stats = WorkStats::new();
         let mut t_stats = WorkStats::new();
+        let mut scan = cfq_mining::ScanStats::default();
         let mut db_scans = 0;
         let mut v_histories = Vec::new();
         let mut checks = 0;
@@ -46,6 +47,7 @@ impl Optimizer {
             }
             s_stats.absorb(&out.s_stats);
             t_stats.absorb(&out.t_stats);
+            scan.absorb(&out.scan);
             db_scans += out.db_scans;
             v_histories.extend(out.v_histories);
         }
@@ -81,6 +83,7 @@ impl Optimizer {
             s_stats,
             t_stats,
             db_scans,
+            scan,
             v_histories,
         }
     }

@@ -38,6 +38,8 @@ pub fn full_materialization(query: &BoundQuery, env: &QueryEnv<'_>) -> Result<Ex
         *ti = t_remap[*ti as usize];
     }
 
+    let mut scan = s_stats.scan.clone();
+    scan.absorb(&t_stats.scan);
     Ok(ExecutionOutcome {
         s_sets,
         t_sets,
@@ -45,6 +47,7 @@ pub fn full_materialization(query: &BoundQuery, env: &QueryEnv<'_>) -> Result<Ex
         s_stats,
         t_stats,
         db_scans,
+        scan,
         v_histories: Vec::new(),
     })
 }
@@ -118,6 +121,9 @@ fn fm_side(
         let n_candidates = level_sets.len() as u64;
         let counts = TrieCounter.count(env.db, &level_sets);
         stats.record_scan();
+        stats
+            .scan
+            .record_extent(idx + 1, env.db.len() as u64, env.db.total_items() as u64);
         let mut frequent = 0u64;
         for (s, n) in level_sets.into_iter().zip(counts) {
             if n >= min_support {

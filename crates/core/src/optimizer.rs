@@ -28,7 +28,8 @@ use cfq_constraints::{
     OneVar, SuccinctForm, TwoVar, Var,
 };
 use cfq_mining::counter::count_supports_with;
-use cfq_mining::{ParallelTrieCounter, SupportCounter, WorkStats};
+use cfq_mining::trim::{trim_db_recorded, LiveSet};
+use cfq_mining::{ParallelTrieCounter, ScanStats, SupportCounter, WorkStats};
 use cfq_types::{AttrId, Catalog, ItemId, Itemset, TransactionDb};
 
 /// How a 2-var constraint ends up being handled.
@@ -70,6 +71,12 @@ pub struct QueryEnv<'a> {
     /// per core, n = exactly n. Counting shards transactions; results are
     /// bit-identical to sequential.
     pub counting_threads: usize,
+    /// Per-level database reduction (default on): between levels the
+    /// executor drops items outside the upcoming candidates — for the
+    /// dovetailed shared scan, outside the *union* of both lattices'
+    /// candidates — and rows left shorter than the smallest candidate.
+    /// Answers are provably identical with trimming on or off.
+    pub trim: bool,
 }
 
 impl<'a> QueryEnv<'a> {
@@ -86,12 +93,19 @@ impl<'a> QueryEnv<'a> {
             max_pairs: None,
             form_pairs: true,
             counting_threads: 1,
+            trim: true,
         }
     }
 
     /// Enables multi-threaded support counting (0 = one worker per core).
     pub fn with_counting_threads(mut self, threads: usize) -> Self {
         self.counting_threads = threads;
+        self
+    }
+
+    /// Enables or disables per-level database reduction.
+    pub fn with_trim(mut self, trim: bool) -> Self {
+        self.trim = trim;
         self
     }
 
@@ -317,6 +331,10 @@ pub struct ExecutionOutcome {
     pub t_stats: WorkStats,
     /// Total database scans (a dovetailed scan counts once).
     pub db_scans: u64,
+    /// Scan volume and trim accounting across the whole execution: how many
+    /// rows/items each scan actually touched (trim passes are tracked
+    /// separately and do not count as scans).
+    pub scan: ScanStats,
     /// The `V^k` histories per pruned variable (empty without `J^k_max`).
     pub v_histories: Vec<(Var, Vec<(usize, f64)>)>,
 }
@@ -414,6 +432,7 @@ impl Optimizer {
         );
         let catalog = env.catalog;
         let mut db_scans = 0u64;
+        let mut scan = ScanStats::default();
 
         let make_run = |var: Var| {
             let pushed: Vec<OneVar> = if self.push_one_var {
@@ -439,13 +458,14 @@ impl Optimizer {
         let mut s_run = make_run(Var::S);
         let mut t_run = make_run(Var::T);
 
-        // ---- Level 1 ----
+        // ---- Level 1 (always over the full database) ----
         let cs = s_run.next_candidates();
         let ct = t_run.next_candidates();
         if self.dovetail {
             if !(cs.is_empty() && ct.is_empty()) {
                 let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
                 db_scans += 1;
+                scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
                 if !cs.is_empty() {
                     s_run.absorb_counts(&counts[0]);
                 }
@@ -459,6 +479,7 @@ impl Optimizer {
                     let counts =
                         ParallelTrieCounter { threads: env.counting_threads }.count(env.db, cands);
                     db_scans += 1;
+                    scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
                     run.absorb_counts(&counts);
                 }
             }
@@ -514,6 +535,13 @@ impl Optimizer {
         };
 
         // ---- Levels ≥ 2 ----
+        // Per-level database reduction: only items inside the upcoming
+        // candidates can still produce a count, and only rows keeping at
+        // least the smallest candidate's length can contain one, so both
+        // are dropped before the scan. Candidate sets only ever draw from
+        // earlier frequent sets, so the live set shrinks monotonically and
+        // re-trimming the already-trimmed database stays exact.
+        let mut trimmed: Option<TransactionDb> = None;
         if self.dovetail {
             loop {
                 s_run.set_extra_am(jk_am_conds(&jk_states, Var::S, catalog));
@@ -524,8 +552,33 @@ impl Optimizer {
                 if cs.is_empty() && ct.is_empty() {
                     break;
                 }
-                let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
+                let level = if cs.is_empty() { t_before + 1 } else { s_before + 1 };
+                if env.trim {
+                    // The shared scan serves both lattices, so trimming must
+                    // keep the *union* of their live items: an item dead for
+                    // S may appear in T's candidates and vice versa.
+                    let live = LiveSet::from_items(
+                        env.db.n_items(),
+                        cs.iter().chain(ct.iter()).flat_map(|c| c.iter()),
+                    );
+                    let min_len = [&cs, &ct]
+                        .into_iter()
+                        .filter(|b| !b.is_empty())
+                        .map(|b| b[0].len())
+                        .min()
+                        .expect("at least one batch is non-empty");
+                    let r = trim_db_recorded(
+                        trimmed.as_ref().unwrap_or(env.db),
+                        &live,
+                        min_len,
+                        &mut scan,
+                    );
+                    trimmed = Some(r.db);
+                }
+                let cur = trimmed.as_ref().unwrap_or(env.db);
+                let counts = count_supports_with(cur, &[&cs, &ct], env.counting_threads);
                 db_scans += 1;
+                scan.record_extent(level, cur.len() as u64, cur.total_items() as u64);
                 if !cs.is_empty() {
                     s_run.absorb_counts(&counts[0]);
                 }
@@ -541,6 +594,9 @@ impl Optimizer {
                 || jk_states.is_empty();
             let order: [Var; 2] = if t_first { [Var::T, Var::S] } else { [Var::S, Var::T] };
             for var in order {
+                // Each lattice trims for its own candidates only; start it
+                // from the full database again.
+                trimmed = None;
                 loop {
                     let run = match var {
                         Var::S => &mut s_run,
@@ -552,9 +608,24 @@ impl Optimizer {
                     if cands.is_empty() {
                         break;
                     }
+                    if env.trim {
+                        let live = LiveSet::from_items(
+                            env.db.n_items(),
+                            cands.iter().flat_map(|c| c.iter()),
+                        );
+                        let r = trim_db_recorded(
+                            trimmed.as_ref().unwrap_or(env.db),
+                            &live,
+                            cands[0].len(),
+                            &mut scan,
+                        );
+                        trimmed = Some(r.db);
+                    }
+                    let cur = trimmed.as_ref().unwrap_or(env.db);
                     let counts =
-                        ParallelTrieCounter { threads: env.counting_threads }.count(env.db, &cands);
+                        ParallelTrieCounter { threads: env.counting_threads }.count(cur, &cands);
                     db_scans += 1;
+                    scan.record_extent(before + 1, cur.len() as u64, cur.total_items() as u64);
                     run.absorb_counts(&counts);
                     let (sb, tb) = match var {
                         Var::S => (before, t_run.levels_done()),
@@ -604,6 +675,7 @@ impl Optimizer {
                 s_stats: s_run.stats().clone(),
                 t_stats: t_run.stats().clone(),
                 db_scans,
+                scan,
                 v_histories: jk_states
                     .into_iter()
                     .map(|st| (st.task.pruned, st.series.history().to_vec()))
@@ -637,6 +709,7 @@ impl Optimizer {
             s_stats: s_run.stats().clone(),
             t_stats: t_run.stats().clone(),
             db_scans,
+            scan,
             v_histories: jk_states
                 .into_iter()
                 .map(|st| (st.task.pruned, st.series.history().to_vec()))
@@ -880,6 +953,61 @@ mod tests {
             2,
         );
         assert_same_answer("count(S.Type) = 1 & count(T.Type) = 1 & S.Type != T.Type", 2);
+    }
+
+    #[test]
+    fn trim_on_off_identical_answers() {
+        let cat = catalog();
+        let d = db();
+        // Cover the dovetail + J^k_max path (sum/sum) and the sequential
+        // executor, with every strategy family.
+        for src in [
+            "sum(S.Price) <= sum(T.Price)",
+            "max(S.Price) <= min(T.Price)",
+            "S.Type disjoint T.Type",
+            "avg(S.Price) <= avg(T.Price) & S.Type = T.Type",
+        ] {
+            let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+            let env_on = QueryEnv::new(&d, &cat, 2);
+            let env_off = QueryEnv::new(&d, &cat, 2).with_trim(false);
+            for opt in [
+                Optimizer::default(),
+                Optimizer { dovetail: false, ..Optimizer::default() },
+                Optimizer::apriori_plus(),
+            ] {
+                let on = opt.run(&q, &env_on);
+                let off = opt.run(&q, &env_off);
+                assert_eq!(on.s_sets, off.s_sets, "`{src}`: S-sets diverge");
+                assert_eq!(on.t_sets, off.t_sets, "`{src}`: T-sets diverge");
+                assert_eq!(on.pair_result.pairs, off.pair_result.pairs, "`{src}`");
+                assert_eq!(on.v_histories, off.v_histories, "`{src}`: V^k diverges");
+                // Trimming never touches the ccc accounting or scan count…
+                assert_eq!(on.db_scans, off.db_scans, "`{src}`");
+                // …and can only shrink the volume each scan touches.
+                assert!(
+                    on.scan.items_scanned <= off.scan.items_scanned,
+                    "`{src}`: trimmed scan volume grew"
+                );
+                assert_eq!(off.scan.trim_passes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_extents_match_scan_count() {
+        let cat = catalog();
+        let d = db();
+        let q =
+            bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, 2);
+        let out = Optimizer::default().run(&q, &env);
+        assert_eq!(out.scan.extents.len(), out.db_scans as usize);
+        assert_eq!(out.scan.extents[0].items, d.total_items() as u64);
+        assert!(out
+            .scan
+            .extents
+            .windows(2)
+            .all(|w| w[1].items <= w[0].items));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Plain Apriori over a restricted item universe.
 
 use crate::candidates::generate_candidates;
-use crate::counter::{SupportCounter, TrieCounter};
+use crate::counter::{ParallelTrieCounter, SupportCounter};
 use crate::frequent::FrequentSets;
 use crate::stats::WorkStats;
+use crate::trim::{trim_db_recorded, LiveSet};
 use cfq_types::{ItemId, Itemset, TransactionDb};
 
 /// Configuration of an Apriori run.
@@ -16,12 +17,27 @@ pub struct AprioriConfig {
     pub min_support: u64,
     /// Hard level cap; 0 = unbounded.
     pub max_level: usize,
+    /// Per-level database reduction: between levels, drop items outside
+    /// the next level's candidates and rows left too short to matter.
+    /// Support counts are unaffected (see the `trim` module).
+    pub trim: bool,
+    /// Worker threads for support counting (0 = all cores). The default of
+    /// 1 keeps runs deterministic in work accounting and reproducible in
+    /// thread-count-sensitive benchmarks.
+    pub counting_threads: usize,
 }
 
 impl AprioriConfig {
-    /// All items, given threshold, no level cap.
+    /// All items, given threshold, no level cap, trimming on, sequential
+    /// counting.
     pub fn new(min_support: u64) -> Self {
-        AprioriConfig { universe: Vec::new(), min_support, max_level: 0 }
+        AprioriConfig {
+            universe: Vec::new(),
+            min_support,
+            max_level: 0,
+            trim: true,
+            counting_threads: 1,
+        }
     }
 
     /// Restricts the universe.
@@ -34,6 +50,18 @@ impl AprioriConfig {
     /// Caps the level.
     pub fn with_max_level(mut self, max_level: usize) -> Self {
         self.max_level = max_level;
+        self
+    }
+
+    /// Enables or disables per-level database reduction.
+    pub fn with_trim(mut self, trim: bool) -> Self {
+        self.trim = trim;
+        self
+    }
+
+    /// Sets the counting thread count (0 = all cores).
+    pub fn with_counting_threads(mut self, threads: usize) -> Self {
+        self.counting_threads = threads;
         self
     }
 }
@@ -50,13 +78,14 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
     };
 
     let mut result = FrequentSets::new();
-    let counter = TrieCounter;
+    let counter = ParallelTrieCounter { threads: cfg.counting_threads };
 
-    // Level 1.
+    // Level 1 always scans the full database.
     let candidates: Vec<Itemset> =
         universe.iter().map(|&i| Itemset::singleton(i)).collect();
     let counts = counter.count(db, &candidates);
     stats.record_scan();
+    stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
     let mut frequent: Vec<(Itemset, u64)> = candidates
         .into_iter()
         .zip(counts)
@@ -64,6 +93,8 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
         .collect();
     stats.record_level(1, universe.len() as u64, frequent.len() as u64);
 
+    // The working database: `None` borrows `db` untrimmed.
+    let mut trimmed: Option<TransactionDb> = None;
     let mut level = 1usize;
     while !frequent.is_empty() {
         let sets: Vec<Itemset> = frequent.iter().map(|(s, _)| s.clone()).collect();
@@ -76,8 +107,25 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
             break;
         }
         let n_candidates = candidates.len() as u64;
-        let counts = counter.count(db, &candidates);
+        let cur = trimmed.as_ref().unwrap_or(db);
+        let cur = if cfg.trim {
+            // Only items inside some level-(k+1) candidate can still count,
+            // and only rows keeping ≥ k+1 of them can contain one.
+            let live = LiveSet::from_items(
+                db.n_items(),
+                candidates.iter().flat_map(|c| c.iter()),
+            );
+            let r = trim_db_recorded(cur, &live, level + 1, &mut stats.scan);
+            trimmed = Some(r.db);
+            trimmed.as_ref().unwrap()
+        } else {
+            cur
+        };
+        let counts = counter.count(cur, &candidates);
         stats.record_scan();
+        stats
+            .scan
+            .record_extent(level + 1, cur.len() as u64, cur.total_items() as u64);
         level += 1;
         frequent = candidates
             .into_iter()
@@ -167,6 +215,61 @@ mod tests {
         // One scan per counted level.
         assert_eq!(stats.db_scans as usize, stats.levels.len());
         assert!(fs.total() > 0);
+    }
+
+    #[test]
+    fn trim_on_off_identical_results() {
+        let d = db();
+        for min_support in 1..=4u64 {
+            let mut s_on = WorkStats::new();
+            let mut s_off = WorkStats::new();
+            let on = apriori(&d, &AprioriConfig::new(min_support), &mut s_on);
+            let off = apriori(
+                &d,
+                &AprioriConfig::new(min_support).with_trim(false),
+                &mut s_off,
+            );
+            let a: Vec<(Itemset, u64)> = on.iter().map(|(s, n)| (s.clone(), n)).collect();
+            let b: Vec<(Itemset, u64)> = off.iter().map(|(s, n)| (s.clone(), n)).collect();
+            assert_eq!(a, b, "min_support={min_support}");
+            // ccc accounting is untouched by trimming…
+            assert_eq!(s_on.support_counted, s_off.support_counted);
+            assert_eq!(s_on.db_scans, s_off.db_scans);
+            // …but scan volume shrinks (or at worst matches).
+            assert!(s_on.scan.items_scanned <= s_off.scan.items_scanned);
+        }
+    }
+
+    #[test]
+    fn trim_records_scan_extents() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        apriori(&d, &AprioriConfig::new(2), &mut stats);
+        assert_eq!(stats.scan.extents.len(), stats.db_scans as usize);
+        assert_eq!(stats.scan.extents[0].items, d.total_items() as u64);
+        assert_eq!(stats.scan.trim_passes, stats.db_scans - 1);
+        // Level extents never grow back.
+        assert!(stats
+            .scan
+            .extents
+            .windows(2)
+            .all(|w| w[1].items <= w[0].items));
+    }
+
+    #[test]
+    fn parallel_counting_identical_results() {
+        let d = db();
+        let mut s1 = WorkStats::new();
+        let mut s2 = WorkStats::new();
+        let seq = apriori(&d, &AprioriConfig::new(1), &mut s1);
+        let par = apriori(
+            &d,
+            &AprioriConfig::new(1).with_counting_threads(0),
+            &mut s2,
+        );
+        let a: Vec<(Itemset, u64)> = seq.iter().map(|(s, n)| (s.clone(), n)).collect();
+        let b: Vec<(Itemset, u64)> = par.iter().map(|(s, n)| (s.clone(), n)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! is the obviously-correct reference used by tests and tiny instances.
 
 use cfq_types::transaction::contains_sorted;
-use cfq_types::{ItemId, Itemset, TransactionDb};
+use cfq_types::{DbChunk, ItemId, Itemset, TransactionDb};
 
 /// A strategy for counting the supports of a candidate batch in one pass.
 pub trait SupportCounter {
@@ -226,16 +226,11 @@ pub fn count_supports_with(
             (trie, roots, b.len())
         })
         .collect();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let count_range = |lo: usize, hi: usize| -> Vec<Vec<u64>> {
+    let threads = resolve_threads(threads);
+    let count_chunk = |chunk: DbChunk<'_>| -> Vec<Vec<u64>> {
         let mut counts: Vec<Vec<u64>> =
             tries.iter().map(|(_, _, n)| vec![0u64; *n]).collect();
-        for i in lo..hi {
-            let t = db.transaction(i);
+        for t in chunk.iter() {
             for (bi, (trie, roots, _)) in tries.iter().enumerate() {
                 trie.count_transaction(roots.clone(), t, &mut counts[bi]);
             }
@@ -243,20 +238,22 @@ pub fn count_supports_with(
         counts
     };
     if threads <= 1 || db.len() < 4 * threads {
-        return count_range(0, db.len());
+        return match db.chunks(1).pop() {
+            Some(whole) => count_chunk(whole),
+            None => tries.iter().map(|(_, _, n)| vec![0u64; *n]).collect(),
+        };
     }
-    let n = db.len();
-    let chunk = n.div_ceil(threads);
+    // Shard by CSR chunks: each worker gets an offset-sliced view balanced
+    // by item count — no row indirection or cloning on the hot path.
     let partials: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo < hi {
-                let count_range = &count_range;
-                handles.push(scope.spawn(move || count_range(lo, hi)));
-            }
-        }
+        let handles: Vec<_> = db
+            .chunks(threads)
+            .into_iter()
+            .map(|chunk| {
+                let count_chunk = &count_chunk;
+                scope.spawn(move || count_chunk(chunk))
+            })
+            .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let mut counts: Vec<Vec<u64>> = tries.iter().map(|(_, _, n)| vec![0u64; *n]).collect();
@@ -268,6 +265,15 @@ pub fn count_supports_with(
         }
     }
     counts
+}
+
+/// Resolves a thread-count knob: `0` means one worker per available core.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
 }
 
 #[cfg(test)]
@@ -397,11 +403,7 @@ impl SupportCounter for ParallelTrieCounter {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.threads
-        };
+        let threads = resolve_threads(self.threads);
         // Small inputs: the sequential counter wins.
         if threads <= 1 || db.len() < 4 * threads {
             return TrieCounter.count(db, candidates);
@@ -413,26 +415,23 @@ impl SupportCounter for ParallelTrieCounter {
         }
         let trie = Trie::build(candidates);
         let roots = 0..trie.n_roots(candidates);
-        let n = db.len();
-        let chunk = n.div_ceil(threads);
+        // Shard by CSR chunks (offset-sliced views, balanced by item count).
         let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                let trie = &trie;
-                let roots = roots.clone();
-                handles.push(scope.spawn(move || {
-                    let mut counts = vec![0u64; candidates.len()];
-                    for i in lo..hi {
-                        trie.count_transaction(roots.clone(), db.transaction(i), &mut counts);
-                    }
-                    counts
-                }));
-            }
+            let handles: Vec<_> = db
+                .chunks(threads)
+                .into_iter()
+                .map(|chunk| {
+                    let trie = &trie;
+                    let roots = roots.clone();
+                    scope.spawn(move || {
+                        let mut counts = vec![0u64; candidates.len()];
+                        for t in chunk.iter() {
+                            trie.count_transaction(roots.clone(), t, &mut counts);
+                        }
+                        counts
+                    })
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
         let mut counts = vec![0u64; candidates.len()];

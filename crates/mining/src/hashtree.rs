@@ -208,7 +208,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(321);
         for _ in 0..25 {
-            let n_items = rng.gen_range(4..20);
+            let n_items = rng.gen_range(4usize..20);
             let txs: Vec<Vec<ItemId>> = (0..rng.gen_range(1..40))
                 .map(|_| {
                     (0..rng.gen_range(1..=n_items.min(12)))

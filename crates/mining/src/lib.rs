@@ -25,7 +25,11 @@
 //!   insertions (Cheung et al., ICDE 1996; the paper's citation \[6\]).
 //! * [`stats`] — work accounting: database scans, sets counted for support,
 //!   constraint-check invocations; the raw material for the paper's
-//!   ccc-optimality (Definition 6) and for the §7 tables.
+//!   ccc-optimality (Definition 6) and for the §7 tables. [`stats::ScanStats`]
+//!   additionally tracks scan *volume* (rows/items touched per scan).
+//! * [`trim`] — AprioriTid-style per-level database reduction: between
+//!   levels, items outside the next candidates and rows too short to
+//!   contain one are dropped, with row provenance kept for FUP.
 
 pub mod apriori;
 pub mod candidates;
@@ -36,6 +40,7 @@ pub mod hashtree;
 pub mod incremental;
 pub mod partition;
 pub mod stats;
+pub mod trim;
 pub mod vertical;
 
 pub use apriori::{apriori, AprioriConfig};
@@ -50,4 +55,5 @@ pub use partition::{partition_mine, PartitionConfig};
 pub use vertical::{TidsetIndex, VerticalCounter};
 pub use fpgrowth::{fp_growth, FpGrowthConfig};
 pub use frequent::FrequentSets;
-pub use stats::{LevelStats, WorkStats};
+pub use stats::{LevelStats, ScanExtent, ScanStats, WorkStats};
+pub use trim::{trim_db, trim_db_recorded, LiveSet, TrimResult};

@@ -17,6 +17,68 @@ pub struct LevelStats {
     pub frequent: u64,
 }
 
+/// The size of the database one scan actually touched — with per-level
+/// trimming, later scans see far fewer rows/items than the full database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScanExtent {
+    /// Level (itemset cardinality) the scan counted, 1-based.
+    pub level: usize,
+    /// Transactions live in the scanned database.
+    pub rows: u64,
+    /// Item occurrences live in the scanned database (CSR arena length).
+    pub items: u64,
+}
+
+/// Scan-volume and trim accounting for one mining run.
+#[derive(Clone, Debug, Default)]
+pub struct ScanStats {
+    /// Transactions touched, summed over all scans.
+    pub rows_scanned: u64,
+    /// Item occurrences touched, summed over all scans — the substrate's
+    /// "bytes scanned" (multiply by `size_of::<ItemId>()` for bytes).
+    pub items_scanned: u64,
+    /// Trim passes executed between levels.
+    pub trim_passes: u64,
+    /// Transactions dropped by trim passes.
+    pub trim_rows_dropped: u64,
+    /// Item occurrences dropped by trim passes.
+    pub trim_items_dropped: u64,
+    /// Per-scan extents, in scan order.
+    pub extents: Vec<ScanExtent>,
+}
+
+impl ScanStats {
+    /// Records one scan over a database of `rows` rows / `items` item
+    /// occurrences, counting level `level`.
+    pub fn record_extent(&mut self, level: usize, rows: u64, items: u64) {
+        self.rows_scanned += rows;
+        self.items_scanned += items;
+        self.extents.push(ScanExtent { level, rows, items });
+    }
+
+    /// Records one trim pass and what it removed.
+    pub fn record_trim(&mut self, rows_dropped: u64, items_dropped: u64) {
+        self.trim_passes += 1;
+        self.trim_rows_dropped += rows_dropped;
+        self.trim_items_dropped += items_dropped;
+    }
+
+    /// Scan volume in bytes (item occurrences × the item id width).
+    pub fn bytes_scanned(&self) -> u64 {
+        self.items_scanned * std::mem::size_of::<cfq_types::ItemId>() as u64
+    }
+
+    /// Merges another scan accounting into this one.
+    pub fn absorb(&mut self, other: &ScanStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.items_scanned += other.items_scanned;
+        self.trim_passes += other.trim_passes;
+        self.trim_rows_dropped += other.trim_rows_dropped;
+        self.trim_items_dropped += other.trim_items_dropped;
+        self.extents.extend(other.extents.iter().cloned());
+    }
+}
+
 /// Aggregate work counters for one mining run (or one lattice of a
 /// dovetailed run).
 #[derive(Clone, Debug, Default)]
@@ -31,6 +93,8 @@ pub struct WorkStats {
     pub pruned_candidates: u64,
     /// Per-level breakdown.
     pub levels: Vec<LevelStats>,
+    /// Scan volume and trim accounting (how much data the scans touched).
+    pub scan: ScanStats,
 }
 
 impl WorkStats {
@@ -68,6 +132,7 @@ impl WorkStats {
         self.constraint_checks += other.constraint_checks;
         self.pruned_candidates += other.pruned_candidates;
         self.levels.extend(other.levels.iter().cloned());
+        self.scan.absorb(&other.scan);
     }
 
     /// Total frequent sets found across levels.
@@ -96,6 +161,27 @@ mod tests {
         assert_eq!(s.total_frequent(), 160);
         assert_eq!(s.levels.len(), 2);
         assert_eq!(s.levels[1], LevelStats { level: 2, candidates: 300, frequent: 120 });
+    }
+
+    #[test]
+    fn scan_accounting() {
+        let mut s = ScanStats::default();
+        s.record_extent(1, 100, 1000);
+        s.record_trim(40, 600);
+        s.record_extent(2, 60, 400);
+        assert_eq!(s.rows_scanned, 160);
+        assert_eq!(s.items_scanned, 1400);
+        assert_eq!(s.trim_passes, 1);
+        assert_eq!(s.trim_rows_dropped, 40);
+        assert_eq!(s.trim_items_dropped, 600);
+        assert_eq!(s.bytes_scanned(), 1400 * 4);
+        assert_eq!(s.extents[1], ScanExtent { level: 2, rows: 60, items: 400 });
+
+        let mut t = ScanStats::default();
+        t.record_extent(1, 10, 20);
+        s.absorb(&t);
+        assert_eq!(s.items_scanned, 1420);
+        assert_eq!(s.extents.len(), 3);
     }
 
     #[test]

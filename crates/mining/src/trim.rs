@@ -1,0 +1,220 @@
+//! Per-level database reduction (AprioriTid-style transaction trimming).
+//!
+//! Between levels, a levelwise miner knows exactly which items can still
+//! matter: level-`k+1` candidates are built from level-`k` frequent sets,
+//! so any item outside their union can never appear in another candidate,
+//! and any transaction left with fewer than `k+1` live items cannot
+//! contain a level-`k+1` candidate. [`trim_db`] rewrites the CSR database
+//! dropping both, so later scans touch only data that can still produce a
+//! count. Trimming is *support-preserving* for every candidate whose items
+//! are all live and whose length is at least the `min_len` used: a dropped
+//! item is in no candidate, and a dropped row contains no candidate of
+//! that length — so counts on the trimmed database equal counts on the
+//! original (property-tested in `tests/trim_props.rs`).
+//!
+//! Live sets shrink monotonically across levels, so the pass composes:
+//! trimming an already-trimmed database with a subset of its live items is
+//! still exact.
+
+use crate::stats::ScanStats;
+use cfq_types::{ItemId, TransactionDb};
+
+/// A dense membership bitset over the item universe, the "live item"
+/// filter a trim pass keeps.
+#[derive(Clone, Debug)]
+pub struct LiveSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl LiveSet {
+    /// An empty set over a universe of `n_items` ids.
+    pub fn empty(n_items: usize) -> Self {
+        LiveSet { bits: vec![0u64; n_items.div_ceil(64)], len: 0 }
+    }
+
+    /// Builds from any iterator of item ids (duplicates are fine).
+    pub fn from_items(n_items: usize, items: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut s = LiveSet::empty(n_items);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts an id.
+    #[inline]
+    pub fn insert(&mut self, i: ItemId) {
+        let (w, b) = (i.index() / 64, i.index() % 64);
+        if self.bits[w] & (1 << b) == 0 {
+            self.bits[w] |= 1 << b;
+            self.len += 1;
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: ItemId) -> bool {
+        let (w, b) = (i.index() / 64, i.index() % 64);
+        self.bits.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of live items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no item is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Outcome of one [`trim_db`] pass.
+pub struct TrimResult {
+    /// The reduced database (same item-id space as the input).
+    pub db: TransactionDb,
+    /// For each surviving row, its row index in the *input* database.
+    /// Composable: map through the previous pass's provenance to reach the
+    /// original TIDs (FUP/incremental paths need original row identity).
+    pub provenance: Vec<u32>,
+    /// Rows removed (fewer than `min_len` live items remained).
+    pub rows_dropped: u64,
+    /// Item occurrences removed from surviving *and* dropped rows.
+    pub items_dropped: u64,
+}
+
+/// Rewrites `db`, keeping only items in `live` and only transactions
+/// retaining at least `min_len` items. Pass `min_len = k` before counting
+/// level `k`. Single linear sweep of the CSR arena.
+pub fn trim_db(db: &TransactionDb, live: &LiveSet, min_len: usize) -> TrimResult {
+    let min_len = min_len.max(1);
+    let mut items: Vec<ItemId> = Vec::with_capacity(db.total_items());
+    let mut offsets: Vec<u32> = Vec::with_capacity(db.len() + 1);
+    offsets.push(0);
+    let mut provenance: Vec<u32> = Vec::with_capacity(db.len());
+    let mut rows_dropped = 0u64;
+    for (tid, t) in db.iter().enumerate() {
+        let row_start = items.len();
+        items.extend(t.iter().copied().filter(|&i| live.contains(i)));
+        if items.len() - row_start >= min_len {
+            offsets.push(items.len() as u32);
+            provenance.push(tid as u32);
+        } else {
+            items.truncate(row_start);
+            rows_dropped += 1;
+        }
+    }
+    items.shrink_to_fit();
+    let items_dropped = (db.total_items() - items.len()) as u64;
+    TrimResult {
+        db: TransactionDb::from_parts(db.n_items(), items, offsets),
+        provenance,
+        rows_dropped,
+        items_dropped,
+    }
+}
+
+/// [`trim_db`] plus bookkeeping: records the pass in `scan` stats.
+pub fn trim_db_recorded(
+    db: &TransactionDb,
+    live: &LiveSet,
+    min_len: usize,
+    scan: &mut ScanStats,
+) -> TrimResult {
+    let r = trim_db(db, live, min_len);
+    scan.record_trim(r.rows_dropped, r.items_dropped);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfq_types::Itemset;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[1, 2, 3],
+                &[0, 2, 4],
+                &[1, 5],
+                &[2, 3, 4, 5],
+                &[5],
+            ],
+        )
+    }
+
+    #[test]
+    fn live_set_basics() {
+        let mut s = LiveSet::empty(130);
+        assert!(s.is_empty());
+        s.insert(ItemId(0));
+        s.insert(ItemId(64));
+        s.insert(ItemId(129));
+        s.insert(ItemId(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ItemId(64)));
+        assert!(!s.contains(ItemId(63)));
+    }
+
+    #[test]
+    fn trims_items_and_short_rows() {
+        let d = db();
+        let live = LiveSet::from_items(6, [1, 2, 3].map(ItemId));
+        let r = trim_db(&d, &live, 2);
+        // Row 0 → {1,2,3}; row 1 → {1,2,3}; row 2 → {2} dropped; row 3 →
+        // {1} dropped; row 4 → {2,3}; row 5 → {} dropped.
+        assert_eq!(r.db.len(), 3);
+        assert_eq!(r.provenance, vec![0, 1, 4]);
+        assert_eq!(r.rows_dropped, 3);
+        assert_eq!(r.db.total_items(), 8);
+        assert_eq!(r.items_dropped, (d.total_items() - 8) as u64);
+        assert_eq!(r.db.transaction(2), &[ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn supports_preserved_for_live_candidates() {
+        let d = db();
+        let live = LiveSet::from_items(6, [1, 2, 3].map(ItemId));
+        let r = trim_db(&d, &live, 2);
+        for cand in [
+            Itemset::from([1u32, 2]),
+            Itemset::from([2u32, 3]),
+            Itemset::from([1u32, 2, 3]),
+        ] {
+            assert_eq!(r.db.support(&cand), d.support(&cand), "support of {cand}");
+        }
+    }
+
+    #[test]
+    fn composes_with_shrinking_live_sets() {
+        let d = db();
+        let live1 = LiveSet::from_items(6, [1, 2, 3, 4].map(ItemId));
+        let r1 = trim_db(&d, &live1, 2);
+        let live2 = LiveSet::from_items(6, [2, 3].map(ItemId));
+        let r2 = trim_db(&r1.db, &live2, 2);
+        let direct = trim_db(&d, &live2, 2);
+        assert_eq!(r2.db.len(), direct.db.len());
+        for i in 0..r2.db.len() {
+            assert_eq!(r2.db.transaction(i), direct.db.transaction(i));
+        }
+        // Chained provenance reaches the original TIDs.
+        let chained: Vec<u32> =
+            r2.provenance.iter().map(|&i| r1.provenance[i as usize]).collect();
+        assert_eq!(chained, direct.provenance);
+    }
+
+    #[test]
+    fn empty_live_set_drops_everything() {
+        let d = db();
+        let r = trim_db(&d, &LiveSet::empty(6), 1);
+        assert!(r.db.is_empty());
+        assert_eq!(r.rows_dropped, d.len() as u64);
+        assert_eq!(r.items_dropped, d.total_items() as u64);
+        assert!(r.provenance.is_empty());
+    }
+}

@@ -6,10 +6,16 @@ use crate::item::ItemId;
 use crate::itemset::Itemset;
 use crate::{CfqError, Result};
 
-/// A horizontal transaction database.
+/// A horizontal transaction database in flat CSR layout.
 ///
-/// Each transaction is a sorted, duplicate-free item list. TIDs are implicit
-/// (the row index), matching the paper's `trans(TID, Itemset)`.
+/// All items live in one contiguous arena; row `i` is the slice
+/// `items[offsets[i] .. offsets[i + 1]]`. Each transaction is a sorted,
+/// duplicate-free item list. TIDs are implicit (the row index), matching
+/// the paper's `trans(TID, Itemset)`.
+///
+/// The CSR layout makes a full scan a single linear sweep of memory and
+/// lets parallel counters shard the database by slicing offsets instead
+/// of cloning rows (see [`TransactionDb::chunks`]).
 ///
 /// ```
 /// use cfq_types::TransactionDb;
@@ -18,17 +24,28 @@ use crate::{CfqError, Result};
 /// assert_eq!(db.support(&[1u32].into()), 3);
 /// assert_eq!(db.support(&[1u32, 2].into()), 1);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TransactionDb {
-    rows: Vec<Box<[ItemId]>>,
+    /// Concatenated sorted rows.
+    items: Vec<ItemId>,
+    /// Row boundaries: `offsets.len() == len() + 1`, `offsets[0] == 0`.
+    offsets: Vec<u32>,
     n_items: usize,
+}
+
+impl Default for TransactionDb {
+    fn default() -> Self {
+        TransactionDb { items: Vec::new(), offsets: vec![0], n_items: 0 }
+    }
 }
 
 impl TransactionDb {
     /// Builds a database from raw transactions; each row is sorted and
     /// deduplicated. `n_items` bounds the item universe (ids must be below).
     pub fn new(n_items: usize, transactions: Vec<Vec<ItemId>>) -> Result<Self> {
-        let mut rows = Vec::with_capacity(transactions.len());
+        let mut items = Vec::with_capacity(transactions.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(transactions.len() + 1);
+        offsets.push(0u32);
         for mut t in transactions {
             t.sort_unstable();
             t.dedup();
@@ -40,9 +57,40 @@ impl TransactionDb {
                     )));
                 }
             }
-            rows.push(t.into_boxed_slice());
+            items.extend_from_slice(&t);
+            if items.len() > u32::MAX as usize {
+                return Err(CfqError::Config(format!(
+                    "transaction database exceeds the CSR arena limit of {} items",
+                    u32::MAX
+                )));
+            }
+            offsets.push(items.len() as u32);
         }
-        Ok(TransactionDb { rows, n_items })
+        Ok(TransactionDb { items, offsets, n_items })
+    }
+
+    /// Builds directly from CSR parts. Rows must already be sorted and
+    /// duplicate-free with ids below `n_items`, and `offsets` must be a
+    /// monotone boundary array starting at 0 and ending at `items.len()`
+    /// — this is the fast path for derived databases (trim passes,
+    /// projections) whose rows are reduced from an already-valid db.
+    pub fn from_parts(n_items: usize, items: Vec<ItemId>, offsets: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            items.len(),
+            "offsets must end at the arena length"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        debug_assert!(
+            offsets.windows(2).all(|w| {
+                let row = &items[w[0] as usize..w[1] as usize];
+                row.windows(2).all(|p| p[0] < p[1])
+                    && row.last().is_none_or(|last| last.index() < n_items)
+            }),
+            "rows must be sorted, duplicate-free, and within the universe"
+        );
+        TransactionDb { items, offsets, n_items }
     }
 
     /// Builds from `u32` item ids (test convenience).
@@ -57,13 +105,13 @@ impl TransactionDb {
     /// Number of transactions.
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the database has no transactions.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.offsets.len() == 1
     }
 
     /// Size of the item universe.
@@ -72,23 +120,69 @@ impl TransactionDb {
         self.n_items
     }
 
+    /// Total number of item occurrences across all transactions — the CSR
+    /// arena length, i.e. the amount of data one full scan touches.
+    #[inline]
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
     /// The `i`-th transaction as a sorted item slice.
     #[inline]
     pub fn transaction(&self, i: usize) -> &[ItemId] {
-        &self.rows[i]
+        &self.items[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Iterates transactions as sorted item slices.
     pub fn iter(&self) -> impl Iterator<Item = &[ItemId]> {
-        self.rows.iter().map(|r| &**r)
+        self.offsets
+            .windows(2)
+            .map(|w| &self.items[w[0] as usize..w[1] as usize])
+    }
+
+    /// Splits the database into at most `n` contiguous row-range views,
+    /// balanced by *item count* (not row count) so threads scanning skewed
+    /// databases get equal work. Views borrow the CSR arrays — sharding is
+    /// offset slicing, never row cloning. Returns fewer than `n` chunks
+    /// when the database is small; at least one chunk unless empty.
+    pub fn chunks(&self, n: usize) -> Vec<DbChunk<'_>> {
+        let n = n.max(1);
+        let rows = self.len();
+        if rows == 0 {
+            return Vec::new();
+        }
+        let per_chunk = (self.items.len() / n).max(1) as u64;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < rows {
+            let mut end = start + 1;
+            // Greedily extend until the chunk holds ~its share of items.
+            let target = self.offsets[start] as u64 + per_chunk;
+            while end < rows
+                && out.len() + 1 < n
+                && (self.offsets[end] as u64) < target
+            {
+                end += 1;
+            }
+            if out.len() + 1 == n {
+                end = rows;
+            }
+            out.push(DbChunk {
+                first_row: start,
+                offsets: &self.offsets[start..=end],
+                items: &self.items[self.offsets[start] as usize..self.offsets[end] as usize],
+            });
+            start = end;
+        }
+        out
     }
 
     /// Average transaction length (0 for an empty database).
     pub fn avg_transaction_len(&self) -> f64 {
-        if self.rows.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.len()).sum::<usize>() as f64 / self.rows.len() as f64
+        self.items.len() as f64 / self.len() as f64
     }
 
     /// Absolute support of an itemset: the number of transactions containing
@@ -114,24 +208,76 @@ impl TransactionDb {
             .collect();
         keys.sort_unstable();
         keys.dedup();
-        let rows = self
-            .rows
-            .iter()
-            .map(|t| {
-                let mut v: Vec<ItemId> = t
-                    .iter()
-                    .map(|&i| {
-                        let k = catalog.value_key(attr, i);
-                        let idx = keys.binary_search(&k).expect("key interned above");
-                        ItemId(idx as u32)
-                    })
-                    .collect();
-                v.sort_unstable();
-                v.dedup();
-                v.into_boxed_slice()
-            })
-            .collect();
-        (TransactionDb { rows, n_items: keys.len() }, keys)
+        let mut items = Vec::with_capacity(self.items.len());
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u32);
+        let mut row: Vec<ItemId> = Vec::new();
+        for t in self.iter() {
+            row.clear();
+            row.extend(t.iter().map(|&i| {
+                let k = catalog.value_key(attr, i);
+                let idx = keys.binary_search(&k).expect("key interned above");
+                ItemId(idx as u32)
+            }));
+            row.sort_unstable();
+            row.dedup();
+            items.extend_from_slice(&row);
+            offsets.push(items.len() as u32);
+        }
+        (TransactionDb { items, offsets, n_items: keys.len() }, keys)
+    }
+}
+
+/// A contiguous row-range view over a [`TransactionDb`]'s CSR arrays.
+///
+/// `offsets` keeps the parent's absolute values (length `len() + 1`);
+/// `items` is the matching sub-arena, so row `i` of the chunk is
+/// `items[offsets[i] - offsets[0] .. offsets[i + 1] - offsets[0]]`.
+#[derive(Clone, Copy)]
+pub struct DbChunk<'a> {
+    first_row: usize,
+    offsets: &'a [u32],
+    items: &'a [ItemId],
+}
+
+impl<'a> DbChunk<'a> {
+    /// Number of rows in this chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if the chunk covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// The parent-database row index of this chunk's first row.
+    #[inline]
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Total item occurrences in this chunk.
+    #[inline]
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Row `i` of the chunk (chunk-relative index).
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [ItemId] {
+        let base = self.offsets[0];
+        &self.items[(self.offsets[i] - base) as usize..(self.offsets[i + 1] - base) as usize]
+    }
+
+    /// Iterates the chunk's rows as sorted item slices.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [ItemId]> + '_ {
+        let base = self.offsets[0];
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.items[(w[0] - base) as usize..(w[1] - base) as usize])
     }
 }
 
@@ -175,6 +321,7 @@ mod tests {
         let d = db();
         assert_eq!(d.len(), 5);
         assert_eq!(d.n_items(), 5);
+        assert_eq!(d.total_items(), 12);
         assert_eq!(d.transaction(0), &[ItemId(0), ItemId(1), ItemId(2)]);
         assert!(!d.is_empty());
         assert!((d.avg_transaction_len() - 12.0 / 5.0).abs() < 1e-12);
@@ -193,6 +340,31 @@ mod tests {
     }
 
     #[test]
+    fn default_is_empty() {
+        let d = TransactionDb::default();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.total_items(), 0);
+        assert!(d.chunks(4).is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let d = db();
+        let rebuilt = TransactionDb::from_parts(
+            d.n_items(),
+            d.iter().flatten().copied().collect(),
+            (0..=d.len())
+                .map(|i| d.iter().take(i).map(<[ItemId]>::len).sum::<usize>() as u32)
+                .collect(),
+        );
+        assert_eq!(rebuilt.len(), d.len());
+        for i in 0..d.len() {
+            assert_eq!(rebuilt.transaction(i), d.transaction(i));
+        }
+    }
+
+    #[test]
     fn support_oracle() {
         let d = db();
         assert_eq!(d.support(&[2u32].into()), 5);
@@ -200,6 +372,46 @@ mod tests {
         assert_eq!(d.support(&[0u32, 1, 2].into()), 1);
         assert_eq!(d.support(&[0u32, 3].into()), 0);
         assert_eq!(d.support(&Itemset::empty()), 5);
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_in_order() {
+        let d = db();
+        for n in 1..=8 {
+            let chunks = d.chunks(n);
+            assert!(chunks.len() <= n.max(1));
+            let mut row = 0usize;
+            for c in &chunks {
+                assert_eq!(c.first_row(), row);
+                for (i, r) in c.iter().enumerate() {
+                    assert_eq!(r, d.transaction(row + i), "chunks({n}) row {row}");
+                    assert_eq!(r, c.row(i));
+                }
+                row += c.len();
+            }
+            assert_eq!(row, d.len(), "chunks({n}) must cover every row");
+            assert_eq!(
+                chunks.iter().map(DbChunk::total_items).sum::<usize>(),
+                d.total_items()
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_balance_by_items() {
+        // One huge row then many tiny ones: row-count splitting would give
+        // chunk 0 nearly all items; item balancing must not.
+        let big: Vec<u32> = (0..64).collect();
+        let mut rows: Vec<&[u32]> = vec![&big];
+        let tiny = [0u32];
+        for _ in 0..64 {
+            rows.push(&tiny);
+        }
+        let d = TransactionDb::from_u32(64, &rows);
+        let chunks = d.chunks(2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 1, "big row should fill the first chunk");
+        assert_eq!(chunks[1].len(), 64);
     }
 
     #[test]

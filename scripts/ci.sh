@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI smoke: build, test, compile benches, and run the substrate
+# repro at a small scale. Everything resolves from the vendored path
+# dependencies — no network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (root package: integration + facade tests)"
+cargo test -q
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo bench --no-run --workspace"
+cargo bench --no-run --workspace
+
+echo "== repro fig8a + substrate at smoke scale"
+CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- fig8a substrate
+
+echo "== BENCH_substrate.json"
+test -s BENCH_substrate.json
+head -c 400 BENCH_substrate.json; echo
+echo "ci: OK"

@@ -1,0 +1,186 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion its benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros (benches declare
+//! `harness = false`). Instead of criterion's full statistical pipeline it
+//! runs a warmup pass, times `sample_size` batches, and prints
+//! median/min/max per iteration — enough to compare configurations on one
+//! machine, which is all the repro harness needs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _c: self, name, sample_size }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let n = self.sample_size;
+        run_bench("", name, n, f);
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Limits total measurement time. Accepted for compatibility; the
+    /// vendored runner is bounded by `sample_size` alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&self.name, name, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; here a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, mut f: F) {
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    // Warmup sample, then `samples` timed samples; iteration count per
+    // sample adapts so each sample takes a measurable amount of time.
+    let mut iters = 1u64;
+    for sample in 0..=samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let nanos = b.elapsed.as_nanos() as f64 / iters as f64;
+        if sample == 0 {
+            // Aim for ~25ms per sample, capped to keep total time sane.
+            if nanos > 0.0 {
+                iters = ((25_000_000.0 / nanos) as u64).clamp(1, 1_000_000);
+            }
+        } else {
+            per_iter.push(nanos);
+        }
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let med = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    eprintln!(
+        "bench {label:<48} median {} (min {}, max {}) x{iters}",
+        fmt_ns(med),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures for one sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; a
+            // sample-size-1 smoke mode is available via CFQ_BENCH_SMOKE=1.
+            if ::std::env::var("CFQ_BENCH_SMOKE").ok().as_deref() == Some("1") {
+                ::std::eprintln!("(smoke mode: sample_size floor applies)");
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("vendored");
+        g.sample_size(3);
+        let mut total = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                total = total.wrapping_add((0..100u64).sum::<u64>());
+            })
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}
