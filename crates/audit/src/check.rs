@@ -1,0 +1,312 @@
+//! The obligation walker: checks every node of a [`PlanTrace`] against the
+//! independently re-derived rules in [`crate::derive`].
+//!
+//! Obligations enforced (error unless noted):
+//!
+//! 1. every constraint's production classification matches the structural
+//!    re-derivation (`misclassified` / `one-var-misclassified`);
+//! 2. every constraint pushed into the quasi-succinct reduction really is
+//!    quasi-succinct (`induced-not-qs`), and the reduction's tightness
+//!    claims match Figures 2–3 (`tightness-overclaimed`; the conservative
+//!    direction is the `reduction-not-tight` warning);
+//! 3. every induced weaker constraint is a Figure-4-sanctioned weakening
+//!    (`unsanctioned-weakening`) and is dominated by a final re-evaluation
+//!    of the original (`induced-weaker-missing-recheck`);
+//! 4. every `J^k_max` task bounds the correct side in the correct
+//!    direction (`jk-bound-direction`);
+//! 5. the plan preserves the answer-set invariant: every original
+//!    constraint is re-verified at pair formation (`missing-final-recheck`,
+//!    `unplanned-constraint`), and the plan neither checks nor pushes any
+//!    constraint the query does not contain (`foreign-constraint`,
+//!    `final-check-not-in-query`, `one-var-dropped`).
+
+use cfq_constraints::{
+    classify_one, reduce_quasi_succinct, BoundQuery, OneVar, TwoVar, TwoVarClass,
+};
+use cfq_core::{PlanTrace, TraceNode};
+use cfq_types::{Catalog, ItemId};
+
+use crate::derive::{
+    derive_one, derive_two, expected_tightness, is_sanctioned_weakening, jk_is_justified,
+};
+use crate::diag::{AuditReport, Severity};
+use crate::SpanMap;
+
+/// Cross-checks one 1-var constraint's production classification against
+/// the structural derivation.
+pub(crate) fn check_one_var(
+    c: &OneVar,
+    idx: usize,
+    catalog: &Catalog,
+    spans: Option<&SpanMap>,
+    report: &mut AuditReport,
+) {
+    let derived = derive_one(c, catalog);
+    let actual = classify_one(c, catalog);
+    if derived != actual {
+        report.push(
+            Severity::Error,
+            "one-var-misclassified",
+            format!(
+                "classifier says anti-monotone={} succinct={}, structural derivation says \
+                 anti-monotone={} succinct={}",
+                actual.anti_monotone, actual.succinct, derived.anti_monotone, derived.succinct
+            ),
+            spans.and_then(|m| m.one.get(idx).copied()),
+            Some(c.to_string()),
+        );
+    }
+}
+
+/// Audits one rewrite node (one original 2-var constraint). `reverified`
+/// is computed by the caller from the trace's final-verification list — the
+/// node's own claim is not trusted.
+fn check_node(
+    node: &TraceNode,
+    reverified: bool,
+    span: Option<cfq_constraints::Span>,
+    catalog: &Catalog,
+    classify: &dyn Fn(&TwoVar) -> TwoVarClass,
+    report: &mut AuditReport,
+) {
+    let c = &node.constraint;
+    let name = || Some(c.to_string());
+
+    // Obligation 1: Figure-1 classification cross-check.
+    let derived = derive_two(c);
+    let actual = classify(c);
+    if derived != actual {
+        report.push(
+            Severity::Error,
+            "misclassified",
+            format!(
+                "classifier says anti-monotone={} quasi-succinct={}, structural derivation \
+                 says anti-monotone={} quasi-succinct={} (Figure 1)",
+                actual.anti_monotone,
+                actual.quasi_succinct,
+                derived.anti_monotone,
+                derived.quasi_succinct
+            ),
+            span,
+            name(),
+        );
+    }
+
+    let mut induced = false;
+    for w in &node.pushed {
+        if w == c {
+            // Pushed verbatim: must genuinely be quasi-succinct.
+            if !derived.quasi_succinct {
+                report.push(
+                    Severity::Error,
+                    "induced-not-qs",
+                    "pushed into the quasi-succinct reduction, but the structural \
+                     derivation says it has no L1-computable reduction (Figures 2–3)"
+                        .into(),
+                    span,
+                    name(),
+                );
+            }
+        } else {
+            induced = true;
+            // Obligation 3: sound weakening, itself reducible, dominated by
+            // a final re-check of the original.
+            if !is_sanctioned_weakening(c, w, catalog) {
+                report.push(
+                    Severity::Error,
+                    "unsanctioned-weakening",
+                    format!(
+                        "induced `{w}` is not a Figure-4-sanctioned weakening — it is not \
+                         implied by the original on every pair of sets"
+                    ),
+                    span,
+                    name(),
+                );
+            }
+            if !derive_two(w).quasi_succinct {
+                report.push(
+                    Severity::Error,
+                    "induced-not-qs",
+                    format!("induced `{w}` is itself not quasi-succinct — inducing it wins nothing"),
+                    span,
+                    name(),
+                );
+            }
+        }
+        check_tightness(w, span, catalog, report);
+    }
+
+    if induced && !reverified {
+        report.push(
+            Severity::Error,
+            "induced-weaker-missing-recheck",
+            "induced weaker constraints are sound-only; the original must be re-evaluated \
+             at pair formation, but this plan never re-checks it — the answer set would \
+             contain pairs satisfying only the weakening"
+                .into(),
+            span,
+            name(),
+        );
+    } else if !reverified {
+        report.push(
+            Severity::Error,
+            "missing-final-recheck",
+            "never re-evaluated at pair formation: the quasi-succinct reduction prunes \
+             candidate sets but cannot validate a particular (S, T) pair"
+                .into(),
+            span,
+            name(),
+        );
+    }
+
+    // Obligation 4: J^k_max direction.
+    for jk in &node.jk {
+        if !jk_is_justified(c, jk, catalog) {
+            report.push(
+                Severity::Error,
+                "jk-bound-direction",
+                format!(
+                    "J^k_max task prunes {:?} with `{:?}`, which §5.2 does not justify for \
+                     this constraint shape (the bound series is an upper envelope of the \
+                     partner's sum/count)",
+                    jk.pruned, jk.op
+                ),
+                span,
+                name(),
+            );
+        }
+    }
+}
+
+/// Obligation 2: the reduction's tightness flags must match Figures 2–3.
+/// The flags are structural, so probing with the full item universe as L1
+/// (avoiding the degenerate empty-L1 special cases) observes them.
+fn check_tightness(
+    w: &TwoVar,
+    span: Option<cfq_constraints::Span>,
+    catalog: &Catalog,
+    report: &mut AuditReport,
+) {
+    let Some((exp_s, exp_t)) = expected_tightness(w) else {
+        return; // not reducible; already reported as induced-not-qs
+    };
+    let universe: Vec<ItemId> = (0..catalog.n_items() as u32).map(ItemId).collect();
+    let Some(red) = reduce_quasi_succinct(w, &universe, &universe, catalog) else {
+        return; // classifier refused; already reported as misclassified
+    };
+    for (side, claimed, expected) in [("S", red.s_tight, exp_s), ("T", red.t_tight, exp_t)] {
+        if claimed && !expected {
+            report.push(
+                Severity::Error,
+                "tightness-overclaimed",
+                format!(
+                    "reduction claims a tight {side}-side, but Figures 2–3 mark it \
+                     sound-only — relying on it would prune valid answers"
+                ),
+                span,
+                Some(w.to_string()),
+            );
+        } else if !claimed && expected {
+            report.push(
+                Severity::Warning,
+                "reduction-not-tight",
+                format!(
+                    "reduction marks the {side}-side sound-only where Figures 2–3 allow a \
+                     tight one — sanctioned pruning left on the table"
+                ),
+                span,
+                Some(w.to_string()),
+            );
+        }
+    }
+}
+
+/// Audits a full plan trace against the query it was planned from.
+pub(crate) fn check_trace(
+    trace: &PlanTrace,
+    query: &BoundQuery,
+    catalog: &Catalog,
+    classify: &dyn Fn(&TwoVar) -> TwoVarClass,
+    spans: Option<&SpanMap>,
+    report: &mut AuditReport,
+) {
+    for (i, c) in query.one_var.iter().enumerate() {
+        check_one_var(c, i, catalog, spans, report);
+    }
+
+    // Every pushed 1-var condition must come from the query (pruning with a
+    // foreign condition drops answers), and every query 1-var must be
+    // pushed (succinct constraints are enforced via candidate generation —
+    // dropping one admits invalid sets).
+    for pushed in trace.s_one.iter().chain(&trace.t_one) {
+        if !query.one_var.contains(pushed) {
+            report.push(
+                Severity::Error,
+                "foreign-constraint",
+                "plan pushes a 1-var condition the query does not contain".into(),
+                None,
+                Some(pushed.to_string()),
+            );
+        }
+    }
+    for (i, c) in query.one_var.iter().enumerate() {
+        if !trace.s_one.contains(c) && !trace.t_one.contains(c) {
+            report.push(
+                Severity::Error,
+                "one-var-dropped",
+                "1-var constraint missing from the plan's pushed conditions".into(),
+                spans.and_then(|m| m.one.get(i).copied()),
+                Some(c.to_string()),
+            );
+        }
+    }
+
+    let span_of = |c: &TwoVar| {
+        spans.and_then(|m| {
+            query.two_var.iter().position(|q| q == c).and_then(|i| m.two.get(i).copied())
+        })
+    };
+
+    for node in &trace.nodes {
+        if !query.two_var.contains(&node.constraint) {
+            report.push(
+                Severity::Error,
+                "foreign-constraint",
+                "plan rewrites a 2-var constraint the query does not contain".into(),
+                None,
+                Some(node.constraint.to_string()),
+            );
+            continue;
+        }
+        let reverified = node.reverified && trace.final_two.contains(&node.constraint);
+        check_node(node, reverified, span_of(&node.constraint), catalog, classify, report);
+    }
+
+    // Obligation 5: answer-set invariant. Every original 2-var constraint
+    // needs a rewrite node (else nothing accounts for it), and the final
+    // verification may only check constraints the query contains.
+    for (i, c) in query.two_var.iter().enumerate() {
+        if !trace.nodes.iter().any(|n| &n.constraint == c) {
+            report.push(
+                Severity::Error,
+                "unplanned-constraint",
+                "2-var constraint has no rewrite node — the plan does not account for it".into(),
+                spans.and_then(|m| m.two.get(i).copied()),
+                Some(c.to_string()),
+            );
+        }
+    }
+    for c in &trace.final_two {
+        if !query.two_var.contains(c) {
+            report.push(
+                Severity::Error,
+                "final-check-not-in-query",
+                "final verification checks a constraint the query does not contain — it \
+                 would drop valid answers"
+                    .into(),
+                None,
+                Some(c.to_string()),
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Structured diagnostics: severities, per-constraint findings with source
+//! spans, and the [`AuditReport`] container with human and JSON renderings.
+
+use std::fmt;
+
+use cfq_constraints::Span;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// The plan (or classifier) is unsound: executing it could return a
+    /// wrong answer set. An audit with any error refuses execution.
+    Error,
+    /// The plan is sound but leaves sanctioned pruning on the table (e.g. a
+    /// reduction marked looser than the paper's tables allow).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"misclassified"`,
+    /// `"induced-weaker-missing-recheck"`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Byte span of the offending constraint in the query source, when the
+    /// report was produced from source text.
+    pub span: Option<Span>,
+    /// Display form of the constraint the finding is about.
+    pub constraint: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(c) = &self.constraint {
+            write!(f, "\n  constraint: {c}")?;
+        }
+        if let Some(s) = &self.span {
+            write!(f, "\n  at {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of auditing one plan (or one DNF disjunct's plan).
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// All findings, in the order the obligations were checked.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// Records a finding.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        code: &'static str,
+        message: String,
+        span: Option<Span>,
+        constraint: Option<String>,
+    ) {
+        self.diagnostics.push(Diagnostic { severity, code, message, span, constraint });
+    }
+
+    /// Whether the plan may be executed: no error-severity findings.
+    pub fn is_sound(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Appends another report's findings (used to fold DNF disjuncts).
+    pub fn merge(&mut self, other: AuditReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Multi-line human rendering; ends with a one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        if errors == 0 {
+            out.push_str(&format!("audit: plan is sound ({warnings} warning(s))\n"));
+        } else {
+            out.push_str(&format!(
+                "audit: plan REJECTED ({errors} error(s), {warnings} warning(s))\n"
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON object:
+    /// `{"sound": bool, "errors": N, "warnings": N, "diagnostics": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"sound\": {}", self.is_sound()));
+        out.push_str(&format!(", \"errors\": {}", self.errors().count()));
+        out.push_str(&format!(", \"warnings\": {}", self.warnings().count()));
+        out.push_str(", \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"severity\": \"{}\", \"code\": \"{}\", \"message\": \"{}\"",
+                d.severity,
+                json_escape(d.code),
+                json_escape(&d.message)
+            ));
+            if let Some(s) = &d.span {
+                out.push_str(&format!(", \"span\": [{}, {}]", s.start, s.end));
+            }
+            if let Some(c) = &d.constraint {
+                out.push_str(&format!(", \"constraint\": \"{}\"", json_escape(c)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_verdicts_and_json() {
+        let mut r = AuditReport::default();
+        assert!(r.is_sound());
+        assert!(r.render().contains("plan is sound"));
+        r.push(Severity::Warning, "reduction-not-tight", "loose".into(), None, None);
+        assert!(r.is_sound());
+        r.push(
+            Severity::Error,
+            "misclassified",
+            "said \"QS\"".into(),
+            Some(Span { start: 3, end: 9 }),
+            Some("count(S) < count(T)".into()),
+        );
+        assert!(!r.is_sound());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        let json = r.to_json();
+        assert!(json.contains("\"sound\": false"));
+        assert!(json.contains("\"span\": [3, 9]"));
+        assert!(json.contains("said \\\"QS\\\""));
+        assert!(r.render().contains("REJECTED (1 error(s)"));
+        assert!(r.render().contains("bytes 3..9"));
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -752,9 +752,123 @@ pub fn substrate(e: &ExpEnv) -> Table {
     t
 }
 
+/// **E13 (plan soundness audit)** — statically audits the optimizer plans
+/// of the Fig. 8(a), Fig. 8(b), and induced-weaker (Fig. 4) workload
+/// queries across every strategy family, recording per-plan error/warning
+/// counts. Returns the report table and the machine-readable JSON document
+/// (`BENCH_audit.json`); every shipped plan must audit clean (zero
+/// errors), which the JSON records as evidence.
+pub fn audit_report(e: &ExpEnv) -> (Table, String) {
+    use cfq_audit::Auditor;
+
+    let mut t = Table::new(
+        "Plan soundness audit: rewrite obligations (Figs. 1-4, §5.2) per strategy",
+        &["workload", "query", "strategy", "2-var nodes", "errors", "warnings", "verdict"],
+    );
+    let workloads: Vec<(&str, Scenario, &str)> = vec![
+        (
+            "fig8a_overlap16.6",
+            ScenarioBuilder::new(e.quest())
+                .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+                .expect("scenario"),
+            "max(S.Price) <= min(T.Price)",
+        ),
+        (
+            "fig8b_type_overlap40",
+            ScenarioBuilder::new(e.quest())
+                .typed_overlap(400.0, 600.0, TYPES_PER_SIDE, 40.0)
+                .expect("scenario"),
+            FIG8B_QUERY,
+        ),
+        (
+            "fig4_induced_weaker",
+            ScenarioBuilder::new(e.quest())
+                .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+                .expect("scenario"),
+            "avg(S.Price) <= avg(T.Price) & sum(S.Price) <= sum(T.Price)",
+        ),
+    ];
+    let strategies: [(&str, Optimizer); 3] = [
+        ("full", Optimizer::default()),
+        ("cap1", Optimizer::cap_one_var()),
+        ("apriori+", Optimizer::apriori_plus()),
+    ];
+    let mut json_checks: Vec<String> = Vec::new();
+    let mut total_errors = 0usize;
+    for (name, sc, query) in &workloads {
+        for (sname, opt) in &strategies {
+            let plan = opt.plan_for_catalog(&bind(query, &sc.catalog), &sc.catalog);
+            let report = Auditor::new(&sc.catalog)
+                .with_optimizer(*opt)
+                .audit_source(query)
+                .expect("experiment query parses and binds");
+            let errors = report.errors().count();
+            let warnings = report.warnings().count();
+            total_errors += errors;
+            t.row(vec![
+                name.to_string(),
+                query.to_string(),
+                sname.to_string(),
+                plan.trace().nodes.len().to_string(),
+                errors.to_string(),
+                warnings.to_string(),
+                if report.is_sound() { "sound".into() } else { "REJECTED".into() },
+            ]);
+            json_checks.push(format!(
+                "{{\"workload\":\"{}\",\"query\":\"{}\",\"strategy\":\"{}\",\"nodes\":{},\"report\":{}}}",
+                json_escape(name),
+                json_escape(query),
+                sname,
+                plan.trace().nodes.len(),
+                report.to_json(),
+            ));
+        }
+    }
+    assert_eq!(total_errors, 0, "shipped workload plans must audit clean");
+    let json = format!(
+        "{{\"bench\":\"audit\",\"scale\":{},\"seed\":{},\"violations\":{},\"checks\":[{}]}}\n",
+        e.scale,
+        e.seed,
+        total_errors,
+        json_checks.join(","),
+    );
+    (t, json)
+}
+
+/// Runs [`audit_report`] and writes the JSON document to
+/// `BENCH_audit.json` (override the path with `CFQ_AUDIT_OUT`).
+pub fn audit(e: &ExpEnv) -> Table {
+    let (t, json) = audit_report(e);
+    let path = std::env::var("CFQ_AUDIT_OUT").unwrap_or_else(|_| "BENCH_audit.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn audit_report_records_zero_violations() {
+        let e = ExpEnv { scale: 0.01, ..ExpEnv::default() };
+        let (t, json) = audit_report(&e);
+        assert_eq!(t.rows.len(), 9, "three workloads x three strategies");
+        for key in [
+            "\"bench\":\"audit\"",
+            "\"violations\":0",
+            "\"workload\":\"fig8a_overlap16.6\"",
+            "\"workload\":\"fig8b_type_overlap40\"",
+            "\"workload\":\"fig4_induced_weaker\"",
+            "\"strategy\":\"apriori+\"",
+            "\"sound\": true",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}: {json}");
+        }
+        assert!(!json.contains("\"sound\": false"));
+    }
 
     #[test]
     fn substrate_report_is_consistent() {

@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
+use cfq_audit::{AuditReport, Auditor};
 use cfq_constraints::{bind_dnf, parse_dnf};
 use cfq_core::{form_rules, Optimizer, QueryEnv, RuleConfig};
 use cfq_datagen::{generate_transactions, io, QuestConfig};
@@ -108,13 +109,13 @@ pub fn query(argv: Vec<String>) -> Result<()> {
         println!(
             "cfq query --data FILE --catalog FILE \"CONSTRAINTS\"\n\
              [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
-             [--explain] [--limit N] [--rules] [--min-confidence F]\n\
+             [--explain] [--audit] [--limit N] [--rules] [--min-confidence F]\n\
              [--threads N (default 0 = all cores)] [--trim on|off]\n\
              [--out pairs.csv]"
         );
         return Ok(());
     }
-    let a = Args::parse(argv, &["explain", "rules"])?;
+    let a = Args::parse(argv, &["explain", "rules", "audit"])?;
     let (db, catalog) = load(&a)?;
     let text = a
         .positional
@@ -131,12 +132,13 @@ pub fn query(argv: Vec<String>) -> Result<()> {
             ((db.len() as f64) * frac).round().max(1.0) as u64
         }
     };
-    let optimizer = match a.get("strategy").unwrap_or("full") {
-        "full" => Optimizer::default(),
-        "cap1" => Optimizer::cap_one_var(),
-        "apriori+" | "naive" => Optimizer::apriori_plus(),
-        other => return Err(CfqError::Config(format!("unknown strategy `{other}`"))),
-    };
+    let optimizer = parse_strategy(a.get("strategy"))?;
+
+    // The --audit gate: statically verify the plan's rewrite obligations
+    // before touching the data, and refuse to execute an unsound plan.
+    if a.flag("audit") {
+        render_audit(&Auditor::new(&catalog).with_optimizer(optimizer).audit_dnf(text)?, None)?;
+    }
 
     // The CLI defaults to all cores (0); the library default stays 1 so
     // programmatic runs are deterministic in their work accounting.
@@ -210,18 +212,69 @@ pub fn query(argv: Vec<String>) -> Result<()> {
     Ok(())
 }
 
+/// `cfq audit` — statically verify a query's optimizer plan against the
+/// paper's soundness obligations (Figs. 1–4, §5.2). Needs the catalog (for
+/// column envelopes and attribute binding) but never touches transaction
+/// data; exits non-zero when the plan is unsound.
+pub fn audit(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq audit --catalog FILE \"CONSTRAINTS\"\n\
+             [--strategy full|cap1|apriori+] [--json report.json]"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let catalog = io::read_catalog(std::fs::File::open(a.require("catalog")?)?)?;
+    let text = a
+        .positional
+        .first()
+        .ok_or_else(|| CfqError::Config("give the query as a positional argument".into()))?;
+    let optimizer = parse_strategy(a.get("strategy"))?;
+    let reports = Auditor::new(&catalog).with_optimizer(optimizer).audit_dnf(text)?;
+    render_audit(&reports, a.get("json"))
+}
+
+/// Prints audit reports (one per DNF disjunct), optionally writes the JSON
+/// rendering, and fails when any disjunct's plan is unsound.
+fn render_audit(reports: &[AuditReport], json_path: Option<&str>) -> Result<()> {
+    for (i, r) in reports.iter().enumerate() {
+        if reports.len() > 1 {
+            println!("-- disjunct {} --", i + 1);
+        }
+        print!("{}", r.render());
+    }
+    if let Some(path) = json_path {
+        let body: Vec<String> = reports.iter().map(AuditReport::to_json).collect();
+        std::fs::write(path, format!("[{}]\n", body.join(", ")))?;
+        println!("wrote audit report to {path}");
+    }
+    let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+    if errors > 0 {
+        return Err(CfqError::Config(format!(
+            "refusing to execute: audit found {errors} soundness error(s)"
+        )));
+    }
+    Ok(())
+}
+
 /// `cfq mine` — plain frequent-set mining with a selectable backbone.
 pub fn mine(argv: Vec<String>) -> Result<()> {
     if wants_help(&argv) {
         println!(
             "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
              [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]\n\
-             [--threads N (default 0 = all cores; apriori only)] [--trim on|off]"
+             [--threads N (default 0 = all cores; apriori only)] [--trim on|off] [--audit]"
         );
         return Ok(());
     }
-    let a = Args::parse(argv, &["maximal", "closed"])?;
+    let a = Args::parse(argv, &["maximal", "closed", "audit"])?;
     let db = io::load_transactions(a.require("data")?)?;
+    if a.flag("audit") {
+        // Release-build equivalent of the CSR store's debug invariants.
+        db.validate()?;
+        println!("audit: CSR store valid ({} rows, {} items)", db.len(), db.n_items());
+    }
     let min_support = match a.get("abs-support") {
         Some(v) => v
             .parse::<u64>()
@@ -335,6 +388,16 @@ fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
 
 fn wants_help(argv: &[String]) -> bool {
     argv.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Parses a `--strategy` option value; absent means the full optimizer.
+fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
+    match value.unwrap_or("full") {
+        "full" => Ok(Optimizer::default()),
+        "cap1" => Ok(Optimizer::cap_one_var()),
+        "apriori+" | "naive" => Ok(Optimizer::apriori_plus()),
+        other => Err(CfqError::Config(format!("unknown strategy `{other}`"))),
+    }
 }
 
 /// Parses an `on`/`off` option value; absent means `on`.
@@ -501,6 +564,67 @@ mod tests {
             "--trim".into(),
             "sideways".into(),
             "S disjoint T".into(),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn audit_command_and_execution_gates() {
+        let data = tmp("d5.txt");
+        let cat = tmp("c5.txt");
+        let json = tmp("audit5.json");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "40".into(),
+            "--transactions".into(),
+            "200".into(),
+            "--patterns".into(),
+            "10".into(),
+        ]))
+        .unwrap();
+        gen_catalog(argv(&[
+            "--items".into(),
+            "40".into(),
+            "--out".into(),
+            cat.clone(),
+            "--num".into(),
+            "Price:uniform:0:100".into(),
+        ]))
+        .unwrap();
+        // Static audit: no --data needed; DNF audits per disjunct; JSON out.
+        audit(argv(&[
+            "--catalog".into(),
+            cat.clone(),
+            "--json".into(),
+            json.clone(),
+            "avg(S.Price) <= avg(T.Price) | max(S.Price) <= min(T.Price)".into(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"sound\": true"), "{body}");
+        // The gates on execution commands.
+        query(argv(&[
+            "--data".into(),
+            data.clone(),
+            "--catalog".into(),
+            cat.clone(),
+            "--audit".into(),
+            "--min-support".into(),
+            "0.08".into(),
+            "sum(S.Price) <= sum(T.Price)".into(),
+        ]))
+        .unwrap();
+        mine(argv(&["--data".into(), data, "--audit".into()])).unwrap();
+        // Parse errors and bad strategies surface as errors.
+        assert!(audit(argv(&["--catalog".into(), cat.clone(), "not a query".into()])).is_err());
+        assert!(audit(argv(&[
+            "--catalog".into(),
+            cat,
+            "--strategy".into(),
+            "warp".into(),
+            "freq(S)".into()
         ]))
         .is_err());
     }

@@ -7,7 +7,9 @@
 //!         [--num "Price:uniform:0:1000"]... [--cat "Type:8"]...
 //! cfq query --data data.txt --catalog cat.txt --min-support 0.01 \
 //!         "max(S.Price) <= min(T.Price)" [--strategy full|cap1|apriori+]
-//!         [--explain] [--limit 20] [--rules] [--min-confidence 0.6]
+//!         [--explain] [--audit] [--limit 20] [--rules] [--min-confidence 0.6]
+//! cfq audit --catalog cat.txt "max(S.Price) <= min(T.Price)"
+//!         [--strategy full|cap1|apriori+] [--json report.json]
 //! cfq stats --data data.txt
 //! ```
 
@@ -23,6 +25,7 @@ commands:
   gen          generate a Quest synthetic transaction database
   gen-catalog  generate an itemInfo catalog (numeric/categorical attributes)
   query        run a CFQ against a database + catalog
+  audit        statically verify a query's plan is sound (no data needed)
   mine         plain frequent-set mining (apriori | fpgrowth | partition)
   stats        summarize a transaction database
 
@@ -39,6 +42,7 @@ fn main() {
         "gen" => commands::gen(argv),
         "gen-catalog" => commands::gen_catalog(argv),
         "query" => commands::query(argv),
+        "audit" => commands::audit(argv),
         "mine" => commands::mine(argv),
         "stats" => commands::stats(argv),
         other => {

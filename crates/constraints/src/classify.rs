@@ -41,13 +41,13 @@ pub fn classify_one(c: &OneVar, catalog: &Catalog) -> OneVarClass {
             // spaces are powerset-algebra expressions over selections.
             succinct: true,
         },
-        OneVar::AggCmp { agg, attr, op, .. } => match agg {
+        OneVar::AggCmp { agg, attr, op, value, .. } => match agg {
             Agg::Min => OneVarClass {
-                anti_monotone: op.is_lower(),
+                anti_monotone: op.is_lower() || envelope_folds(catalog, *attr, *op, *value),
                 succinct: true,
             },
             Agg::Max => OneVarClass {
-                anti_monotone: op.is_upper(),
+                anti_monotone: op.is_upper() || envelope_folds(catalog, *attr, *op, *value),
                 succinct: true,
             },
             Agg::Sum => {
@@ -55,8 +55,16 @@ pub fn classify_one(c: &OneVar, catalog: &Catalog) -> OneVarClass {
                     .column_min_num(*attr)
                     .map(|m| m >= 0.0)
                     .unwrap_or(true);
+                // Mirror image of the non-negative rule: on an all-non-
+                // positive domain, adding items can only lower the sum, so
+                // a lower bound prunes anti-monotonically.
+                let non_positive = catalog
+                    .column_max_num(*attr)
+                    .map(|m| m <= 0.0)
+                    .unwrap_or(true);
                 OneVarClass {
-                    anti_monotone: op.is_upper() && non_negative,
+                    anti_monotone: (op.is_upper() && non_negative)
+                        || (op.is_lower() && non_positive),
                     succinct: false,
                 }
             }
@@ -69,6 +77,30 @@ pub fn classify_one(c: &OneVar, catalog: &Catalog) -> OneVarClass {
             // over selections on item attributes alone).
             succinct: false,
         },
+    }
+}
+
+/// Constant-folding for `min/max(X.A) op v` against the column envelope
+/// `[m, M]`: both aggregates over any nonempty set land in `[m, M]`, and
+/// both extremes are reachable by a singleton (the item holding the column
+/// min/max), so a comparison whose truth the envelope decides — trivially
+/// true (no violated sets) or trivially false (every set violated) — is
+/// *vacuously* anti-monotone even though the bare operator shape is not.
+/// Returns `false` when the envelope is unknown (empty catalog), the
+/// conservative answer. Equality targets inside the envelope may still be
+/// unreachable, but can never be provably hit everywhere, so only the
+/// out-of-envelope side folds.
+fn envelope_folds(catalog: &Catalog, attr: cfq_types::AttrId, op: CmpOp, v: f64) -> bool {
+    let (Some(lo), Some(hi)) = (catalog.column_min_num(attr), catalog.column_max_num(attr))
+    else {
+        return false;
+    };
+    match op {
+        CmpOp::Le => v >= hi || v < lo,
+        CmpOp::Lt => v > hi || v <= lo,
+        CmpOp::Ge => v <= lo || v > hi,
+        CmpOp::Gt => v < lo || v >= hi,
+        CmpOp::Eq | CmpOp::Ne => v < lo || v > hi,
     }
 }
 
@@ -174,6 +206,54 @@ mod tests {
         assert_eq!(c1("avg(S.Price) >= 50"), OneVarClass { anti_monotone: false, succinct: false });
         assert_eq!(c1("count(S) <= 3"), OneVarClass { anti_monotone: true, succinct: false });
         assert_eq!(c1("count(S.Type) = 1"), OneVarClass { anti_monotone: false, succinct: false });
+    }
+
+    /// Regression: min/max comparisons whose constant side folds against
+    /// the column envelope [10, 40] are vacuously anti-monotone — the
+    /// auditor surfaced these as classifier/derivation mismatches.
+    #[test]
+    fn minmax_constant_folding_trivial_cases() {
+        // min(S) <= v is trivially true once v admits the column max.
+        assert!(c1("min(S.Price) <= 40").anti_monotone);
+        assert!(c1("min(S.Price) <= 100").anti_monotone);
+        assert!(c1("min(S.Price) < 41").anti_monotone);
+        assert!(!c1("min(S.Price) < 40").anti_monotone, "singleton {{40}} violates");
+        // max(S) >= v is trivially true once v admits the column min.
+        assert!(c1("max(S.Price) >= 10").anti_monotone);
+        assert!(c1("max(S.Price) >= 5").anti_monotone);
+        assert!(c1("max(S.Price) > 9").anti_monotone);
+        assert!(!c1("max(S.Price) > 10").anti_monotone, "singleton {{10}} violates");
+        // Out-of-envelope equality targets: `=` trivially false, `!=`
+        // trivially true; both vacuously anti-monotone.
+        assert!(c1("min(S.Price) = 5").anti_monotone);
+        assert!(c1("min(S.Price) = 45").anti_monotone);
+        assert!(c1("min(S.Price) != 45").anti_monotone);
+        assert!(c1("max(S.Price) = 45").anti_monotone);
+        assert!(c1("max(S.Price) != 5").anti_monotone);
+        // In-envelope targets keep the Figure-1 answer.
+        assert!(!c1("min(S.Price) = 20").anti_monotone);
+        assert!(!c1("max(S.Price) != 20").anti_monotone);
+        // The negative domain changes nothing for min/max folding rules.
+        assert!(c1("min(S.Delta) <= 3").anti_monotone);
+        assert!(c1("max(S.Delta) >= -5").anti_monotone);
+    }
+
+    /// Regression: `sum(X.A) >= v` is anti-monotone on an all-non-positive
+    /// domain (the mirror image of the paper's non-negative assumption).
+    #[test]
+    fn sum_lower_bound_on_non_positive_domain() {
+        let mut b = CatalogBuilder::new(3);
+        b.num_attr("Loss", vec![-3.0, -1.0, 0.0]).unwrap();
+        b.num_attr("Price", vec![1.0, 2.0, 3.0]).unwrap();
+        let c = b.build();
+        let cls = |src: &str| {
+            let q = bind_query(&parse_query(src).unwrap(), &c).unwrap();
+            classify_one(&q.one_var[0], &c)
+        };
+        assert!(cls("sum(S.Loss) >= -2").anti_monotone);
+        assert!(cls("sum(S.Loss) > -2").anti_monotone);
+        assert!(!cls("sum(S.Loss) <= -2").anti_monotone, "upper bound needs non-negative");
+        assert!(!cls("sum(S.Price) >= 2").anti_monotone, "positive domain: sums grow");
     }
 
     /// Figure 1, rows 1–5 (domain constraints).

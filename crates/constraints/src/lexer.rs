@@ -3,6 +3,32 @@
 use cfq_types::{CfqError, Result};
 use std::fmt;
 
+/// A half-open byte range `[start, end)` into the query source string.
+///
+/// Spans are recorded by the lexer and aggregated per constraint by the
+/// spanned parser entry points, so diagnostics (notably from `cfq-audit`)
+/// can point at the offending constraint text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Extracts the spanned slice from the source string, if in bounds.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bytes {}..{}", self.start, self.end)
+    }
+}
+
 /// A token with its byte offset (for error messages).
 #[derive(Clone, PartialEq, Debug)]
 pub struct Token {
@@ -10,6 +36,15 @@ pub struct Token {
     pub kind: TokenKind,
     /// Byte offset in the source string.
     pub offset: usize,
+    /// Byte length of the token's source text (0 for [`TokenKind::Eof`]).
+    pub len: usize,
+}
+
+impl Token {
+    /// The byte range this token covers in the source string.
+    pub fn span(&self) -> Span {
+        Span { start: self.offset, end: self.offset + self.len }
+    }
 }
 
 /// Token kinds of the query language.
@@ -122,7 +157,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     )))
                 }
             },
-            b'0'..=b'9' => {
+            // A `-` is only ever a numeric sign in this grammar (there is
+            // no arithmetic), so it must be followed by a digit.
+            b'0'..=b'9' | b'-' => {
+                if b == b'-' && !matches!(bytes.get(i + 1), Some(b'0'..=b'9')) {
+                    return Err(CfqError::Parse(format!(
+                        "unexpected `-` at byte {start} (expected a digit after the sign)"
+                    )));
+                }
                 let mut j = i + 1;
                 let mut seen_dot = false;
                 while j < bytes.len() {
@@ -143,7 +185,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 let n: f64 = text
                     .parse()
                     .map_err(|e| CfqError::Parse(format!("bad number `{text}`: {e}")))?;
-                tokens.push(Token { kind: TokenKind::Num(n), offset: start });
+                tokens.push(Token { kind: TokenKind::Num(n), offset: start, len: j - i });
                 i = j;
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
@@ -156,6 +198,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Ident(src[i..j].to_string()),
                     offset: start,
+                    len: j - i,
                 });
                 i = j;
             }
@@ -167,12 +210,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len(), len: 0 });
     Ok(tokens)
 }
 
 fn push(tokens: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize, len: usize) {
-    tokens.push(Token { kind, offset: start });
+    tokens.push(Token { kind, offset: start, len });
     *i += len;
 }
 
@@ -237,6 +280,15 @@ mod tests {
     fn errors() {
         assert!(tokenize("a $ b").is_err());
         assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a - b").is_err());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("-5"), vec![Num(-5.0), Eof]);
+        assert_eq!(kinds("-1.5"), vec![Num(-1.5), Eof]);
+        assert_eq!(kinds("x >= -2"), vec![Ident("x".into()), Ge, Num(-2.0), Eof]);
     }
 
     #[test]
@@ -245,5 +297,16 @@ mod tests {
         assert_eq!(toks[0].offset, 0);
         assert_eq!(toks[1].offset, 3);
         assert_eq!(toks[2].offset, 6);
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let src = "sum(S.Price) <= 100";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].span().slice(src), Some("sum"));
+        assert_eq!(toks[6].span().slice(src), Some("<="));
+        assert_eq!(toks[7].span().slice(src), Some("100"));
+        let eof = toks.last().unwrap();
+        assert_eq!(eof.span(), Span { start: src.len(), end: src.len() });
     }
 }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # cfq-constraints
 //!
@@ -33,11 +33,12 @@ pub mod reduce;
 pub mod succinct;
 
 pub use ast::{Dnf, Query};
-pub use bound::{bind_dnf, bind_query, Bound, BoundQuery, OneVar, TwoVar};
+pub use bound::{bind_constraint, bind_dnf, bind_query, Bound, BoundQuery, OneVar, TwoVar};
 pub use classify::{classify_one, classify_two, OneVarClass, TwoVarClass};
 pub use eval::{eval_all_one, eval_all_two, eval_one, eval_two};
 pub use induce::induce_weaker;
 pub use lang::{Agg, CmpOp, SetRel, Var};
-pub use parser::{parse_dnf, parse_query};
+pub use lexer::Span;
+pub use parser::{parse_dnf, parse_dnf_spanned, parse_query, parse_query_spanned};
 pub use reduce::{reduce_quasi_succinct, Reduction};
 pub use succinct::SuccinctForm;

@@ -26,7 +26,7 @@
 
 use crate::ast::{AggExpr, Constraint, Dnf, Literal, Query, SetExpr, VarAttr};
 use crate::lang::{Agg, CmpOp, SetRel, Var};
-use crate::lexer::{tokenize, Token, TokenKind};
+use crate::lexer::{tokenize, Span, Token, TokenKind};
 use cfq_types::{CfqError, Result};
 
 /// Parses a CFQ constraint conjunction.
@@ -40,10 +40,27 @@ use cfq_types::{CfqError, Result};
 /// assert!(parse_query("sum(S.Price) <=").is_err());
 /// ```
 pub fn parse_query(src: &str) -> Result<Query> {
+    parse_query_spanned(src).map(|(q, _)| q)
+}
+
+/// Like [`parse_query`], but also returns one byte [`Span`] per parsed
+/// constraint (in query order), for diagnostics that point back at source.
+///
+/// ```
+/// use cfq_constraints::parse_query_spanned;
+/// let src = "freq(S) & sum(S.Price) <= 100";
+/// let (q, spans) = parse_query_spanned(src).unwrap();
+/// assert_eq!(q.constraints.len(), spans.len());
+/// assert_eq!(spans[1].slice(src), Some("sum(S.Price) <= 100"));
+/// ```
+pub fn parse_query_spanned(src: &str) -> Result<(Query, Vec<Span>)> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
-    Ok(q)
+    let (q, spans) = p.conjunction()?;
+    if p.peek() != &TokenKind::Eof {
+        return p.err("expected `&` or end of query");
+    }
+    Ok((q, spans))
 }
 
 /// Parses a disjunction of conjunctive CFQs (`… & … | … & …`; `|`/`or`
@@ -57,24 +74,38 @@ pub fn parse_query(src: &str) -> Result<Query> {
 /// assert_eq!(d.disjuncts[0].constraints.len(), 2);
 /// ```
 pub fn parse_dnf(src: &str) -> Result<Dnf> {
+    parse_dnf_spanned(src).map(|(d, _)| d)
+}
+
+/// Like [`parse_dnf`], but also returns the constraint [`Span`]s per
+/// disjunct: `spans[d][i]` covers constraint `i` of disjunct `d`.
+pub fn parse_dnf_spanned(src: &str) -> Result<(Dnf, Vec<Vec<Span>>)> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let mut disjuncts = vec![p.conjunction()?];
+    let mut disjuncts = Vec::new();
+    let mut spans = Vec::new();
+    let (q, s) = p.conjunction()?;
+    disjuncts.push(q);
+    spans.push(s);
     loop {
         match p.peek() {
             TokenKind::Pipe => {
                 p.advance();
-                disjuncts.push(p.conjunction()?);
+                let (q, s) = p.conjunction()?;
+                disjuncts.push(q);
+                spans.push(s);
             }
             TokenKind::Ident(w) if w == "or" => {
                 p.advance();
-                disjuncts.push(p.conjunction()?);
+                let (q, s) = p.conjunction()?;
+                disjuncts.push(q);
+                spans.push(s);
             }
             TokenKind::Eof => break,
             _ => return p.err("expected `|`, `&`, or end of query"),
         }
     }
-    Ok(Dnf { disjuncts })
+    Ok((Dnf { disjuncts }, spans))
 }
 
 struct Parser {
@@ -115,31 +146,44 @@ impl Parser {
         }
     }
 
-    fn query(&mut self) -> Result<Query> {
-        let q = self.conjunction()?;
-        if self.peek() != &TokenKind::Eof {
-            return self.err("expected `&` or end of query");
-        }
-        Ok(q)
-    }
-
-    /// A conjunction; stops (without consuming) at `|`, `or`, or EOF.
-    fn conjunction(&mut self) -> Result<Query> {
-        let mut constraints = vec![self.constraint()?];
+    /// A conjunction with per-constraint source spans; stops (without
+    /// consuming) at `|`, `or`, or EOF.
+    fn conjunction(&mut self) -> Result<(Query, Vec<Span>)> {
+        let mut constraints = Vec::new();
+        let mut spans = Vec::new();
+        let (c, s) = self.spanned_constraint()?;
+        constraints.push(c);
+        spans.push(s);
         loop {
             match self.peek() {
                 TokenKind::Amp => {
                     self.advance();
-                    constraints.push(self.constraint()?);
+                    let (c, s) = self.spanned_constraint()?;
+                    constraints.push(c);
+                    spans.push(s);
                 }
-                TokenKind::Ident(s) if s == "and" => {
+                TokenKind::Ident(w) if w == "and" => {
                     self.advance();
-                    constraints.push(self.constraint()?);
+                    let (c, s) = self.spanned_constraint()?;
+                    constraints.push(c);
+                    spans.push(s);
                 }
                 _ => break,
             }
         }
-        Ok(Query { constraints })
+        Ok((Query { constraints }, spans))
+    }
+
+    /// Parses one constraint and records the byte range it covers: from the
+    /// first token's offset to the end of the last token consumed.
+    fn spanned_constraint(&mut self) -> Result<(Constraint, Span)> {
+        let start = self.tokens[self.pos].offset;
+        let c = self.constraint()?;
+        // `constraint()` always consumes at least one token, and `advance`
+        // never steps past the trailing Eof, so `pos - 1` is the last
+        // consumed token.
+        let last = &self.tokens[self.pos - 1];
+        Ok((c, Span { start, end: last.offset + last.len }))
     }
 
     fn constraint(&mut self) -> Result<Constraint> {
@@ -445,6 +489,26 @@ mod tests {
         ] {
             assert!(parse_query(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn spanned_parse_covers_each_constraint() {
+        let src = "freq(S) and sum(S.Price) <= 100 & S.Type = {Snacks}";
+        let (q, spans) = parse_query_spanned(src).unwrap();
+        assert_eq!(q.constraints.len(), 3);
+        assert_eq!(spans[0].slice(src), Some("freq(S)"));
+        assert_eq!(spans[1].slice(src), Some("sum(S.Price) <= 100"));
+        assert_eq!(spans[2].slice(src), Some("S.Type = {Snacks}"));
+    }
+
+    #[test]
+    fn spanned_dnf_covers_each_disjunct() {
+        let src = "max(S.Price) <= 10 & freq(T) | S.Type disjoint T.Type";
+        let (d, spans) = parse_dnf_spanned(src).unwrap();
+        assert_eq!(d.disjuncts.len(), 2);
+        assert_eq!(spans[0].len(), 2);
+        assert_eq!(spans[0][0].slice(src), Some("max(S.Price) <= 10"));
+        assert_eq!(spans[1][0].slice(src), Some("S.Type disjoint T.Type"));
     }
 
     #[test]

@@ -258,6 +258,54 @@ impl Series {
     }
 }
 
+/// Public summary of an iterative bound task (the executable details stay
+/// in the private `JkTask`): enough for static auditing of the §5.2
+/// obligations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JkSummary {
+    /// The variable whose candidates the task prunes.
+    pub pruned: Var,
+    /// The comparison direction, oriented `bounded(pruned) op BOUND`.
+    pub op: CmpOp,
+}
+
+/// One step of the optimizer's rewrite trace: how a single original 2-var
+/// constraint was handled, with everything a static auditor needs to
+/// re-check the paper's per-rewrite obligations (Figs. 2–4, §5.2).
+#[derive(Clone, Debug)]
+pub struct TraceNode {
+    /// The original 2-var constraint.
+    pub constraint: TwoVar,
+    /// The strategy the optimizer chose for it.
+    pub strategy: StrategyKind,
+    /// Constraints sent to the quasi-succinct reduction on its behalf: the
+    /// constraint itself for [`StrategyKind::QuasiSuccinct`], the induced
+    /// weaker constraints for [`StrategyKind::InducedWeaker`].
+    pub pushed: Vec<TwoVar>,
+    /// `J^k_max` iterative pruning tasks attached to this constraint.
+    pub jk: Vec<JkSummary>,
+    /// Whether the constraint is re-evaluated at pair formation. Every
+    /// plan the optimizer emits sets this; a plan without it loses answers
+    /// whenever an upstream rewrite was not tight.
+    pub reverified: bool,
+}
+
+/// The optimizer's rewrite trace — what [`Optimizer::plan`] decided, in a
+/// form `cfq-audit` can walk without executing anything. Fields are public
+/// so tests can doctor a trace (e.g. clear a `reverified` flag) and check
+/// that the auditor rejects it.
+#[derive(Clone, Debug, Default)]
+pub struct PlanTrace {
+    /// 1-var constraints pushed on the S side.
+    pub s_one: Vec<OneVar>,
+    /// 1-var constraints pushed on the T side.
+    pub t_one: Vec<OneVar>,
+    /// One rewrite node per original 2-var constraint, in query order.
+    pub nodes: Vec<TraceNode>,
+    /// The 2-var constraints checked during final pair formation.
+    pub final_two: Vec<TwoVar>,
+}
+
 /// The optimizer's output plan for one CFQ.
 #[derive(Clone, Debug)]
 pub struct CfqPlan {
@@ -271,6 +319,8 @@ pub struct CfqPlan {
     jk_tasks: Vec<JkTask>,
     /// `(constraint, strategy)` per original 2-var constraint.
     strategies: Vec<(TwoVar, StrategyKind)>,
+    /// The auditable rewrite trace mirroring the fields above.
+    trace: PlanTrace,
 }
 
 impl CfqPlan {
@@ -314,6 +364,11 @@ impl CfqPlan {
     /// The strategies chosen per original 2-var constraint.
     pub fn strategies(&self) -> &[(TwoVar, StrategyKind)] {
         &self.strategies
+    }
+
+    /// The auditable rewrite trace of this plan.
+    pub fn trace(&self) -> &PlanTrace {
+        &self.trace
     }
 }
 
@@ -376,39 +431,58 @@ impl Optimizer {
 
     /// Builds the plan for a bound query.
     pub fn plan(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> CfqPlan {
+        self.plan_for_catalog(query, env.catalog)
+    }
+
+    /// Builds the plan from the catalog alone — planning never touches the
+    /// data, which is what lets `cfq audit` verify plans statically.
+    pub fn plan_for_catalog(&self, query: &BoundQuery, catalog: &Catalog) -> CfqPlan {
         let s_one: Vec<OneVar> = query.one_var_for(Var::S).cloned().collect();
         let t_one: Vec<OneVar> = query.one_var_for(Var::T).cloned().collect();
+        let final_two = query.two_var.clone();
         let mut qs_two = Vec::new();
         let mut jk_tasks = Vec::new();
         let mut strategies = Vec::new();
+        let mut nodes = Vec::new();
 
         for c in &query.two_var {
             let mut kind = StrategyKind::FinalVerifyOnly;
+            let mut pushed = Vec::new();
+            let mut jk = Vec::new();
             if classify_two(c).quasi_succinct {
                 qs_two.push(c.clone());
+                pushed.push(c.clone());
                 kind = StrategyKind::QuasiSuccinct;
             } else {
-                let weaker = induce_weaker(c, env.catalog);
+                let weaker = induce_weaker(c, catalog);
                 if !weaker.is_empty() {
+                    pushed.extend(weaker.iter().cloned());
                     qs_two.extend(weaker);
                     kind = StrategyKind::InducedWeaker;
                 }
-                for task in jk_tasks_for(c, env.catalog) {
+                for task in jk_tasks_for(c, catalog) {
+                    jk.push(JkSummary { pruned: task.pruned, op: task.op });
                     jk_tasks.push(task);
                     kind = StrategyKind::JkmaxIterative;
                 }
             }
             strategies.push((c.clone(), kind));
+            nodes.push(TraceNode {
+                constraint: c.clone(),
+                strategy: kind,
+                pushed,
+                jk,
+                reverified: final_two.contains(c),
+            });
         }
 
-        CfqPlan {
-            s_one,
-            t_one,
-            qs_two,
-            final_two: query.two_var.clone(),
-            jk_tasks,
-            strategies,
-        }
+        let trace = PlanTrace {
+            s_one: s_one.clone(),
+            t_one: t_one.clone(),
+            nodes,
+            final_two: final_two.clone(),
+        };
+        CfqPlan { s_one, t_one, qs_two, final_two, jk_tasks, strategies, trace }
     }
 
     /// Plans and executes in one step.

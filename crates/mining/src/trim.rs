@@ -86,6 +86,67 @@ pub struct TrimResult {
     pub items_dropped: u64,
 }
 
+impl TrimResult {
+    /// Checks every structural invariant a trim pass must preserve against
+    /// the database it was produced from, returning the first violation:
+    ///
+    /// * the output is itself a valid CSR database;
+    /// * `provenance` is strictly increasing (an order-preserving injection
+    ///   into the input's row space — i.e. a permutation-free selection),
+    ///   in bounds, and one entry per surviving row;
+    /// * `rows_dropped` / `items_dropped` account exactly for the
+    ///   input/output size difference;
+    /// * every surviving row is a subset of its source row.
+    ///
+    /// [`trim_db`] runs this in debug builds; the CLI `--audit` gate and
+    /// the trim property tests run it explicitly.
+    pub fn check_invariants(&self, input: &TransactionDb) -> Result<(), String> {
+        self.db.validate().map_err(|e| e.to_string())?;
+        if self.provenance.len() != self.db.len() {
+            return Err(format!(
+                "provenance has {} entries for {} surviving rows",
+                self.provenance.len(),
+                self.db.len()
+            ));
+        }
+        if !self.provenance.windows(2).all(|w| w[0] < w[1]) {
+            return Err("provenance is not strictly increasing".into());
+        }
+        if self.provenance.last().is_some_and(|&t| t as usize >= input.len()) {
+            return Err(format!(
+                "provenance references row {} of a {}-row input",
+                self.provenance.last().unwrap(),
+                input.len()
+            ));
+        }
+        if self.rows_dropped != (input.len() - self.db.len()) as u64 {
+            return Err(format!(
+                "rows_dropped = {} but {} of {} rows survived",
+                self.rows_dropped,
+                self.db.len(),
+                input.len()
+            ));
+        }
+        if self.items_dropped != (input.total_items() - self.db.total_items()) as u64 {
+            return Err(format!(
+                "items_dropped = {} but the arena shrank by {}",
+                self.items_dropped,
+                input.total_items() - self.db.total_items()
+            ));
+        }
+        for (row, &src) in self.provenance.iter().enumerate() {
+            let out = self.db.transaction(row);
+            let source = input.transaction(src as usize);
+            if !cfq_types::contains_sorted(source, out) {
+                return Err(format!(
+                    "surviving row {row} is not a subset of input row {src}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Rewrites `db`, keeping only items in `live` and only transactions
 /// retaining at least `min_len` items. Pass `min_len = k` before counting
 /// level `k`. Single linear sweep of the CSR arena.
@@ -109,12 +170,18 @@ pub fn trim_db(db: &TransactionDb, live: &LiveSet, min_len: usize) -> TrimResult
     }
     items.shrink_to_fit();
     let items_dropped = (db.total_items() - items.len()) as u64;
-    TrimResult {
+    let result = TrimResult {
         db: TransactionDb::from_parts(db.n_items(), items, offsets),
         provenance,
         rows_dropped,
         items_dropped,
-    }
+    };
+    debug_assert!(
+        result.check_invariants(db).is_ok(),
+        "trim pass broke an invariant: {}",
+        result.check_invariants(db).unwrap_err()
+    );
+    result
 }
 
 /// [`trim_db`] plus bookkeeping: records the pass in `scan` stats.
@@ -206,6 +273,34 @@ mod tests {
         let chained: Vec<u32> =
             r2.provenance.iter().map(|&i| r1.provenance[i as usize]).collect();
         assert_eq!(chained, direct.provenance);
+    }
+
+    #[test]
+    fn check_invariants_accepts_real_passes_and_rejects_doctored_ones() {
+        let d = db();
+        let live = LiveSet::from_items(6, [1, 2, 3].map(ItemId));
+        let mut r = trim_db(&d, &live, 2);
+        assert!(r.check_invariants(&d).is_ok());
+        // Doctored provenance: out of order.
+        let orig = r.provenance.clone();
+        r.provenance.swap(0, 1);
+        assert!(r.check_invariants(&d).unwrap_err().contains("increasing"));
+        r.provenance = orig.clone();
+        // Doctored provenance: points past the input.
+        *r.provenance.last_mut().unwrap() = d.len() as u32;
+        assert!(r.check_invariants(&d).is_err());
+        r.provenance = orig.clone();
+        // Doctored accounting.
+        r.rows_dropped += 1;
+        assert!(r.check_invariants(&d).unwrap_err().contains("rows_dropped"));
+        r.rows_dropped -= 1;
+        r.items_dropped += 1;
+        assert!(r.check_invariants(&d).unwrap_err().contains("items_dropped"));
+        r.items_dropped -= 1;
+        // Doctored provenance: maps a surviving row to a disjoint source row.
+        r.provenance[2] = 3; // row {2,3} is not a subset of input row 3 = {1,5}
+        r.rows_dropped = (d.len() - r.db.len()) as u64;
+        assert!(r.check_invariants(&d).unwrap_err().contains("subset"));
     }
 
     #[test]

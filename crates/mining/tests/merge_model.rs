@@ -1,0 +1,137 @@
+//! Deterministic model of the chunk-sharded counter's partition/merge
+//! algebra (`count_supports_with`).
+//!
+//! Neither loom nor ThreadSanitizer is available in the offline toolchain,
+//! so this test checks the same property a race model would: the parallel
+//! counter's result must be independent of (a) how the database is
+//! partitioned into contiguous chunks and (b) the order in which partial
+//! count vectors are merged. The implementation shards rows with
+//! `TransactionDb::chunks`, counts each chunk in an isolated thread-local
+//! buffer, and merges by commutative addition after all workers join — so
+//! every partition and every merge permutation must agree with the
+//! sequential count. This is exhaustively enumerated here on a small
+//! database; `scripts/ci.sh` runs it as its loom/tsan-substitute stage.
+
+use cfq_mining::counter::count_supports_with;
+use cfq_types::{ItemId, Itemset, TransactionDb};
+
+fn db() -> TransactionDb {
+    TransactionDb::from_u32(
+        6,
+        &[&[0, 1, 2, 3], &[1, 2, 3], &[0, 2, 4], &[1, 5], &[2, 3, 4, 5], &[5], &[0, 5]],
+    )
+}
+
+/// Sorted, duplicate-free candidate batch: all singletons and a spread of
+/// pairs/triples.
+fn candidates() -> Vec<Itemset> {
+    let mut c: Vec<Itemset> = (0..6u32).map(|i| Itemset::singleton(ItemId(i))).collect();
+    for (a, b) in [(0u32, 1u32), (1, 2), (2, 3), (0, 4), (4, 5), (1, 5)] {
+        c.push([a, b].into());
+    }
+    c.push([1u32, 2, 3].into());
+    c.push([2u32, 3, 4].into());
+    c.sort();
+    c.dedup();
+    c
+}
+
+/// Counts one contiguous row range by rebuilding it as a standalone
+/// database — the model of one worker's isolated chunk scan.
+fn count_range(d: &TransactionDb, rows: std::ops::Range<usize>, cands: &[Itemset]) -> Vec<u64> {
+    let sub = TransactionDb::new(
+        d.n_items(),
+        rows.map(|i| d.transaction(i).to_vec()).collect(),
+    )
+    .expect("chunk rows are valid");
+    count_supports_with(&sub, &[cands], 1).remove(0)
+}
+
+/// All permutations of `0..n` by repeated insertion (n ≤ 4 here, so at
+/// most 24).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut perms: Vec<Vec<usize>> = vec![Vec::new()];
+    for k in 0..n {
+        let mut next = Vec::new();
+        for p in &perms {
+            for pos in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(pos, k);
+                next.push(q);
+            }
+        }
+        perms = next;
+    }
+    perms
+}
+
+#[test]
+fn every_partition_and_merge_order_matches_sequential() {
+    let d = db();
+    let cands = candidates();
+    let expected = count_supports_with(&d, &[&cands], 1).remove(0);
+    let n = d.len();
+    // Enumerate every contiguous partition with at most 4 chunks: choose up
+    // to 3 cut positions among the n-1 row boundaries.
+    let mut partitions = 0usize;
+    for cuts in 0u32..(1 << (n - 1)) {
+        if cuts.count_ones() > 3 {
+            continue;
+        }
+        let mut bounds = vec![0usize];
+        for b in 0..n - 1 {
+            if cuts & (1 << b) != 0 {
+                bounds.push(b + 1);
+            }
+        }
+        bounds.push(n);
+        let partials: Vec<Vec<u64>> = bounds
+            .windows(2)
+            .map(|w| count_range(&d, w[0]..w[1], &cands))
+            .collect();
+        partitions += 1;
+        for order in permutations(partials.len()) {
+            let mut merged = vec![0u64; cands.len()];
+            for &chunk in &order {
+                for (acc, x) in merged.iter_mut().zip(&partials[chunk]) {
+                    *acc += x;
+                }
+            }
+            assert_eq!(
+                merged, expected,
+                "partition {bounds:?} merged in order {order:?} diverged"
+            );
+        }
+    }
+    assert!(partitions > 20, "partition enumeration should be exhaustive, got {partitions}");
+}
+
+#[test]
+fn threaded_counter_is_bit_identical_to_sequential() {
+    let d = db();
+    let cands = candidates();
+    let singles: Vec<Itemset> = (0..6u32).map(|i| Itemset::singleton(ItemId(i))).collect();
+    let expected = count_supports_with(&d, &[&cands, &singles], 1);
+    for threads in [0, 1, 2, 3, 4, 7, 8] {
+        let got = count_supports_with(&d, &[&cands, &singles], threads);
+        assert_eq!(got, expected, "threads={threads}");
+    }
+}
+
+#[test]
+fn chunk_views_agree_with_parent_rows() {
+    // The offset-sliced chunk views are the shared-memory surface of the
+    // parallel counter; check they reproduce the parent rows exactly for
+    // every chunk count.
+    let d = db();
+    for n in 1..=8 {
+        let mut row = 0usize;
+        for c in d.chunks(n) {
+            for (i, r) in c.iter().enumerate() {
+                assert_eq!(r, d.transaction(row + i));
+            }
+            row += c.len();
+        }
+        assert_eq!(row, d.len());
+    }
+}

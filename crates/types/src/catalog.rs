@@ -276,6 +276,18 @@ impl Catalog {
         }
     }
 
+    /// The maximum value of a numeric column across *all* items (None for
+    /// an empty catalog). Together with [`Catalog::column_min_num`] this
+    /// bounds every possible aggregate, which lets the classifier fold
+    /// trivially-true/false min/max comparisons into anti-monotone ones and
+    /// recognize non-positive domains for `sum ≥ v`.
+    pub fn column_max_num(&self, attr: AttrId) -> Option<f64> {
+        match &self.columns[attr.0 as usize] {
+            Column::Num(v) => v.iter().copied().max_by(f64::total_cmp),
+            Column::Cat(_) => panic!("attribute {} is categorical", self.attr_name(attr)),
+        }
+    }
+
     /// All items whose numeric `attr` satisfies the predicate. Used to
     /// compile succinct constraints into item filters (the MGF in
     /// executable form).

@@ -33,4 +33,4 @@ pub use error::{CfqError, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use item::ItemId;
 pub use itemset::Itemset;
-pub use transaction::{DbChunk, TransactionDb};
+pub use transaction::{contains_sorted, DbChunk, TransactionDb};

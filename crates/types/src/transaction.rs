@@ -81,16 +81,50 @@ impl TransactionDb {
             items.len(),
             "offsets must end at the arena length"
         );
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        debug_assert!(
-            offsets.windows(2).all(|w| {
-                let row = &items[w[0] as usize..w[1] as usize];
-                row.windows(2).all(|p| p[0] < p[1])
-                    && row.last().is_none_or(|last| last.index() < n_items)
-            }),
-            "rows must be sorted, duplicate-free, and within the universe"
-        );
-        TransactionDb { items, offsets, n_items }
+        let db = TransactionDb { items, offsets, n_items };
+        debug_assert!(db.validate().is_ok(), "{}", db.validate().unwrap_err());
+        db
+    }
+
+    /// Checks every CSR structural invariant and returns the first
+    /// violation found:
+    ///
+    /// * offsets start at 0, end at the arena length, and are monotone
+    ///   (every row is an in-bounds arena slice);
+    /// * every row is strictly sorted (sorted and duplicate-free);
+    /// * every item id is below the universe size.
+    ///
+    /// [`TransactionDb::from_parts`] runs this in debug builds; the CLI's
+    /// `--audit` gate and the trim-pass invariant checks run it explicitly.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(CfqError::Config(format!("invalid CSR database: {msg}")));
+        if self.offsets.is_empty() || self.offsets[0] != 0 {
+            return fail("offsets must start at 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.items.len() {
+            return fail(format!(
+                "offsets end at {} but the arena has {} items",
+                self.offsets.last().unwrap(),
+                self.items.len()
+            ));
+        }
+        for (i, w) in self.offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return fail(format!("offsets not monotone at row {i}: {} > {}", w[0], w[1]));
+            }
+            let row = &self.items[w[0] as usize..w[1] as usize];
+            if !row.windows(2).all(|p| p[0] < p[1]) {
+                return fail(format!("row {i} is not strictly sorted"));
+            }
+            if row.last().is_some_and(|last| last.index() >= self.n_items) {
+                return fail(format!(
+                    "row {i} references item {} outside the {}-item universe",
+                    row.last().unwrap(),
+                    self.n_items
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Builds from `u32` item ids (test convenience).
@@ -362,6 +396,47 @@ mod tests {
         for i in 0..d.len() {
             assert_eq!(rebuilt.transaction(i), d.transaction(i));
         }
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad_csr() {
+        assert!(db().validate().is_ok());
+        assert!(TransactionDb::default().validate().is_ok());
+        // Non-monotone offsets.
+        let bad = TransactionDb {
+            items: vec![ItemId(0), ItemId(1)],
+            offsets: vec![0, 2, 1, 2],
+            n_items: 2,
+        };
+        assert!(bad.validate().unwrap_err().to_string().contains("monotone"));
+        // Unsorted row.
+        let bad = TransactionDb {
+            items: vec![ItemId(1), ItemId(0)],
+            offsets: vec![0, 2],
+            n_items: 2,
+        };
+        assert!(bad.validate().unwrap_err().to_string().contains("sorted"));
+        // Duplicate within a row (also "not strictly sorted").
+        let bad = TransactionDb {
+            items: vec![ItemId(1), ItemId(1)],
+            offsets: vec![0, 2],
+            n_items: 2,
+        };
+        assert!(bad.validate().is_err());
+        // Out-of-universe id.
+        let bad = TransactionDb {
+            items: vec![ItemId(7)],
+            offsets: vec![0, 1],
+            n_items: 2,
+        };
+        assert!(bad.validate().unwrap_err().to_string().contains("universe"));
+        // Arena length mismatch.
+        let bad = TransactionDb {
+            items: vec![ItemId(0)],
+            offsets: vec![0, 2],
+            n_items: 2,
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

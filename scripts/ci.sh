@@ -17,10 +17,38 @@ cargo test -q --workspace
 echo "== cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
+echo "== cargo clippy --workspace -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "WARNING: clippy not installed; skipping lint stage"
+fi
+
+echo "== cargo miri (undefined-behavior sanitizer substitute)"
+if cargo miri --version >/dev/null 2>&1; then
+  # Miri can't run FFI/threads-heavy tests; scope it to the data structures.
+  cargo miri test -p cfq-types -q
+else
+  echo "WARNING: miri not installed (offline toolchain); skipping UB-check stage"
+fi
+
+echo "== chunk-sharded counter merge model (loom/tsan substitute)"
+# Neither loom nor ThreadSanitizer is available offline; this test
+# exhaustively enumerates chunk partitions and merge permutations of the
+# parallel counter and checks bit-identical agreement with the sequential
+# scan (see crates/mining/tests/merge_model.rs).
+cargo test -q -p cfq-mining --test merge_model
+
 echo "== repro fig8a + substrate at smoke scale"
 CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- fig8a substrate
 
 echo "== BENCH_substrate.json"
 test -s BENCH_substrate.json
 head -c 400 BENCH_substrate.json; echo
+
+echo "== repro audit (static plan soundness, writes BENCH_audit.json)"
+CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- audit
+test -s BENCH_audit.json
+grep -q '"violations":0' BENCH_audit.json || { echo "audit recorded violations"; exit 1; }
+head -c 400 BENCH_audit.json; echo
 echo "ci: OK"

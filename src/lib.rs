@@ -52,6 +52,7 @@
 //! }
 //! ```
 
+pub use cfq_audit as audit;
 pub use cfq_constraints as constraints;
 pub use cfq_core as core;
 pub use cfq_datagen as datagen;
@@ -60,6 +61,7 @@ pub use cfq_types as types;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use cfq_audit::{AuditReport, Auditor, Diagnostic, Severity};
     pub use cfq_constraints::{
         bind_dnf, bind_query, classify_one, classify_two, eval_one, eval_two, parse_dnf,
         parse_query, Agg, BoundQuery,
