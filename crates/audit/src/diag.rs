@@ -55,6 +55,16 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl From<Diagnostic> for cfq_types::CfqError {
+    /// Lossless conversion into the workspace's unified error type: the
+    /// [`CfqError::Audit`](cfq_types::CfqError::Audit) payload is the
+    /// diagnostic's full display form — severity, code, message, the
+    /// offending constraint and its source span when known.
+    fn from(d: Diagnostic) -> Self {
+        cfq_types::CfqError::Audit(d.to_string())
+    }
+}
+
 /// The outcome of auditing one plan (or one DNF disjunct's plan).
 #[derive(Clone, Debug, Default)]
 pub struct AuditReport {
@@ -165,6 +175,25 @@ pub fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diagnostic_converts_losslessly_into_cfq_error() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            code: "misclassified",
+            message: "claims quasi-succinct".into(),
+            span: Some(Span { start: 3, end: 9 }),
+            constraint: Some("count(S) < count(T)".into()),
+        };
+        let err: cfq_types::CfqError = d.into();
+        assert!(matches!(err, cfq_types::CfqError::Audit(_)), "{err}");
+        let text = err.to_string();
+        for needle in
+            ["audit error:", "error[misclassified]", "claims quasi-succinct", "count(S) < count(T)", "3"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in {text:?}");
+        }
+    }
 
     #[test]
     fn report_verdicts_and_json() {

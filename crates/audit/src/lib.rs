@@ -96,7 +96,7 @@ impl<'a> Auditor<'a> {
 
     /// Plans `query` with the configured optimizer and audits the result.
     pub fn audit_query(&self, query: &BoundQuery, spans: Option<&SpanMap>) -> AuditReport {
-        let plan = self.optimizer.plan_for_catalog(query, self.catalog);
+        let plan = self.optimizer.build_plan(query, self.catalog);
         self.audit_trace(plan.trace(), query, spans)
     }
 
@@ -225,7 +225,7 @@ mod tests {
         let src = "avg(S.Price) <= avg(T.Price)";
         let (ast, spans) = parse_query_spanned(src).unwrap();
         let (query, map) = bind_spanned(&ast, &spans, &cat).unwrap();
-        let plan = Optimizer::default().plan_for_catalog(&query, &cat);
+        let plan = Optimizer::default().build_plan(&query, &cat);
         let mut trace = plan.trace().clone();
         assert!(
             trace.nodes[0].pushed.iter().any(|w| *w != trace.nodes[0].constraint),
@@ -256,7 +256,7 @@ mod tests {
         let cat = catalog();
         let (ast, spans) = parse_query_spanned("min(S.Price) >= 15 & S.Type = T.Type").unwrap();
         let (query, map) = bind_spanned(&ast, &spans, &cat).unwrap();
-        let plan = Optimizer::default().plan_for_catalog(&query, &cat);
+        let plan = Optimizer::default().build_plan(&query, &cat);
 
         // Plan audits clean as produced.
         let auditor = Auditor::new(&cat);
@@ -293,7 +293,7 @@ mod tests {
         let cat = catalog();
         let (ast, spans) = parse_query_spanned("sum(S.Price) >= sum(T.Price)").unwrap();
         let (query, map) = bind_spanned(&ast, &spans, &cat).unwrap();
-        let plan = Optimizer::default().plan_for_catalog(&query, &cat);
+        let plan = Optimizer::default().build_plan(&query, &cat);
         assert!(Auditor::new(&cat).audit_trace(plan.trace(), &query, Some(&map)).is_sound());
 
         // Doctor the induced set: push `max(S) >= min(T)` — NOT implied by

@@ -25,10 +25,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8a_overlap16.6");
     g.sample_size(10);
     g.bench_function("apriori_plus", |b| {
-        b.iter(|| Optimizer::apriori_plus().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::apriori_plus().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.bench_function("quasi_succinct", |b| {
-        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.finish();
 }

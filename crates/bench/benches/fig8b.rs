@@ -21,13 +21,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8b_overlap40");
     g.sample_size(10);
     g.bench_function("apriori_plus", |b| {
-        b.iter(|| Optimizer::apriori_plus().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::apriori_plus().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.bench_function("cap_one_var", |b| {
-        b.iter(|| Optimizer::cap_one_var().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::cap_one_var().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.bench_function("full_optimizer", |b| {
-        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.finish();
 }

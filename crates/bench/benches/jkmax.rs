@@ -26,13 +26,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("no_jkmax", |b| {
         b.iter(|| {
             Optimizer { use_jkmax: false, ..Optimizer::default() }
-                .run(&q, &env)
+                .evaluate(&q, &env).unwrap()
                 .s_sets
                 .len()
         })
     });
     g.bench_function("jkmax", |b| {
-        b.iter(|| Optimizer::default().run(&q, &env).s_sets.len())
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().s_sets.len())
     });
     g.finish();
 }

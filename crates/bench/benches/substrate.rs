@@ -109,15 +109,15 @@ fn bench(c: &mut Criterion) {
     };
     g.bench_function("optimizer_fig8a_untrimmed_sequential", |b| {
         let env = opt_env(false, 1);
-        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.bench_function("optimizer_fig8a_trimmed_sequential", |b| {
         let env = opt_env(true, 1);
-        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.bench_function("optimizer_fig8a_trimmed_parallel", |b| {
         let env = opt_env(true, 0);
-        b.iter(|| Optimizer::default().run(&q, &env).pair_result.count)
+        b.iter(|| Optimizer::default().evaluate(&q, &env).unwrap().pair_result.count)
     });
     g.finish();
 }

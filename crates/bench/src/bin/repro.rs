@@ -13,12 +13,14 @@
 //! The `substrate` target additionally writes `BENCH_substrate.json`
 //! (path override: `CFQ_BENCH_OUT`); the `audit` target statically audits
 //! every workload plan and writes `BENCH_audit.json` (path override:
-//! `CFQ_AUDIT_OUT`).
+//! `CFQ_AUDIT_OUT`); the `engine` target times cold/warm/FUP-upgraded
+//! session-engine runs and writes `BENCH_engine.json` (path override:
+//! `CFQ_ENGINE_OUT`).
 
 use cfq_bench::experiments as exp;
 use cfq_bench::ExpEnv;
 
-const USAGE: &str = "usage: repro [fig8a|table-levels|table-ranges|fig8b|table-72|table-73|fig1|cap-suite|backbones|ablations|substrate|audit|all]...";
+const USAGE: &str = "usage: repro [fig8a|table-levels|table-ranges|fig8b|table-72|table-73|fig1|cap-suite|backbones|ablations|substrate|audit|engine|all]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +40,7 @@ fn main() {
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig1", "fig8a", "table-levels", "table-ranges", "fig8b", "table-72", "table-73",
-            "cap-suite", "backbones", "ablations", "substrate", "audit",
+            "cap-suite", "backbones", "ablations", "substrate", "audit", "engine",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -48,6 +50,7 @@ fn main() {
             "fig1" => exp::fig1().print(),
             "substrate" => exp::substrate(&env).print(),
             "audit" => exp::audit(&env).print(),
+            "engine" => exp::engine(&env).print(),
             "fig8a" => exp::fig8a(&env).print(),
             "table-levels" => exp::table_levels(&env).print(),
             "table-ranges" => exp::table_ranges(&env).print(),

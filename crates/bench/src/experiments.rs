@@ -12,7 +12,8 @@ use cfq_constraints::{bind_query, classify_two, parse_query, BoundQuery, TwoVar}
 use cfq_core::{ExecutionOutcome, Optimizer, QueryEnv};
 use cfq_datagen::scenario::range_overlap_percent;
 use cfq_datagen::{QuestConfig, Scenario, ScenarioBuilder};
-use cfq_types::Catalog;
+use cfq_engine::Engine;
+use cfq_types::{Catalog, ItemId, TransactionDb};
 use std::time::Instant;
 
 /// Experiment environment: workload scale and seeds, read once from the
@@ -84,7 +85,7 @@ impl ExpEnv {
 /// Times a strategy run.
 pub fn timed(opt: &Optimizer, q: &BoundQuery, env: &QueryEnv<'_>) -> (ExecutionOutcome, f64) {
     let start = Instant::now();
-    let out = opt.run(q, env);
+    let out = opt.evaluate(q, env).unwrap();
     (out, start.elapsed().as_secs_f64())
 }
 
@@ -144,8 +145,8 @@ pub fn table_levels(e: &ExpEnv) -> Table {
     let support = e.abs_support(sc.db.len());
     let q = bind("max(S.Price) <= min(T.Price)", &sc.catalog);
     let qenv = env_for(e, &sc, support);
-    let base = Optimizer::apriori_plus().run(&q, &qenv);
-    let opt = Optimizer::default().run(&q, &qenv);
+    let base = Optimizer::apriori_plus().evaluate(&q, &qenv).unwrap();
+    let opt = Optimizer::default().evaluate(&q, &qenv).unwrap();
     assert_eq!(base.pair_result.count, opt.pair_result.count);
 
     let depth = base
@@ -752,6 +753,164 @@ pub fn substrate(e: &ExpEnv) -> Table {
     t
 }
 
+/// **E14 (session engine)** — the Fig. 8(a) and Fig. 8(b) workloads run
+/// through the long-lived session [`Engine`]: a cold first evaluation
+/// (mines and caches the per-side lattices), a warm identical re-run
+/// (must answer with **zero** database scans), a delta append (FUP
+/// upgrades the cached lattices in place), and a warm re-run at the new
+/// epoch. Every engine answer is cross-checked against the one-shot
+/// optimizer on the same database. Returns the report table and the
+/// machine-readable JSON document (`BENCH_engine.json`).
+pub fn engine_report(e: &ExpEnv) -> (Table, String) {
+    let mut t = Table::new(
+        "Session engine: cold mine vs warm cache vs FUP upgrade on append",
+        &[
+            "workload", "cold", "warm", "append+FUP", "warm@epoch1", "warm scans",
+            "pairs", "warm speedup",
+        ],
+    );
+    let workloads: Vec<(&str, Scenario, &str)> = vec![
+        (
+            "fig8a_overlap16.6",
+            ScenarioBuilder::new(e.quest())
+                .split_uniform_prices((400.0, 1000.0), (0.0, 500.0))
+                .expect("scenario"),
+            "max(S.Price) <= min(T.Price)",
+        ),
+        (
+            "fig8b_type_overlap40",
+            ScenarioBuilder::new(e.quest())
+                .typed_overlap(400.0, 600.0, TYPES_PER_SIDE, 40.0)
+                .expect("scenario"),
+            FIG8B_QUERY,
+        ),
+    ];
+    let mut json_workloads: Vec<String> = Vec::new();
+    for (name, sc, query) in workloads {
+        // 90/10 base/delta split: the engine starts on the base and the
+        // delta arrives later as an append.
+        let rows: Vec<Vec<ItemId>> = sc.db.iter().map(|r| r.to_vec()).collect();
+        let cut = (rows.len() * 9 / 10).max(1);
+        let base = TransactionDb::new(sc.db.n_items(), rows[..cut].to_vec()).expect("base split");
+        let delta = TransactionDb::new(sc.db.n_items(), rows[cut..].to_vec()).expect("delta split");
+        let combined = base.concat(&delta).expect("combined db");
+        let support = e.abs_support(base.len());
+
+        let engine = Engine::new(base.clone(), sc.catalog).expect("engine");
+        let session = engine.session();
+        let catalog = engine.catalog();
+        let run = |label: &str| {
+            let start = Instant::now();
+            let out = session
+                .query(query)
+                .min_support(support)
+                .s_universe(sc.s_items.clone())
+                .t_universe(sc.t_items.clone())
+                .counting_threads(e.threads)
+                .trim(e.trim)
+                .run()
+                .expect(label);
+            let wall = start.elapsed().as_secs_f64();
+            (out, wall)
+        };
+        let reference = |db: &TransactionDb| {
+            let q = bind(query, &catalog);
+            let env = QueryEnv::new(db, &catalog, support)
+                .with_s_universe(sc.s_items.clone())
+                .with_t_universe(sc.t_items.clone())
+                .with_counting_threads(e.threads)
+                .with_trim(e.trim);
+            Optimizer::default().evaluate(&q, &env).expect("reference run")
+        };
+
+        let (cold, t_cold) = run("cold run");
+        let base_ref = reference(&base);
+        assert_eq!(cold.outcome.pair_result.count, base_ref.pair_result.count, "{name}: cold");
+        assert_eq!(cold.outcome.s_sets, base_ref.s_sets, "{name}: cold S answers");
+        assert_eq!(cold.outcome.t_sets, base_ref.t_sets, "{name}: cold T answers");
+
+        let (warm, t_warm) = run("warm run");
+        assert_eq!(warm.outcome.db_scans, 0, "{name}: warm re-run must not scan the database");
+        assert_eq!(warm.outcome.pair_result.count, cold.outcome.pair_result.count, "{name}: warm");
+
+        let start = Instant::now();
+        let info = engine.append(delta).expect("append");
+        let t_append = start.elapsed().as_secs_f64();
+        assert!(info.upgraded_lattices > 0, "{name}: append should FUP-upgrade cached lattices");
+
+        let (after, t_after) = run("warm run after append");
+        assert_eq!(after.epoch, 1, "{name}: post-append run sees the new epoch");
+        assert_eq!(after.outcome.db_scans, 0, "{name}: FUP-upgraded cache must serve scan-free");
+        let combined_ref = reference(&combined);
+        assert_eq!(after.outcome.pair_result.count, combined_ref.pair_result.count, "{name}");
+        assert_eq!(after.outcome.s_sets, combined_ref.s_sets, "{name}: post-append S answers");
+        assert_eq!(after.outcome.t_sets, combined_ref.t_sets, "{name}: post-append T answers");
+
+        let stats = engine.cache_stats();
+        t.row(vec![
+            name.to_string(),
+            secs(t_cold),
+            secs(t_warm),
+            secs(t_append),
+            secs(t_after),
+            warm.outcome.db_scans.to_string(),
+            cold.outcome.pair_result.count.to_string(),
+            speedup(t_cold, t_warm),
+        ]);
+        json_workloads.push(format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"query\":\"{}\",\"transactions\":{},\"delta\":{},",
+                "\"support\":{},\"pairs\":{},\"cold_s\":{:.6},\"warm_s\":{:.6},",
+                "\"append_fup_s\":{:.6},\"warm_after_append_s\":{:.6},\"warm_db_scans\":{},",
+                "\"warm_after_append_db_scans\":{},\"upgraded_lattices\":{},",
+                "\"old_db_recounts\":{},\"lattice_hits\":{},\"scans_saved\":{},",
+                "\"warm_speedup\":{:.3}}}"
+            ),
+            json_escape(name),
+            json_escape(query),
+            info.transactions,
+            info.transactions - base.len(),
+            support,
+            cold.outcome.pair_result.count,
+            t_cold,
+            t_warm,
+            t_append,
+            t_after,
+            warm.outcome.db_scans,
+            after.outcome.db_scans,
+            info.upgraded_lattices,
+            info.old_db_recounts,
+            stats.lattice_hits,
+            stats.scans_saved,
+            t_cold / t_warm.max(1e-9),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"engine\",\"scale\":{},\"seed\":{},\"support_frac\":{},",
+            "\"threads\":{},\"workloads\":[{}]}}\n"
+        ),
+        e.scale,
+        e.seed,
+        e.support_frac,
+        e.threads,
+        json_workloads.join(","),
+    );
+    (t, json)
+}
+
+/// Runs [`engine_report`] and writes the JSON document to
+/// `BENCH_engine.json` (override the path with `CFQ_ENGINE_OUT`).
+pub fn engine(e: &ExpEnv) -> Table {
+    let (t, json) = engine_report(e);
+    let path = std::env::var("CFQ_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    t
+}
+
 /// **E13 (plan soundness audit)** — statically audits the optimizer plans
 /// of the Fig. 8(a), Fig. 8(b), and induced-weaker (Fig. 4) workload
 /// queries across every strategy family, recording per-plan error/warning
@@ -797,7 +956,7 @@ pub fn audit_report(e: &ExpEnv) -> (Table, String) {
     let mut total_errors = 0usize;
     for (name, sc, query) in &workloads {
         for (sname, opt) in &strategies {
-            let plan = opt.plan_for_catalog(&bind(query, &sc.catalog), &sc.catalog);
+            let plan = opt.build_plan(&bind(query, &sc.catalog), &sc.catalog);
             let report = Auditor::new(&sc.catalog)
                 .with_optimizer(*opt)
                 .audit_source(query)
@@ -890,6 +1049,27 @@ mod tests {
         }
         // The untrimmed config never drops anything.
         assert!(json.contains("\"trim_passes\":0"));
+    }
+
+    #[test]
+    fn engine_report_is_scan_free_when_warm() {
+        let e = ExpEnv { scale: 0.01, ..ExpEnv::default() };
+        let (t, json) = engine_report(&e);
+        assert_eq!(t.rows.len(), 2, "two workloads, one row each");
+        for key in [
+            "\"bench\":\"engine\"",
+            "\"workload\":\"fig8a_overlap16.6\"",
+            "\"workload\":\"fig8b_type_overlap40\"",
+            "\"warm_db_scans\":0",
+            "\"warm_after_append_db_scans\":0",
+            "\"cold_s\"",
+            "\"append_fup_s\"",
+            "\"upgraded_lattices\"",
+            "\"scans_saved\"",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}: {json}");
+        }
+        assert!(!json.contains("\"warm_db_scans\":1"), "warm runs must never scan");
     }
 
     #[test]

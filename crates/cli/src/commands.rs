@@ -150,14 +150,14 @@ pub fn query(argv: Vec<String>) -> Result<()> {
             if disjuncts.len() > 1 {
                 println!("-- disjunct {} --", i + 1);
             }
-            println!("{}", optimizer.plan(bound, &env).explain(&catalog));
+            println!("{}", optimizer.build_plan(bound, &catalog).explain(&catalog));
         }
     }
     let start = std::time::Instant::now();
     let out = if disjuncts.len() == 1 {
-        optimizer.run(&disjuncts[0], &env)
+        optimizer.evaluate(&disjuncts[0], &env)?
     } else {
-        optimizer.run_dnf(&disjuncts, &env)
+        optimizer.run_dnf(&disjuncts, &env)?
     };
     let took = start.elapsed().as_secs_f64();
 
@@ -249,11 +249,10 @@ fn render_audit(reports: &[AuditReport], json_path: Option<&str>) -> Result<()> 
         std::fs::write(path, format!("[{}]\n", body.join(", ")))?;
         println!("wrote audit report to {path}");
     }
-    let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
-    if errors > 0 {
-        return Err(CfqError::Config(format!(
-            "refusing to execute: audit found {errors} soundness error(s)"
-        )));
+    // Refuse on the first error-severity finding, surfacing it losslessly
+    // as the typed audit error (all findings were already printed above).
+    if let Some(first) = reports.iter().flat_map(|r| r.errors()).next() {
+        return Err(CfqError::from(first.clone()));
     }
     Ok(())
 }
@@ -370,7 +369,7 @@ pub fn stats(argv: Vec<String>) -> Result<()> {
     Ok(())
 }
 
-fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
+pub(crate) fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
     let db = io::load_transactions(a.require("data")?)?;
     let catalog = match a.get("catalog") {
         Some(path) => io::read_catalog(std::fs::File::open(path)?)?,
@@ -386,12 +385,12 @@ fn load(a: &Args) -> Result<(TransactionDb, Catalog)> {
     Ok((db, catalog))
 }
 
-fn wants_help(argv: &[String]) -> bool {
+pub(crate) fn wants_help(argv: &[String]) -> bool {
     argv.iter().any(|a| a == "--help" || a == "-h")
 }
 
 /// Parses a `--strategy` option value; absent means the full optimizer.
-fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
+pub(crate) fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
     match value.unwrap_or("full") {
         "full" => Ok(Optimizer::default()),
         "cap1" => Ok(Optimizer::cap_one_var()),

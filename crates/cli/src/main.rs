@@ -15,6 +15,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use cfq_types::Result;
 
@@ -28,6 +29,8 @@ commands:
   audit        statically verify a query's plan is sound (no data needed)
   mine         plain frequent-set mining (apriori | fpgrowth | partition)
   stats        summarize a transaction database
+  repl         interactive session over a long-lived caching engine
+  serve        line-protocol TCP server; all connections share one engine
 
 run `cfq <command> --help` for command options";
 
@@ -45,6 +48,8 @@ fn main() {
         "audit" => commands::audit(argv),
         "mine" => commands::mine(argv),
         "stats" => commands::stats(argv),
+        "repl" => serve::repl(argv),
+        "serve" => serve::serve(argv),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             std::process::exit(2);

@@ -1,0 +1,349 @@
+//! `cfq repl` and `cfq serve` — long-lived front ends over one shared
+//! session [`Engine`].
+//!
+//! Both speak the same line protocol (one request per line, handled by
+//! [`handle_line`]): a CFQ conjunction runs as a query, `:`-prefixed
+//! lines are control commands. Because every connection and every REPL
+//! line goes through the same engine, lattices and plans mined for one
+//! request serve the next — the second identical query answers without
+//! touching the database, and `:append` upgrades the cache in place via
+//! FUP instead of discarding it.
+
+use crate::args::Args;
+use crate::commands::{load, parse_strategy, wants_help};
+use cfq_core::Optimizer;
+use cfq_datagen::io;
+use cfq_engine::Engine;
+use cfq_types::{CfqError, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+const PROTOCOL_HELP: &str = "\
+enter a CFQ conjunction to run it, or a control command:
+  :explain QUERY     show the plan and predicted cache provenance
+  :append FILE       append a transaction file as a new epoch (FUP upgrade)
+  :support FRAC      set the minimum support fraction (default 0.01)
+  :strategy NAME     set the planning strategy (full|cap1|apriori+)
+  :stats             show cache counters and epoch
+  :help              this message
+  :quit              leave";
+
+/// Per-connection (or per-REPL) mutable state over the shared engine.
+pub struct ReplState {
+    engine: Arc<Engine>,
+    support_frac: f64,
+    strategy: Optimizer,
+}
+
+impl ReplState {
+    /// Fresh state with the CLI defaults (1% support, full optimizer).
+    pub fn new(engine: Arc<Engine>) -> ReplState {
+        ReplState { engine, support_frac: 0.01, strategy: Optimizer::default() }
+    }
+}
+
+/// Handles one protocol line. Returns `None` on `:quit`, otherwise the
+/// text to print. Errors are rendered into the reply — a bad query must
+/// not kill a shared server loop.
+pub fn handle_line(state: &mut ReplState, line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Some(String::new());
+    }
+    if line == ":quit" || line == ":q" {
+        return None;
+    }
+    Some(dispatch(state, line).unwrap_or_else(|e| format!("error: {e}")))
+}
+
+fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
+    if let Some(rest) = line.strip_prefix(':') {
+        let (cmd, arg) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        return match cmd {
+            "help" => Ok(PROTOCOL_HELP.to_string()),
+            "stats" => {
+                let s = state.engine.cache_stats();
+                Ok(format!(
+                    "epoch {} | {} transactions | lattice cache: {} entries, {}/{} KiB, \
+                     {} hits / {} misses, {} scans saved, {} evictions | plan cache: {} hits / {} misses",
+                    state.engine.epoch(),
+                    state.engine.db().len(),
+                    s.entries,
+                    s.bytes_used / 1024,
+                    s.budget_bytes / 1024,
+                    s.lattice_hits,
+                    s.lattice_misses,
+                    s.scans_saved,
+                    s.evictions,
+                    s.plan_hits,
+                    s.plan_misses,
+                ))
+            }
+            "support" => {
+                let f: f64 = arg
+                    .parse()
+                    .map_err(|_| CfqError::Config(format!("bad support fraction `{arg}`")))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CfqError::Config(format!("support fraction {f} outside [0, 1]")));
+                }
+                state.support_frac = f;
+                Ok(format!("min support fraction set to {f}"))
+            }
+            "strategy" => {
+                state.strategy = parse_strategy(Some(arg))?;
+                Ok(format!("strategy set to {arg}"))
+            }
+            "explain" => {
+                if arg.is_empty() {
+                    return Err(CfqError::Config(":explain needs a query".into()));
+                }
+                state
+                    .engine
+                    .session()
+                    .query(arg)
+                    .min_support_frac(state.support_frac)
+                    .strategy(state.strategy)
+                    .explain()
+            }
+            "append" => {
+                if arg.is_empty() {
+                    return Err(CfqError::Config(":append needs a transaction file".into()));
+                }
+                let delta = io::load_transactions(arg)?;
+                let rows = delta.len();
+                let info = state.engine.append(delta)?;
+                Ok(format!(
+                    "appended {rows} transactions: now epoch {} with {} transactions; \
+                     {} cached lattice(s) FUP-upgraded ({} old-db recounts)",
+                    info.epoch, info.transactions, info.upgraded_lattices, info.old_db_recounts,
+                ))
+            }
+            other => Err(CfqError::Config(format!("unknown command `:{other}` (try :help)"))),
+        };
+    }
+
+    // Anything else is a query.
+    let start = std::time::Instant::now();
+    let out = state
+        .engine
+        .session()
+        .query(line)
+        .min_support_frac(state.support_frac)
+        .strategy(state.strategy)
+        .run()?;
+    let p = &out.outcome.provenance;
+    Ok(format!(
+        "{} valid pairs ({} S-sets x {} T-sets) | epoch {} | {} db scans | [S] {} [T] {} | {:.3}s",
+        out.pair_count(),
+        out.outcome.s_sets.len(),
+        out.outcome.t_sets.len(),
+        out.epoch,
+        out.outcome.db_scans,
+        p.s_lattice.describe(),
+        p.t_lattice.describe(),
+        start.elapsed().as_secs_f64(),
+    ))
+}
+
+/// Drives the line protocol over arbitrary reader/writer pairs — the REPL
+/// over stdin/stdout, a TCP connection, or a test's in-memory buffers.
+pub fn repl_loop<R: BufRead, W: Write>(
+    state: &mut ReplState,
+    reader: R,
+    mut writer: W,
+    prompt: bool,
+) -> Result<()> {
+    if prompt {
+        write!(writer, "cfq> ")?;
+        writer.flush()?;
+    }
+    for line in reader.lines() {
+        let line = line?;
+        match handle_line(state, &line) {
+            None => break,
+            Some(reply) => {
+                if !reply.is_empty() {
+                    writeln!(writer, "{reply}")?;
+                }
+            }
+        }
+        if prompt {
+            write!(writer, "cfq> ")?;
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn build_engine(a: &Args) -> Result<Arc<Engine>> {
+    let (db, catalog) = load(a)?;
+    let engine = Engine::new(db, catalog)?;
+    println!(
+        "engine up: {} transactions over {} items, epoch 0",
+        engine.db().len(),
+        engine.db().n_items()
+    );
+    Ok(engine)
+}
+
+/// `cfq repl` — interactive session over stdin/stdout.
+pub fn repl(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!("cfq repl --data FILE [--catalog FILE]\n\n{PROTOCOL_HELP}");
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let engine = build_engine(&a)?;
+    let mut state = ReplState::new(engine);
+    let stdin = std::io::stdin();
+    repl_loop(&mut state, stdin.lock(), std::io::stdout(), true)
+}
+
+/// Accepts up to `max_conns` connections (`None` = forever), each served
+/// by its own thread and [`ReplState`] over the shared engine.
+pub fn serve_connections(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    max_conns: Option<usize>,
+) -> Result<()> {
+    let mut handles = Vec::new();
+    for (accepted, stream) in listener.incoming().enumerate() {
+        let stream: TcpStream = stream?;
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut state = ReplState::new(engine);
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = repl_loop(&mut state, reader, stream, false);
+        }));
+        if let Some(cap) = max_conns {
+            if accepted + 1 >= cap {
+                break;
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// `cfq serve` — the line protocol over TCP; all connections share one
+/// engine, so one client's mining warms every client's cache.
+pub fn serve(argv: Vec<String>) -> Result<()> {
+    if wants_help(&argv) {
+        println!(
+            "cfq serve --data FILE [--catalog FILE] [--listen ADDR (default 127.0.0.1:7878)]\n\n\
+             protocol: one request per line\n{PROTOCOL_HELP}"
+        );
+        return Ok(());
+    }
+    let a = Args::parse(argv, &[])?;
+    let engine = build_engine(&a)?;
+    let addr = a.get("listen").unwrap_or("127.0.0.1:7878");
+    let listener = TcpListener::bind(addr)?;
+    println!("listening on {}", listener.local_addr()?);
+    serve_connections(listener, engine, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfq_types::{CatalogBuilder, TransactionDb};
+    use std::io::{Cursor, Read};
+
+    fn engine() -> Arc<Engine> {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        let db = TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+            ],
+        );
+        Engine::new(db, b.build()).unwrap()
+    }
+
+    const Q: &str = "max(S.Price) <= 30 & min(T.Price) >= 40";
+
+    #[test]
+    fn repl_loop_runs_queries_and_commands() {
+        let mut state = ReplState::new(engine());
+        let input = format!(":support 0.25\n{Q}\n{Q}\n:stats\n:quit\nnever reached\n");
+        let mut out = Vec::new();
+        repl_loop(&mut state, Cursor::new(input), &mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("min support fraction set to 0.25"), "{text}");
+        assert!(text.contains("valid pairs"), "{text}");
+        // The second identical query is served from the cache.
+        assert!(text.contains("cache hit (reused mined lattice)"), "{text}");
+        assert!(text.contains("| 0 db scans |"), "{text}");
+        assert!(text.contains("lattice cache: 2 entries"), "{text}");
+        assert!(!text.contains("never reached"), "{text}");
+    }
+
+    #[test]
+    fn bad_lines_reply_with_errors_not_death() {
+        let mut state = ReplState::new(engine());
+        for (line, needle) in [
+            ("max(S.Price <= 30", "error:"),
+            (":support nope", "bad support fraction"),
+            (":wat", "unknown command"),
+            (":explain", ":explain needs a query"),
+        ] {
+            let reply = handle_line(&mut state, line).unwrap();
+            assert!(reply.contains(needle), "{line} -> {reply}");
+        }
+        assert!(handle_line(&mut state, ":quit").is_none());
+    }
+
+    #[test]
+    fn append_command_bumps_epoch_and_keeps_cache_warm() {
+        let mut state = ReplState::new(engine());
+        assert!(handle_line(&mut state, ":support 0.25").is_some());
+        handle_line(&mut state, Q).unwrap();
+
+        let path = std::env::temp_dir().join("cfq_serve_append_test.txt");
+        let delta = TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5]]);
+        io::save_transactions(&delta, &path).unwrap();
+        let reply = handle_line(&mut state, &format!(":append {}", path.display())).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(reply.contains("now epoch 1"), "{reply}");
+        assert!(reply.contains("FUP-upgraded"), "{reply}");
+
+        let warm = handle_line(&mut state, Q).unwrap();
+        assert!(warm.contains("epoch 1"), "{warm}");
+        assert!(warm.contains("| 0 db scans |"), "{warm}");
+        assert!(warm.contains("FUP-upgraded at epoch swap"), "{warm}");
+    }
+
+    #[test]
+    fn serve_answers_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let eng = engine();
+        let server = std::thread::spawn(move || serve_connections(listener, eng, Some(1)));
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, ":support 0.25\n{Q}\n:quit\n").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        BufReader::new(conn).read_to_string(&mut text).unwrap();
+        assert!(text.contains("valid pairs"), "{text}");
+
+        server.join().unwrap().unwrap();
+    }
+}

@@ -13,8 +13,14 @@ use crate::optimizer::{ExecutionOutcome, Optimizer, QueryEnv};
 use cfq_constraints::BoundQuery;
 
 /// Runs the Apriori⁺ baseline on a query.
+///
+/// # Panics
+/// On an inconsistent environment — use
+/// `Optimizer::apriori_plus().evaluate(..)` for a typed error instead.
 pub fn apriori_plus(query: &BoundQuery, env: &QueryEnv<'_>) -> ExecutionOutcome {
-    Optimizer::apriori_plus().run(query, env)
+    Optimizer::apriori_plus()
+        .evaluate(query, env)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -56,7 +62,7 @@ mod tests {
         .unwrap();
         let env = QueryEnv::new(&d, &cat, 2);
         let base = apriori_plus(&q, &env);
-        let opt = Optimizer::default().run(&q, &env);
+        let opt = Optimizer::default().evaluate(&q, &env).unwrap();
         // Identical answers…
         assert_eq!(base.s_sets, opt.s_sets);
         assert_eq!(base.t_sets, opt.t_sets);

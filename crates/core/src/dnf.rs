@@ -8,11 +8,11 @@
 //! `(S, T)` itemset pair, the per-side sets are rebuilt from the surviving
 //! pairs, and work counters accumulate.
 
-use crate::optimizer::{ExecutionOutcome, Optimizer, QueryEnv};
+use crate::optimizer::{ExecutionOutcome, Optimizer, OutcomeProvenance, QueryEnv};
 use crate::pairs::PairResult;
 use cfq_constraints::BoundQuery;
 use cfq_mining::WorkStats;
-use cfq_types::Itemset;
+use cfq_types::{Itemset, Result};
 use std::collections::{BTreeMap, BTreeSet};
 
 impl Optimizer {
@@ -22,7 +22,11 @@ impl Optimizer {
     /// For exact pair counts run without a materialization cap
     /// (`env.max_pairs = None`); with a cap, a truncated disjunct can hide
     /// pairs from the union and the merged result is marked truncated.
-    pub fn run_dnf(&self, disjuncts: &[BoundQuery], env: &QueryEnv<'_>) -> ExecutionOutcome {
+    pub fn run_dnf(
+        &self,
+        disjuncts: &[BoundQuery],
+        env: &QueryEnv<'_>,
+    ) -> Result<ExecutionOutcome> {
         let mut s_supports: BTreeMap<Itemset, u64> = BTreeMap::new();
         let mut t_supports: BTreeMap<Itemset, u64> = BTreeMap::new();
         let mut pair_keys: BTreeSet<(Itemset, Itemset)> = BTreeSet::new();
@@ -35,7 +39,7 @@ impl Optimizer {
         let mut truncated = false;
 
         for q in disjuncts {
-            let out = self.run(q, env);
+            let out = self.evaluate(q, env)?;
             truncated |= out.pair_result.truncated;
             checks += out.pair_result.checks;
             for &(si, ti) in &out.pair_result.pairs {
@@ -69,7 +73,7 @@ impl Optimizer {
         let pairs: Vec<(u32, u32)> =
             pair_keys.iter().map(|(s, t)| (s_index[s], t_index[t])).collect();
 
-        ExecutionOutcome {
+        Ok(ExecutionOutcome {
             pair_result: PairResult {
                 count: pair_keys.len() as u64,
                 s_used: vec![true; s_sets.len()],
@@ -85,7 +89,8 @@ impl Optimizer {
             db_scans,
             scan,
             v_histories,
-        }
+            provenance: OutcomeProvenance::default(),
+        })
     }
 }
 
@@ -148,7 +153,7 @@ mod tests {
             let qs = bind_dnf(&dnf, &cat).unwrap();
             for min_support in [1u64, 2, 3] {
                 let env = QueryEnv::new(&db, &cat, min_support);
-                let out = Optimizer::default().run_dnf(&qs, &env);
+                let out = Optimizer::default().run_dnf(&qs, &env).unwrap();
                 let expected = oracle(&db, &cat, &qs, min_support);
                 assert_eq!(out.pair_result.count, expected, "`{src}` @ {min_support}");
                 assert_eq!(out.pair_result.pairs.len() as u64, expected);
@@ -168,8 +173,8 @@ mod tests {
         let dnf = parse_dnf("S.Type = T.Type | S.Type = T.Type").unwrap();
         let qs = bind_dnf(&dnf, &cat).unwrap();
         let env = QueryEnv::new(&db, &cat, 2);
-        let both = Optimizer::default().run_dnf(&qs, &env);
-        let single = Optimizer::default().run(&qs[0], &env);
+        let both = Optimizer::default().run_dnf(&qs, &env).unwrap();
+        let single = Optimizer::default().evaluate(&qs[0], &env).unwrap();
         assert_eq!(both.pair_result.count, single.pair_result.count);
     }
 
@@ -179,8 +184,8 @@ mod tests {
         let dnf = parse_dnf("max(S.Price) <= min(T.Price)").unwrap();
         let qs = bind_dnf(&dnf, &cat).unwrap();
         let env = QueryEnv::new(&db, &cat, 2);
-        let dnf_out = Optimizer::default().run_dnf(&qs, &env);
-        let direct = Optimizer::default().run(&qs[0], &env);
+        let dnf_out = Optimizer::default().run_dnf(&qs, &env).unwrap();
+        let direct = Optimizer::default().evaluate(&qs[0], &env).unwrap();
         assert_eq!(dnf_out.pair_result.count, direct.pair_result.count);
         assert_eq!(dnf_out.s_sets, direct.s_sets);
     }

@@ -12,8 +12,8 @@
 //! by a domain-size limit) so that the ccc accounting comparisons in the
 //! test-suite and docs can be run for real.
 
-use crate::optimizer::{ExecutionOutcome, QueryEnv};
-use crate::pairs::form_pairs;
+use crate::optimizer::{ExecutionOutcome, OutcomeProvenance, QueryEnv};
+use crate::pairs::{compact_used, form_pairs};
 use cfq_constraints::{eval_all_one, BoundQuery, OneVar, Var};
 use cfq_mining::{SupportCounter, TrieCounter, WorkStats};
 use cfq_types::{CfqError, ItemId, Itemset, Result};
@@ -31,8 +31,8 @@ pub fn full_materialization(query: &BoundQuery, env: &QueryEnv<'_>) -> Result<Ex
 
     let mut pair_result =
         form_pairs(&s_sets, &t_sets, &query.two_var, env.catalog, env.max_pairs);
-    let (s_sets, s_remap) = keep_used(s_sets, &pair_result.s_used);
-    let (t_sets, t_remap) = keep_used(t_sets, &pair_result.t_used);
+    let (s_sets, s_remap) = compact_used(s_sets, &pair_result.s_used);
+    let (t_sets, t_remap) = compact_used(t_sets, &pair_result.t_used);
     for (si, ti) in &mut pair_result.pairs {
         *si = s_remap[*si as usize];
         *ti = t_remap[*ti as usize];
@@ -49,19 +49,8 @@ pub fn full_materialization(query: &BoundQuery, env: &QueryEnv<'_>) -> Result<Ex
         db_scans,
         scan,
         v_histories: Vec::new(),
+        provenance: OutcomeProvenance::default(),
     })
-}
-
-fn keep_used(sets: Vec<(Itemset, u64)>, used: &[bool]) -> (Vec<(Itemset, u64)>, Vec<u32>) {
-    let mut remap = vec![0u32; sets.len()];
-    let mut out = Vec::new();
-    for (i, entry) in sets.into_iter().enumerate() {
-        if used[i] {
-            remap[i] = out.len() as u32;
-            out.push(entry);
-        }
-    }
-    (out, remap)
 }
 
 #[allow(clippy::type_complexity)]
@@ -164,7 +153,7 @@ mod tests {
             let q = bind_query(&parse_query(src).unwrap(), &catalog).unwrap();
             let env = QueryEnv::new(&db, &catalog, 2);
             let fm = full_materialization(&q, &env).unwrap();
-            let opt = Optimizer::default().run(&q, &env);
+            let opt = Optimizer::default().evaluate(&q, &env).unwrap();
             assert_eq!(fm.pair_result.count, opt.pair_result.count, "`{src}`");
             assert_eq!(fm.s_sets, opt.s_sets, "`{src}`");
             assert_eq!(fm.t_sets, opt.t_sets, "`{src}`");

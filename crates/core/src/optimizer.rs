@@ -22,7 +22,7 @@
 
 use crate::cap::{LatticeConfig, LatticeRun};
 use crate::jkmax::{CountSeries, VSeries};
-use crate::pairs::{form_pairs, form_pairs_with, PairResult};
+use crate::pairs::{compact_used, form_pairs, form_pairs_with, PairResult};
 use cfq_constraints::{
     classify_two, eval_all_one, induce_weaker, reduce_quasi_succinct, Agg, BoundQuery, CmpOp,
     OneVar, SuccinctForm, TwoVar, Var,
@@ -30,7 +30,7 @@ use cfq_constraints::{
 use cfq_mining::counter::count_supports_with;
 use cfq_mining::trim::{trim_db_recorded, LiveSet};
 use cfq_mining::{ParallelTrieCounter, ScanStats, SupportCounter, WorkStats};
-use cfq_types::{AttrId, Catalog, ItemId, Itemset, TransactionDb};
+use cfq_types::{AttrId, Catalog, CfqError, ItemId, Itemset, Result, TransactionDb};
 
 /// How a 2-var constraint ends up being handled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -372,7 +372,59 @@ impl CfqPlan {
     }
 }
 
+/// Where a lattice served during one execution came from. One-shot
+/// `Optimizer` runs always mine cold; the session engine stamps cache
+/// provenance so EXPLAIN output and benchmarks can tell reuse from work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LatticeSource {
+    /// Mined from the transaction database during this execution.
+    #[default]
+    MinedCold,
+    /// Served from a session engine's lattice cache without any scan.
+    Cached,
+    /// Served from the cache after an in-place FUP upgrade at an epoch
+    /// swap (`Engine::append`).
+    FupUpgraded,
+}
+
+impl LatticeSource {
+    /// Human-readable provenance label used by EXPLAIN output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            LatticeSource::MinedCold => "freshly mined (cold)",
+            LatticeSource::Cached => "cache hit (reused mined lattice)",
+            LatticeSource::FupUpgraded => "cache hit (FUP-upgraded at epoch swap)",
+        }
+    }
+}
+
+/// Cache provenance of one execution outcome: where each lattice came from
+/// and whether the plan itself was reused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OutcomeProvenance {
+    /// Where the S lattice came from.
+    pub s_lattice: LatticeSource,
+    /// Where the T lattice came from.
+    pub t_lattice: LatticeSource,
+    /// Whether the plan was served from a plan cache.
+    pub plan_cached: bool,
+}
+
+impl OutcomeProvenance {
+    /// The EXPLAIN lines describing cache provenance (appended to
+    /// [`CfqPlan::explain`] by `Session::explain`).
+    pub fn render(&self) -> String {
+        format!(
+            "lattice provenance:\n  [S] {}\n  [T] {}\n  plan: {}\n",
+            self.s_lattice.describe(),
+            self.t_lattice.describe(),
+            if self.plan_cached { "plan cache hit" } else { "planned this run" },
+        )
+    }
+}
+
 /// Result of executing a plan.
+#[derive(Clone, Debug)]
 pub struct ExecutionOutcome {
     /// Frequent valid S-sets with supports.
     pub s_sets: Vec<(Itemset, u64)>,
@@ -392,6 +444,9 @@ pub struct ExecutionOutcome {
     pub scan: ScanStats,
     /// The `V^k` histories per pruned variable (empty without `J^k_max`).
     pub v_histories: Vec<(Var, Vec<(usize, f64)>)>,
+    /// Cache provenance: where each lattice came from. One-shot runs are
+    /// always [`LatticeSource::MinedCold`] on both sides.
+    pub provenance: OutcomeProvenance,
 }
 
 /// The CFQ query optimizer. Flags select the strategy family; defaults are
@@ -430,13 +485,21 @@ impl Optimizer {
     }
 
     /// Builds the plan for a bound query.
+    #[deprecated(note = "use `Session::query(..).explain()` or `Optimizer::build_plan`")]
     pub fn plan(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> CfqPlan {
-        self.plan_for_catalog(query, env.catalog)
+        self.build_plan(query, env.catalog)
+    }
+
+    /// Builds the plan from the catalog alone.
+    #[deprecated(note = "use `Session::query(..)` or `Optimizer::build_plan`")]
+    pub fn plan_for_catalog(&self, query: &BoundQuery, catalog: &Catalog) -> CfqPlan {
+        self.build_plan(query, catalog)
     }
 
     /// Builds the plan from the catalog alone — planning never touches the
-    /// data, which is what lets `cfq audit` verify plans statically.
-    pub fn plan_for_catalog(&self, query: &BoundQuery, catalog: &Catalog) -> CfqPlan {
+    /// data, which is what lets `cfq audit` verify plans statically and the
+    /// session engine cache plans across database epochs.
+    pub fn build_plan(&self, query: &BoundQuery, catalog: &Catalog) -> CfqPlan {
         let s_one: Vec<OneVar> = query.one_var_for(Var::S).cloned().collect();
         let t_one: Vec<OneVar> = query.one_var_for(Var::T).cloned().collect();
         let final_two = query.two_var.clone();
@@ -486,9 +549,13 @@ impl Optimizer {
     }
 
     /// Plans and executes in one step.
+    ///
+    /// # Panics
+    /// On an inconsistent environment (see [`Optimizer::execute`]). The
+    /// non-panicking replacement is [`Optimizer::evaluate`].
+    #[deprecated(note = "use `Session::query(..).run()` or `Optimizer::evaluate`")]
     pub fn run(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> ExecutionOutcome {
-        let plan = self.plan(query, env);
-        self.execute(&plan, env)
+        self.evaluate(query, env).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Executes a plan.
@@ -496,14 +563,32 @@ impl Optimizer {
     /// # Panics
     /// If the catalog covers fewer items than the database references —
     /// an inconsistent environment that would otherwise surface as an
-    /// opaque index panic deep inside constraint evaluation.
+    /// opaque index panic deep inside constraint evaluation. The
+    /// non-panicking replacement is [`Optimizer::execute_plan`].
+    #[deprecated(note = "use `Session::query(..).run()` or `Optimizer::execute_plan`")]
     pub fn execute(&self, plan: &CfqPlan, env: &QueryEnv<'_>) -> ExecutionOutcome {
-        assert!(
-            env.catalog.n_items() >= env.db.n_items(),
-            "catalog covers {} items but the database references up to {}",
-            env.catalog.n_items(),
-            env.db.n_items()
-        );
+        self.execute_plan(plan, env).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plans and executes in one step, reporting environment problems as
+    /// typed errors instead of panicking.
+    pub fn evaluate(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> Result<ExecutionOutcome> {
+        let plan = self.build_plan(query, env.catalog);
+        self.execute_plan(&plan, env)
+    }
+
+    /// Executes a plan. Fails with [`CfqError::Engine`] when the catalog
+    /// covers fewer items than the database references — an inconsistent
+    /// environment that would otherwise surface as an opaque index panic
+    /// deep inside constraint evaluation.
+    pub fn execute_plan(&self, plan: &CfqPlan, env: &QueryEnv<'_>) -> Result<ExecutionOutcome> {
+        if env.catalog.n_items() < env.db.n_items() {
+            return Err(CfqError::Engine(format!(
+                "catalog covers {} items but the database references up to {}",
+                env.catalog.n_items(),
+                env.db.n_items()
+            )));
+        }
         let catalog = env.catalog;
         let mut db_scans = 0u64;
         let mut scan = ScanStats::default();
@@ -742,7 +827,7 @@ impl Optimizer {
 
         if !env.form_pairs {
             let empty = form_pairs(&[], &[], &plan.final_two, catalog, Some(0));
-            return ExecutionOutcome {
+            return Ok(ExecutionOutcome {
                 s_sets,
                 t_sets,
                 pair_result: empty,
@@ -754,7 +839,8 @@ impl Optimizer {
                     .into_iter()
                     .map(|st| (st.task.pruned, st.series.history().to_vec()))
                     .collect(),
-            };
+                provenance: OutcomeProvenance::default(),
+            });
         }
         let mut pair_result = form_pairs_with(
             &s_sets,
@@ -769,14 +855,14 @@ impl Optimizer {
         // sets: those participating in at least one valid pair. This makes
         // every strategy's output identical regardless of how much of the
         // validity pruning it performed during mining.
-        let (s_sets, s_remap) = compact(s_sets, &pair_result.s_used);
-        let (t_sets, t_remap) = compact(t_sets, &pair_result.t_used);
+        let (s_sets, s_remap) = compact_used(s_sets, &pair_result.s_used);
+        let (t_sets, t_remap) = compact_used(t_sets, &pair_result.t_used);
         for (si, ti) in &mut pair_result.pairs {
             *si = s_remap[*si as usize];
             *ti = t_remap[*ti as usize];
         }
 
-        ExecutionOutcome {
+        Ok(ExecutionOutcome {
             s_sets,
             t_sets,
             pair_result,
@@ -788,7 +874,8 @@ impl Optimizer {
                 .into_iter()
                 .map(|st| (st.task.pruned, st.series.history().to_vec()))
                 .collect(),
-        }
+            provenance: OutcomeProvenance::default(),
+        })
     }
 }
 
@@ -818,23 +905,6 @@ fn selectivity_note(c: &OneVar, catalog: &Catalog) -> String {
     } else {
         format!("  [{}]", notes.join("; "))
     }
-}
-
-/// Keeps the flagged entries, returning the survivors and an old-index →
-/// new-index remap (entries for dropped indices are unspecified).
-fn compact(
-    sets: Vec<(Itemset, u64)>,
-    used: &[bool],
-) -> (Vec<(Itemset, u64)>, Vec<u32>) {
-    let mut remap = vec![0u32; sets.len()];
-    let mut out = Vec::with_capacity(used.iter().filter(|&&u| u).count());
-    for (i, entry) in sets.into_iter().enumerate() {
-        if used[i] {
-            remap[i] = out.len() as u32;
-            out.push(entry);
-        }
-    }
-    (out, remap)
 }
 
 /// Derives the `J^k_max` tasks of a non-quasi-succinct aggregate
@@ -973,10 +1043,10 @@ mod tests {
         let d = db();
         let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
         let env = QueryEnv::new(&d, &cat, min_support);
-        let base = Optimizer::apriori_plus().run(&q, &env);
-        let full = Optimizer::default().run(&q, &env);
-        let seq = Optimizer { dovetail: false, ..Optimizer::default() }.run(&q, &env);
-        let one_var = Optimizer::cap_one_var().run(&q, &env);
+        let base = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
+        let full = Optimizer::default().evaluate(&q, &env).unwrap();
+        let seq = Optimizer { dovetail: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
+        let one_var = Optimizer::cap_one_var().evaluate(&q, &env).unwrap();
         for (name, o) in
             [("full", &full), ("sequential", &seq), ("cap-1var", &one_var)]
         {
@@ -1049,8 +1119,8 @@ mod tests {
                 Optimizer { dovetail: false, ..Optimizer::default() },
                 Optimizer::apriori_plus(),
             ] {
-                let on = opt.run(&q, &env_on);
-                let off = opt.run(&q, &env_off);
+                let on = opt.evaluate(&q, &env_on).unwrap();
+                let off = opt.evaluate(&q, &env_off).unwrap();
                 assert_eq!(on.s_sets, off.s_sets, "`{src}`: S-sets diverge");
                 assert_eq!(on.t_sets, off.t_sets, "`{src}`: T-sets diverge");
                 assert_eq!(on.pair_result.pairs, off.pair_result.pairs, "`{src}`");
@@ -1074,7 +1144,7 @@ mod tests {
         let q =
             bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat).unwrap();
         let env = QueryEnv::new(&d, &cat, 2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         assert_eq!(out.scan.extents.len(), out.db_scans as usize);
         assert_eq!(out.scan.extents[0].items, d.total_items() as u64);
         assert!(out
@@ -1087,11 +1157,9 @@ mod tests {
     #[test]
     fn plan_strategies_match_figure1() {
         let cat = catalog();
-        let d = db();
-        let env = QueryEnv::new(&d, &cat, 2);
         let check = |src: &str, expected: StrategyKind| {
             let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
-            let plan = Optimizer::default().plan(&q, &env);
+            let plan = Optimizer::default().build_plan(&q, &cat);
             assert_eq!(plan.strategies()[0].1, expected, "`{src}`");
         };
         check("S.Type disjoint T.Type", StrategyKind::QuasiSuccinct);
@@ -1104,14 +1172,12 @@ mod tests {
     #[test]
     fn explain_mentions_each_constraint() {
         let cat = catalog();
-        let d = db();
-        let env = QueryEnv::new(&d, &cat, 2);
         let q = bind_query(
             &parse_query("max(S.Price) <= 40 & sum(S.Price) <= sum(T.Price)").unwrap(),
             &cat,
         )
         .unwrap();
-        let plan = Optimizer::default().plan(&q, &env);
+        let plan = Optimizer::default().build_plan(&q, &cat);
         let text = plan.explain(&cat);
         assert!(text.contains("J^k_max"));
         assert!(text.contains("1-var constraints: 1 on S"));
@@ -1123,7 +1189,7 @@ mod tests {
         let d = db();
         let q = bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat).unwrap();
         let env = QueryEnv::new(&d, &cat, 2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         assert_eq!(out.v_histories.len(), 1);
         let (var, hist) = &out.v_histories[0];
         assert_eq!(*var, Var::S);
@@ -1131,7 +1197,7 @@ mod tests {
         // Lemma 7: non-increasing.
         assert!(hist.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12));
         // Compared to no-jkmax, at most the same number of counted S-sets.
-        let no_jk = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        let no_jk = Optimizer { use_jkmax: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
         assert!(out.s_stats.support_counted <= no_jk.s_stats.support_counted);
     }
 
@@ -1144,14 +1210,14 @@ mod tests {
             .with_s_universe(vec![ItemId(0), ItemId(1), ItemId(2)])
             .with_t_universe(vec![ItemId(3), ItemId(4), ItemId(5)])
             .with_supports(2, 1);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         for (s, _) in &out.s_sets {
             assert!(s.iter().all(|i| i.0 <= 2));
         }
         for (t, _) in &out.t_sets {
             assert!(t.iter().all(|i| i.0 >= 3));
         }
-        let base = Optimizer::apriori_plus().run(&q, &env);
+        let base = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
         assert_eq!(out.pair_result.count, base.pair_result.count);
     }
 
@@ -1161,7 +1227,7 @@ mod tests {
         let d = db();
         let q = bind_query(&parse_query("freq(S)").unwrap(), &cat).unwrap();
         let env = QueryEnv::new(&d, &cat, 1).with_max_level(2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         assert!(out.s_sets.iter().all(|(s, _)| s.len() <= 2));
     }
 }
@@ -1205,8 +1271,8 @@ mod jk_soundness_tests {
         let env = QueryEnv::new(&db, &cat, 3)
             .with_s_universe((0..3).map(ItemId).collect())
             .with_t_universe((3..10).map(ItemId).collect());
-        let jk = Optimizer::default().run(&q, &env);
-        let no = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        let jk = Optimizer::default().evaluate(&q, &env).unwrap();
+        let no = Optimizer { use_jkmax: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
         assert_eq!(jk.pair_result.count, no.pair_result.count);
         assert_eq!(jk.s_sets, no.s_sets);
         // The S singleton (price 150 > any cheap T sum of ≤ 5 elements)
@@ -1252,9 +1318,9 @@ mod count_extension_tests {
             let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
             for min_support in [2u64, 3] {
                 let env = QueryEnv::new(&db, &cat, min_support);
-                let base = Optimizer::apriori_plus().run(&q, &env);
-                let full = Optimizer::default().run(&q, &env);
-                let seq = Optimizer { dovetail: false, ..Optimizer::default() }.run(&q, &env);
+                let base = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
+                let full = Optimizer::default().evaluate(&q, &env).unwrap();
+                let seq = Optimizer { dovetail: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
                 assert_eq!(base.pair_result.count, full.pair_result.count, "`{src}`");
                 assert_eq!(base.s_sets, full.s_sets, "`{src}`");
                 assert_eq!(base.t_sets, full.t_sets, "`{src}`");
@@ -1270,10 +1336,10 @@ mod count_extension_tests {
         // bounded by the count series, pruning deep S-sets.
         let q = bind_query(&parse_query("count(S) <= count(T.Type)").unwrap(), &cat).unwrap();
         let env = QueryEnv::new(&db, &cat, 2);
-        let plan = Optimizer::default().plan(&q, &env);
+        let plan = Optimizer::default().build_plan(&q, &cat);
         assert_eq!(plan.strategies()[0].1, StrategyKind::JkmaxIterative);
-        let full = Optimizer::default().run(&q, &env);
-        let off = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+        let full = Optimizer::default().evaluate(&q, &env).unwrap();
+        let off = Optimizer { use_jkmax: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
         assert_eq!(full.pair_result.count, off.pair_result.count);
         assert!(full.s_stats.support_counted <= off.s_stats.support_counted);
         assert!(!full.v_histories.is_empty());
@@ -1317,8 +1383,8 @@ mod parallel_counting_tests {
             Optimizer::default(),
             Optimizer { dovetail: false, ..Optimizer::default() },
         ] {
-            let a = opt.run(&q, &seq_env);
-            let b = opt.run(&q, &par_env);
+            let a = opt.evaluate(&q, &seq_env).unwrap();
+            let b = opt.evaluate(&q, &par_env).unwrap();
             assert_eq!(a.pair_result.count, b.pair_result.count);
             assert_eq!(a.s_sets, b.s_sets);
             assert_eq!(a.t_sets, b.t_sets);
@@ -1333,11 +1399,59 @@ mod env_validation_tests {
     use cfq_constraints::{bind_query, parse_query};
 
     #[test]
+    fn mismatched_catalog_is_a_typed_error() {
+        let db = TransactionDb::from_u32(5, &[&[0, 4]]);
+        let cat = Catalog::empty(2);
+        let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
+        let err = Optimizer::default()
+            .evaluate(&q, &QueryEnv::new(&db, &cat, 1))
+            .unwrap_err();
+        assert!(matches!(err, CfqError::Engine(_)), "{err}");
+        assert!(err.to_string().contains("catalog covers 2 items"), "{err}");
+    }
+}
+
+/// The pre-`Session` entry points must keep compiling and behaving —
+/// including the documented panic on an inconsistent environment — for one
+/// more release. This module is the only internal user of the deprecated
+/// shims.
+#[cfg(test)]
+#[allow(deprecated)]
+mod deprecated_shim_tests {
+    use super::*;
+    use cfq_constraints::{bind_query, parse_query};
+    use cfq_types::CatalogBuilder;
+
+    #[test]
     #[should_panic(expected = "catalog covers 2 items")]
     fn mismatched_catalog_fails_fast() {
         let db = TransactionDb::from_u32(5, &[&[0, 4]]);
         let cat = Catalog::empty(2);
         let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
         let _ = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
+    }
+
+    #[test]
+    fn run_plan_execute_shims_agree_with_evaluate() {
+        let mut b = CatalogBuilder::new(4);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let cat = b.build();
+        let db = TransactionDb::from_u32(
+            4,
+            &[&[0, 1, 2], &[0, 1], &[1, 2, 3], &[0, 2, 3], &[0, 1, 2, 3]],
+        );
+        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &cat)
+            .unwrap();
+        let env = QueryEnv::new(&db, &cat, 2);
+        let via_run = Optimizer::default().run(&q, &env);
+        let plan = Optimizer::default().plan(&q, &env);
+        let plan2 = Optimizer::default().plan_for_catalog(&q, &cat);
+        assert_eq!(plan.strategies(), plan2.strategies());
+        let via_execute = Optimizer::default().execute(&plan, &env);
+        let via_evaluate = Optimizer::default().evaluate(&q, &env).unwrap();
+        assert_eq!(via_run.s_sets, via_evaluate.s_sets);
+        assert_eq!(via_execute.t_sets, via_evaluate.t_sets);
+        assert_eq!(via_run.pair_result.count, via_evaluate.pair_result.count);
+        assert_eq!(via_execute.pair_result.count, via_evaluate.pair_result.count);
     }
 }

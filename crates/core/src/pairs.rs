@@ -35,6 +35,27 @@ pub struct PairResult {
     pub t_used: Vec<bool>,
 }
 
+/// Keeps the flagged entries, returning the survivors and an old-index →
+/// new-index remap (entries for dropped indices are unspecified). Used to
+/// restrict reported sets to Definition 3's *frequent valid* sets — those
+/// participating in at least one valid pair — after pair formation; the
+/// optimizer and the session engine share this step, which is what makes
+/// every strategy's (and the cache's) final answer identical.
+pub fn compact_used(
+    sets: Vec<(Itemset, u64)>,
+    used: &[bool],
+) -> (Vec<(Itemset, u64)>, Vec<u32>) {
+    let mut remap = vec![0u32; sets.len()];
+    let mut out = Vec::with_capacity(used.iter().filter(|&&u| u).count());
+    for (i, entry) in sets.into_iter().enumerate() {
+        if used[i] {
+            remap[i] = out.len() as u32;
+            out.push(entry);
+        }
+    }
+    (out, remap)
+}
+
 /// A 2-var constraint with its per-side inputs precomputed.
 enum Prepared {
     /// Domain constraint over precomputed sorted value-key sets.

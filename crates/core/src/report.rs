@@ -113,7 +113,7 @@ mod tests {
         let cat = b.build();
         let q = bind_query(&parse_query("sum(S.Price) <= sum(T.Price)").unwrap(), &cat)
             .unwrap();
-        let out = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 2));
+        let out = Optimizer::default().evaluate(&q, &QueryEnv::new(&db, &cat, 2)).unwrap();
         let report = out.report();
         assert!(report.contains("[S-lattice]"));
         assert!(report.contains("[T-lattice]"));
@@ -128,7 +128,7 @@ mod tests {
         let db = TransactionDb::from_u32(3, &[&[0, 1], &[1, 2], &[0, 1, 2]]);
         let cat = cfq_types::Catalog::empty(3);
         let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
-        let out = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
+        let out = Optimizer::default().evaluate(&q, &QueryEnv::new(&db, &cat, 1)).unwrap();
         assert_eq!(out.pairs().count() as u64, out.pair_result.count);
         for (s, t, s_sup, t_sup) in out.pairs() {
             assert!(!s.intersects(t));
@@ -146,7 +146,7 @@ mod tests {
         let db = TransactionDb::from_u32(3, &[&[0, 1], &[1, 2], &[0, 1, 2]]);
         let cat = cfq_types::Catalog::empty(3);
         let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
-        let out = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
+        let out = Optimizer::default().evaluate(&q, &QueryEnv::new(&db, &cat, 1)).unwrap();
         let report = out.report();
         assert!(!report.contains("[iterative bounds]"));
         assert!(report.contains("[pairs]"));

@@ -129,7 +129,7 @@ mod tests {
         let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &catalog)
             .unwrap();
         let env = QueryEnv::new(&db, &catalog, 2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         let rules = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
         assert_eq!(rules.len(), out.pair_result.count as usize);
         for r in &rules {
@@ -149,7 +149,7 @@ mod tests {
         let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &catalog)
             .unwrap();
         let env = QueryEnv::new(&db, &catalog, 2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         let all = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
         let strict = form_rules(&out, &db, &RuleConfig { min_support: 3, min_confidence: 0.9 });
         assert!(strict.len() < all.len());
@@ -164,7 +164,7 @@ mod tests {
         let (db, catalog) = setup();
         let q = bind_query(&parse_query("freq(S) & freq(T)").unwrap(), &catalog).unwrap();
         let env = QueryEnv::new(&db, &catalog, 2);
-        let out = Optimizer::default().run(&q, &env);
+        let out = Optimizer::default().evaluate(&q, &env).unwrap();
         let rules = form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
         // Lift of S => T where T = S-ish strongly associated items must be
         // positive; spot check finiteness.
@@ -200,7 +200,7 @@ mod property_tests {
             let cat = b.build();
             let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
             let env = QueryEnv::new(&db, &cat, rng.gen_range(1..3));
-            let out = Optimizer::default().run(&q, &env);
+            let out = Optimizer::default().evaluate(&q, &env).unwrap();
             let rules =
                 form_rules(&out, &db, &RuleConfig { min_support: 1, min_confidence: 0.0 });
             for r in &rules {

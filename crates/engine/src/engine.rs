@@ -1,0 +1,507 @@
+//! The long-lived engine: an epoch-versioned database plus the caches.
+//!
+//! An [`Engine`] owns one immutable [`TransactionDb`] snapshot per *epoch*
+//! together with the catalog, and serves any number of concurrent
+//! [`Session`] handles. Queries snapshot the current epoch
+//! under a brief lock, mine (or reuse) lattices entirely outside the lock,
+//! and re-acquire it only to install results — so readers never block on
+//! each other's mining, and an [`Engine::append`] never blocks readers:
+//! they keep serving the old epoch until the swap is a single pointer
+//! store.
+//!
+//! `append` is the paper's maintenance story wired into the cache layer:
+//! the new epoch's database is the old one plus the delta, and every
+//! cached lattice is upgraded **in place** with FUP
+//! ([`fup_update_abs`]) instead of being invalidated — the cache stays
+//! warm across updates, which is what makes the Fig. 8 workloads re-run
+//! with zero database scans after an append.
+
+use crate::cache::{CacheHit, CacheStats, LatticeCache, LatticeEntry, PlanCache};
+use crate::session::Session;
+use cfq_core::{CfqPlan, LatticeSource, Optimizer};
+use cfq_mining::{apriori, fup_update_abs, AprioriConfig, FrequentSets, WorkStats};
+use cfq_types::{Catalog, CfqError, ItemId, Result, TransactionDb};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tuning knobs of an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Byte budget of the lattice cache (default 64 MiB). Must be
+    /// positive; construction fails with [`CfqError::CacheBudget`]
+    /// otherwise.
+    pub cache_budget_bytes: usize,
+    /// Entry cap of the plan cache (default 128; 0 disables it).
+    pub plan_cache_entries: usize,
+    /// Default support-counting threads for sessions (1 = sequential,
+    /// 0 = one per core); overridable per query.
+    pub counting_threads: usize,
+    /// Default per-level database reduction for cold mining; overridable
+    /// per query. Cached lattices are identical either way, so entries
+    /// are shared across queries regardless of their trim setting.
+    pub trim: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_budget_bytes: 64 << 20,
+            plan_cache_entries: 128,
+            counting_threads: 1,
+            trim: true,
+        }
+    }
+}
+
+/// What an [`Engine::append`] did: the new epoch and the FUP work.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochInfo {
+    /// The epoch now current.
+    pub epoch: u64,
+    /// Transactions in the new epoch's database.
+    pub transactions: usize,
+    /// Cached lattices upgraded in place with FUP.
+    pub upgraded_lattices: usize,
+    /// Candidate sets FUP had to re-count against the old database across
+    /// all upgrades (its cost driver; 0 when the delta resembles the
+    /// past).
+    pub old_db_recounts: u64,
+}
+
+/// One epoch's immutable view of the data: queries hold an `Arc` to this
+/// and are unaffected by later appends.
+pub(crate) struct EpochState {
+    pub epoch: u64,
+    pub db: Arc<TransactionDb>,
+    pub catalog: Arc<Catalog>,
+}
+
+struct EngineState {
+    current: Arc<EpochState>,
+    lattices: LatticeCache,
+    plans: PlanCache,
+}
+
+/// The session engine. Construct with [`Engine::new`], hand out
+/// [`Session`]s with [`Engine::session`], grow the data with
+/// [`Engine::append`].
+pub struct Engine {
+    state: Mutex<EngineState>,
+    /// Serializes appends with each other (never with queries).
+    append_lock: Mutex<()>,
+    config: EngineConfig,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.locked();
+        f.debug_struct("Engine")
+            .field("epoch", &st.current.epoch)
+            .field("transactions", &st.current.db.len())
+            .field("cached_lattices", &st.lattices.entries())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over `db` and `catalog` with default
+    /// configuration.
+    pub fn new(db: TransactionDb, catalog: Catalog) -> Result<Arc<Engine>> {
+        Engine::with_config(db, catalog, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit configuration. Fails with
+    /// [`CfqError::Engine`] when the catalog covers fewer items than the
+    /// database references, and with [`CfqError::CacheBudget`] on a zero
+    /// cache budget.
+    pub fn with_config(
+        db: TransactionDb,
+        catalog: Catalog,
+        config: EngineConfig,
+    ) -> Result<Arc<Engine>> {
+        if catalog.n_items() < db.n_items() {
+            return Err(CfqError::Engine(format!(
+                "catalog covers {} items but the database references up to {}",
+                catalog.n_items(),
+                db.n_items()
+            )));
+        }
+        if config.cache_budget_bytes == 0 {
+            return Err(CfqError::CacheBudget(
+                "the lattice cache budget must be positive".into(),
+            ));
+        }
+        let current = Arc::new(EpochState {
+            epoch: 0,
+            db: Arc::new(db),
+            catalog: Arc::new(catalog),
+        });
+        Ok(Arc::new(Engine {
+            state: Mutex::new(EngineState {
+                current,
+                lattices: LatticeCache::new(config.cache_budget_bytes),
+                plans: PlanCache::new(config.plan_cache_entries),
+            }),
+            append_lock: Mutex::new(()),
+            config,
+        }))
+    }
+
+    fn locked(&self) -> MutexGuard<'_, EngineState> {
+        // A panic while holding the lock can only happen between plain
+        // field updates; the state is still consistent, so recover it.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a session on this engine. Sessions are cheap handles; open
+    /// one per thread of work.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current epoch (0 at construction, +1 per append).
+    pub fn epoch(&self) -> u64 {
+        self.locked().current.epoch
+    }
+
+    /// The current epoch's database snapshot.
+    pub fn db(&self) -> Arc<TransactionDb> {
+        Arc::clone(&self.locked().current.db)
+    }
+
+    /// The catalog (immutable over the engine's lifetime).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.locked().current.catalog)
+    }
+
+    /// A counter snapshot of both caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let st = self.locked();
+        CacheStats {
+            lattice_hits: st.lattices.hits,
+            lattice_misses: st.lattices.misses,
+            scans_saved: st.lattices.scans_saved,
+            plan_hits: st.plans.hits,
+            plan_misses: st.plans.misses,
+            evictions: st.lattices.evictions,
+            oversize_rejections: st.lattices.oversize_rejections,
+            stale_drops: st.lattices.stale_drops,
+            entries: st.lattices.entries(),
+            bytes_used: st.lattices.bytes_used(),
+            budget_bytes: st.lattices.budget(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Arc<EpochState> {
+        Arc::clone(&self.locked().current)
+    }
+
+    /// Serves the plan for `fingerprint` from the plan cache, building it
+    /// with `build` on a miss. Returns `(plan, was_cached)`.
+    pub(crate) fn plan_for(
+        &self,
+        fingerprint: u64,
+        build: impl FnOnce() -> CfqPlan,
+    ) -> (Arc<CfqPlan>, bool) {
+        if let Some(plan) = self.locked().plans.get(fingerprint) {
+            return (plan, true);
+        }
+        // Build outside the lock; losing a race just builds twice.
+        let plan = Arc::new(build());
+        self.locked().plans.insert(fingerprint, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Serves the complete lattice of `universe` at `min_support` in
+    /// `snap`'s database: from the cache when a compatible entry exists,
+    /// by mining otherwise. Cache work is recorded both in the engine's
+    /// counters and in `stats` (hit/miss/scans-saved). Only unbounded
+    /// minings (`max_level == 0`) are inserted — a level-capped family is
+    /// not complete, so it cannot serve other queries or be FUP-upgraded.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn lattice_for(
+        &self,
+        snap: &EpochState,
+        universe: &[ItemId],
+        min_support: u64,
+        max_level: usize,
+        threads: usize,
+        trim: bool,
+        stats: &mut WorkStats,
+    ) -> (Arc<FrequentSets>, LatticeSource) {
+        if universe.is_empty() {
+            // An unsatisfiable side mines nothing and caches nothing.
+            return (Arc::new(FrequentSets::new()), LatticeSource::MinedCold);
+        }
+        if let Some(CacheHit { lattice, source, scans_cost }) =
+            self.locked().lattices.lookup(snap.epoch, universe, min_support)
+        {
+            stats.record_cache_hit(scans_cost);
+            return (lattice, source);
+        }
+        stats.record_cache_miss();
+        let mut mine = WorkStats::new();
+        let cfg = AprioriConfig::new(min_support)
+            .with_universe(universe.to_vec())
+            .with_max_level(max_level)
+            .with_trim(trim)
+            .with_counting_threads(threads);
+        let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
+        let scans_cost = mine.db_scans;
+        stats.absorb(&mine);
+        if max_level == 0 {
+            let entry = LatticeEntry {
+                epoch: snap.epoch,
+                universe: Arc::new(universe.to_vec()),
+                min_support,
+                lattice: Arc::clone(&lattice),
+                source: LatticeSource::Cached,
+                bytes: lattice.approx_bytes(),
+                scans_cost,
+                last_used: 0,
+            };
+            let mut st = self.locked();
+            if st.current.epoch == snap.epoch {
+                // Oversize rejection is counted inside the cache; the
+                // query itself already has its lattice.
+                let _ = st.lattices.insert(entry);
+            } else {
+                st.lattices.record_stale_drop();
+            }
+        }
+        (lattice, LatticeSource::MinedCold)
+    }
+
+    /// Predicted provenance of a lookup, without perturbing counters or
+    /// LRU order (for `explain`).
+    pub(crate) fn peek_source(
+        &self,
+        snap: &EpochState,
+        universe: &[ItemId],
+        min_support: u64,
+    ) -> LatticeSource {
+        if universe.is_empty() {
+            return LatticeSource::MinedCold;
+        }
+        self.locked()
+            .lattices
+            .peek(snap.epoch, universe, min_support)
+            .unwrap_or(LatticeSource::MinedCold)
+    }
+
+    /// Appends `delta` as a new epoch.
+    ///
+    /// The new epoch's database is the concatenation of the current one
+    /// and `delta` (same item universe required). Every cached lattice of
+    /// the outgoing epoch is upgraded in place with FUP at its own
+    /// threshold — complete universe-restricted families are downward
+    /// closed, exactly what [`fup_update_abs`] maintains — so sessions
+    /// keep their cache warmth across the swap. Queries running during
+    /// the append finish against their snapshot; results they try to
+    /// cache afterwards are dropped as stale.
+    pub fn append(&self, delta: TransactionDb) -> Result<EpochInfo> {
+        let _serialize =
+            self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = self.snapshot();
+        let combined = snap.db.concat(&delta)?;
+        let old_entries = self.locked().lattices.snapshot_epoch(snap.epoch);
+        let mut upgraded = Vec::with_capacity(old_entries.len());
+        let mut old_db_recounts = 0u64;
+        for e in old_entries {
+            let mut stats = WorkStats::new();
+            let out = fup_update_abs(
+                &e.lattice,
+                &snap.db,
+                &delta,
+                &e.universe,
+                e.min_support,
+                e.min_support,
+                &mut stats,
+            )?;
+            old_db_recounts += out.old_db_recounts;
+            let lattice = Arc::new(out.frequent);
+            upgraded.push(LatticeEntry {
+                epoch: snap.epoch + 1,
+                universe: e.universe,
+                min_support: e.min_support,
+                lattice: Arc::clone(&lattice),
+                source: LatticeSource::FupUpgraded,
+                bytes: lattice.approx_bytes(),
+                // Keep crediting what a cold re-mine would have cost; the
+                // combined database is at least as expensive to scan.
+                scans_cost: e.scans_cost,
+                last_used: e.last_used,
+            });
+        }
+        let upgraded_lattices = upgraded.len();
+        let info = {
+            let mut st = self.locked();
+            st.current = Arc::new(EpochState {
+                epoch: snap.epoch + 1,
+                db: Arc::new(combined),
+                catalog: Arc::clone(&snap.catalog),
+            });
+            st.lattices.replace_all(upgraded);
+            EpochInfo {
+                epoch: st.current.epoch,
+                transactions: st.current.db.len(),
+                upgraded_lattices,
+                old_db_recounts,
+            }
+        };
+        Ok(info)
+    }
+}
+
+/// Fingerprint helper shared by `Session` and tests: hashes the strategy
+/// flags and the bound constraints' display forms (which include every
+/// resolved id and literal).
+pub(crate) fn plan_fingerprint(
+    strategy: &Optimizer,
+    bound: &cfq_constraints::BoundQuery,
+    catalog: &Catalog,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = cfq_types::FxHasher::default();
+    (strategy.push_one_var, strategy.push_two_var, strategy.use_jkmax, strategy.dovetail)
+        .hash(&mut h);
+    for c in &bound.one_var {
+        c.display(catalog).to_string().hash(&mut h);
+    }
+    for c in &bound.two_var {
+        c.display(catalog).to_string().hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = cfq_types::CatalogBuilder::new(n);
+        b.num_attr("Price", (0..n).map(|i| 10.0 * (i + 1) as f64).collect())
+            .unwrap();
+        b.build()
+    }
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_validates_catalog_and_budget() {
+        let err = Engine::new(db(), catalog(2)).unwrap_err();
+        assert!(matches!(err, CfqError::Engine(_)), "{err}");
+        assert!(err.to_string().contains("catalog covers 2 items"));
+
+        let cfg = EngineConfig { cache_budget_bytes: 0, ..EngineConfig::default() };
+        let err = Engine::with_config(db(), catalog(6), cfg).unwrap_err();
+        assert!(matches!(err, CfqError::CacheBudget(_)), "{err}");
+    }
+
+    #[test]
+    fn append_concatenates_and_bumps_epoch() {
+        let engine = Engine::new(db(), catalog(6)).unwrap();
+        assert_eq!(engine.epoch(), 0);
+        let delta = TransactionDb::from_u32(6, &[&[0, 1], &[2, 3, 4]]);
+        let info = engine.append(delta).unwrap();
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.transactions, 10);
+        assert_eq!(info.upgraded_lattices, 0, "nothing cached yet");
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.db().len(), 10);
+    }
+
+    #[test]
+    fn append_rejects_mismatched_universe() {
+        let engine = Engine::new(db(), catalog(6)).unwrap();
+        let delta = TransactionDb::from_u32(4, &[&[0, 1]]);
+        let err = engine.append(delta).unwrap_err();
+        assert!(matches!(err, CfqError::Engine(_)), "{err}");
+    }
+
+    #[test]
+    fn lattice_for_caches_and_reuses() {
+        let engine = Engine::new(db(), catalog(6)).unwrap();
+        let snap = engine.snapshot();
+        let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
+        let mut stats = WorkStats::new();
+        let (cold, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut stats);
+        assert_eq!(src, LatticeSource::MinedCold);
+        assert!(stats.db_scans > 0);
+        assert_eq!(stats.cache_misses, 1);
+
+        let mut warm_stats = WorkStats::new();
+        let (warm, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut warm_stats);
+        assert_eq!(src, LatticeSource::Cached);
+        assert_eq!(warm_stats.db_scans, 0);
+        assert_eq!(warm_stats.cache_hits, 1);
+        assert_eq!(warm_stats.scans_saved, stats.db_scans);
+        assert_eq!(warm.total(), cold.total());
+
+        // A subset universe at a higher threshold also hits.
+        let sub: Vec<ItemId> = vec![ItemId(1), ItemId(2)];
+        let mut sub_stats = WorkStats::new();
+        let (_, src) = engine.lattice_for(&snap, &sub, 3, 0, 1, true, &mut sub_stats);
+        assert_eq!(src, LatticeSource::Cached);
+        assert_eq!(sub_stats.db_scans, 0);
+    }
+
+    #[test]
+    fn level_capped_minings_are_not_cached() {
+        let engine = Engine::new(db(), catalog(6)).unwrap();
+        let snap = engine.snapshot();
+        let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
+        let mut stats = WorkStats::new();
+        let (_, src) = engine.lattice_for(&snap, &universe, 2, 1, 1, true, &mut stats);
+        assert_eq!(src, LatticeSource::MinedCold);
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn append_upgrades_cached_lattices_with_fup() {
+        let engine = Engine::new(db(), catalog(6)).unwrap();
+        let snap = engine.snapshot();
+        let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
+        let mut stats = WorkStats::new();
+        engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut stats);
+
+        let delta = TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5], &[0, 3]]);
+        let info = engine.append(delta.clone()).unwrap();
+        assert_eq!(info.upgraded_lattices, 1);
+
+        // The upgraded entry serves the new epoch without a scan and
+        // matches a cold re-mine of the combined database.
+        let snap2 = engine.snapshot();
+        let mut warm = WorkStats::new();
+        let (lattice, src) = engine.lattice_for(&snap2, &universe, 2, 0, 1, true, &mut warm);
+        assert_eq!(src, LatticeSource::FupUpgraded);
+        assert_eq!(warm.db_scans, 0);
+
+        let combined = db().concat(&delta).unwrap();
+        let mut remine = WorkStats::new();
+        let cfg = AprioriConfig::new(2).with_universe(universe.clone());
+        let expected = apriori(&combined, &cfg, &mut remine);
+        assert_eq!(lattice.total(), expected.total());
+        for (set, n) in expected.iter() {
+            assert_eq!(lattice.support(set), Some(n), "support mismatch for {set}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # cfq-engine
+//!
+//! The session engine: a long-lived [`Engine`] that owns an
+//! epoch-versioned transaction database plus catalog and serves
+//! concurrent queries through cheap [`Session`] handles, caching work
+//! *across* queries:
+//!
+//! * **Lattice cache** — complete frequent-set families keyed by
+//!   effective universe, absolute threshold and epoch, LRU-evicted under
+//!   a byte budget. A refined query whose 1-var envelope is weaker or
+//!   equal reuses the mined lattice and re-runs with **zero database
+//!   scans**.
+//! * **Plan cache** — optimizer plans keyed by a bound-query
+//!   fingerprint; plans never read the data, so they survive epoch
+//!   swaps.
+//! * **FUP maintenance** — [`Engine::append`] installs a new epoch and
+//!   upgrades every cached lattice in place with the FUP algorithm
+//!   instead of invalidating it, so the cache stays warm across
+//!   insertions.
+//!
+//! Answers from the cached path are identical to every one-shot
+//! [`cfq_core::Optimizer`] strategy because both end with final pair
+//! formation re-verifying the original 2-var constraints.
+//!
+//! ```
+//! use cfq_engine::Engine;
+//! use cfq_types::{CatalogBuilder, TransactionDb};
+//!
+//! let mut b = CatalogBuilder::new(4);
+//! b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+//! let catalog = b.build();
+//! let db = TransactionDb::from_u32(
+//!     4,
+//!     &[&[0, 1, 2], &[1, 2, 3], &[0, 2], &[1, 3], &[0, 1, 3]],
+//! );
+//!
+//! let engine = Engine::new(db, catalog).unwrap();
+//! let session = engine.session();
+//! let q = "max(S.Price) <= 20 & min(T.Price) >= 30";
+//!
+//! let cold = session.query(q).min_support(1).run().unwrap();
+//! assert!(cold.outcome.db_scans > 0);
+//!
+//! // The identical query again: served entirely from the cache.
+//! let warm = session.query(q).min_support(1).run().unwrap();
+//! assert_eq!(warm.outcome.db_scans, 0);
+//! assert_eq!(warm.outcome.s_sets, cold.outcome.s_sets);
+//! assert!(warm.explain().contains("cache hit"));
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod session;
+
+pub use cache::CacheStats;
+pub use engine::{Engine, EngineConfig, EpochInfo};
+pub use session::{QueryBuilder, QueryOutcome, Session};

@@ -1,0 +1,599 @@
+//! The fluent query API: `Session::query(..).min_support(..).run()`.
+//!
+//! A [`Session`] is a cheap handle on an [`Engine`]. Each query snapshots
+//! the engine's current epoch, plans through the plan cache, and serves
+//! each variable's lattice cache-first:
+//!
+//! * the *effective universe* of a variable is its domain after the
+//!   succinct allowed-item filter of its 1-var constraints — the largest
+//!   restriction that is sound to bake into a reusable lattice;
+//! * a cached **complete** lattice over any superset universe at any
+//!   equal-or-lower threshold is filtered down (subset-of-universe,
+//!   support, level, full 1-var evaluation) instead of re-mined;
+//! * final pair formation re-verifies every original 2-var constraint
+//!   and the answer is compacted to the sets participating in a valid
+//!   pair — the same step the one-shot [`Optimizer`] ends with, which is
+//!   why the cached path returns bit-identical answers to every mining
+//!   strategy, including a fully cold run.
+//!
+//! A warm re-run of a query therefore performs **zero database scans**
+//! (`outcome.db_scans == 0`), the property the `engine` benchmark target
+//! asserts.
+
+use crate::engine::{plan_fingerprint, Engine, EpochState};
+use cfq_constraints::{bind_query, eval_all_one, parse_query, OneVar, SuccinctForm, Var};
+use cfq_core::{
+    compact_used, form_pairs_with, CfqPlan, ExecutionOutcome, LatticeSource, Optimizer,
+    OutcomeProvenance, QueryEnv,
+};
+use cfq_mining::WorkStats;
+use cfq_types::{Catalog, CfqError, ItemId, Itemset, Result};
+use std::sync::Arc;
+
+/// A handle for running queries against an [`Engine`]. Cheap to clone;
+/// open one per thread of work.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<Engine>,
+}
+
+impl Session {
+    pub(crate) fn new(engine: Arc<Engine>) -> Session {
+        Session { engine }
+    }
+
+    /// Starts a query from CFQ text, e.g.
+    /// `"max(S.Price) <= 30 & min(T.Price) >= 40"`. Configure with the
+    /// builder methods, then [`QueryBuilder::run`] or
+    /// [`QueryBuilder::explain`].
+    pub fn query(&self, text: &str) -> QueryBuilder {
+        QueryBuilder {
+            engine: Arc::clone(&self.engine),
+            text: text.to_string(),
+            support: SupportSpec::Frac(0.01),
+            s_universe: Vec::new(),
+            t_universe: Vec::new(),
+            max_level: 0,
+            max_pairs: None,
+            counting_threads: None,
+            trim: None,
+            strategy: Optimizer::default(),
+            use_cache: true,
+        }
+    }
+
+    /// The engine this session runs against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+}
+
+/// How the support threshold was specified.
+#[derive(Clone, Copy, Debug)]
+enum SupportSpec {
+    /// Fraction of the epoch's transaction count (default 1%).
+    Frac(f64),
+    /// Absolute thresholds, S and T.
+    Abs(u64, u64),
+}
+
+impl SupportSpec {
+    fn resolve(self, rows: usize) -> Result<(u64, u64)> {
+        match self {
+            SupportSpec::Frac(f) => {
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CfqError::Config(format!(
+                        "support fraction {f} is outside [0, 1]"
+                    )));
+                }
+                let s = ((f * rows as f64).ceil() as u64).max(1);
+                Ok((s, s))
+            }
+            SupportSpec::Abs(s, t) => {
+                if s == 0 || t == 0 {
+                    return Err(CfqError::Config(
+                        "absolute minimum support must be at least 1".into(),
+                    ));
+                }
+                Ok((s, t))
+            }
+        }
+    }
+}
+
+/// Fluent configuration of one query; terminal methods are
+/// [`QueryBuilder::run`] and [`QueryBuilder::explain`].
+#[derive(Clone)]
+pub struct QueryBuilder {
+    engine: Arc<Engine>,
+    text: String,
+    support: SupportSpec,
+    s_universe: Vec<ItemId>,
+    t_universe: Vec<ItemId>,
+    max_level: usize,
+    max_pairs: Option<usize>,
+    counting_threads: Option<usize>,
+    trim: Option<bool>,
+    strategy: Optimizer,
+    use_cache: bool,
+}
+
+impl QueryBuilder {
+    /// Absolute minimum support for both variables.
+    pub fn min_support(mut self, support: u64) -> Self {
+        self.support = SupportSpec::Abs(support, support);
+        self
+    }
+
+    /// Minimum support as a fraction of the transaction count (the
+    /// default is 1%).
+    pub fn min_support_frac(mut self, frac: f64) -> Self {
+        self.support = SupportSpec::Frac(frac);
+        self
+    }
+
+    /// Distinct absolute thresholds for S and T.
+    pub fn supports(mut self, s: u64, t: u64) -> Self {
+        self.support = SupportSpec::Abs(s, t);
+        self
+    }
+
+    /// Restricts the S domain (empty = all items). Order is normalized.
+    pub fn s_universe(mut self, items: Vec<ItemId>) -> Self {
+        self.s_universe = items;
+        self
+    }
+
+    /// Restricts the T domain (empty = all items). Order is normalized.
+    pub fn t_universe(mut self, items: Vec<ItemId>) -> Self {
+        self.t_universe = items;
+        self
+    }
+
+    /// Caps the lattice depth (0 = unbounded). Capped queries can still
+    /// *hit* the cache, but their own cold minings are not cached —
+    /// a truncated family is not complete.
+    pub fn max_level(mut self, max_level: usize) -> Self {
+        self.max_level = max_level;
+        self
+    }
+
+    /// Caps pair materialization (`None` = materialize all).
+    pub fn max_pairs(mut self, max_pairs: usize) -> Self {
+        self.max_pairs = Some(max_pairs);
+        self
+    }
+
+    /// Selects the optimizer strategy family. With the cache enabled
+    /// (the default) this shapes the plan and EXPLAIN output — answers
+    /// are strategy-invariant by final pair verification. With
+    /// [`QueryBuilder::bypass_cache`] it selects the one-shot executor
+    /// actually run.
+    pub fn strategy(mut self, strategy: Optimizer) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the engine's default support-counting thread count.
+    pub fn counting_threads(mut self, threads: usize) -> Self {
+        self.counting_threads = Some(threads);
+        self
+    }
+
+    /// Overrides the engine's default per-level database reduction.
+    pub fn trim(mut self, trim: bool) -> Self {
+        self.trim = Some(trim);
+        self
+    }
+
+    /// Executes this query as a one-shot [`Optimizer`] run against the
+    /// epoch snapshot — no lattice cache lookups or insertions. The plan
+    /// cache is still used (plans never read the data). This is the knob
+    /// benchmarks use to compare the cached path against the paper's
+    /// per-query strategies.
+    pub fn bypass_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+
+    fn full_universe(&self, var: Var, catalog: &Catalog) -> Vec<ItemId> {
+        let u = match var {
+            Var::S => &self.s_universe,
+            Var::T => &self.t_universe,
+        };
+        if u.is_empty() {
+            (0..catalog.n_items() as u32).map(ItemId).collect()
+        } else {
+            let mut u = u.clone();
+            u.sort_unstable();
+            u.dedup();
+            u
+        }
+    }
+
+    /// Plans the query and renders the EXPLAIN text, including predicted
+    /// cache provenance for both lattices. Does not touch the data or
+    /// perturb cache counters.
+    pub fn explain(&self) -> Result<String> {
+        let snap = self.engine.snapshot();
+        let bound = bind_query(&parse_query(&self.text)?, &snap.catalog)?;
+        let (plan, plan_cached) = self
+            .engine
+            .plan_for(plan_fingerprint(&self.strategy, &bound, &snap.catalog), || {
+                self.strategy.build_plan(&bound, &snap.catalog)
+            });
+        let (s_sup, t_sup) = self.support.resolve(snap.db.len())?;
+        let mut provenance = OutcomeProvenance { plan_cached, ..Default::default() };
+        if self.use_cache {
+            for (var, sup, slot) in [
+                (Var::S, s_sup, &mut provenance.s_lattice),
+                (Var::T, t_sup, &mut provenance.t_lattice),
+            ] {
+                let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
+                let form = SuccinctForm::compile(&one, &snap.catalog);
+                if !form.unsatisfiable() {
+                    let eff = form.filter_universe(&self.full_universe(var, &snap.catalog));
+                    *slot = self.engine.peek_source(&snap, &eff, sup);
+                }
+            }
+        }
+        Ok(format!("{}{}", plan.explain(&snap.catalog), provenance.render()))
+    }
+
+    /// Runs the query and returns the outcome together with the epoch it
+    /// was answered at.
+    pub fn run(self) -> Result<QueryOutcome> {
+        let snap = self.engine.snapshot();
+        let bound = bind_query(&parse_query(&self.text)?, &snap.catalog)?;
+        let (plan, plan_cached) = self
+            .engine
+            .plan_for(plan_fingerprint(&self.strategy, &bound, &snap.catalog), || {
+                self.strategy.build_plan(&bound, &snap.catalog)
+            });
+        let (s_sup, t_sup) = self.support.resolve(snap.db.len())?;
+        let threads = self.counting_threads.unwrap_or(self.engine.config().counting_threads);
+        let trim = self.trim.unwrap_or(self.engine.config().trim);
+
+        if !self.use_cache {
+            let env = QueryEnv {
+                db: &snap.db,
+                catalog: &snap.catalog,
+                s_universe: self.full_universe(Var::S, &snap.catalog),
+                t_universe: self.full_universe(Var::T, &snap.catalog),
+                s_min_support: s_sup,
+                t_min_support: t_sup,
+                max_level: self.max_level,
+                max_pairs: self.max_pairs,
+                form_pairs: true,
+                counting_threads: threads,
+                trim,
+            };
+            let mut outcome = self.strategy.execute_plan(&plan, &env)?;
+            outcome.provenance.plan_cached = plan_cached;
+            return Ok(QueryOutcome {
+                outcome,
+                epoch: snap.epoch,
+                plan,
+                catalog: Arc::clone(&snap.catalog),
+            });
+        }
+
+        let s_side = self.run_side(&snap, &bound, Var::S, s_sup, threads, trim);
+        let t_side = self.run_side(&snap, &bound, Var::T, t_sup, threads, trim);
+
+        let mut pair_result = form_pairs_with(
+            &s_side.sets,
+            &t_side.sets,
+            &plan.trace().final_two,
+            &snap.catalog,
+            self.max_pairs,
+            threads,
+        );
+        let (s_sets, s_remap) = compact_used(s_side.sets, &pair_result.s_used);
+        let (t_sets, t_remap) = compact_used(t_side.sets, &pair_result.t_used);
+        for (si, ti) in &mut pair_result.pairs {
+            *si = s_remap[*si as usize];
+            *ti = t_remap[*ti as usize];
+        }
+
+        let db_scans = s_side.stats.db_scans + t_side.stats.db_scans;
+        let mut scan = s_side.stats.scan.clone();
+        scan.absorb(&t_side.stats.scan);
+        let outcome = ExecutionOutcome {
+            s_sets,
+            t_sets,
+            pair_result,
+            s_stats: s_side.stats,
+            t_stats: t_side.stats,
+            db_scans,
+            scan,
+            v_histories: Vec::new(),
+            provenance: OutcomeProvenance {
+                s_lattice: s_side.source,
+                t_lattice: t_side.source,
+                plan_cached,
+            },
+        };
+        Ok(QueryOutcome { outcome, epoch: snap.epoch, plan, catalog: Arc::clone(&snap.catalog) })
+    }
+
+    /// One variable's cache-first evaluation: effective universe, lattice
+    /// (cached or mined), then the filter that carves this query's
+    /// frequent valid sets out of the complete family.
+    fn run_side(
+        &self,
+        snap: &EpochState,
+        bound: &cfq_constraints::BoundQuery,
+        var: Var,
+        min_support: u64,
+        threads: usize,
+        trim: bool,
+    ) -> SideOutcome {
+        let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
+        let form = SuccinctForm::compile(&one, &snap.catalog);
+        let mut stats = WorkStats::new();
+        if form.unsatisfiable() {
+            return SideOutcome { sets: Vec::new(), stats, source: LatticeSource::MinedCold };
+        }
+        let eff = form.filter_universe(&self.full_universe(var, &snap.catalog));
+        let (lattice, source) =
+            self.engine.lattice_for(snap, &eff, min_support, self.max_level, threads, trim, &mut stats);
+
+        let mut sets: Vec<(Itemset, u64)> = Vec::new();
+        let mut checks = 0u64;
+        for (set, n) in lattice.iter() {
+            if self.max_level != 0 && set.len() > self.max_level {
+                break; // iteration is by ascending level
+            }
+            if n < min_support {
+                continue;
+            }
+            if !set.iter().all(|i| eff.binary_search(&i).is_ok()) {
+                continue; // entry was mined over a wider universe
+            }
+            checks += one.len() as u64;
+            if eval_all_one(&one, set, &snap.catalog) {
+                sets.push((set.clone(), n));
+            }
+        }
+        stats.record_checks(checks);
+        SideOutcome { sets, stats, source }
+    }
+}
+
+struct SideOutcome {
+    sets: Vec<(Itemset, u64)>,
+    stats: WorkStats,
+    source: LatticeSource,
+}
+
+/// A query's result: the execution outcome plus the epoch and plan it was
+/// answered with.
+pub struct QueryOutcome {
+    /// The answer and work counters, identical in shape to a one-shot
+    /// [`Optimizer`] run.
+    pub outcome: ExecutionOutcome,
+    /// The engine epoch this answer is exact for.
+    pub epoch: u64,
+    plan: Arc<CfqPlan>,
+    catalog: Arc<Catalog>,
+}
+
+impl std::fmt::Debug for QueryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryOutcome")
+            .field("epoch", &self.epoch)
+            .field("outcome", &self.outcome)
+            .finish()
+    }
+}
+
+impl QueryOutcome {
+    /// The plan the query ran with.
+    pub fn plan(&self) -> &CfqPlan {
+        &self.plan
+    }
+
+    /// The EXPLAIN text: the plan plus the actual cache provenance of
+    /// this execution.
+    pub fn explain(&self) -> String {
+        format!("{}{}", self.plan.explain(&self.catalog), self.outcome.provenance.render())
+    }
+
+    /// Number of valid (S, T) pairs.
+    pub fn pair_count(&self) -> u64 {
+        self.outcome.pair_result.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use cfq_types::{CatalogBuilder, TransactionDb};
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        b.build()
+    }
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_u32(
+            6,
+            &[
+                &[0, 1, 2, 3],
+                &[0, 1, 2],
+                &[1, 2, 3, 4],
+                &[0, 2, 4],
+                &[0, 1, 3, 5],
+                &[2, 3, 4, 5],
+                &[0, 1, 2, 3, 4],
+                &[1, 3, 5],
+            ],
+        )
+    }
+
+    const Q: &str = "max(S.Price) <= 30 & min(T.Price) >= 40";
+
+    fn assert_same_answer(a: &ExecutionOutcome, b: &ExecutionOutcome) {
+        assert_eq!(a.s_sets, b.s_sets);
+        assert_eq!(a.t_sets, b.t_sets);
+        assert_eq!(a.pair_result.count, b.pair_result.count);
+        assert_eq!(a.pair_result.pairs, b.pair_result.pairs);
+    }
+
+    #[test]
+    fn session_matches_one_shot_optimizer() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let got = session.query(Q).min_support(2).run().unwrap();
+
+        let d = db();
+        let cat = catalog();
+        let bound = bind_query(&parse_query(Q).unwrap(), &cat).unwrap();
+        let env = QueryEnv::new(&d, &cat, 2);
+        let want = Optimizer::default().evaluate(&bound, &env).unwrap();
+        assert_same_answer(&got.outcome, &want);
+        assert_eq!(got.epoch, 0);
+        assert_eq!(got.outcome.provenance.s_lattice, LatticeSource::MinedCold);
+    }
+
+    #[test]
+    fn warm_rerun_scans_nothing() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let cold = session.query(Q).min_support(2).run().unwrap();
+        assert!(cold.outcome.db_scans > 0);
+
+        let warm = session.query(Q).min_support(2).run().unwrap();
+        assert_eq!(warm.outcome.db_scans, 0, "warm re-run must not scan");
+        assert_eq!(warm.outcome.provenance.s_lattice, LatticeSource::Cached);
+        assert_eq!(warm.outcome.provenance.t_lattice, LatticeSource::Cached);
+        assert!(warm.outcome.provenance.plan_cached);
+        assert_same_answer(&cold.outcome, &warm.outcome);
+
+        let stats = engine.cache_stats();
+        assert_eq!(stats.lattice_hits, 2);
+        assert!(stats.scans_saved > 0);
+        assert!(stats.plan_hits >= 1);
+    }
+
+    #[test]
+    fn weaker_envelope_reuses_stronger_mining() {
+        // Mine once with a loose 1-var envelope, then run a refined query
+        // whose allowed set is a subset and threshold is higher: the
+        // refined query must be served from the cache.
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        session.query("max(S.Price) <= 50 & min(T.Price) >= 30").min_support(2).run().unwrap();
+        let refined =
+            session.query("max(S.Price) <= 30 & min(T.Price) >= 40").min_support(3).run().unwrap();
+        assert_eq!(refined.outcome.db_scans, 0);
+        assert_eq!(refined.outcome.provenance.s_lattice, LatticeSource::Cached);
+        assert_eq!(refined.outcome.provenance.t_lattice, LatticeSource::Cached);
+
+        // And it matches a cold optimizer run.
+        let d = db();
+        let cat = catalog();
+        let bound =
+            bind_query(&parse_query("max(S.Price) <= 30 & min(T.Price) >= 40").unwrap(), &cat)
+                .unwrap();
+        let env = QueryEnv::new(&d, &cat, 3);
+        let want = Optimizer::default().evaluate(&bound, &env).unwrap();
+        assert_same_answer(&refined.outcome, &want);
+    }
+
+    #[test]
+    fn shared_universe_sides_share_one_mining() {
+        // No 1-var constraints: both sides range over the same effective
+        // universe, so T hits the entry S just inserted — already on the
+        // first run.
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let out = session.query("sum(S.Price) <= sum(T.Price)").min_support(2).run().unwrap();
+        assert_eq!(out.outcome.provenance.s_lattice, LatticeSource::MinedCold);
+        assert_eq!(out.outcome.provenance.t_lattice, LatticeSource::Cached);
+        assert_eq!(out.outcome.t_stats.db_scans, 0);
+    }
+
+    #[test]
+    fn bypass_cache_runs_the_selected_strategy() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let direct = session
+            .query(Q)
+            .min_support(2)
+            .strategy(Optimizer::apriori_plus())
+            .bypass_cache()
+            .run()
+            .unwrap();
+        assert_eq!(engine.cache_stats().entries, 0, "bypass must not populate the cache");
+        let cached = session.query(Q).min_support(2).run().unwrap();
+        assert_same_answer(&direct.outcome, &cached.outcome);
+    }
+
+    #[test]
+    fn explain_reports_provenance() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let before = session.query(Q).min_support(2).explain().unwrap();
+        assert!(before.contains("freshly mined (cold)"), "{before}");
+        session.query(Q).min_support(2).run().unwrap();
+        let after = session.query(Q).min_support(2).explain().unwrap();
+        assert!(after.contains("cache hit (reused mined lattice)"), "{after}");
+        assert!(after.contains("plan cache hit"), "{after}");
+    }
+
+    #[test]
+    fn append_keeps_the_cache_warm_and_correct() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        session.query(Q).min_support(2).run().unwrap();
+
+        let delta = TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5], &[1, 2, 3]]);
+        let info = engine.append(delta.clone()).unwrap();
+        assert!(info.upgraded_lattices >= 2);
+
+        let warm = session.query(Q).min_support(2).run().unwrap();
+        assert_eq!(warm.epoch, 1);
+        assert_eq!(warm.outcome.db_scans, 0, "FUP-upgraded entries must serve scan-free");
+        assert_eq!(warm.outcome.provenance.s_lattice, LatticeSource::FupUpgraded);
+
+        // Equivalent to a cold engine over the combined database.
+        let combined = db().concat(&delta).unwrap();
+        let fresh = crate::Engine::new(combined, catalog()).unwrap();
+        let want = fresh.session().query(Q).min_support(2).run().unwrap();
+        assert_same_answer(&warm.outcome, &want.outcome);
+    }
+
+    #[test]
+    fn tiny_budget_rejects_oversize_but_answers() {
+        let cfg = EngineConfig { cache_budget_bytes: 16, ..EngineConfig::default() };
+        let engine = crate::Engine::with_config(db(), catalog(), cfg).unwrap();
+        let session = engine.session();
+        let out = session.query(Q).min_support(2).run().unwrap();
+        assert!(out.outcome.db_scans > 0, "query still mines and answers");
+        let stats = engine.cache_stats();
+        assert!(stats.oversize_rejections >= 1);
+        assert_eq!(stats.entries, 0);
+        // No entry retained: the re-run mines again.
+        let again = session.query(Q).min_support(2).run().unwrap();
+        assert!(again.outcome.db_scans > 0);
+    }
+
+    #[test]
+    fn zero_support_is_a_typed_config_error() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let err = engine.session().query(Q).min_support(0).run().unwrap_err();
+        assert!(matches!(err, CfqError::Config(_)), "{err}");
+        let err = engine.session().query(Q).min_support_frac(1.5).run().unwrap_err();
+        assert!(matches!(err, CfqError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        assert!(engine.session().query("max(S.Price <= 30").min_support(2).run().is_err());
+    }
+}

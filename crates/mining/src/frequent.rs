@@ -51,6 +51,24 @@ impl FrequentSets {
         self.level(k).iter().map(|(s, _)| s.clone()).collect()
     }
 
+    /// Approximate heap footprint in bytes — the accounting unit of the
+    /// engine's LRU cache budget. Counts each stored set twice (levels +
+    /// support index) plus per-entry container overhead; deliberately a
+    /// slight over-estimate so the budget errs towards evicting.
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry =
+            std::mem::size_of::<Itemset>() + std::mem::size_of::<u64>() + std::mem::size_of::<ItemId>();
+        let mut bytes = std::mem::size_of::<Self>();
+        for level in &self.levels {
+            for (s, _) in level {
+                // Itemset header + items, once in the level vec and once in
+                // the index key.
+                bytes += 2 * (per_entry + s.len() * std::mem::size_of::<ItemId>());
+            }
+        }
+        bytes
+    }
+
     /// Whether `set` is frequent.
     pub fn contains(&self, set: &Itemset) -> bool {
         self.index.contains_key(set)
@@ -143,6 +161,16 @@ mod tests {
         assert_eq!(fs.elements(1), vec![ItemId(1), ItemId(2), ItemId(3)]);
         assert_eq!(fs.elements(2), vec![ItemId(1), ItemId(2), ItemId(3)]);
         assert!(fs.elements(5).is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let empty = FrequentSets::new();
+        let fs = sample();
+        assert!(fs.approx_bytes() > empty.approx_bytes());
+        let mut bigger = sample();
+        bigger.push_level(vec![([1u32, 2, 3].into(), 2)]);
+        assert!(bigger.approx_bytes() > fs.approx_bytes());
     }
 
     #[test]

@@ -60,6 +60,48 @@ pub fn fup_update(
     let s_old = ((support_frac * old_db.len() as f64).ceil() as u64).max(1);
     let total = old_db.len() + delta.len();
     let s_new = ((support_frac * total as f64).ceil() as u64).max(1);
+    fup_update_abs(old, old_db, delta, &[], s_old, s_new, stats)
+}
+
+/// FUP update with **absolute** thresholds and an optional item-universe
+/// restriction — the form a long-lived engine needs to upgrade cached
+/// lattices in place on `append`.
+///
+/// `old` must hold exactly the frequent sets of `old_db` at absolute
+/// threshold `s_old`, restricted to subsets of `universe` (pass an empty
+/// slice for the full universe); supports must be exact. `s_new` is the
+/// threshold for the combined database and may not be below `s_old` —
+/// lowering the threshold would require sets FUP never counted. With a
+/// fixed absolute threshold (`s_new == s_old`, the engine's cache-upgrade
+/// setting) the newcomer floor degenerates to 1: any set the increment
+/// touches is a potential newcomer, which is still far cheaper than a full
+/// re-mine because candidates stay Apriori-generated from the maintained
+/// levels.
+pub fn fup_update_abs(
+    old: &FrequentSets,
+    old_db: &TransactionDb,
+    delta: &TransactionDb,
+    universe: &[ItemId],
+    s_old: u64,
+    s_new: u64,
+    stats: &mut WorkStats,
+) -> Result<UpdateOutcome> {
+    if old_db.n_items() != delta.n_items() {
+        return Err(CfqError::Config(format!(
+            "increment universe ({}) differs from the old database's ({})",
+            delta.n_items(),
+            old_db.n_items()
+        )));
+    }
+    if s_old == 0 {
+        return Err(CfqError::Config("s_old must be at least 1".into()));
+    }
+    if s_new < s_old {
+        return Err(CfqError::Config(format!(
+            "FUP cannot lower the threshold: s_new {s_new} < s_old {s_old} \
+             (sets below the old threshold were never counted)"
+        )));
+    }
     // A set not frequent before (old support ≤ s_old − 1) must make up the
     // difference inside the increment.
     let newcomer_floor = s_new.saturating_sub(s_old - 1);
@@ -80,10 +122,14 @@ pub fn fup_update(
         let newcomers: Vec<Itemset> = if level == 1 {
             let known: std::collections::BTreeSet<&Itemset> =
                 olds.iter().map(|(s, _)| s).collect();
-            (0..old_db.n_items() as u32)
-                .map(|i| Itemset::singleton(ItemId(i)))
-                .filter(|s| !known.contains(s))
-                .collect()
+            let singletons: Vec<Itemset> = if universe.is_empty() {
+                (0..old_db.n_items() as u32)
+                    .map(|i| Itemset::singleton(ItemId(i)))
+                    .collect()
+            } else {
+                universe.iter().map(|&i| Itemset::singleton(i)).collect()
+            };
+            singletons.into_iter().filter(|s| !known.contains(s)).collect()
         } else {
             let prev_sets: Vec<Itemset> =
                 prev_frequent.iter().map(|(s, _)| s.clone()).collect();
@@ -266,6 +312,41 @@ mod tests {
     }
 
     #[test]
+    fn abs_fixed_threshold_with_universe_matches_remine() {
+        // The engine's cache-upgrade setting: absolute threshold held fixed
+        // across the append, lattice restricted to an item universe.
+        let old_db = TransactionDb::from_u32(
+            6,
+            &[&[0, 1, 2], &[1, 2, 3], &[0, 2, 4], &[1, 2, 5], &[2, 3, 4], &[0, 1, 2]],
+        );
+        let delta = TransactionDb::from_u32(6, &[&[3, 4, 5], &[0, 3, 4], &[1, 3, 4]]);
+        let universe = vec![ItemId(1), ItemId(2), ItemId(3), ItemId(4)];
+        for s in [1u64, 2, 3] {
+            let mut stats = WorkStats::new();
+            let old = apriori(
+                &old_db,
+                &AprioriConfig::new(s).with_universe(universe.clone()),
+                &mut stats,
+            );
+            let mut up_stats = WorkStats::new();
+            let got =
+                fup_update_abs(&old, &old_db, &delta, &universe, s, s, &mut up_stats).unwrap();
+            let mut re_stats = WorkStats::new();
+            let expected = apriori(
+                &combine(&old_db, &delta),
+                &AprioriConfig::new(s).with_universe(universe.clone()),
+                &mut re_stats,
+            );
+            assert_eq!(collect(&got.frequent), collect(&expected), "s={s}");
+            assert_eq!(got.min_support, s);
+            // Nothing outside the universe sneaks in.
+            for (set, _) in got.frequent.iter() {
+                assert!(set.iter().all(|i| universe.contains(&i)), "s={s}: {set}");
+            }
+        }
+    }
+
+    #[test]
     fn validation_errors() {
         let a = TransactionDb::from_u32(3, &[&[0]]);
         let b = TransactionDb::from_u32(4, &[&[0]]);
@@ -273,5 +354,8 @@ mod tests {
         let mut stats = WorkStats::new();
         assert!(fup_update(&old, &a, &b, 0.5, &mut stats).is_err());
         assert!(fup_update(&old, &a, &a, 1.5, &mut stats).is_err());
+        // Absolute form: the threshold may not decrease, and s_old ≥ 1.
+        assert!(fup_update_abs(&old, &a, &a, &[], 2, 1, &mut stats).is_err());
+        assert!(fup_update_abs(&old, &a, &a, &[], 0, 1, &mut stats).is_err());
     }
 }

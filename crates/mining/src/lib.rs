@@ -50,7 +50,7 @@ pub use counter::{
     TrieCounter,
 };
 pub use hashtree::HashTreeCounter;
-pub use incremental::{fup_update, UpdateOutcome};
+pub use incremental::{fup_update, fup_update_abs, UpdateOutcome};
 pub use partition::{partition_mine, PartitionConfig};
 pub use vertical::{TidsetIndex, VerticalCounter};
 pub use fpgrowth::{fp_growth, FpGrowthConfig};

@@ -95,6 +95,14 @@ pub struct WorkStats {
     pub levels: Vec<LevelStats>,
     /// Scan volume and trim accounting (how much data the scans touched).
     pub scan: ScanStats,
+    /// Lattice/plan cache hits served by a long-lived engine (0 for
+    /// one-shot runs).
+    pub cache_hits: u64,
+    /// Lattice/plan cache misses recorded by a long-lived engine.
+    pub cache_misses: u64,
+    /// Database scans a cache hit avoided: the scan cost the cached
+    /// lattice's cold mining run paid, credited on each reuse.
+    pub scans_saved: u64,
 }
 
 impl WorkStats {
@@ -124,6 +132,17 @@ impl WorkStats {
         self.pruned_candidates += n;
     }
 
+    /// Records a cache hit that avoided `scans_saved` database scans.
+    pub fn record_cache_hit(&mut self, scans_saved: u64) {
+        self.cache_hits += 1;
+        self.scans_saved += scans_saved;
+    }
+
+    /// Records a cache miss (the work that followed is accounted normally).
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
     /// Merges another stats object into this one (used when combining the
     /// S- and T-lattice halves of a run). Levels are concatenated.
     pub fn absorb(&mut self, other: &WorkStats) {
@@ -133,6 +152,9 @@ impl WorkStats {
         self.pruned_candidates += other.pruned_candidates;
         self.levels.extend(other.levels.iter().cloned());
         self.scan.absorb(&other.scan);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.scans_saved += other.scans_saved;
     }
 
     /// Total frequent sets found across levels.
@@ -192,10 +214,15 @@ mod tests {
         let mut b = WorkStats::new();
         b.record_level(1, 20, 9);
         b.record_checks(3);
+        b.record_cache_hit(4);
+        b.record_cache_miss();
         a.absorb(&b);
         assert_eq!(a.support_counted, 30);
         assert_eq!(a.constraint_checks, 3);
         assert_eq!(a.levels.len(), 2);
         assert_eq!(a.total_frequent(), 14);
+        assert_eq!(a.cache_hits, 1);
+        assert_eq!(a.cache_misses, 1);
+        assert_eq!(a.scans_saved, 4);
     }
 }

@@ -26,6 +26,17 @@ pub enum CfqError {
     Config(String),
     /// Dataset IO failure.
     Io(String),
+    /// Engine-level failure: an execution precondition did not hold (e.g.
+    /// catalog/database item-universe mismatch, delta shape mismatch on
+    /// append, or a session race that cannot be retried).
+    Engine(String),
+    /// A cache insertion was refused because the entry alone exceeds the
+    /// engine's configured byte budget (or the budget itself is invalid).
+    CacheBudget(String),
+    /// A static plan-soundness audit found a blocking diagnostic. Produced
+    /// by the lossless `From<Diagnostic>` conversion in `cfq-audit`, so
+    /// `--audit` gates propagate as typed errors.
+    Audit(String),
 }
 
 impl fmt::Display for CfqError {
@@ -36,6 +47,9 @@ impl fmt::Display for CfqError {
             CfqError::UnsupportedConstraint(m) => write!(f, "unsupported constraint: {m}"),
             CfqError::Config(m) => write!(f, "configuration error: {m}"),
             CfqError::Io(m) => write!(f, "io error: {m}"),
+            CfqError::Engine(m) => write!(f, "engine error: {m}"),
+            CfqError::CacheBudget(m) => write!(f, "cache budget error: {m}"),
+            CfqError::Audit(m) => write!(f, "audit error: {m}"),
         }
     }
 }
@@ -65,6 +79,18 @@ mod tests {
         assert_eq!(
             CfqError::Config("0 items".into()).to_string(),
             "configuration error: 0 items"
+        );
+        assert_eq!(
+            CfqError::Engine("catalog covers 2 items".into()).to_string(),
+            "engine error: catalog covers 2 items"
+        );
+        assert_eq!(
+            CfqError::CacheBudget("entry of 9 bytes exceeds budget".into()).to_string(),
+            "cache budget error: entry of 9 bytes exceeds budget"
+        );
+        assert_eq!(
+            CfqError::Audit("plan drops a constraint".into()).to_string(),
+            "audit error: plan drops a constraint"
         );
     }
 

@@ -228,6 +228,40 @@ impl TransactionDb {
             .count() as u64
     }
 
+    /// Concatenates `delta`'s rows after this database's rows, returning a
+    /// new CSR database over the same item universe. This is the epoch
+    /// transition `DB ∪ db⁺` of FUP-style incremental maintenance: the old
+    /// arena is memcpy'd, the delta arena is appended, and the delta's
+    /// offsets are rebased — no row is re-sorted or re-validated beyond the
+    /// universe check.
+    ///
+    /// Fails with [`CfqError::Engine`] when the universes differ and with
+    /// [`CfqError::Config`] when the combined arena would overflow the
+    /// `u32` CSR offset limit.
+    pub fn concat(&self, delta: &TransactionDb) -> Result<TransactionDb> {
+        if delta.n_items != self.n_items {
+            return Err(CfqError::Engine(format!(
+                "append delta has a {}-item universe but the database has {}",
+                delta.n_items, self.n_items
+            )));
+        }
+        let total = self.items.len() + delta.items.len();
+        if total > u32::MAX as usize {
+            return Err(CfqError::Config(format!(
+                "appended database exceeds the CSR arena limit of {} items",
+                u32::MAX
+            )));
+        }
+        let mut items = Vec::with_capacity(total);
+        items.extend_from_slice(&self.items);
+        items.extend_from_slice(&delta.items);
+        let base = *self.offsets.last().unwrap();
+        let mut offsets = Vec::with_capacity(self.offsets.len() + delta.len());
+        offsets.extend_from_slice(&self.offsets);
+        offsets.extend(delta.offsets[1..].iter().map(|&o| o + base));
+        Ok(TransactionDb { items, offsets, n_items: self.n_items })
+    }
+
     /// Projects the database onto a *derived domain*: transactions become
     /// the set of `attr` value keys of their items. This implements the
     /// paper's §3 setting where `T` ranges over a domain `Dom ≠ Item` (e.g.
@@ -437,6 +471,29 @@ mod tests {
             n_items: 2,
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn concat_appends_rows_and_rebases_offsets() {
+        let d = db();
+        let delta = TransactionDb::from_u32(5, &[&[0, 4], &[3]]);
+        let both = d.concat(&delta).unwrap();
+        assert_eq!(both.len(), d.len() + delta.len());
+        assert_eq!(both.total_items(), d.total_items() + delta.total_items());
+        for i in 0..d.len() {
+            assert_eq!(both.transaction(i), d.transaction(i));
+        }
+        assert_eq!(both.transaction(d.len()), &[ItemId(0), ItemId(4)]);
+        assert_eq!(both.transaction(d.len() + 1), &[ItemId(3)]);
+        assert!(both.validate().is_ok());
+        // An empty delta over the same universe is the identity.
+        let empty = TransactionDb::new(5, vec![]).unwrap();
+        let same = d.concat(&empty).unwrap();
+        assert_eq!(same.len(), d.len());
+        assert_eq!(same.total_items(), d.total_items());
+        // Universe mismatch is an engine error.
+        let wrong = TransactionDb::from_u32(3, &[&[1]]);
+        assert!(matches!(d.concat(&wrong), Err(CfqError::Engine(_))));
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn main() -> Result<()> {
 
     let env = QueryEnv::new(&db, &catalog, 30);
     let optimizer = Optimizer::default();
-    let outcome = optimizer.run(&bound, &env);
+    let outcome = optimizer.evaluate(&bound, &env).unwrap();
     let baseline = apriori_plus(&bound, &env);
     assert_eq!(baseline.pair_result.count, outcome.pair_result.count);
 

@@ -42,7 +42,7 @@ fn main() -> Result<()> {
                 cls.anti_monotone, cls.quasi_succinct
             );
         }
-        let plan = Optimizer::default().plan(&bound, &env);
+        let plan = Optimizer::default().build_plan(&bound, env.catalog);
         for line in plan.explain(&catalog).lines() {
             println!("  {line}");
         }

@@ -65,7 +65,7 @@ fn main() -> Result<()> {
     let catalog = b.build();
     let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)")?, &catalog)?;
     let env = QueryEnv::new(&history, &catalog, abs(&history));
-    let out = Optimizer::default().run(&q, &env);
+    let out = Optimizer::default().evaluate(&q, &env).unwrap();
     println!(
         "\nCFQ on the full stream: {} pairs from {} S-sets x {} T-sets",
         out.pair_result.count,

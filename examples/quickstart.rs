@@ -35,10 +35,10 @@ fn main() -> Result<()> {
     // Plan and execute with the full Figure-7 optimizer.
     let env = QueryEnv::new(&db, &catalog, 2);
     let optimizer = Optimizer::default();
-    let plan = optimizer.plan(&bound, &env);
+    let plan = optimizer.build_plan(&bound, env.catalog);
     println!("{}", plan.explain(&catalog));
 
-    let outcome = optimizer.execute(&plan, &env);
+    let outcome = optimizer.execute_plan(&plan, &env).unwrap();
     println!(
         "{} valid pairs from {} S-sets x {} T-sets ({} db scans, {} sets counted)",
         outcome.pair_result.count,

@@ -26,7 +26,7 @@ fn main() -> Result<()> {
     )?;
     let bound = bind_query(&query, &sc.catalog)?;
     let env = QueryEnv::new(&sc.db, &sc.catalog, 20);
-    let outcome = Optimizer::default().run(&bound, &env);
+    let outcome = Optimizer::default().evaluate(&bound, &env).unwrap();
     println!(
         "phase 1: {} constrained frequent pairs ({} S-sets, {} T-sets)",
         outcome.pair_result.count,

@@ -57,9 +57,9 @@ fn main() -> Result<()> {
 
     let env = QueryEnv::new(&db, &catalog, 25);
     let optimizer = Optimizer::default();
-    let plan = optimizer.plan(&bound, &env);
+    let plan = optimizer.build_plan(&bound, env.catalog);
     println!("{}", plan.explain(&catalog));
-    let outcome = optimizer.execute(&plan, &env);
+    let outcome = optimizer.execute_plan(&plan, &env).unwrap();
 
     // Compare against the naive baseline to show what the pushing buys.
     let baseline = apriori_plus(&bound, &env);

@@ -33,12 +33,12 @@ fn main() -> Result<()> {
         .with_supports(6, 40);
 
     let optimizer = Optimizer::default();
-    let plan = optimizer.plan(&bound, &env);
+    let plan = optimizer.build_plan(&bound, env.catalog);
     println!("{}", plan.explain(&sc.catalog));
 
-    let with_jk = optimizer.execute(&plan, &env);
+    let with_jk = optimizer.execute_plan(&plan, &env).unwrap();
     let without_jk =
-        Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&bound, &env);
+        Optimizer { use_jkmax: false, ..Optimizer::default() }.evaluate(&bound, &env).unwrap();
     assert_eq!(with_jk.pair_result.count, without_jk.pair_result.count);
 
     println!("V^k series (upper bound on sum(T.Price) over frequent T-sets):");

@@ -51,4 +51,17 @@ CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- a
 test -s BENCH_audit.json
 grep -q '"violations":0' BENCH_audit.json || { echo "audit recorded violations"; exit 1; }
 head -c 400 BENCH_audit.json; echo
+
+echo "== engine: concurrent-session smoke (cfq-engine)"
+cargo test -q -p cfq-engine --test concurrency
+
+echo "== repro engine at smoke scale (writes BENCH_engine.json)"
+CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- engine
+test -s BENCH_engine.json
+grep -q '"warm_db_scans":0' BENCH_engine.json || { echo "warm engine run scanned the database"; exit 1; }
+head -c 400 BENCH_engine.json; echo
+
+echo "== cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "ci: OK"

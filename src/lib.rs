@@ -16,6 +16,9 @@
 //!   (Figure 4), and `J^k_max` iterative pruning (Figures 5–6),
 //! * the Figure 7 query optimizer with dovetailed two-lattice execution
 //!   and EXPLAIN output, plus the Apriori⁺ baseline,
+//! * a long-lived session [`Engine`](cfq_engine::Engine) that caches mined
+//!   lattices and plans across queries and keeps them fresh under appends
+//!   with FUP incremental maintenance,
 //! * the IBM Quest synthetic data generator used by the paper's §7
 //!   evaluation, and scenario builders for each experiment.
 //!
@@ -33,29 +36,33 @@
 //! let mut cat = CatalogBuilder::new(4);
 //! cat.num_attr("Price", vec![10.0, 25.0, 80.0, 120.0]).unwrap();
 //! cat.cat_attr("Type", &["Snacks", "Snacks", "Beers", "Beers"]).unwrap();
-//! let catalog = cat.build();
+//!
+//! // The engine owns the database and catalog; sessions run queries
+//! // against it and share its lattice/plan caches.
+//! let engine = Engine::new(db, cat.build()).unwrap();
+//! let session = engine.session();
 //!
 //! // "Cheap snack sets that lead to pricier beer sets."
-//! let query = parse_query(
-//!     "S.Type = {Snacks} & T.Type = {Beers} & max(S.Price) <= min(T.Price)",
-//! )
-//! .unwrap();
-//! let bound = bind_query(&query, &catalog).unwrap();
-//!
-//! let env = QueryEnv::new(&db, &catalog, 2);
-//! let outcome = Optimizer::default().run(&bound, &env);
-//! assert!(outcome.pair_result.count > 0);
-//! for &(si, ti) in &outcome.pair_result.pairs {
-//!     let (s, _) = &outcome.s_sets[si as usize];
-//!     let (t, _) = &outcome.t_sets[ti as usize];
+//! const Q: &str = "S.Type = {Snacks} & T.Type = {Beers} & max(S.Price) <= min(T.Price)";
+//! let cold = session.query(Q).min_support(2).run().unwrap();
+//! assert!(cold.pair_count() > 0);
+//! for &(si, ti) in &cold.outcome.pair_result.pairs {
+//!     let (s, _) = &cold.outcome.s_sets[si as usize];
+//!     let (t, _) = &cold.outcome.t_sets[ti as usize];
 //!     println!("{s} => {t}");
 //! }
+//!
+//! // Asking again answers from the cache without touching the database.
+//! let warm = session.query(Q).min_support(2).run().unwrap();
+//! assert_eq!(warm.outcome.db_scans, 0);
+//! assert_eq!(warm.outcome.pair_result.pairs, cold.outcome.pair_result.pairs);
 //! ```
 
 pub use cfq_audit as audit;
 pub use cfq_constraints as constraints;
 pub use cfq_core as core;
 pub use cfq_datagen as datagen;
+pub use cfq_engine as engine;
 pub use cfq_mining as mining;
 pub use cfq_types as types;
 
@@ -69,9 +76,13 @@ pub mod prelude {
     };
     pub use cfq_core::{
         apriori_plus, count_pairs, form_pairs, form_rules, CfqPlan, ExecutionOutcome,
-        LatticeConfig, LatticeRun, Optimizer, QueryEnv, Rule, RuleConfig,
+        LatticeConfig, LatticeRun, LatticeSource, Optimizer, OutcomeProvenance, QueryEnv, Rule,
+        RuleConfig,
     };
     pub use cfq_datagen::{generate_transactions, QuestConfig, Scenario, ScenarioBuilder};
+    pub use cfq_engine::{
+        CacheStats, Engine, EngineConfig, EpochInfo, QueryBuilder, QueryOutcome, Session,
+    };
     pub use cfq_mining::{
         apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,
         PartitionConfig, TrieCounter, WorkStats,

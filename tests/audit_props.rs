@@ -94,8 +94,8 @@ proptest! {
         // naive Apriori⁺ answer.
         let q = bind_query(&parse_query(&text).unwrap(), &catalog).unwrap();
         let env = QueryEnv::new(&db, &catalog, min_support);
-        let naive = Optimizer::apriori_plus().run(&q, &env);
-        let optimized = Optimizer::default().run(&q, &env);
+        let naive = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
+        let optimized = Optimizer::default().evaluate(&q, &env).unwrap();
         prop_assert_eq!(
             optimized.pair_result.count, naive.pair_result.count,
             "pair count diverged for `{}`", &text

@@ -72,7 +72,7 @@ proptest! {
         }
 
         let env = QueryEnv::new(&db, &catalog, min_support);
-        let out = Optimizer::default().run_dnf(&qs, &env);
+        let out = Optimizer::default().run_dnf(&qs, &env).unwrap();
         prop_assert_eq!(out.pair_result.count, expected, "`{}`", &text);
         prop_assert_eq!(out.pair_result.pairs.len() as u64, expected);
     }

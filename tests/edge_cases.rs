@@ -14,7 +14,7 @@ fn tiny() -> (TransactionDb, Catalog) {
 
 fn run(db: &TransactionDb, cat: &Catalog, src: &str, support: u64) -> ExecutionOutcome {
     let q = bind_query(&parse_query(src).unwrap(), cat).unwrap();
-    Optimizer::default().run(&q, &QueryEnv::new(db, cat, support))
+    Optimizer::default().evaluate(&q, &QueryEnv::new(db, cat, support)).unwrap()
 }
 
 #[test]
@@ -83,10 +83,10 @@ fn max_pairs_truncation_preserves_count() {
     let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
     let mut env = QueryEnv::new(&db, &cat, 1);
     env.max_pairs = Some(2);
-    let out = Optimizer::default().run(&q, &env);
+    let out = Optimizer::default().evaluate(&q, &env).unwrap();
     assert!(out.pair_result.truncated);
     assert_eq!(out.pair_result.pairs.len(), 2);
-    let full = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
+    let full = Optimizer::default().evaluate(&q, &QueryEnv::new(&db, &cat, 1)).unwrap();
     assert_eq!(out.pair_result.count, full.pair_result.count);
     // Remapped indices stay in range.
     for &(si, ti) in &out.pair_result.pairs {
@@ -103,7 +103,7 @@ fn disjoint_universes_with_distinct_supports() {
         .with_s_universe(vec![ItemId(0)])
         .with_t_universe(vec![ItemId(2)])
         .with_supports(2, 1);
-    let out = Optimizer::default().run(&q, &env);
+    let out = Optimizer::default().evaluate(&q, &env).unwrap();
     assert_eq!(out.pair_result.count, 1);
     assert_eq!(out.s_sets[0].0, [0u32].into());
     assert_eq!(out.t_sets[0].0, [2u32].into());
@@ -118,7 +118,7 @@ fn empty_universe_side() {
     let cat2 = Catalog::empty(4);
     let q2 = bind_query(&parse_query("S disjoint T").unwrap(), &cat2).unwrap();
     let env = QueryEnv::new(&db2, &cat2, 1).with_s_universe(vec![ItemId(3)]);
-    let out = Optimizer::default().run(&q2, &env);
+    let out = Optimizer::default().evaluate(&q2, &env).unwrap();
     assert_eq!(out.pair_result.count, 0);
     let _ = (q, db, cat);
 }
@@ -136,7 +136,7 @@ fn all_strategies_on_degenerate_inputs() {
         Optimizer { dovetail: false, ..Optimizer::default() },
     ]
     .iter()
-    .map(|o| o.run(&q, &env).pair_result.count)
+    .map(|o| o.evaluate(&q, &env).unwrap().pair_result.count)
     .collect();
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     // {0},{1},{01}: ordered pairs with S ≠ T = 3 × 3 − 3 = 6.

@@ -1,0 +1,81 @@
+//! Property test for the session engine's incremental maintenance: for a
+//! random Quest database, a random base/delta split, and a random support,
+//! the answer served from a FUP-upgraded cache entry after `append` must
+//! equal a full re-mine of the combined database — sets, supports, and
+//! valid pairs alike — and must be served without a database scan.
+
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+const QUERIES: [&str; 3] = [
+    "max(S.Price) <= 80 & min(T.Price) >= 80",
+    "sum(S.Price) <= sum(T.Price)",
+    "max(S.Price) <= min(T.Price)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fup_upgraded_cache_matches_full_remine(
+        seed in 0u64..1_000,
+        cut_pct in 50usize..95,
+        support in 2u64..6,
+        qi in 0usize..QUERIES.len(),
+    ) {
+        let sc = ScenarioBuilder::new(QuestConfig { seed, ..QuestConfig::tiny() })
+            .split_uniform_prices((10.0, 100.0), (40.0, 160.0))
+            .unwrap();
+        let rows: Vec<Vec<ItemId>> = sc.db.iter().map(|r| r.to_vec()).collect();
+        let cut = (rows.len() * cut_pct / 100).max(1);
+        let base = TransactionDb::new(sc.db.n_items(), rows[..cut].to_vec()).unwrap();
+        let delta = TransactionDb::new(sc.db.n_items(), rows[cut..].to_vec()).unwrap();
+        let combined = base.concat(&delta).unwrap();
+        let query = QUERIES[qi];
+
+        let engine = Engine::new(base, sc.catalog).unwrap();
+        let session = engine.session();
+        let run = || {
+            session
+                .query(query)
+                .min_support(support)
+                .s_universe(sc.s_items.clone())
+                .t_universe(sc.t_items.clone())
+                .run()
+                .unwrap()
+        };
+
+        // Cold run populates the cache at epoch 0; the append FUP-upgrades
+        // the cached lattices in place instead of discarding them.
+        let _ = run();
+        let info = engine.append(delta).unwrap();
+        prop_assert_eq!(info.epoch, 1);
+
+        let upgraded = run();
+        prop_assert_eq!(upgraded.epoch, 1, "query `{}` should see the new epoch", query);
+        prop_assert_eq!(
+            upgraded.outcome.db_scans, 0,
+            "query `{}` should answer from the upgraded cache without a scan", query
+        );
+
+        // Full re-mine of the combined database through the one-shot
+        // optimizer. Equality of the `(set, support)` vectors checks the
+        // upgraded support counts, not just set membership.
+        let catalog = engine.catalog();
+        let bound = bind_query(&parse_query(query).unwrap(), &catalog).unwrap();
+        let env = QueryEnv::new(&combined, &catalog, support)
+            .with_s_universe(sc.s_items.clone())
+            .with_t_universe(sc.t_items.clone());
+        let fresh = Optimizer::default().evaluate(&bound, &env).unwrap();
+        prop_assert_eq!(&upgraded.outcome.s_sets, &fresh.s_sets, "S side for `{}`", query);
+        prop_assert_eq!(&upgraded.outcome.t_sets, &fresh.t_sets, "T side for `{}`", query);
+        prop_assert_eq!(
+            upgraded.outcome.pair_result.count, fresh.pair_result.count,
+            "pair count for `{}`", query
+        );
+        prop_assert_eq!(
+            &upgraded.outcome.pair_result.pairs, &fresh.pair_result.pairs,
+            "pairs for `{}`", query
+        );
+    }
+}

@@ -133,7 +133,7 @@ proptest! {
             ("sequential", Optimizer { dovetail: false, ..Optimizer::default() }),
             ("no-jkmax", Optimizer { use_jkmax: false, ..Optimizer::default() }),
         ] {
-            let out = opt.run(&q, &env);
+            let out = opt.evaluate(&q, &env).unwrap();
             prop_assert_eq!(
                 out.pair_result.count, oracle_pairs,
                 "{} pair count diverged for `{}`", name, &text
@@ -173,7 +173,7 @@ fn fixed_matrix() {
         for min_support in 1..=3u64 {
             let (os, ot, op) = oracle(&db, &catalog, &q, min_support);
             let env = QueryEnv::new(&db, &catalog, min_support);
-            let out = Optimizer::default().run(&q, &env);
+            let out = Optimizer::default().evaluate(&q, &env).unwrap();
             assert_eq!(out.pair_result.count, op, "`{text}` @ {min_support}");
             assert_eq!(sorted_sets(&out.s_sets), os, "`{text}` @ {min_support}");
             assert_eq!(sorted_sets(&out.t_sets), ot, "`{text}` @ {min_support}");

@@ -107,9 +107,9 @@ fn full_strategy_matrix_agrees() {
             .unwrap_or_else(|e| panic!("`{src}`: {e}"));
         for min_support in [2u64, 4, 6] {
             let env = QueryEnv::new(&db, &cat, min_support);
-            let reference = strategies[0].1.run(&q, &env);
+            let reference = strategies[0].1.evaluate(&q, &env).unwrap();
             for (name, opt) in &strategies[1..] {
-                let out = opt.run(&q, &env);
+                let out = opt.evaluate(&q, &env).unwrap();
                 assert_eq!(
                     out.pair_result.count, reference.pair_result.count,
                     "`{src}` @ {min_support}: {name} pair count diverged"
@@ -140,12 +140,12 @@ fn split_universe_matrix_agrees() {
             .with_s_universe(s_universe.clone())
             .with_t_universe(t_universe.clone())
             .with_supports(2, 3);
-        let reference = Optimizer::apriori_plus().run(&q, &env);
+        let reference = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
         for opt in [
             Optimizer::default(),
             Optimizer { dovetail: false, ..Optimizer::default() },
         ] {
-            let out = opt.run(&q, &env);
+            let out = opt.evaluate(&q, &env).unwrap();
             assert_eq!(out.pair_result.count, reference.pair_result.count, "`{src}`");
             assert_eq!(out.s_sets, reference.s_sets, "`{src}`");
             assert_eq!(out.t_sets, reference.t_sets, "`{src}`");
@@ -170,8 +170,8 @@ fn paper_scale_smoke() {
         .with_s_universe(sc.s_items.clone())
         .with_t_universe(sc.t_items.clone())
         .with_counting_threads(0);
-    let base = Optimizer::apriori_plus().run(&q, &env);
-    let opt = Optimizer::default().run(&q, &env);
+    let base = Optimizer::apriori_plus().evaluate(&q, &env).unwrap();
+    let opt = Optimizer::default().evaluate(&q, &env).unwrap();
     assert_eq!(base.pair_result.count, opt.pair_result.count);
     assert!(
         opt.s_stats.support_counted < base.s_stats.support_counted,

@@ -34,7 +34,7 @@ fn run(text: &str, min_support: u64) -> (ExecutionOutcome, ExecutionOutcome) {
     let (db, catalog) = market();
     let q = bind_query(&parse_query(text).unwrap(), &catalog).unwrap();
     let env = QueryEnv::new(&db, &catalog, min_support);
-    (Optimizer::default().run(&q, &env), apriori_plus(&q, &env))
+    (Optimizer::default().evaluate(&q, &env).unwrap(), apriori_plus(&q, &env))
 }
 
 /// §1: `{(S,T) | sum(S.Price) <= 100 & avg(T.Price) >= 200}`-style query,
@@ -126,7 +126,7 @@ fn section62_degenerate_same_lattice() {
     let (db, catalog) = market();
     let q = bind_query(&parse_query("min(S.Price) >= min(T.Price)").unwrap(), &catalog).unwrap();
     let env = QueryEnv::new(&db, &catalog, 2);
-    let opt = Optimizer::default().run(&q, &env);
+    let opt = Optimizer::default().evaluate(&q, &env).unwrap();
     let base = apriori_plus(&q, &env);
     assert_eq!(opt.pair_result.count, base.pair_result.count);
     // Both variables range over the same items with the same threshold:
@@ -142,7 +142,7 @@ fn section62_min_le_min() {
     let (db, catalog) = market();
     let q = bind_query(&parse_query("min(S.Price) <= min(T.Price)").unwrap(), &catalog).unwrap();
     let env = QueryEnv::new(&db, &catalog, 2);
-    let opt = Optimizer::default().run(&q, &env);
+    let opt = Optimizer::default().evaluate(&q, &env).unwrap();
     let base = apriori_plus(&q, &env);
     assert_eq!(opt.pair_result.count, base.pair_result.count);
     assert_eq!(opt.s_stats.support_counted, base.s_stats.support_counted);

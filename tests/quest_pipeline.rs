@@ -49,7 +49,7 @@ fn fig8a_shape_on_small_data() {
             .with_s_universe(sc.s_items.clone())
             .with_t_universe(sc.t_items.clone());
         let base = apriori_plus(&q, &env);
-        let opt = Optimizer::default().run(&q, &env);
+        let opt = Optimizer::default().evaluate(&q, &env).unwrap();
         assert_eq!(base.pair_result.count, opt.pair_result.count, "v={v}");
         let b = base.s_stats.support_counted + base.t_stats.support_counted;
         let o = opt.s_stats.support_counted + opt.t_stats.support_counted;
@@ -72,8 +72,8 @@ fn fig8b_three_strategies_ordering() {
     .unwrap();
     let env = QueryEnv::new(&sc.db, &sc.catalog, 6);
     let base = apriori_plus(&q, &env);
-    let one = Optimizer::cap_one_var().run(&q, &env);
-    let full = Optimizer::default().run(&q, &env);
+    let one = Optimizer::cap_one_var().evaluate(&q, &env).unwrap();
+    let full = Optimizer::default().evaluate(&q, &env).unwrap();
     assert_eq!(base.pair_result.count, one.pair_result.count);
     assert_eq!(base.pair_result.count, full.pair_result.count);
     let c = |o: &ExecutionOutcome| o.s_stats.support_counted + o.t_stats.support_counted;
@@ -98,8 +98,8 @@ fn jkmax_shape_on_long_patterns() {
         .with_s_universe(sc.s_items.clone())
         .with_t_universe(sc.t_items.clone())
         .with_supports(3, 12);
-    let jk = Optimizer::default().run(&q, &env);
-    let no = Optimizer { use_jkmax: false, ..Optimizer::default() }.run(&q, &env);
+    let jk = Optimizer::default().evaluate(&q, &env).unwrap();
+    let no = Optimizer { use_jkmax: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
     assert_eq!(jk.pair_result.count, no.pair_result.count);
     assert!(
         jk.s_stats.support_counted < no.s_stats.support_counted,
@@ -123,8 +123,8 @@ fn dovetail_saves_scans() {
     let env = QueryEnv::new(&sc.db, &sc.catalog, 6)
         .with_s_universe(sc.s_items.clone())
         .with_t_universe(sc.t_items.clone());
-    let dove = Optimizer::default().run(&q, &env);
-    let seq = Optimizer { dovetail: false, ..Optimizer::default() }.run(&q, &env);
+    let dove = Optimizer::default().evaluate(&q, &env).unwrap();
+    let seq = Optimizer { dovetail: false, ..Optimizer::default() }.evaluate(&q, &env).unwrap();
     assert_eq!(dove.pair_result.count, seq.pair_result.count);
     assert!(
         dove.db_scans <= seq.db_scans,

@@ -139,8 +139,8 @@ proptest! {
             Optimizer::default(),
             Optimizer { dovetail: false, ..Optimizer::default() },
         ] {
-            let on = opt.run(&q, &QueryEnv::new(&db, &catalog, min_support).with_trim(true));
-            let off = opt.run(&q, &QueryEnv::new(&db, &catalog, min_support).with_trim(false));
+            let on = opt.evaluate(&q, &QueryEnv::new(&db, &catalog, min_support).with_trim(true)).unwrap();
+            let off = opt.evaluate(&q, &QueryEnv::new(&db, &catalog, min_support).with_trim(false)).unwrap();
             prop_assert_eq!(&on.s_sets, &off.s_sets, "`{}`", queries[which]);
             prop_assert_eq!(&on.t_sets, &off.t_sets, "`{}`", queries[which]);
             prop_assert_eq!(&on.pair_result.pairs, &off.pair_result.pairs);
