@@ -8,38 +8,280 @@
 //! request serve the next — the second identical query answers without
 //! touching the database, and `:append` upgrades the cache in place via
 //! FUP instead of discarding it.
+//!
+//! The server side is built for unattended operation:
+//!
+//! * **bounded worker model** — at most `--max-clients` concurrent
+//!   connections, each on its own reaped thread; arrivals beyond the cap
+//!   get a polite `busy:` reply instead of a hang, and finished handles
+//!   are collected continuously so memory stays O(active connections);
+//! * **accept resilience** — transient `accept()` errors (EMFILE,
+//!   aborted handshakes) are logged and retried with a capped backoff
+//!   instead of killing the listener;
+//! * **read timeouts** — a client idle past `--read-timeout` is told so
+//!   and disconnected, freeing its worker;
+//! * **graceful shutdown** — SIGINT (or the shutdown flag in
+//!   [`ServeOptions`]) stops accepting, unblocks idle readers, and
+//!   drains in-flight requests before the listener returns;
+//! * **observability** — every request runs under `serve.conn` /
+//!   `serve.request` tracing spans, a [`ServerMetrics`] registry is
+//!   exported in Prometheus text format through the `:metrics` command
+//!   and the `--metrics-addr` HTTP scrape listener, and queries slower
+//!   than `--slow-ms` land in the `:slowlog` ring with plan fingerprint,
+//!   provenance, and level-by-level timings.
 
 use crate::args::Args;
 use crate::commands::{load, parse_strategy, wants_help};
 use cfq_core::Optimizer;
 use cfq_datagen::io;
 use cfq_engine::Engine;
+use cfq_obs::{self as obs, Counter, Gauge, Histogram, Registry, SlowLevel, SlowLog, SlowQuery};
 use cfq_types::{CfqError, Result};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const PROTOCOL_HELP: &str = "\
 enter a CFQ conjunction to run it, or a control command:
   :explain QUERY     show the plan and predicted cache provenance
   :append FILE       append a transaction file as a new epoch (FUP upgrade)
-  :support FRAC      set the minimum support fraction (default 0.01)
+  :support FRAC      set the minimum support fraction in (0, 1] (default 0.01)
   :strategy NAME     set the planning strategy (full|cap1|apriori+)
   :stats             show cache counters and epoch
+  :metrics           dump the metrics registry (Prometheus text format)
+  :slowlog           show recent queries slower than --slow-ms
   :help              this message
   :quit              leave";
+
+/// How often the non-blocking accept loop polls for shutdown/reaping.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// First backoff after an accept error; doubles up to [`ACCEPT_BACKOFF_MAX`].
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Ceiling for the accept-error backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(1000);
+
+/// Set by the SIGINT handler; checked by every accept/scrape loop.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+    }
+    // `signal` comes from the libc Rust already links; declaring it
+    // directly keeps the crate dependency-free (same spirit as the
+    // vendored rand/proptest stubs).
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Backoff after `consecutive` failed `accept()` calls in a row: 10ms
+/// doubling to a 1s ceiling. Never gives up — only a failed `bind` is
+/// fatal to the server; EMFILE and friends heal when load drops.
+fn accept_backoff(consecutive: u32) -> Duration {
+    let ms = ACCEPT_BACKOFF_MIN
+        .as_millis()
+        .saturating_mul(1u128 << consecutive.min(10))
+        .min(ACCEPT_BACKOFF_MAX.as_millis());
+    Duration::from_millis(ms as u64)
+}
+
+/// The server's metric families over one [`Registry`], plus handles for
+/// the hot counters. Engine-owned counters (cache hits, epoch) are
+/// synced from [`Engine::cache_stats`] at render time so a scrape is
+/// always exact.
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Queries answered successfully.
+    pub queries_total: Arc<Counter>,
+    /// Queries that failed (parse error, bad config, execution error).
+    pub query_errors_total: Arc<Counter>,
+    /// End-to-end query latency in seconds.
+    pub query_seconds: Arc<Histogram>,
+    /// Queries recorded by the slow-query log.
+    pub slow_queries_total: Arc<Counter>,
+    /// Database scans performed by queries.
+    pub db_scans_total: Arc<Counter>,
+    /// `:append` epochs installed.
+    pub appends_total: Arc<Counter>,
+    /// Connections accepted (including ones rejected at the cap).
+    pub connections_total: Arc<Counter>,
+    /// Connections currently being served.
+    pub connections_open: Arc<Gauge>,
+    /// Connections turned away with a `busy:` reply at the cap.
+    pub connections_rejected_total: Arc<Counter>,
+    /// Connections closed for idling past the read timeout.
+    pub read_timeouts_total: Arc<Counter>,
+    /// Connections that ended without `:quit` (client vanished).
+    pub disconnects_total: Arc<Counter>,
+    /// Transient `accept()` failures survived.
+    pub accept_errors_total: Arc<Counter>,
+    /// Request bytes read from clients.
+    pub bytes_in_total: Arc<Counter>,
+    /// Reply bytes written to clients.
+    pub bytes_out_total: Arc<Counter>,
+    // Synced from the engine at render time:
+    lattice_hits: Arc<Counter>,
+    lattice_misses: Arc<Counter>,
+    scans_saved: Arc<Counter>,
+    plan_hits: Arc<Counter>,
+    plan_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_oversize: Arc<Counter>,
+    cache_stale_drops: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
+    cache_budget_bytes: Arc<Gauge>,
+    epoch: Arc<Gauge>,
+    transactions: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    /// Creates the family set over a fresh registry. Each server (and
+    /// each test) gets its own so parallel instances do not bleed into
+    /// each other's scrapes.
+    pub fn new() -> Arc<ServerMetrics> {
+        let r = Registry::new();
+        Arc::new(ServerMetrics {
+            queries_total: r.counter("cfq_queries_total", "Queries answered successfully."),
+            query_errors_total: r.counter(
+                "cfq_query_errors_total",
+                "Queries that failed to parse, plan, or execute.",
+            ),
+            query_seconds: r.histogram(
+                "cfq_query_seconds",
+                "End-to-end query latency in seconds.",
+                &obs::latency_buckets(),
+            ),
+            slow_queries_total: r
+                .counter("cfq_slow_queries_total", "Queries recorded by the slow-query log."),
+            db_scans_total: r
+                .counter("cfq_db_scans_total", "Database scans performed by queries."),
+            appends_total: r.counter("cfq_appends_total", ":append epochs installed."),
+            connections_total: r.counter("cfq_connections_total", "Connections accepted."),
+            connections_open: r
+                .gauge("cfq_connections_open", "Connections currently being served."),
+            connections_rejected_total: r.counter(
+                "cfq_connections_rejected_total",
+                "Connections turned away at the --max-clients cap.",
+            ),
+            read_timeouts_total: r.counter(
+                "cfq_read_timeouts_total",
+                "Connections closed for idling past --read-timeout.",
+            ),
+            disconnects_total: r.counter(
+                "cfq_disconnects_total",
+                "Connections that ended without :quit.",
+            ),
+            accept_errors_total: r
+                .counter("cfq_accept_errors_total", "Transient accept() failures survived."),
+            bytes_in_total: r.counter("cfq_bytes_in_total", "Request bytes read from clients."),
+            bytes_out_total: r.counter("cfq_bytes_out_total", "Reply bytes written to clients."),
+            lattice_hits: r
+                .counter("cfq_lattice_hits_total", "Queries whose lattice came from the cache."),
+            lattice_misses: r
+                .counter("cfq_lattice_misses_total", "Queries that had to mine a lattice."),
+            scans_saved: r
+                .counter("cfq_scans_saved_total", "Database scans avoided by lattice cache hits."),
+            plan_hits: r.counter("cfq_plan_hits_total", "Plans served from the plan cache."),
+            plan_misses: r.counter("cfq_plan_misses_total", "Plans built fresh."),
+            cache_evictions: r
+                .counter("cfq_cache_evictions_total", "Lattice entries evicted under the byte budget."),
+            cache_oversize: r.counter(
+                "cfq_cache_oversize_rejections_total",
+                "Lattices larger than the whole budget, rejected at insert.",
+            ),
+            cache_stale_drops: r.counter(
+                "cfq_cache_stale_drops_total",
+                "Fresh minings dropped because an append moved the epoch mid-query.",
+            ),
+            cache_entries: r.gauge("cfq_cache_entries", "Live lattice cache entries."),
+            cache_bytes: r.gauge("cfq_cache_bytes", "Bytes held by lattice cache entries."),
+            cache_budget_bytes: r
+                .gauge("cfq_cache_budget_bytes", "Configured lattice cache byte budget."),
+            epoch: r.gauge("cfq_epoch", "Current engine epoch."),
+            transactions: r.gauge("cfq_transactions", "Transactions in the current epoch."),
+            registry: r,
+        })
+    }
+
+    /// The per-strategy query counter (`cfq_queries_by_strategy_total`).
+    pub fn strategy_counter(&self, strategy: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "cfq_queries_by_strategy_total",
+            "Queries answered successfully, by planning strategy.",
+            &[("strategy", strategy)],
+        )
+    }
+
+    /// Syncs the engine-owned counters and renders every family in
+    /// Prometheus text format.
+    pub fn render(&self, engine: &Engine) -> String {
+        let s = engine.cache_stats();
+        self.lattice_hits.store(s.lattice_hits);
+        self.lattice_misses.store(s.lattice_misses);
+        self.scans_saved.store(s.scans_saved);
+        self.plan_hits.store(s.plan_hits);
+        self.plan_misses.store(s.plan_misses);
+        self.cache_evictions.store(s.evictions);
+        self.cache_oversize.store(s.oversize_rejections);
+        self.cache_stale_drops.store(s.stale_drops);
+        self.cache_entries.set(s.entries as i64);
+        self.cache_bytes.set(s.bytes_used as i64);
+        self.cache_budget_bytes.set(s.budget_bytes as i64);
+        self.epoch.set(engine.epoch() as i64);
+        self.transactions.set(engine.db().len() as i64);
+        self.registry.render()
+    }
+}
 
 /// Per-connection (or per-REPL) mutable state over the shared engine.
 pub struct ReplState {
     engine: Arc<Engine>,
     support_frac: f64,
     strategy: Optimizer,
+    strategy_name: String,
+    metrics: Arc<ServerMetrics>,
+    slow: Arc<SlowLog>,
 }
 
 impl ReplState {
-    /// Fresh state with the CLI defaults (1% support, full optimizer).
+    /// Fresh state with the CLI defaults (1% support, full optimizer)
+    /// and its own metrics registry / slow log — what the REPL and tests
+    /// use.
     pub fn new(engine: Arc<Engine>) -> ReplState {
-        ReplState { engine, support_frac: 0.01, strategy: Optimizer::default() }
+        ReplState::with_observability(
+            engine,
+            ServerMetrics::new(),
+            Arc::new(SlowLog::new(Duration::from_millis(500), 64)),
+        )
+    }
+
+    /// State sharing a server-wide metrics registry and slow log.
+    pub fn with_observability(
+        engine: Arc<Engine>,
+        metrics: Arc<ServerMetrics>,
+        slow: Arc<SlowLog>,
+    ) -> ReplState {
+        ReplState {
+            engine,
+            support_frac: 0.01,
+            strategy: Optimizer::default(),
+            strategy_name: "full".to_string(),
+            metrics,
+            slow,
+        }
     }
 }
 
@@ -83,18 +325,25 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
                     s.plan_misses,
                 ))
             }
+            "metrics" => Ok(state.metrics.render(&state.engine)),
+            "slowlog" => Ok(state.slow.render()),
             "support" => {
                 let f: f64 = arg
                     .parse()
                     .map_err(|_| CfqError::Config(format!("bad support fraction `{arg}`")))?;
-                if !(0.0..=1.0).contains(&f) {
-                    return Err(CfqError::Config(format!("support fraction {f} outside [0, 1]")));
+                // Mirror `Session::min_support_frac`: zero is rejected,
+                // not silently treated as "support 1 transaction".
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(CfqError::Config(format!(
+                        "support fraction {f} is outside (0, 1]"
+                    )));
                 }
                 state.support_frac = f;
                 Ok(format!("min support fraction set to {f}"))
             }
             "strategy" => {
                 state.strategy = parse_strategy(Some(arg))?;
+                state.strategy_name = arg.to_string();
                 Ok(format!("strategy set to {arg}"))
             }
             "explain" => {
@@ -116,6 +365,7 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
                 let delta = io::load_transactions(arg)?;
                 let rows = delta.len();
                 let info = state.engine.append(delta)?;
+                state.metrics.appends_total.inc();
                 Ok(format!(
                     "appended {rows} transactions: now epoch {} with {} transactions; \
                      {} cached lattice(s) FUP-upgraded ({} old-db recounts)",
@@ -127,15 +377,67 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
     }
 
     // Anything else is a query.
-    let start = std::time::Instant::now();
-    let out = state
+    run_query(state, line)
+}
+
+/// Runs one query line, recording latency, outcome metrics, and (when
+/// slow enough) a slow-query log entry.
+fn run_query(state: &mut ReplState, line: &str) -> Result<String> {
+    let start = Instant::now();
+    let result = state
         .engine
         .session()
         .query(line)
         .min_support_frac(state.support_frac)
         .strategy(state.strategy)
-        .run()?;
+        .run();
+    let elapsed = start.elapsed();
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            state.metrics.query_errors_total.inc();
+            return Err(e);
+        }
+    };
+
+    state.metrics.queries_total.inc();
+    state.metrics.strategy_counter(&state.strategy_name).inc();
+    state.metrics.query_seconds.observe(elapsed.as_secs_f64());
+    state.metrics.db_scans_total.add(out.outcome.db_scans);
+
     let p = &out.outcome.provenance;
+    let slow = SlowQuery {
+        query: line.to_string(),
+        fingerprint: out.plan_fingerprint(),
+        provenance: format!("[S] {} [T] {}", p.s_lattice.describe(), p.t_lattice.describe()),
+        total: elapsed,
+        db_scans: out.outcome.db_scans,
+        levels: out
+            .outcome
+            .s_stats
+            .levels
+            .iter()
+            .chain(out.outcome.t_stats.levels.iter())
+            .map(|l| SlowLevel {
+                level: l.level,
+                candidates: l.candidates,
+                frequent: l.frequent,
+                micros: l.micros,
+            })
+            .collect(),
+    };
+    if state.slow.maybe_record(slow) {
+        state.metrics.slow_queries_total.inc();
+        obs::event(
+            obs::Level::Warn,
+            "serve.slow_query",
+            &[
+                ("seconds", obs::FieldValue::F64(elapsed.as_secs_f64())),
+                ("query", obs::FieldValue::Str(line.to_string())),
+            ],
+        );
+    }
+
     Ok(format!(
         "{} valid pairs ({} S-sets x {} T-sets) | epoch {} | {} db scans | [S] {} [T] {} | {:.3}s",
         out.pair_count(),
@@ -145,12 +447,13 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
         out.outcome.db_scans,
         p.s_lattice.describe(),
         p.t_lattice.describe(),
-        start.elapsed().as_secs_f64(),
+        elapsed.as_secs_f64(),
     ))
 }
 
 /// Drives the line protocol over arbitrary reader/writer pairs — the REPL
-/// over stdin/stdout, a TCP connection, or a test's in-memory buffers.
+/// over stdin/stdout, or a test's in-memory buffers. (TCP connections go
+/// through the timeout-aware worker loop in [`serve_connections`].)
 pub fn repl_loop<R: BufRead, W: Write>(
     state: &mut ReplState,
     reader: R,
@@ -190,42 +493,260 @@ fn build_engine(a: &Args) -> Result<Arc<Engine>> {
     Ok(engine)
 }
 
+/// Installs the tracing subscriber requested by `--trace LEVEL` (or the
+/// `CFQ_TRACE` environment variable): a line-oriented formatter on
+/// stderr.
+fn install_tracing(a: &Args) -> Result<()> {
+    let requested = a
+        .get("trace")
+        .map(str::to_string)
+        .or_else(|| std::env::var("CFQ_TRACE").ok());
+    let Some(name) = requested else { return Ok(()) };
+    match obs::Level::parse(&name) {
+        Some(Some(level)) => {
+            obs::set_subscriber(Some(Arc::new(obs::FmtSubscriber::stderr(level))), Some(level));
+            Ok(())
+        }
+        Some(None) => {
+            obs::set_subscriber(None, None);
+            Ok(())
+        }
+        None => Err(CfqError::Config(format!(
+            "bad --trace level `{name}` (use error|warn|info|debug|trace|off)"
+        ))),
+    }
+}
+
 /// `cfq repl` — interactive session over stdin/stdout.
 pub fn repl(argv: Vec<String>) -> Result<()> {
     if wants_help(&argv) {
-        println!("cfq repl --data FILE [--catalog FILE]\n\n{PROTOCOL_HELP}");
+        println!(
+            "cfq repl --data FILE [--catalog FILE] [--trace LEVEL]\n\n{PROTOCOL_HELP}"
+        );
         return Ok(());
     }
     let a = Args::parse(argv, &[])?;
+    install_tracing(&a)?;
     let engine = build_engine(&a)?;
     let mut state = ReplState::new(engine);
     let stdin = std::io::stdin();
     repl_loop(&mut state, stdin.lock(), std::io::stdout(), true)
 }
 
-/// Accepts up to `max_conns` connections (`None` = forever), each served
-/// by its own thread and [`ReplState`] over the shared engine.
+/// Knobs of [`serve_connections`]; [`ServeOptions::default`] matches the
+/// `cfq serve` CLI defaults.
+pub struct ServeOptions {
+    /// Stop after accepting this many connections (`None` = forever);
+    /// used by tests and by drain-after-N workloads.
+    pub max_conns: Option<usize>,
+    /// Concurrent connection cap; arrivals beyond it get a `busy:` reply.
+    pub max_clients: usize,
+    /// Idle read (and write-stall) timeout per connection; `None` = no
+    /// timeout.
+    pub read_timeout: Option<Duration>,
+    /// Cooperative shutdown flag — set it (or send SIGINT) to stop
+    /// accepting and drain in-flight requests.
+    pub shutdown: Arc<AtomicBool>,
+    /// The server's metrics registry.
+    pub metrics: Arc<ServerMetrics>,
+    /// The server's slow-query log.
+    pub slow: Arc<SlowLog>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_conns: None,
+            max_clients: 64,
+            read_timeout: Some(Duration::from_secs(300)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: ServerMetrics::new(),
+            slow: Arc::new(SlowLog::new(Duration::from_millis(500), 64)),
+        }
+    }
+}
+
+impl ServeOptions {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGINT_SEEN.load(Ordering::SeqCst)
+    }
+}
+
+/// Why a connection's worker loop ended.
+enum ConnEnd {
+    /// The client said `:quit`.
+    Quit,
+    /// The client went away (EOF or I/O error) without `:quit`.
+    Gone,
+    /// The client idled past the read timeout.
+    IdleTimeout,
+}
+
+/// Serves one accepted connection until it quits, vanishes, or idles out.
+fn serve_client(state: &mut ReplState, stream: TcpStream, conn_id: u64) -> ConnEnd {
+    let metrics = Arc::clone(&state.metrics);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return ConnEnd::Gone,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return ConnEnd::Gone,
+            Ok(n) => {
+                metrics.bytes_in_total.add(n as u64);
+                let _req = obs::span(obs::Level::Info, "serve.request").u64("conn", conn_id);
+                match handle_line(state, &line) {
+                    None => return ConnEnd::Quit,
+                    Some(reply) => {
+                        if !reply.is_empty() {
+                            if writeln!(writer, "{reply}").is_err() {
+                                return ConnEnd::Gone;
+                            }
+                            metrics.bytes_out_total.add(reply.len() as u64 + 1);
+                        }
+                        if writer.flush().is_err() {
+                            return ConnEnd::Gone;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = writeln!(writer, "idle timeout: closing connection");
+                return ConnEnd::IdleTimeout;
+            }
+            Err(_) => return ConnEnd::Gone,
+        }
+    }
+}
+
+/// Accepts connections until shutdown (or `max_conns`), each served by
+/// its own thread and [`ReplState`] over the shared engine. Worker
+/// handles are reaped continuously; on shutdown, idle readers are
+/// unblocked and in-flight requests drained before returning.
 pub fn serve_connections(
     listener: TcpListener,
     engine: Arc<Engine>,
-    max_conns: Option<usize>,
+    opts: ServeOptions,
 ) -> Result<()> {
-    let mut handles = Vec::new();
-    for (accepted, stream) in listener.incoming().enumerate() {
-        let stream: TcpStream = stream?;
-        let engine = Arc::clone(&engine);
-        handles.push(std::thread::spawn(move || {
-            let mut state = ReplState::new(engine);
-            let reader = BufReader::new(match stream.try_clone() {
-                Ok(s) => s,
-                Err(_) => return,
-            });
-            let _ = repl_loop(&mut state, reader, stream, false);
-        }));
-        if let Some(cap) = max_conns {
-            if accepted + 1 >= cap {
-                break;
+    listener.set_nonblocking(true)?;
+    // Streams of live connections, so shutdown can unblock their readers.
+    let live: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let next_conn_id = AtomicU64::new(1);
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accepted = 0usize;
+    let mut accept_failures = 0u32;
+
+    loop {
+        if opts.shutdown_requested() {
+            break;
+        }
+        // Reap finished workers so `handles` stays O(active connections)
+        // even on a server that accepts forever.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
             }
+        }
+
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                accept_failures = 0;
+                accepted += 1;
+                opts.metrics.connections_total.inc();
+                obs::event(
+                    obs::Level::Info,
+                    "serve.accept",
+                    &[("peer", obs::FieldValue::Str(peer.to_string()))],
+                );
+                if handles.len() >= opts.max_clients {
+                    opts.metrics.connections_rejected_total.inc();
+                    let mut s = stream;
+                    let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = writeln!(
+                        s,
+                        "busy: connection limit {} reached, try again later",
+                        opts.max_clients
+                    );
+                    // Dropping `s` closes the connection politely.
+                } else {
+                    // Accepted sockets must block again (some platforms
+                    // inherit the listener's non-blocking flag) and honor
+                    // the idle timeout both ways so a stalled client
+                    // cannot pin a worker on read *or* write.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(opts.read_timeout);
+                    let _ = stream.set_write_timeout(opts.read_timeout);
+                    let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        live.lock().unwrap_or_else(|e| e.into_inner()).insert(conn_id, clone);
+                    }
+                    opts.metrics.connections_open.add(1);
+                    let engine = Arc::clone(&engine);
+                    let metrics = Arc::clone(&opts.metrics);
+                    let slow = Arc::clone(&opts.slow);
+                    let live = Arc::clone(&live);
+                    handles.push(std::thread::spawn(move || {
+                        let _conn = obs::span(obs::Level::Info, "serve.conn").u64("id", conn_id);
+                        let mut state =
+                            ReplState::with_observability(engine, Arc::clone(&metrics), slow);
+                        let end = serve_client(&mut state, stream, conn_id);
+                        live.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
+                        metrics.connections_open.add(-1);
+                        match end {
+                            ConnEnd::Quit => {}
+                            ConnEnd::Gone => metrics.disconnects_total.inc(),
+                            ConnEnd::IdleTimeout => metrics.read_timeouts_total.inc(),
+                        }
+                    }));
+                }
+                if let Some(cap) = opts.max_conns {
+                    if accepted >= cap {
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                // Transient failure (EMFILE under load, aborted
+                // handshake): log, back off, keep listening. Bind-level
+                // errors already failed before this loop.
+                opts.metrics.accept_errors_total.inc();
+                let backoff = accept_backoff(accept_failures);
+                accept_failures = accept_failures.saturating_add(1);
+                obs::event(
+                    obs::Level::Warn,
+                    "serve.accept_error",
+                    &[
+                        ("error", obs::FieldValue::Str(e.to_string())),
+                        ("backoff_ms", obs::FieldValue::U64(backoff.as_millis() as u64)),
+                    ],
+                );
+                eprintln!("accept error (retrying in {}ms): {e}", backoff.as_millis());
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+
+    // Graceful drain: stop idle readers (their current request, if any,
+    // still completes and its reply still flushes — only the read side
+    // closes), then wait for every worker.
+    if opts.shutdown_requested() {
+        for (_, s) in live.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let _ = s.shutdown(Shutdown::Read);
         }
     }
     for h in handles {
@@ -234,29 +755,112 @@ pub fn serve_connections(
     Ok(())
 }
 
+/// Serves `GET /metrics`-style scrapes over plain HTTP on `listener`:
+/// any request gets a `200 text/plain` with the current registry
+/// rendering. Runs until shutdown.
+fn metrics_listener(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if shutdown.load(Ordering::SeqCst) || SIGINT_SEEN.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = s.set_write_timeout(Some(Duration::from_secs(2)));
+                // Read (and discard) the request head; the reply is the
+                // same for every path.
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                let body = metrics.render(&engine);
+                let _ = write!(
+                    s,
+                    "HTTP/1.1 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len(),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
 /// `cfq serve` — the line protocol over TCP; all connections share one
 /// engine, so one client's mining warms every client's cache.
 pub fn serve(argv: Vec<String>) -> Result<()> {
     if wants_help(&argv) {
         println!(
-            "cfq serve --data FILE [--catalog FILE] [--listen ADDR (default 127.0.0.1:7878)]\n\n\
-             protocol: one request per line\n{PROTOCOL_HELP}"
+            "cfq serve --data FILE [--catalog FILE] [--listen ADDR (default 127.0.0.1:7878)]\n\
+             [--metrics-addr ADDR]   export Prometheus metrics over HTTP\n\
+             [--max-clients N]       concurrent connection cap (default 64)\n\
+             [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
+             [--slow-ms MS]          slow-query log threshold (default 500)\n\
+             [--trace LEVEL]         stderr tracing (error|warn|info|debug|trace)\n\n\
+             protocol: one request per line\n{PROTOCOL_HELP}\n\n\
+             SIGINT drains in-flight requests before exiting."
         );
         return Ok(());
     }
     let a = Args::parse(argv, &[])?;
+    install_tracing(&a)?;
     let engine = build_engine(&a)?;
     let addr = a.get("listen").unwrap_or("127.0.0.1:7878");
     let listener = TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
-    serve_connections(listener, engine, None)
+
+    let read_timeout_secs: f64 = a.num("read-timeout", 300.0f64)?;
+    if read_timeout_secs < 0.0 {
+        return Err(CfqError::Config("--read-timeout must be >= 0".into()));
+    }
+    let opts = ServeOptions {
+        max_clients: a.num("max-clients", 64usize)?.max(1),
+        read_timeout: (read_timeout_secs > 0.0)
+            .then(|| Duration::from_secs_f64(read_timeout_secs)),
+        slow: Arc::new(SlowLog::new(
+            Duration::from_millis(a.num("slow-ms", 500u64)?),
+            64,
+        )),
+        ..ServeOptions::default()
+    };
+
+    install_sigint_handler();
+
+    let mut metrics_thread = None;
+    if let Some(maddr) = a.get("metrics-addr") {
+        let mlistener = TcpListener::bind(maddr)?;
+        println!("metrics on http://{}", mlistener.local_addr()?);
+        let engine = Arc::clone(&engine);
+        let metrics = Arc::clone(&opts.metrics);
+        let shutdown = Arc::clone(&opts.shutdown);
+        metrics_thread = Some(std::thread::spawn(move || {
+            metrics_listener(mlistener, engine, metrics, shutdown)
+        }));
+    }
+
+    let result = serve_connections(listener, engine, opts);
+    if let Some(h) = metrics_thread {
+        let _ = h.join();
+    }
+    println!("shut down cleanly");
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cfq_types::{CatalogBuilder, TransactionDb};
-    use std::io::{Cursor, Read};
+    use std::io::Cursor;
 
     fn engine() -> Arc<Engine> {
         let mut b = CatalogBuilder::new(6);
@@ -311,6 +915,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_support_is_rejected_with_a_clear_error() {
+        // Regression: `:support 0` used to pass the `[0, 1]` range check
+        // and silently mean "support 1 transaction".
+        let mut state = ReplState::new(engine());
+        let reply = handle_line(&mut state, ":support 0").unwrap();
+        assert_eq!(
+            reply,
+            "error: configuration error: support fraction 0 is outside (0, 1]"
+        );
+        let reply = handle_line(&mut state, ":support -0.5").unwrap();
+        assert!(reply.contains("outside (0, 1]"), "{reply}");
+        // The stored fraction is untouched and valid values still work.
+        let reply = handle_line(&mut state, ":support 0.25").unwrap();
+        assert!(reply.contains("set to 0.25"), "{reply}");
+    }
+
+    #[test]
     fn append_command_bumps_epoch_and_keeps_cache_warm() {
         let mut state = ReplState::new(engine());
         assert!(handle_line(&mut state, ":support 0.25").is_some());
@@ -331,19 +952,233 @@ mod tests {
     }
 
     #[test]
+    fn metrics_command_renders_prometheus_text() {
+        let mut state = ReplState::new(engine());
+        handle_line(&mut state, ":support 0.25").unwrap();
+        handle_line(&mut state, Q).unwrap();
+        handle_line(&mut state, Q).unwrap();
+        handle_line(&mut state, "max(S.Price <= oops").unwrap();
+        let text = handle_line(&mut state, ":metrics").unwrap();
+        for needle in [
+            "# TYPE cfq_queries_total counter",
+            "cfq_queries_total 2",
+            "cfq_query_errors_total 1",
+            "cfq_queries_by_strategy_total{strategy=\"full\"} 2",
+            "cfq_query_seconds_count 2",
+            "cfq_query_seconds_p50",
+            "cfq_query_seconds_p95",
+            "cfq_query_seconds_p99",
+            "cfq_epoch 0",
+            "cfq_transactions 8",
+            "cfq_cache_entries 2",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // The warm re-run hit both lattice caches.
+        let hits: u64 = text
+            .lines()
+            .find(|l| l.starts_with("cfq_lattice_hits_total"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits >= 2, "{text}");
+    }
+
+    #[test]
+    fn slowlog_with_zero_threshold_records_everything() {
+        let mut state = ReplState::with_observability(
+            engine(),
+            ServerMetrics::new(),
+            Arc::new(SlowLog::new(Duration::ZERO, 8)),
+        );
+        handle_line(&mut state, ":support 0.25").unwrap();
+        handle_line(&mut state, Q).unwrap();
+        let text = handle_line(&mut state, ":slowlog").unwrap();
+        assert!(text.contains(Q), "{text}");
+        assert!(text.contains("plan="), "{text}");
+        assert!(text.contains("L1:"), "{text}");
+        assert!(text.contains("[S] freshly mined (cold)"), "{text}");
+        assert_eq!(state.metrics.slow_queries_total.get(), 1);
+        // A 500ms-threshold log would not have recorded this tiny query.
+        let quiet = ReplState::new(engine());
+        assert!(quiet.slow.render().contains("slow-query log empty"));
+    }
+
+    #[test]
     fn serve_answers_over_tcp() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let eng = engine();
-        let server = std::thread::spawn(move || serve_connections(listener, eng, Some(1)));
+        let opts = ServeOptions { max_conns: Some(1), ..ServeOptions::default() };
+        let server = std::thread::spawn(move || serve_connections(listener, eng, opts));
 
         let mut conn = TcpStream::connect(addr).unwrap();
         write!(conn, ":support 0.25\n{Q}\n:quit\n").unwrap();
-        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
         let mut text = String::new();
         BufReader::new(conn).read_to_string(&mut text).unwrap();
         assert!(text.contains("valid pairs"), "{text}");
 
         server.join().unwrap().unwrap();
+    }
+
+    /// Sends one query on the healthy connection and asserts it answers.
+    fn pump(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
+        writeln!(conn, "{Q}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("valid pairs"), "healthy client broken: {reply}");
+    }
+
+    /// Polls `cond` (pumping the healthy connection so it never idles out)
+    /// until it holds or a deadline passes.
+    fn pump_until(
+        conn: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        what: &str,
+        cond: impl Fn() -> bool,
+    ) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            pump(conn, reader);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// The four failure modes of ISSUE 4, all against one server, while a
+    /// healthy connection keeps getting answers: a client that sends a
+    /// malformed query, one that idles past the read timeout, one that
+    /// arrives at the connection cap, and one that disconnects mid-line.
+    #[test]
+    fn concurrent_misbehaving_clients_do_not_starve_a_healthy_one() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let metrics = ServerMetrics::new();
+        let opts = ServeOptions {
+            max_conns: Some(5),
+            max_clients: 2,
+            read_timeout: Some(Duration::from_millis(400)),
+            metrics: Arc::clone(&metrics),
+            ..ServeOptions::default()
+        };
+        let eng = engine();
+        let server = std::thread::spawn(move || serve_connections(listener, eng, opts));
+
+        // Healthy client: holds its connection through all the chaos.
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        let mut healthy_rd = BufReader::new(healthy.try_clone().unwrap());
+        writeln!(healthy, ":support 0.25").unwrap();
+        let mut reply = String::new();
+        healthy_rd.read_line(&mut reply).unwrap();
+        assert!(reply.contains("set to 0.25"), "{reply}");
+        pump(&mut healthy, &mut healthy_rd);
+
+        // Malformed query: gets an error reply, not a dropped server.
+        {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            let mut bad_rd = BufReader::new(bad.try_clone().unwrap());
+            writeln!(bad, "max(S.Price <= oops").unwrap();
+            let mut reply = String::new();
+            bad_rd.read_line(&mut reply).unwrap();
+            assert!(reply.contains("error:"), "{reply}");
+            writeln!(bad, ":quit").unwrap();
+        }
+        pump_until(&mut healthy, &mut healthy_rd, "malformed client to drain", || {
+            metrics.connections_open.get() == 1
+        });
+        // Give the accept loop a beat to reap the finished worker so the
+        // cap below counts live connections only.
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Idle client: connects, says nothing.
+        let idler = TcpStream::connect(addr).unwrap();
+        pump_until(&mut healthy, &mut healthy_rd, "idler to be accepted", || {
+            metrics.connections_open.get() == 2
+        });
+
+        // At the cap (healthy + idler): the next arrival is told "busy".
+        {
+            let capped = TcpStream::connect(addr).unwrap();
+            let mut reply = String::new();
+            BufReader::new(capped).read_line(&mut reply).unwrap();
+            assert!(reply.contains("busy: connection limit 2"), "{reply}");
+        }
+
+        // The idler times out and is told why; the healthy client keeps
+        // getting answers the whole time.
+        pump_until(&mut healthy, &mut healthy_rd, "idler to time out", || {
+            metrics.read_timeouts_total.get() == 1
+        });
+        let mut idle_reply = String::new();
+        let mut idler_rd = BufReader::new(idler);
+        idler_rd.read_to_string(&mut idle_reply).unwrap();
+        assert!(idle_reply.contains("idle timeout"), "{idle_reply}");
+
+        // Mid-line disconnect: half a query, no newline, gone.
+        {
+            let mut gone = TcpStream::connect(addr).unwrap();
+            write!(gone, "max(S.Pr").unwrap();
+            gone.shutdown(Shutdown::Write).unwrap();
+        }
+        pump_until(&mut healthy, &mut healthy_rd, "mid-line disconnect", || {
+            metrics.disconnects_total.get() == 1
+        });
+
+        // The healthy client still works and the scrape reflects all four
+        // outcomes.
+        pump(&mut healthy, &mut healthy_rd);
+        write!(healthy, ":metrics\n:quit\n").unwrap();
+        let mut scrape = String::new();
+        healthy_rd.read_to_string(&mut scrape).unwrap();
+        for needle in [
+            "cfq_connections_total 5",
+            "cfq_connections_rejected_total 1",
+            "cfq_read_timeouts_total 1",
+            "cfq_disconnects_total 1",
+            // The malformed line and the mid-line fragment both errored.
+            "cfq_query_errors_total 2",
+        ] {
+            assert!(scrape.contains(needle), "missing `{needle}` in:\n{scrape}");
+        }
+        let healthy_queries = metrics.queries_total.get();
+        assert!(scrape.contains(&format!("cfq_queries_total {healthy_queries}")), "{scrape}");
+        assert!(healthy_queries >= 3, "healthy client answered throughout");
+
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_flag_drains_and_returns() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions { shutdown: Arc::clone(&shutdown), ..ServeOptions::default() };
+        let eng = engine();
+        let server = std::thread::spawn(move || serve_connections(listener, eng, opts));
+
+        // A client blocked in read: shutdown must unblock it, not hang.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        writeln!(conn, ":support 0.25").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("set to 0.25"), "{reply}");
+
+        shutdown.store(true, Ordering::SeqCst);
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn accept_backoff_is_capped_and_monotonic() {
+        assert_eq!(accept_backoff(0), Duration::from_millis(10));
+        assert_eq!(accept_backoff(1), Duration::from_millis(20));
+        for i in 1..20 {
+            assert!(accept_backoff(i) >= accept_backoff(i - 1));
+            assert!(accept_backoff(i) <= ACCEPT_BACKOFF_MAX);
+        }
+        assert_eq!(accept_backoff(30), ACCEPT_BACKOFF_MAX, "ceiling holds for huge streaks");
+        // u32::MAX must not overflow the shift.
+        assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_MAX);
     }
 }

@@ -22,6 +22,7 @@
 
 use cfq_core::{CfqPlan, LatticeSource};
 use cfq_mining::FrequentSets;
+use cfq_obs as obs;
 use cfq_types::{CfqError, FxHashMap, ItemId, Result};
 use std::sync::Arc;
 
@@ -189,6 +190,14 @@ impl LatticeCache {
     pub fn insert(&mut self, mut entry: LatticeEntry) -> Result<()> {
         if entry.bytes > self.budget {
             self.oversize_rejections += 1;
+            obs::event(
+                obs::Level::Warn,
+                "cache.oversize_reject",
+                &[
+                    ("bytes", obs::FieldValue::U64(entry.bytes as u64)),
+                    ("budget", obs::FieldValue::U64(self.budget as u64)),
+                ],
+            );
             return Err(CfqError::CacheBudget(format!(
                 "lattice of {} bytes exceeds the cache budget of {} bytes",
                 entry.bytes, self.budget
@@ -223,6 +232,15 @@ impl LatticeCache {
         let old = self.entries.swap_remove(i);
         self.bytes_used -= old.bytes;
         self.evictions += 1;
+        obs::event(
+            obs::Level::Debug,
+            "cache.evict",
+            &[
+                ("bytes", obs::FieldValue::U64(old.bytes as u64)),
+                ("universe", obs::FieldValue::U64(old.universe.len() as u64)),
+                ("min_support", obs::FieldValue::U64(old.min_support)),
+            ],
+        );
     }
 
     /// Clones out every entry of `epoch` for FUP upgrading outside the
@@ -258,6 +276,7 @@ impl LatticeCache {
     /// Records a cold mining result dropped because its epoch is stale.
     pub fn record_stale_drop(&mut self) {
         self.stale_drops += 1;
+        obs::event(obs::Level::Debug, "cache.stale_drop", &[]);
     }
 
     pub fn entries(&self) -> usize {

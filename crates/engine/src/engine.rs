@@ -19,6 +19,7 @@
 use crate::cache::{CacheHit, CacheStats, LatticeCache, LatticeEntry, PlanCache};
 use crate::session::Session;
 use cfq_core::{CfqPlan, LatticeSource, Optimizer};
+use cfq_obs as obs;
 use cfq_mining::{apriori, fup_update_abs, AprioriConfig, FrequentSets, WorkStats};
 use cfq_types::{Catalog, CfqError, ItemId, Result, TransactionDb};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -207,12 +208,16 @@ impl Engine {
         fingerprint: u64,
         build: impl FnOnce() -> CfqPlan,
     ) -> (Arc<CfqPlan>, bool) {
+        let mut span = obs::span(obs::Level::Debug, "engine.plan")
+            .str("fingerprint", format!("{fingerprint:016x}"));
         if let Some(plan) = self.locked().plans.get(fingerprint) {
+            span.record_str("source", "plan_cache_hit");
             return (plan, true);
         }
         // Build outside the lock; losing a race just builds twice.
         let plan = Arc::new(build());
         self.locked().plans.insert(fingerprint, Arc::clone(&plan));
+        span.record_str("source", "built");
         (plan, false)
     }
 
@@ -237,13 +242,20 @@ impl Engine {
             // An unsatisfiable side mines nothing and caches nothing.
             return (Arc::new(FrequentSets::new()), LatticeSource::MinedCold);
         }
+        let mut span = obs::span(obs::Level::Debug, "engine.lattice")
+            .u64("universe", universe.len() as u64)
+            .u64("min_support", min_support)
+            .u64("epoch", snap.epoch);
         if let Some(CacheHit { lattice, source, scans_cost }) =
             self.locked().lattices.lookup(snap.epoch, universe, min_support)
         {
             stats.record_cache_hit(scans_cost);
+            span.record_str("source", source.describe());
+            span.record_u64("scans_saved", scans_cost);
             return (lattice, source);
         }
         stats.record_cache_miss();
+        span.record_str("source", "mined_cold");
         let mut mine = WorkStats::new();
         let cfg = AprioriConfig::new(min_support)
             .with_universe(universe.to_vec())
@@ -252,6 +264,7 @@ impl Engine {
             .with_counting_threads(threads);
         let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
         let scans_cost = mine.db_scans;
+        span.record_u64("db_scans", scans_cost);
         stats.absorb(&mine);
         if max_level == 0 {
             let entry = LatticeEntry {
@@ -306,6 +319,8 @@ impl Engine {
     pub fn append(&self, delta: TransactionDb) -> Result<EpochInfo> {
         let _serialize =
             self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut span = obs::span(obs::Level::Info, "engine.fup_append")
+            .u64("delta_rows", delta.len() as u64);
         let snap = self.snapshot();
         let combined = snap.db.concat(&delta)?;
         let old_entries = self.locked().lattices.snapshot_epoch(snap.epoch);
@@ -353,6 +368,9 @@ impl Engine {
                 old_db_recounts,
             }
         };
+        span.record_u64("epoch", info.epoch);
+        span.record_u64("upgraded_lattices", info.upgraded_lattices as u64);
+        span.record_u64("old_db_recounts", info.old_db_recounts);
         Ok(info)
     }
 }

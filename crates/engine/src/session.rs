@@ -27,6 +27,7 @@ use cfq_core::{
     OutcomeProvenance, QueryEnv,
 };
 use cfq_mining::WorkStats;
+use cfq_obs as obs;
 use cfq_types::{Catalog, CfqError, ItemId, Itemset, Result};
 use std::sync::Arc;
 
@@ -81,9 +82,12 @@ impl SupportSpec {
     fn resolve(self, rows: usize) -> Result<(u64, u64)> {
         match self {
             SupportSpec::Frac(f) => {
-                if !(0.0..=1.0).contains(&f) {
+                // Zero is rejected, not clamped: `0` silently meaning
+                // "support 1 transaction" misled serve clients into
+                // mining everything.
+                if !(f > 0.0 && f <= 1.0) {
                     return Err(CfqError::Config(format!(
-                        "support fraction {f} is outside [0, 1]"
+                        "support fraction {f} is outside (0, 1]"
                     )));
                 }
                 let s = ((f * rows as f64).ceil() as u64).max(1);
@@ -244,12 +248,14 @@ impl QueryBuilder {
     /// was answered at.
     pub fn run(self) -> Result<QueryOutcome> {
         let snap = self.engine.snapshot();
+        let mut query_span = obs::span(obs::Level::Info, "session.query")
+            .str("query", self.text.clone())
+            .u64("epoch", snap.epoch);
         let bound = bind_query(&parse_query(&self.text)?, &snap.catalog)?;
+        let fingerprint = plan_fingerprint(&self.strategy, &bound, &snap.catalog);
         let (plan, plan_cached) = self
             .engine
-            .plan_for(plan_fingerprint(&self.strategy, &bound, &snap.catalog), || {
-                self.strategy.build_plan(&bound, &snap.catalog)
-            });
+            .plan_for(fingerprint, || self.strategy.build_plan(&bound, &snap.catalog));
         let (s_sup, t_sup) = self.support.resolve(snap.db.len())?;
         let threads = self.counting_threads.unwrap_or(self.engine.config().counting_threads);
         let trim = self.trim.unwrap_or(self.engine.config().trim);
@@ -270,10 +276,13 @@ impl QueryBuilder {
             };
             let mut outcome = self.strategy.execute_plan(&plan, &env)?;
             outcome.provenance.plan_cached = plan_cached;
+            query_span.record_u64("db_scans", outcome.db_scans);
+            query_span.record_str("path", "bypass_cache");
             return Ok(QueryOutcome {
                 outcome,
                 epoch: snap.epoch,
                 plan,
+                fingerprint,
                 catalog: Arc::clone(&snap.catalog),
             });
         }
@@ -314,7 +323,17 @@ impl QueryBuilder {
                 plan_cached,
             },
         };
-        Ok(QueryOutcome { outcome, epoch: snap.epoch, plan, catalog: Arc::clone(&snap.catalog) })
+        query_span.record_u64("db_scans", outcome.db_scans);
+        query_span.record_u64("pairs", outcome.pair_result.count);
+        query_span.record_str("s_lattice", outcome.provenance.s_lattice.describe());
+        query_span.record_str("t_lattice", outcome.provenance.t_lattice.describe());
+        Ok(QueryOutcome {
+            outcome,
+            epoch: snap.epoch,
+            plan,
+            fingerprint,
+            catalog: Arc::clone(&snap.catalog),
+        })
     }
 
     /// One variable's cache-first evaluation: effective universe, lattice
@@ -376,6 +395,7 @@ pub struct QueryOutcome {
     /// The engine epoch this answer is exact for.
     pub epoch: u64,
     plan: Arc<CfqPlan>,
+    fingerprint: u64,
     catalog: Arc<Catalog>,
 }
 
@@ -392,6 +412,12 @@ impl QueryOutcome {
     /// The plan the query ran with.
     pub fn plan(&self) -> &CfqPlan {
         &self.plan
+    }
+
+    /// The plan-cache fingerprint of the bound query + strategy — what
+    /// the slow-query log records so identical plans group together.
+    pub fn plan_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The EXPLAIN text: the plan plus the actual cache provenance of
@@ -589,6 +615,18 @@ mod tests {
         assert!(matches!(err, CfqError::Config(_)), "{err}");
         let err = engine.session().query(Q).min_support_frac(1.5).run().unwrap_err();
         assert!(matches!(err, CfqError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_support_fraction_is_rejected_not_clamped() {
+        // Regression: `0` used to pass the `[0, 1]` range check and
+        // silently mean "support 1 transaction".
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let err = engine.session().query(Q).min_support_frac(0.0).run().unwrap_err();
+        assert!(matches!(err, CfqError::Config(_)), "{err}");
+        assert_eq!(err.to_string(), "configuration error: support fraction 0 is outside (0, 1]");
+        let err = engine.session().query(Q).min_support_frac(-0.1).run().unwrap_err();
+        assert!(err.to_string().contains("outside (0, 1]"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::counter::{ParallelTrieCounter, SupportCounter};
 use crate::frequent::FrequentSets;
 use crate::stats::WorkStats;
 use crate::trim::{trim_db_recorded, LiveSet};
+use cfq_obs as obs;
 use cfq_types::{ItemId, Itemset, TransactionDb};
 
 /// Configuration of an Apriori run.
@@ -76,11 +77,17 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
     } else {
         cfg.universe.clone()
     };
+    let mut run_span = obs::span(obs::Level::Debug, "apriori")
+        .u64("universe", universe.len() as u64)
+        .u64("min_support", cfg.min_support)
+        .bool("trim", cfg.trim);
 
     let mut result = FrequentSets::new();
     let counter = ParallelTrieCounter { threads: cfg.counting_threads };
 
     // Level 1 always scans the full database.
+    let level_started = std::time::Instant::now();
+    let level_span = obs::span(obs::Level::Trace, "apriori.level").u64("level", 1);
     let candidates: Vec<Itemset> =
         universe.iter().map(|&i| Itemset::singleton(i)).collect();
     let counts = counter.count(db, &candidates);
@@ -91,7 +98,13 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
         .zip(counts)
         .filter(|&(_, n)| n >= cfg.min_support)
         .collect();
-    stats.record_level(1, universe.len() as u64, frequent.len() as u64);
+    close_level_span(level_span, universe.len() as u64, frequent.len() as u64);
+    stats.record_level_timed(
+        1,
+        universe.len() as u64,
+        frequent.len() as u64,
+        level_started.elapsed().as_micros() as u64,
+    );
 
     // The working database: `None` borrows `db` untrimmed.
     let mut trimmed: Option<TransactionDb> = None;
@@ -102,6 +115,9 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
         if cfg.max_level != 0 && level >= cfg.max_level {
             break;
         }
+        let level_started = std::time::Instant::now();
+        let level_span =
+            obs::span(obs::Level::Trace, "apriori.level").u64("level", level as u64 + 1);
         let candidates = generate_candidates(&sets, |_| true);
         if candidates.is_empty() {
             break;
@@ -132,9 +148,23 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
             .zip(counts)
             .filter(|&(_, n)| n >= cfg.min_support)
             .collect();
-        stats.record_level(level, n_candidates, frequent.len() as u64);
+        close_level_span(level_span, n_candidates, frequent.len() as u64);
+        stats.record_level_timed(
+            level,
+            n_candidates,
+            frequent.len() as u64,
+            level_started.elapsed().as_micros() as u64,
+        );
     }
+    run_span.record_u64("db_scans", stats.db_scans);
+    run_span.record_u64("frequent_total", result.total() as u64);
     result
+}
+
+/// Attaches the level's outcome counters to its span before it closes.
+fn close_level_span(mut span: obs::SpanGuard, candidates: u64, frequent: u64) {
+    span.record_u64("candidates", candidates);
+    span.record_u64("frequent", frequent);
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub struct LevelStats {
     pub candidates: u64,
     /// Candidates found frequent at this level.
     pub frequent: u64,
+    /// Wall-clock microseconds spent generating and counting this level
+    /// (0 when the recording path predates timing or nothing was timed).
+    pub micros: u64,
 }
 
 /// The size of the database one scan actually touched — with per-level
@@ -113,8 +116,14 @@ impl WorkStats {
 
     /// Records a counted level.
     pub fn record_level(&mut self, level: usize, candidates: u64, frequent: u64) {
+        self.record_level_timed(level, candidates, frequent, 0);
+    }
+
+    /// Records a counted level together with the wall-clock microseconds
+    /// it took — the per-level timings the slow-query log reports.
+    pub fn record_level_timed(&mut self, level: usize, candidates: u64, frequent: u64, micros: u64) {
         self.support_counted += candidates;
-        self.levels.push(LevelStats { level, candidates, frequent });
+        self.levels.push(LevelStats { level, candidates, frequent, micros });
     }
 
     /// Records one database scan.
@@ -182,7 +191,18 @@ mod tests {
         assert_eq!(s.pruned_candidates, 7);
         assert_eq!(s.total_frequent(), 160);
         assert_eq!(s.levels.len(), 2);
-        assert_eq!(s.levels[1], LevelStats { level: 2, candidates: 300, frequent: 120 });
+        assert_eq!(s.levels[1], LevelStats { level: 2, candidates: 300, frequent: 120, micros: 0 });
+    }
+
+    #[test]
+    fn timed_levels_carry_micros() {
+        let mut s = WorkStats::new();
+        s.record_level_timed(1, 50, 20, 1234);
+        assert_eq!(s.levels[0].micros, 1234);
+        assert_eq!(s.support_counted, 50);
+        // Untimed recording defaults to zero micros.
+        s.record_level(2, 10, 5);
+        assert_eq!(s.levels[1].micros, 0);
     }
 
     #[test]

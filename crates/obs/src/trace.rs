@@ -1,0 +1,489 @@
+//! Structured, levelled tracing spans without external dependencies.
+//!
+//! The design follows the shape of the `tracing` crate at a fraction of
+//! its surface (the same spirit as the vendored rand/proptest stubs): a
+//! process-global [`Subscriber`] receives closed [`SpanRecord`]s and
+//! [`Event`]s; call sites open a [`SpanGuard`] with [`span`], attach
+//! typed fields, and the guard reports its wall-clock duration when it
+//! drops. When no subscriber is installed (the default) the whole layer
+//! collapses to one relaxed atomic load per call site — the mining hot
+//! loops pay nothing in production.
+//!
+//! Span hierarchy is tracked per thread: a span opened while another is
+//! live records that span as its parent, so a subscriber can reconstruct
+//! the `serve.request → session.query → engine.lattice → apriori.level`
+//! tree the serve layer produces.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Severity/verbosity of a span or event, ordered from quietest to
+/// chattiest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-threatening conditions.
+    Error = 1,
+    /// Degraded but self-healing conditions (accept errors, evictions).
+    Warn = 2,
+    /// Request-rate milestones (connections, queries, appends).
+    Info = 3,
+    /// Per-phase work (plan build, cache lookup, FUP upgrade).
+    Debug = 4,
+    /// Per-level mining internals (candidate generation, counting).
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name, case-insensitively; also accepts `off`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    /// Fixed-width label used by the formatting subscriber.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// A typed field value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned counter-like values.
+    U64(u64),
+    /// Signed values.
+    I64(i64),
+    /// Durations, ratios, fractions.
+    F64(f64),
+    /// Identifiers and free text.
+    Str(String),
+    /// Flags.
+    Bool(bool),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A closed span: name, level, fields, duration, and tree position.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the span that was live on this thread when this one opened,
+    /// or 0 for a root span.
+    pub parent: u64,
+    /// Nesting depth on the opening thread (0 for a root span).
+    pub depth: usize,
+    /// Static span name, e.g. `engine.lattice`.
+    pub name: &'static str,
+    /// The span's level.
+    pub level: Level,
+    /// Fields attached at open time or during the span's life.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Wall-clock time between open and close.
+    pub elapsed: Duration,
+}
+
+/// A point-in-time event (no duration), e.g. a cache eviction.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Id of the enclosing span on this thread, or 0.
+    pub parent: u64,
+    /// Static event name, e.g. `cache.evict`.
+    pub name: &'static str,
+    /// The event's level.
+    pub level: Level,
+    /// Fields attached to the event.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Receiver of closed spans and events. Implementations must be cheap
+/// and non-blocking — they run inline at the call site.
+pub trait Subscriber: Send + Sync {
+    /// Called when a span guard drops.
+    fn on_span(&self, span: &SpanRecord);
+    /// Called for point events.
+    fn on_event(&self, event: &Event);
+}
+
+/// `MAX_LEVEL` is the fast-path filter: 0 = tracing disabled.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn subscriber_slot() -> &'static RwLock<Option<std::sync::Arc<dyn Subscriber>>> {
+    static SLOT: OnceLock<RwLock<Option<std::sync::Arc<dyn Subscriber>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-global subscriber.
+/// `max_level` bounds what call sites even construct; anything chattier
+/// is dropped before allocating.
+pub fn set_subscriber(sub: Option<std::sync::Arc<dyn Subscriber>>, max_level: Option<Level>) {
+    let mut slot = subscriber_slot().write().unwrap_or_else(|e| e.into_inner());
+    match (sub, max_level) {
+        (Some(s), Some(l)) => {
+            *slot = Some(s);
+            MAX_LEVEL.store(l as u8, Ordering::SeqCst);
+        }
+        _ => {
+            *slot = None;
+            MAX_LEVEL.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Whether anything at `level` would currently be recorded.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    MAX_LEVEL.load(Ordering::Relaxed) >= level as u8
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Stack of live span ids on this thread (for parent/depth tracking).
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn current_parent() -> (u64, usize) {
+    SPAN_STACK.with(|s| {
+        let s = s.borrow();
+        (s.last().copied().unwrap_or(0), s.len())
+    })
+}
+
+/// An open span; fields are attached with the builder-style methods and
+/// the record is emitted when the guard drops. Obtained from [`span`].
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at open time — every method is a
+    /// no-op then.
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    record: SpanRecord,
+    started: Instant,
+}
+
+/// Opens a span at `level` named `name`. Returns a disabled guard (zero
+/// further cost) when no subscriber accepts `level`.
+#[inline]
+pub fn span(level: Level, name: &'static str) -> SpanGuard {
+    if !enabled(level) {
+        return SpanGuard { inner: None };
+    }
+    let id = next_span_id();
+    let (parent, depth) = current_parent();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard {
+        inner: Some(SpanInner {
+            record: SpanRecord {
+                id,
+                parent,
+                depth,
+                name,
+                level,
+                fields: Vec::new(),
+                elapsed: Duration::ZERO,
+            },
+            started: Instant::now(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches an unsigned field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        self.record_u64(key, value);
+        self
+    }
+
+    /// Attaches a float field.
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        if let Some(i) = self.inner.as_mut() {
+            i.record.fields.push((key, FieldValue::F64(value)));
+        }
+        self
+    }
+
+    /// Attaches a string field.
+    pub fn str(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        if let Some(i) = self.inner.as_mut() {
+            i.record.fields.push((key, FieldValue::Str(value.into())));
+        }
+        self
+    }
+
+    /// Attaches a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        if let Some(i) = self.inner.as_mut() {
+            i.record.fields.push((key, FieldValue::Bool(value)));
+        }
+        self
+    }
+
+    /// Records an unsigned field after the span is open (e.g. a result
+    /// count known only at the end).
+    pub fn record_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(i) = self.inner.as_mut() {
+            i.record.fields.push((key, FieldValue::U64(value)));
+        }
+    }
+
+    /// Records a string field after the span is open.
+    pub fn record_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(i) = self.inner.as_mut() {
+            i.record.fields.push((key, FieldValue::Str(value.into())));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(mut inner) = self.inner.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == inner.record.id) {
+                s.remove(pos);
+            }
+        });
+        inner.record.elapsed = inner.started.elapsed();
+        let slot = subscriber_slot().read().unwrap_or_else(|e| e.into_inner());
+        if let Some(sub) = slot.as_ref() {
+            sub.on_span(&inner.record);
+        }
+    }
+}
+
+/// Emits a point event at `level` with the given fields. Cheap no-op when
+/// nothing subscribes at `level`.
+pub fn event(level: Level, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let (parent, _) = current_parent();
+    let ev = Event { parent, name, level, fields: fields.to_vec() };
+    let slot = subscriber_slot().read().unwrap_or_else(|e| e.into_inner());
+    if let Some(sub) = slot.as_ref() {
+        sub.on_event(&ev);
+    }
+}
+
+/// A line-oriented subscriber writing human-readable records to any
+/// `Write` sink (stderr by default), indented by span depth:
+///
+/// ```text
+/// DEBUG   engine.lattice universe=412 min_support=87 source=mined_cold 41.2ms
+/// TRACE     apriori.level level=2 candidates=1203 frequent=455 12.8ms
+/// ```
+pub struct FmtSubscriber {
+    sink: Mutex<Box<dyn std::io::Write + Send>>,
+    /// Records chattier than this are dropped even if the global max
+    /// level let them through.
+    max_level: Level,
+    /// Lines written (for tests and self-observation).
+    pub lines: AtomicUsize,
+}
+
+impl FmtSubscriber {
+    /// Writes to stderr at `max_level`.
+    pub fn stderr(max_level: Level) -> Self {
+        FmtSubscriber::new(Box::new(std::io::stderr()), max_level)
+    }
+
+    /// Writes to an arbitrary sink at `max_level`.
+    pub fn new(sink: Box<dyn std::io::Write + Send>, max_level: Level) -> Self {
+        FmtSubscriber { sink: Mutex::new(sink), max_level, lines: AtomicUsize::new(0) }
+    }
+
+    fn write_line(&self, level: Level, depth: usize, name: &str, fields: &[(&'static str, FieldValue)], elapsed: Option<Duration>) {
+        if level > self.max_level {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        line.push_str(level.label());
+        line.push(' ');
+        for _ in 0..depth {
+            line.push_str("  ");
+        }
+        line.push_str(name);
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&v.to_string());
+        }
+        if let Some(d) = elapsed {
+            let us = d.as_micros();
+            if us >= 1000 {
+                line.push_str(&format!(" {:.1}ms", us as f64 / 1000.0));
+            } else {
+                line.push_str(&format!(" {us}us"));
+            }
+        }
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+        self.lines.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Subscriber for FmtSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        self.write_line(span.level, span.depth, span.name, &span.fields, Some(span.elapsed));
+    }
+
+    fn on_event(&self, event: &Event) {
+        self.write_line(event.level, 0, event.name, &event.fields, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Captures records for assertions.
+    #[derive(Default)]
+    struct Capture {
+        spans: Mutex<Vec<SpanRecord>>,
+        events: Mutex<Vec<Event>>,
+    }
+
+    impl Subscriber for Capture {
+        fn on_span(&self, span: &SpanRecord) {
+            self.spans.lock().unwrap().push(span.clone());
+        }
+        fn on_event(&self, event: &Event) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+    }
+
+    /// Serializes tests that install the global subscriber.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_guards_are_noops() {
+        let _g = guard();
+        set_subscriber(None, None);
+        assert!(!enabled(Level::Error));
+        let mut s = span(Level::Info, "nothing");
+        s.record_u64("x", 1); // must not panic
+        drop(s);
+        event(Level::Error, "nothing", &[("k", FieldValue::Bool(true))]);
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let _g = guard();
+        let cap = Arc::new(Capture::default());
+        set_subscriber(Some(cap.clone()), Some(Level::Trace));
+        {
+            let _outer = span(Level::Info, "outer").u64("a", 1);
+            let _inner = span(Level::Trace, "inner").str("b", "x").bool("c", true);
+        }
+        set_subscriber(None, None);
+        let spans = cap.spans.lock().unwrap();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, 0);
+        assert_eq!(spans[1].fields, vec![("a", FieldValue::U64(1))]);
+        assert_eq!(
+            spans[0].fields,
+            vec![("b", FieldValue::Str("x".into())), ("c", FieldValue::Bool(true))]
+        );
+    }
+
+    #[test]
+    fn level_filter_drops_chattier_records() {
+        let _g = guard();
+        let cap = Arc::new(Capture::default());
+        set_subscriber(Some(cap.clone()), Some(Level::Info));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        drop(span(Level::Debug, "dropped"));
+        drop(span(Level::Info, "kept"));
+        event(Level::Trace, "dropped_event", &[]);
+        event(Level::Warn, "kept_event", &[]);
+        set_subscriber(None, None);
+        assert_eq!(cap.spans.lock().unwrap().len(), 1);
+        assert_eq!(cap.events.lock().unwrap().len(), 1);
+        assert_eq!(cap.events.lock().unwrap()[0].name, "kept_event");
+    }
+
+    #[test]
+    fn fmt_subscriber_renders_lines() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sub = FmtSubscriber::new(Box::new(SharedBuf(buf.clone())), Level::Debug);
+        sub.on_span(&SpanRecord {
+            id: 1,
+            parent: 0,
+            depth: 1,
+            name: "engine.lattice",
+            level: Level::Debug,
+            fields: vec![("universe", FieldValue::U64(42))],
+            elapsed: Duration::from_micros(1500),
+        });
+        sub.on_event(&Event {
+            parent: 0,
+            name: "cache.evict",
+            level: Level::Trace, // above max level: dropped
+            fields: vec![],
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("DEBUG   engine.lattice universe=42 1.5ms"), "{text}");
+        assert!(!text.contains("cache.evict"), "{text}");
+        assert_eq!(sub.lines.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn level_parse() {
+        assert_eq!(Level::parse("info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("TRACE"), Some(Some(Level::Trace)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("nope"), None);
+    }
+}

@@ -61,6 +61,84 @@ test -s BENCH_engine.json
 grep -q '"warm_db_scans":0' BENCH_engine.json || { echo "warm engine run scanned the database"; exit 1; }
 head -c 400 BENCH_engine.json; echo
 
+echo "== cfq serve: boot, drive fig8a twice, scrape metrics (writes BENCH_serve.json)"
+SERVE_DIR="$(mktemp -d)"
+SERVE_PID=""
+trap 'if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi; rm -rf "$SERVE_DIR"' EXIT
+./target/release/cfq gen --items 60 --transactions 400 --avg-trans-len 8 --patterns 40 \
+  --out "$SERVE_DIR/tx.txt"
+./target/release/cfq gen-catalog --items 60 --num Price:uniform:0:1000 \
+  --out "$SERVE_DIR/catalog.txt"
+./target/release/cfq serve --data "$SERVE_DIR/tx.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --listen 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --slow-ms 0 \
+  > "$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^metrics on ' "$SERVE_DIR/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/serve.log")"
+MPORT="$(sed -n 's/^metrics on http:.*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/serve.log")"
+if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
+  echo "serve did not come up:"; cat "$SERVE_DIR/serve.log"; exit 1
+fi
+
+# Drive the Fig. 8(a) query twice over one connection (bash /dev/tcp —
+# no netcat in the image), then pull the in-band metrics dump.
+FIG8A='max(S.Price) <= min(T.Price)'
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf ':support 0.1\n' >&3
+read -r SUPPORT_REPLY <&3
+echo "$SUPPORT_REPLY" | grep -q 'set to 0.1' || { echo ":support failed: $SUPPORT_REPLY"; exit 1; }
+t0=$(date +%s%N)
+printf '%s\n' "$FIG8A" >&3
+read -r COLD_REPLY <&3
+t1=$(date +%s%N)
+printf '%s\n' "$FIG8A" >&3
+read -r WARM_REPLY <&3
+t2=$(date +%s%N)
+printf ':metrics\n:quit\n' >&3
+SCRAPE="$(cat <&3)"
+exec 3<&- 3>&-
+COLD_MS=$(( (t1 - t0) / 1000000 ))
+WARM_MS=$(( (t2 - t1) / 1000000 ))
+
+echo "  cold: $COLD_REPLY"
+echo "  warm: $WARM_REPLY"
+echo "$COLD_REPLY" | grep -q 'valid pairs' || { echo "cold fig8a query failed"; exit 1; }
+echo "$WARM_REPLY" | grep -q '| 0 db scans |' \
+  || { echo "warm fig8a run was not answered from the cache"; exit 1; }
+echo "$SCRAPE" | grep -q '^cfq_queries_total 2$' \
+  || { echo "metrics disagree: expected cfq_queries_total 2"; echo "$SCRAPE"; exit 1; }
+LATTICE_HITS="$(echo "$SCRAPE" | sed -n 's/^cfq_lattice_hits_total \([0-9][0-9]*\)$/\1/p')"
+[ "${LATTICE_HITS:-0}" -ge 1 ] \
+  || { echo "metrics disagree: expected cfq_lattice_hits_total >= 1"; echo "$SCRAPE"; exit 1; }
+
+# The same registry must be reachable over the HTTP scrape listener.
+exec 4<>"/dev/tcp/127.0.0.1/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+HTTP_SCRAPE="$(cat <&4)"
+exec 4<&- 4>&-
+echo "$HTTP_SCRAPE" | grep -q '200 OK' || { echo "metrics listener did not answer"; exit 1; }
+echo "$HTTP_SCRAPE" | grep -q '^cfq_queries_total 2' \
+  || { echo "HTTP scrape missing cfq_queries_total"; exit 1; }
+
+# SIGINT must drain and exit cleanly, not abort.
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve exited non-zero on SIGINT"; cat "$SERVE_DIR/serve.log"; exit 1; }
+SERVE_PID=""
+grep -q 'shut down cleanly' "$SERVE_DIR/serve.log" \
+  || { echo "serve did not shut down cleanly"; cat "$SERVE_DIR/serve.log"; exit 1; }
+
+P50="$(echo "$SCRAPE" | sed -n 's/^cfq_query_seconds_p50 \(.*\)$/\1/p')"
+P95="$(echo "$SCRAPE" | sed -n 's/^cfq_query_seconds_p95 \(.*\)$/\1/p')"
+P99="$(echo "$SCRAPE" | sed -n 's/^cfq_query_seconds_p99 \(.*\)$/\1/p')"
+printf '{"bench":"serve","query":"%s","cold_ms":%s,"warm_ms":%s,"p50_s":%s,"p95_s":%s,"p99_s":%s,"queries_total":2,"lattice_hits":%s}\n' \
+  "$FIG8A" "$COLD_MS" "$WARM_MS" "${P50:-0}" "${P95:-0}" "${P99:-0}" "$LATTICE_HITS" \
+  > BENCH_serve.json
+test -s BENCH_serve.json
+head -c 400 BENCH_serve.json; echo
+
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
