@@ -391,12 +391,9 @@ pub(crate) fn wants_help(argv: &[String]) -> bool {
 
 /// Parses a `--strategy` option value; absent means the full optimizer.
 pub(crate) fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
-    match value.unwrap_or("full") {
-        "full" => Ok(Optimizer::default()),
-        "cap1" => Ok(Optimizer::cap_one_var()),
-        "apriori+" | "naive" => Ok(Optimizer::apriori_plus()),
-        other => Err(CfqError::Config(format!("unknown strategy `{other}`"))),
-    }
+    let name = value.unwrap_or("full");
+    Optimizer::from_name(name)
+        .ok_or_else(|| CfqError::Config(format!("unknown strategy `{name}`")))
 }
 
 /// Parses an `on`/`off` option value; absent means `on`.

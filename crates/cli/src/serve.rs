@@ -34,7 +34,7 @@ use crate::args::Args;
 use crate::commands::{load, parse_strategy, wants_help};
 use cfq_core::Optimizer;
 use cfq_datagen::io;
-use cfq_engine::Engine;
+use cfq_engine::{json, Engine, EngineConfig, QueryRequest, QueryResponse, SessionPool};
 use cfq_obs::{self as obs, Counter, Gauge, Histogram, Registry, SlowLevel, SlowLog, SlowQuery};
 use cfq_types::{CfqError, Result};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 const PROTOCOL_HELP: &str = "\
 enter a CFQ conjunction to run it, or a control command:
+  :json REQUEST      run a JSON QueryRequest, reply one JSON QueryResponse line
   :explain QUERY     show the plan and predicted cache provenance
   :append FILE       append a transaction file as a new epoch (FUP upgrade)
   :support FRAC      set the minimum support fraction in (0, 1] (default 0.01)
@@ -53,7 +54,9 @@ enter a CFQ conjunction to run it, or a control command:
   :metrics           dump the metrics registry (Prometheus text format)
   :slowlog           show recent queries slower than --slow-ms
   :help              this message
-  :quit              leave";
+  :quit              leave
+replies: a saturated engine answers `overloaded: ...` (plain queries) or
+a JSON object with \"overloaded\":true (:json); back off and retry.";
 
 /// How often the non-blocking accept loop polls for shutdown/reaping.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -131,7 +134,15 @@ pub struct ServerMetrics {
     pub bytes_in_total: Arc<Counter>,
     /// Reply bytes written to clients.
     pub bytes_out_total: Arc<Counter>,
+    /// Time queries spent waiting at the scheduler's admission gate.
+    pub scheduler_wait_seconds: Arc<Histogram>,
     // Synced from the engine at render time:
+    mining_passes: Arc<Counter>,
+    sched_coalesced: Arc<Counter>,
+    sched_batched: Arc<Counter>,
+    sched_overloaded: Arc<Counter>,
+    sched_queue_depth: Arc<Gauge>,
+    sched_inflight: Arc<Gauge>,
     lattice_hits: Arc<Counter>,
     lattice_misses: Arc<Counter>,
     scans_saved: Arc<Counter>,
@@ -188,6 +199,35 @@ impl ServerMetrics {
                 .counter("cfq_accept_errors_total", "Transient accept() failures survived."),
             bytes_in_total: r.counter("cfq_bytes_in_total", "Request bytes read from clients."),
             bytes_out_total: r.counter("cfq_bytes_out_total", "Reply bytes written to clients."),
+            scheduler_wait_seconds: r.histogram(
+                "cfq_scheduler_wait_seconds",
+                "Time queries spent waiting at the scheduler's admission gate.",
+                &obs::wait_buckets(),
+            ),
+            mining_passes: r.counter(
+                "cfq_mining_passes_total",
+                "Lattice mining passes the engine actually executed.",
+            ),
+            sched_coalesced: r.counter(
+                "cfq_scheduler_coalesced_total",
+                "Queries that joined another query's in-flight mining.",
+            ),
+            sched_batched: r.counter(
+                "cfq_scheduler_batched_total",
+                "Joiners whose support differed from the group's (true batches).",
+            ),
+            sched_overloaded: r.counter(
+                "cfq_scheduler_overloaded_total",
+                "Queries rejected at admission with `overloaded`.",
+            ),
+            sched_queue_depth: r.gauge(
+                "cfq_scheduler_queue_depth",
+                "Queries waiting for an execution slot right now.",
+            ),
+            sched_inflight: r.gauge(
+                "cfq_scheduler_inflight",
+                "Queries executing right now.",
+            ),
             lattice_hits: r
                 .counter("cfq_lattice_hits_total", "Queries whose lattice came from the cache."),
             lattice_misses: r
@@ -242,13 +282,24 @@ impl ServerMetrics {
         self.cache_budget_bytes.set(s.budget_bytes as i64);
         self.epoch.set(engine.epoch() as i64);
         self.transactions.set(engine.db().len() as i64);
+        let sched = engine.scheduler_stats();
+        self.mining_passes.store(sched.mining_passes);
+        self.sched_coalesced.store(sched.coalesced);
+        self.sched_batched.store(sched.batched);
+        self.sched_overloaded.store(sched.overloaded);
+        self.sched_queue_depth.set(sched.queued as i64);
+        self.sched_inflight.set(sched.inflight as i64);
         self.registry.render()
     }
 }
 
 /// Per-connection (or per-REPL) mutable state over the shared engine.
+/// Queries run through a [`SessionPool`] — server-wide when constructed
+/// with [`ReplState::with_pool`] — so scheduler fairness is
+/// per-*request*, not per-connection.
 pub struct ReplState {
     engine: Arc<Engine>,
+    pool: Arc<SessionPool>,
     support_frac: f64,
     strategy: Optimizer,
     strategy_name: String,
@@ -268,14 +319,28 @@ impl ReplState {
         )
     }
 
-    /// State sharing a server-wide metrics registry and slow log.
+    /// State sharing a server-wide metrics registry and slow log, with
+    /// its own single-session pool (one REPL = one client).
     pub fn with_observability(
         engine: Arc<Engine>,
         metrics: Arc<ServerMetrics>,
         slow: Arc<SlowLog>,
     ) -> ReplState {
+        let pool = Arc::new(SessionPool::new(&engine, 1));
+        ReplState::with_pool(pool, metrics, slow)
+    }
+
+    /// State over a shared server-wide [`SessionPool`] — what
+    /// [`serve_connections`] hands every connection so all requests
+    /// contend at one scheduler gate.
+    pub fn with_pool(
+        pool: Arc<SessionPool>,
+        metrics: Arc<ServerMetrics>,
+        slow: Arc<SlowLog>,
+    ) -> ReplState {
         ReplState {
-            engine,
+            engine: Arc::clone(pool.engine()),
+            pool,
             support_frac: 0.01,
             strategy: Optimizer::default(),
             strategy_name: "full".to_string(),
@@ -296,7 +361,12 @@ pub fn handle_line(state: &mut ReplState, line: &str) -> Option<String> {
     if line == ":quit" || line == ":q" {
         return None;
     }
-    Some(dispatch(state, line).unwrap_or_else(|e| format!("error: {e}")))
+    Some(dispatch(state, line).unwrap_or_else(|e| match e {
+        // Overload is back-pressure, not a malfunction: the Display form
+        // already starts with `overloaded:`, which clients key off.
+        CfqError::Overloaded(_) => e.to_string(),
+        _ => format!("error: {e}"),
+    }))
 }
 
 fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
@@ -307,6 +377,7 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
         };
         return match cmd {
             "help" => Ok(PROTOCOL_HELP.to_string()),
+            "json" => Ok(run_json(state, arg)),
             "stats" => {
                 let s = state.engine.cache_stats();
                 Ok(format!(
@@ -351,7 +422,7 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
                     return Err(CfqError::Config(":explain needs a query".into()));
                 }
                 state
-                    .engine
+                    .pool
                     .session()
                     .query(arg)
                     .min_support_frac(state.support_frac)
@@ -385,7 +456,7 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
 fn run_query(state: &mut ReplState, line: &str) -> Result<String> {
     let start = Instant::now();
     let result = state
-        .engine
+        .pool
         .session()
         .query(line)
         .min_support_frac(state.support_frac)
@@ -403,6 +474,7 @@ fn run_query(state: &mut ReplState, line: &str) -> Result<String> {
     state.metrics.queries_total.inc();
     state.metrics.strategy_counter(&state.strategy_name).inc();
     state.metrics.query_seconds.observe(elapsed.as_secs_f64());
+    state.metrics.scheduler_wait_seconds.observe(out.admission_wait.as_secs_f64());
     state.metrics.db_scans_total.add(out.outcome.db_scans);
 
     let p = &out.outcome.provenance;
@@ -451,6 +523,78 @@ fn run_query(state: &mut ReplState, line: &str) -> Result<String> {
     ))
 }
 
+/// Renders an error as the one-line JSON object `:json` clients expect;
+/// overload rejections additionally carry `"overloaded":true` so a
+/// machine client can back off without string-matching the message.
+fn json_error(e: &CfqError) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_escaped(&mut out, &e.to_string());
+    if matches!(e, CfqError::Overloaded(_)) {
+        out.push_str(",\"overloaded\":true");
+    }
+    out.push('}');
+    out
+}
+
+/// Runs one `:json REQUEST` line. Always replies with exactly one JSON
+/// line — a [`QueryResponse`] on success, an error object otherwise —
+/// so wire clients never have to parse prose.
+fn run_json(state: &mut ReplState, arg: &str) -> String {
+    if arg.is_empty() {
+        return json_error(&CfqError::Config(":json needs a request object (try :help)".into()));
+    }
+    let req = match QueryRequest::from_json(arg) {
+        Ok(req) => req,
+        Err(e) => {
+            state.metrics.query_errors_total.inc();
+            return json_error(&e);
+        }
+    };
+    let start = Instant::now();
+    let result = state.pool.session().execute(&req);
+    let elapsed = start.elapsed();
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            state.metrics.query_errors_total.inc();
+            return json_error(&e);
+        }
+    };
+
+    state.metrics.queries_total.inc();
+    state.metrics.strategy_counter(req.strategy.name().unwrap_or("custom")).inc();
+    state.metrics.query_seconds.observe(elapsed.as_secs_f64());
+    state.metrics.scheduler_wait_seconds.observe(out.admission_wait.as_secs_f64());
+    state.metrics.db_scans_total.add(out.outcome.db_scans);
+
+    let p = &out.outcome.provenance;
+    let slow = SlowQuery {
+        query: req.query.clone(),
+        fingerprint: out.plan_fingerprint(),
+        provenance: format!("[S] {} [T] {}", p.s_lattice.describe(), p.t_lattice.describe()),
+        total: elapsed,
+        db_scans: out.outcome.db_scans,
+        levels: out
+            .outcome
+            .s_stats
+            .levels
+            .iter()
+            .chain(out.outcome.t_stats.levels.iter())
+            .map(|l| SlowLevel {
+                level: l.level,
+                candidates: l.candidates,
+                frequent: l.frequent,
+                micros: l.micros,
+            })
+            .collect(),
+    };
+    if state.slow.maybe_record(slow) {
+        state.metrics.slow_queries_total.inc();
+    }
+
+    QueryResponse::from_outcome(&out).to_json()
+}
+
 /// Drives the line protocol over arbitrary reader/writer pairs — the REPL
 /// over stdin/stdout, or a test's in-memory buffers. (TCP connections go
 /// through the timeout-aware worker loop in [`serve_connections`].)
@@ -484,7 +628,16 @@ pub fn repl_loop<R: BufRead, W: Write>(
 
 fn build_engine(a: &Args) -> Result<Arc<Engine>> {
     let (db, catalog) = load(a)?;
-    let engine = Engine::new(db, catalog)?;
+    let defaults = EngineConfig::default();
+    let config = EngineConfig {
+        max_inflight_queries: a.num("max-inflight", defaults.max_inflight_queries)?,
+        max_queued_queries: a.num("queue-depth", defaults.max_queued_queries)?,
+        batch_window: Duration::from_millis(
+            a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?,
+        ),
+        ..defaults
+    };
+    let engine = Engine::with_config(db, catalog, config)?;
     println!(
         "engine up: {} transactions over {} items, epoch 0",
         engine.db().len(),
@@ -637,6 +790,10 @@ pub fn serve_connections(
     opts: ServeOptions,
 ) -> Result<()> {
     listener.set_nonblocking(true)?;
+    // One engine-wide session pool: every request from every connection
+    // contends at the same scheduler gate, so admission order, batching
+    // and overload are per-request, not per-connection.
+    let pool = Arc::new(SessionPool::new(&engine, opts.max_clients));
     // Streams of live connections, so shutdown can unblock their readers.
     let live: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
         Arc::new(Mutex::new(std::collections::HashMap::new()));
@@ -693,14 +850,14 @@ pub fn serve_connections(
                         live.lock().unwrap_or_else(|e| e.into_inner()).insert(conn_id, clone);
                     }
                     opts.metrics.connections_open.add(1);
-                    let engine = Arc::clone(&engine);
+                    let pool = Arc::clone(&pool);
                     let metrics = Arc::clone(&opts.metrics);
                     let slow = Arc::clone(&opts.slow);
                     let live = Arc::clone(&live);
                     handles.push(std::thread::spawn(move || {
                         let _conn = obs::span(obs::Level::Info, "serve.conn").u64("id", conn_id);
                         let mut state =
-                            ReplState::with_observability(engine, Arc::clone(&metrics), slow);
+                            ReplState::with_pool(pool, Arc::clone(&metrics), slow);
                         let end = serve_client(&mut state, stream, conn_id);
                         live.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
                         metrics.connections_open.add(-1);
@@ -804,6 +961,9 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
             "cfq serve --data FILE [--catalog FILE] [--listen ADDR (default 127.0.0.1:7878)]\n\
              [--metrics-addr ADDR]   export Prometheus metrics over HTTP\n\
              [--max-clients N]       concurrent connection cap (default 64)\n\
+             [--max-inflight N]      concurrently executing queries (default 256, 0 = unlimited)\n\
+             [--queue-depth N]       admission queue beyond the in-flight cap (default 1024, 0 = unlimited)\n\
+             [--batch-window-ms MS]  cold-mining batch window (default 2, 0 = single-flight only)\n\
              [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
              [--slow-ms MS]          slow-query log threshold (default 500)\n\
              [--trace LEVEL]         stderr tracing (error|warn|info|debug|trace)\n\n\
@@ -971,6 +1131,15 @@ mod tests {
             "cfq_epoch 0",
             "cfq_transactions 8",
             "cfq_cache_entries 2",
+            // One cold query mined both sides; the warm re-run mined
+            // nothing and nobody waited at the admission gate.
+            "cfq_mining_passes_total 2",
+            "cfq_scheduler_coalesced_total 0",
+            "cfq_scheduler_batched_total 0",
+            "cfq_scheduler_overloaded_total 0",
+            "cfq_scheduler_queue_depth 0",
+            "cfq_scheduler_inflight 0",
+            "cfq_scheduler_wait_seconds_count 2",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
@@ -982,6 +1151,82 @@ mod tests {
             .and_then(|v| v.parse().ok())
             .unwrap();
         assert!(hits >= 2, "{text}");
+    }
+
+    #[test]
+    fn json_command_speaks_queryresponse_both_ways() {
+        let mut state = ReplState::new(engine());
+        let line = format!(
+            ":json {{\"query\": \"{Q}\", \"support\": {{\"frac\": 0.25}}}}"
+        );
+
+        // Cold: one JSON line out, parseable, with real work recorded.
+        let reply = handle_line(&mut state, &line).unwrap();
+        let v = json::parse(&reply).unwrap();
+        assert!(v.get("error").is_none(), "{reply}");
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(0));
+        assert!(v.get("pair_count").unwrap().as_u64().unwrap() > 0, "{reply}");
+        assert!(v.get("db_scans").unwrap().as_u64().unwrap() > 0, "{reply}");
+        assert_eq!(
+            v.get("s_lattice").unwrap().as_str().unwrap(),
+            "freshly mined (cold)"
+        );
+
+        // Warm: same answer, zero scans, cache provenance.
+        let warm = handle_line(&mut state, &line).unwrap();
+        let w = json::parse(&warm).unwrap();
+        assert_eq!(w.get("db_scans").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            w.get("pair_count").unwrap().as_u64(),
+            v.get("pair_count").unwrap().as_u64()
+        );
+        assert_eq!(
+            w.get("s_lattice").unwrap().as_str().unwrap(),
+            "cache hit (reused mined lattice)"
+        );
+
+        // The wire response of a builder-equivalent query matches.
+        let built = state
+            .pool
+            .session()
+            .query(Q)
+            .min_support_frac(0.25)
+            .run()
+            .unwrap();
+        assert_eq!(QueryResponse::from_outcome(&built).to_json(), warm);
+        assert_eq!(state.metrics.queries_total.get(), 2);
+    }
+
+    #[test]
+    fn json_command_errors_are_json_objects() {
+        let mut state = ReplState::new(engine());
+        for (line, needle) in [
+            (":json", ":json needs a request object"),
+            (":json {nope}", "parse error"),
+            (":json {\"quary\": \"q\"}", "unknown request field"),
+            (":json {\"query\": \"max(S.Price <= 30\"}", "error"),
+            (":json {\"query\": \"count(S) >= 1\", \"support\": 0.0}", "outside (0, 1]"),
+        ] {
+            let reply = handle_line(&mut state, line).unwrap();
+            let v = json::parse(&reply)
+                .unwrap_or_else(|e| panic!("non-JSON reply to `{line}`: {reply} ({e})"));
+            let msg = v.get("error").and_then(json::Json::as_str).unwrap().to_string();
+            assert!(msg.contains(needle), "`{line}` -> {reply}");
+        }
+        assert_eq!(state.metrics.queries_total.get(), 0);
+        assert!(state.metrics.query_errors_total.get() >= 4);
+    }
+
+    #[test]
+    fn overload_replies_are_machine_readable() {
+        let e = CfqError::Overloaded("3 queries in flight and 2 queued".into());
+        // The JSON form carries a flag clients can branch on...
+        let obj = json_error(&e);
+        assert!(obj.contains("\"overloaded\":true"), "{obj}");
+        let v = json::parse(&obj).unwrap();
+        assert!(v.get("error").unwrap().as_str().unwrap().starts_with("overloaded:"));
+        // ...while ordinary errors carry none.
+        assert!(!json_error(&CfqError::Parse("x".into())).contains("overloaded"));
     }
 
     #[test]

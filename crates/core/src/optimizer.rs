@@ -290,7 +290,7 @@ pub struct TraceNode {
     pub reverified: bool,
 }
 
-/// The optimizer's rewrite trace — what [`Optimizer::plan`] decided, in a
+/// The optimizer's rewrite trace — what [`Optimizer::build_plan`] decided, in a
 /// form `cfq-audit` can walk without executing anything. Fields are public
 /// so tests can doctor a trace (e.g. clear a `reverified` flag) and check
 /// that the auditor rejects it.
@@ -385,6 +385,10 @@ pub enum LatticeSource {
     /// Served from the cache after an in-place FUP upgrade at an epoch
     /// swap (`Engine::append`).
     FupUpgraded,
+    /// Served by attaching to another query's in-flight mining of the same
+    /// lattice (the scheduler's single-flight/batch path): this query
+    /// waited for that pass instead of scanning itself.
+    Coalesced,
 }
 
 impl LatticeSource {
@@ -394,6 +398,7 @@ impl LatticeSource {
             LatticeSource::MinedCold => "freshly mined (cold)",
             LatticeSource::Cached => "cache hit (reused mined lattice)",
             LatticeSource::FupUpgraded => "cache hit (FUP-upgraded at epoch swap)",
+            LatticeSource::Coalesced => "coalesced (shared an in-flight mining)",
         }
     }
 }
@@ -451,7 +456,13 @@ pub struct ExecutionOutcome {
 
 /// The CFQ query optimizer. Flags select the strategy family; defaults are
 /// the full optimizer of Figure 7.
-#[derive(Clone, Copy, Debug)]
+///
+/// The type plays two roles: a *flag set* naming a strategy family
+/// (what `Session::query(..).strategy(..)` and `QueryRequest` carry —
+/// use the [`Strategy`] alias there) and the *executor* of the one-shot
+/// paper pipeline ([`Optimizer::build_plan`] / [`Optimizer::evaluate`] /
+/// [`Optimizer::execute_plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Optimizer {
     /// Push 1-var constraints through CAP (off = check at output, as
     /// Apriori⁺ does).
@@ -472,6 +483,12 @@ impl Default for Optimizer {
     }
 }
 
+/// The preferred name for [`Optimizer`] used *as a strategy-family flag
+/// set* (in `QueryRequest`, `Session::query(..).strategy(..)`, and the
+/// wire protocol) rather than as the one-shot executor. Same type, one
+/// name per role.
+pub type Strategy = Optimizer;
+
 impl Optimizer {
     /// The Apriori⁺ baseline configuration.
     pub fn apriori_plus() -> Self {
@@ -484,16 +501,30 @@ impl Optimizer {
         Optimizer { push_one_var: true, push_two_var: false, use_jkmax: false, dovetail: true }
     }
 
-    /// Builds the plan for a bound query.
-    #[deprecated(note = "use `Session::query(..).explain()` or `Optimizer::build_plan`")]
-    pub fn plan(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> CfqPlan {
-        self.build_plan(query, env.catalog)
+    /// Resolves a strategy family by its wire/CLI name: `full`, `cap1`, or
+    /// `apriori+` (alias `naive`). `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(Optimizer::default()),
+            "cap1" => Some(Optimizer::cap_one_var()),
+            "apriori+" | "naive" => Some(Optimizer::apriori_plus()),
+            _ => None,
+        }
     }
 
-    /// Builds the plan from the catalog alone.
-    #[deprecated(note = "use `Session::query(..)` or `Optimizer::build_plan`")]
-    pub fn plan_for_catalog(&self, query: &BoundQuery, catalog: &Catalog) -> CfqPlan {
-        self.build_plan(query, catalog)
+    /// The wire/CLI name of this flag set, when it matches a named family
+    /// (`full`, `cap1`, `apriori+`); `None` for hand-rolled flag
+    /// combinations.
+    pub fn name(&self) -> Option<&'static str> {
+        if *self == Optimizer::default() {
+            Some("full")
+        } else if *self == Optimizer::cap_one_var() {
+            Some("cap1")
+        } else if *self == Optimizer::apriori_plus() {
+            Some("apriori+")
+        } else {
+            None
+        }
     }
 
     /// Builds the plan from the catalog alone — planning never touches the
@@ -546,28 +577,6 @@ impl Optimizer {
             final_two: final_two.clone(),
         };
         CfqPlan { s_one, t_one, qs_two, final_two, jk_tasks, strategies, trace }
-    }
-
-    /// Plans and executes in one step.
-    ///
-    /// # Panics
-    /// On an inconsistent environment (see [`Optimizer::execute`]). The
-    /// non-panicking replacement is [`Optimizer::evaluate`].
-    #[deprecated(note = "use `Session::query(..).run()` or `Optimizer::evaluate`")]
-    pub fn run(&self, query: &BoundQuery, env: &QueryEnv<'_>) -> ExecutionOutcome {
-        self.evaluate(query, env).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Executes a plan.
-    ///
-    /// # Panics
-    /// If the catalog covers fewer items than the database references —
-    /// an inconsistent environment that would otherwise surface as an
-    /// opaque index panic deep inside constraint evaluation. The
-    /// non-panicking replacement is [`Optimizer::execute_plan`].
-    #[deprecated(note = "use `Session::query(..).run()` or `Optimizer::execute_plan`")]
-    pub fn execute(&self, plan: &CfqPlan, env: &QueryEnv<'_>) -> ExecutionOutcome {
-        self.execute_plan(plan, env).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Plans and executes in one step, reporting environment problems as
@@ -1411,47 +1420,3 @@ mod env_validation_tests {
     }
 }
 
-/// The pre-`Session` entry points must keep compiling and behaving —
-/// including the documented panic on an inconsistent environment — for one
-/// more release. This module is the only internal user of the deprecated
-/// shims.
-#[cfg(test)]
-#[allow(deprecated)]
-mod deprecated_shim_tests {
-    use super::*;
-    use cfq_constraints::{bind_query, parse_query};
-    use cfq_types::CatalogBuilder;
-
-    #[test]
-    #[should_panic(expected = "catalog covers 2 items")]
-    fn mismatched_catalog_fails_fast() {
-        let db = TransactionDb::from_u32(5, &[&[0, 4]]);
-        let cat = Catalog::empty(2);
-        let q = bind_query(&parse_query("S disjoint T").unwrap(), &cat).unwrap();
-        let _ = Optimizer::default().run(&q, &QueryEnv::new(&db, &cat, 1));
-    }
-
-    #[test]
-    fn run_plan_execute_shims_agree_with_evaluate() {
-        let mut b = CatalogBuilder::new(4);
-        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0]).unwrap();
-        let cat = b.build();
-        let db = TransactionDb::from_u32(
-            4,
-            &[&[0, 1, 2], &[0, 1], &[1, 2, 3], &[0, 2, 3], &[0, 1, 2, 3]],
-        );
-        let q = bind_query(&parse_query("max(S.Price) <= min(T.Price)").unwrap(), &cat)
-            .unwrap();
-        let env = QueryEnv::new(&db, &cat, 2);
-        let via_run = Optimizer::default().run(&q, &env);
-        let plan = Optimizer::default().plan(&q, &env);
-        let plan2 = Optimizer::default().plan_for_catalog(&q, &cat);
-        assert_eq!(plan.strategies(), plan2.strategies());
-        let via_execute = Optimizer::default().execute(&plan, &env);
-        let via_evaluate = Optimizer::default().evaluate(&q, &env).unwrap();
-        assert_eq!(via_run.s_sets, via_evaluate.s_sets);
-        assert_eq!(via_execute.t_sets, via_evaluate.t_sets);
-        assert_eq!(via_run.pair_result.count, via_evaluate.pair_result.count);
-        assert_eq!(via_execute.pair_result.count, via_evaluate.pair_result.count);
-    }
-}

@@ -273,6 +273,13 @@ impl LatticeCache {
         }
     }
 
+    /// Credits scans avoided outside a lookup — a query that coalesced
+    /// onto an in-flight mining saved the leader's scan cost without ever
+    /// hitting an entry.
+    pub fn credit_saved(&mut self, scans: u64) {
+        self.scans_saved += scans;
+    }
+
     /// Records a cold mining result dropped because its epoch is stale.
     pub fn record_stale_drop(&mut self) {
         self.stale_drops += 1;

@@ -17,12 +17,14 @@
 //! with zero database scans after an append.
 
 use crate::cache::{CacheHit, CacheStats, LatticeCache, LatticeEntry, PlanCache};
+use crate::scheduler::{AdmissionPermit, GroupRole, Scheduler, SchedulerStats};
 use crate::session::Session;
 use cfq_core::{CfqPlan, LatticeSource, Optimizer};
 use cfq_obs as obs;
 use cfq_mining::{apriori, fup_update_abs, AprioriConfig, FrequentSets, WorkStats};
 use cfq_types::{Catalog, CfqError, ItemId, Result, TransactionDb};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Tuning knobs of an [`Engine`].
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +42,17 @@ pub struct EngineConfig {
     /// per query. Cached lattices are identical either way, so entries
     /// are shared across queries regardless of their trim setting.
     pub trim: bool,
+    /// Maximum concurrently executing queries (0 = unlimited;
+    /// default 256).
+    pub max_inflight_queries: usize,
+    /// Maximum queries waiting for an execution slot beyond the in-flight
+    /// cap before new arrivals are rejected with
+    /// [`CfqError::Overloaded`] (0 = unlimited; default 1024).
+    pub max_queued_queries: usize,
+    /// How long a cold mining waits for compatible queries to batch onto
+    /// its single-flight group (default 2 ms; zero disables batching but
+    /// keeps single-flight).
+    pub batch_window: Duration,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +62,9 @@ impl Default for EngineConfig {
             plan_cache_entries: 128,
             counting_threads: 1,
             trim: true,
+            max_inflight_queries: 256,
+            max_queued_queries: 1024,
+            batch_window: Duration::from_millis(2),
         }
     }
 }
@@ -89,6 +105,7 @@ pub struct Engine {
     state: Mutex<EngineState>,
     /// Serializes appends with each other (never with queries).
     append_lock: Mutex<()>,
+    scheduler: Scheduler,
     config: EngineConfig,
 }
 
@@ -143,6 +160,11 @@ impl Engine {
                 plans: PlanCache::new(config.plan_cache_entries),
             }),
             append_lock: Mutex::new(()),
+            scheduler: Scheduler::new(
+                config.max_inflight_queries,
+                config.max_queued_queries,
+                config.batch_window,
+            ),
             config,
         }))
     }
@@ -177,6 +199,19 @@ impl Engine {
     /// The catalog (immutable over the engine's lifetime).
     pub fn catalog(&self) -> Arc<Catalog> {
         Arc::clone(&self.locked().current.catalog)
+    }
+
+    /// A counter snapshot of the scheduler: mining passes, coalesced and
+    /// batched queries, admission-control activity.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Takes a query execution slot, queueing at the scheduler's
+    /// admission gate and failing fast with [`CfqError::Overloaded`]
+    /// when both the in-flight and queue limits are exhausted.
+    pub(crate) fn admit(&self) -> Result<AdmissionPermit<'_>> {
+        self.scheduler.admit()
     }
 
     /// A counter snapshot of both caches.
@@ -223,10 +258,13 @@ impl Engine {
 
     /// Serves the complete lattice of `universe` at `min_support` in
     /// `snap`'s database: from the cache when a compatible entry exists,
-    /// by mining otherwise. Cache work is recorded both in the engine's
-    /// counters and in `stats` (hit/miss/scans-saved). Only unbounded
-    /// minings (`max_level == 0`) are inserted — a level-capped family is
-    /// not complete, so it cannot serve other queries or be FUP-upgraded.
+    /// through the scheduler's single-flight groups on a miss. Cache work
+    /// is recorded both in the engine's counters and in `stats`
+    /// (hit/miss/scans-saved). Only unbounded minings (`max_level == 0`)
+    /// may lead a group and be inserted — a level-capped family is not
+    /// complete, so it cannot serve other queries or be FUP-upgraded;
+    /// capped requests may still *join* a group, since the complete
+    /// result it produces serves them by filtering.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn lattice_for(
         &self,
@@ -254,39 +292,80 @@ impl Engine {
             span.record_u64("scans_saved", scans_cost);
             return (lattice, source);
         }
-        stats.record_cache_miss();
-        span.record_str("source", "mined_cold");
-        let mut mine = WorkStats::new();
-        let cfg = AprioriConfig::new(min_support)
-            .with_universe(universe.to_vec())
-            .with_max_level(max_level)
-            .with_trim(trim)
-            .with_counting_threads(threads);
-        let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
-        let scans_cost = mine.db_scans;
-        span.record_u64("db_scans", scans_cost);
-        stats.absorb(&mine);
-        if max_level == 0 {
-            let entry = LatticeEntry {
-                epoch: snap.epoch,
-                universe: Arc::new(universe.to_vec()),
-                min_support,
-                lattice: Arc::clone(&lattice),
-                source: LatticeSource::Cached,
-                bytes: lattice.approx_bytes(),
-                scans_cost,
-                last_used: 0,
-            };
-            let mut st = self.locked();
-            if st.current.epoch == snap.epoch {
-                // Oversize rejection is counted inside the cache; the
-                // query itself already has its lattice.
-                let _ = st.lattices.insert(entry);
-            } else {
-                st.lattices.record_stale_drop();
+
+        // Miss: resolve through the scheduler so concurrent identical
+        // misses share one mining pass. The group may mine at a lower
+        // support than requested (a batched member asked for less); the
+        // caller filters by its own threshold, so the superset is sound.
+        let mut led_work: Option<WorkStats> = None;
+        let role = self.scheduler.mine_or_join(
+            snap.epoch,
+            universe,
+            min_support,
+            max_level == 0,
+            |support| {
+                let mut mine = WorkStats::new();
+                let cfg = AprioriConfig::new(support)
+                    .with_universe(universe.to_vec())
+                    .with_trim(trim)
+                    .with_counting_threads(threads);
+                let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
+                let scans_cost = mine.db_scans;
+                led_work = Some(mine);
+                let entry = LatticeEntry {
+                    epoch: snap.epoch,
+                    universe: Arc::new(universe.to_vec()),
+                    min_support: support,
+                    lattice: Arc::clone(&lattice),
+                    source: LatticeSource::Cached,
+                    bytes: lattice.approx_bytes(),
+                    scans_cost,
+                    last_used: 0,
+                };
+                let mut st = self.locked();
+                if st.current.epoch == snap.epoch {
+                    // Oversize rejection is counted inside the cache; the
+                    // query itself already has its lattice.
+                    let _ = st.lattices.insert(entry);
+                } else {
+                    st.lattices.record_stale_drop();
+                }
+                (lattice, scans_cost)
+            },
+        );
+        match role {
+            Some(GroupRole::Led { lattice, scans_cost }) => {
+                stats.record_cache_miss();
+                stats.absorb(&led_work.expect("leader ran the mine closure"));
+                span.record_str("source", "mined_cold");
+                span.record_u64("db_scans", scans_cost);
+                (lattice, LatticeSource::MinedCold)
+            }
+            Some(GroupRole::Joined { lattice, scans_cost }) => {
+                stats.record_cache_hit(scans_cost);
+                self.locked().lattices.credit_saved(scans_cost);
+                span.record_str("source", LatticeSource::Coalesced.describe());
+                span.record_u64("scans_saved", scans_cost);
+                (lattice, LatticeSource::Coalesced)
+            }
+            None => {
+                // Level-capped with nothing to join: mine directly, at
+                // the requested cap, without caching.
+                stats.record_cache_miss();
+                span.record_str("source", "mined_cold");
+                let mut mine = WorkStats::new();
+                let cfg = AprioriConfig::new(min_support)
+                    .with_universe(universe.to_vec())
+                    .with_max_level(max_level)
+                    .with_trim(trim)
+                    .with_counting_threads(threads);
+                let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
+                self.scheduler.note_direct_mining();
+                span.record_u64("db_scans", mine.db_scans);
+                stats.absorb(&mine);
+                (lattice, LatticeSource::MinedCold)
             }
         }
-        (lattice, LatticeSource::MinedCold)
     }
 
     /// Predicted provenance of a lookup, without perturbing counters or

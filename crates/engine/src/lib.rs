@@ -19,6 +19,17 @@
 //!   upgrades every cached lattice in place with the FUP algorithm
 //!   instead of invalidating it, so the cache stays warm across
 //!   insertions.
+//! * **Scheduler** — every query passes an admission gate (bounded
+//!   in-flight and queue depth, typed `Overloaded` rejection beyond
+//!   them), and cold lattice minings are **single-flighted**: concurrent
+//!   identical misses share one mining pass, and compatible misses
+//!   arriving within a short batch window ride along, mined once at the
+//!   minimum requested support.
+//!
+//! Queries are described by a serializable [`QueryRequest`] (JSON in,
+//! [`QueryResponse`] JSON out — the wire form the serve protocol's
+//! `:json` command speaks); the fluent [`QueryBuilder`] is sugar that
+//! fills one in.
 //!
 //! Answers from the cached path are identical to every one-shot
 //! [`cfq_core::Optimizer`] strategy because both end with final pair
@@ -52,8 +63,13 @@
 
 pub mod cache;
 pub mod engine;
+pub mod json;
+pub mod request;
+pub mod scheduler;
 pub mod session;
 
 pub use cache::CacheStats;
 pub use engine::{Engine, EngineConfig, EpochInfo};
-pub use session::{QueryBuilder, QueryOutcome, Session};
+pub use request::{QueryRequest, QueryResponse, SupportSpec};
+pub use scheduler::SchedulerStats;
+pub use session::{QueryBuilder, QueryOutcome, Session, SessionPool};

@@ -1,0 +1,487 @@
+//! The serializable query API: [`QueryRequest`] in, [`QueryResponse`] out.
+//!
+//! [`QueryRequest`] is the single source of truth for *every* option a
+//! query can carry — [`QueryBuilder`](crate::QueryBuilder) is a thin
+//! fluent front-end that mutates one, `Session::execute` consumes one,
+//! and the serve protocol's `:json` command parses one off the wire. The
+//! JSON codec is hand-rolled on [`crate::json`] because the workspace is
+//! dependency-free.
+//!
+//! ```
+//! use cfq_engine::QueryRequest;
+//!
+//! let req = QueryRequest::from_json(
+//!     r#"{"query": "max(S.Price) <= 30 & min(T.Price) >= 40",
+//!         "support": {"frac": 0.25}, "strategy": "full"}"#,
+//! ).unwrap();
+//! let round = QueryRequest::from_json(&req.to_json()).unwrap();
+//! assert_eq!(req, round);
+//! ```
+
+use crate::json::{self, Json};
+use crate::session::QueryOutcome;
+use cfq_core::Strategy;
+use cfq_types::{CfqError, ItemId, Result};
+use std::fmt::Write as _;
+
+/// How the support threshold is specified.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SupportSpec {
+    /// Fraction of the epoch's transaction count (default 1%).
+    Frac(f64),
+    /// Absolute thresholds, S and T.
+    Abs(u64, u64),
+}
+
+impl SupportSpec {
+    /// Resolves to absolute `(s, t)` thresholds against a transaction
+    /// count, rejecting fractions outside `(0, 1]` and absolute zeros.
+    pub fn resolve(self, rows: usize) -> Result<(u64, u64)> {
+        match self {
+            SupportSpec::Frac(f) => {
+                // Zero is rejected, not clamped: `0` silently meaning
+                // "support 1 transaction" misled serve clients into
+                // mining everything.
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(CfqError::Config(format!(
+                        "support fraction {f} is outside (0, 1]"
+                    )));
+                }
+                let s = ((f * rows as f64).ceil() as u64).max(1);
+                Ok((s, s))
+            }
+            SupportSpec::Abs(s, t) => {
+                if s == 0 || t == 0 {
+                    return Err(CfqError::Config(
+                        "absolute minimum support must be at least 1".into(),
+                    ));
+                }
+                Ok((s, t))
+            }
+        }
+    }
+}
+
+/// One query, fully specified. Field-for-field this is everything
+/// [`QueryBuilder`](crate::QueryBuilder) can express; the builder is
+/// sugar over this struct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// CFQ text, e.g. `"max(S.Price) <= 30 & min(T.Price) >= 40"`.
+    pub query: String,
+    /// Support threshold (default: 1% of transactions).
+    pub support: SupportSpec,
+    /// Restriction of the S domain (empty = all items).
+    pub s_universe: Vec<ItemId>,
+    /// Restriction of the T domain (empty = all items).
+    pub t_universe: Vec<ItemId>,
+    /// Lattice depth cap (0 = unbounded).
+    pub max_level: usize,
+    /// Pair materialization cap (`None` = materialize all).
+    pub max_pairs: Option<usize>,
+    /// Support-counting thread override (`None` = engine default).
+    pub counting_threads: Option<usize>,
+    /// Per-level database reduction override (`None` = engine default).
+    pub trim: Option<bool>,
+    /// Strategy-family flags (plan shape; the executor when
+    /// `bypass_cache` is set).
+    pub strategy: Strategy,
+    /// Run as a one-shot optimizer execution, skipping the lattice cache
+    /// and the scheduler's single-flight groups.
+    pub bypass_cache: bool,
+}
+
+impl QueryRequest {
+    /// A request with the same defaults as `Session::query`.
+    pub fn new(query: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            query: query.into(),
+            support: SupportSpec::Frac(0.01),
+            s_universe: Vec::new(),
+            t_universe: Vec::new(),
+            max_level: 0,
+            max_pairs: None,
+            counting_threads: None,
+            trim: None,
+            strategy: Strategy::default(),
+            bypass_cache: false,
+        }
+    }
+
+    /// Renders the request as one line of JSON. Named strategy families
+    /// serialize as their name; hand-rolled flag sets as a bool object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"query\":");
+        json::write_escaped(&mut out, &self.query);
+        match self.support {
+            SupportSpec::Frac(f) => {
+                let _ = write!(out, ",\"support\":{{\"frac\":{f}}}");
+            }
+            SupportSpec::Abs(s, t) => {
+                let _ = write!(out, ",\"support\":{{\"s\":{s},\"t\":{t}}}");
+            }
+        }
+        for (key, universe) in
+            [("s_universe", &self.s_universe), ("t_universe", &self.t_universe)]
+        {
+            if !universe.is_empty() {
+                let _ = write!(out, ",\"{key}\":[");
+                for (i, item) in universe.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", item.0);
+                }
+                out.push(']');
+            }
+        }
+        if self.max_level != 0 {
+            let _ = write!(out, ",\"max_level\":{}", self.max_level);
+        }
+        if let Some(n) = self.max_pairs {
+            let _ = write!(out, ",\"max_pairs\":{n}");
+        }
+        if let Some(n) = self.counting_threads {
+            let _ = write!(out, ",\"counting_threads\":{n}");
+        }
+        if let Some(t) = self.trim {
+            let _ = write!(out, ",\"trim\":{t}");
+        }
+        match self.strategy.name() {
+            Some(name) => {
+                let _ = write!(out, ",\"strategy\":\"{name}\"");
+            }
+            None => {
+                let _ = write!(
+                    out,
+                    ",\"strategy\":{{\"push_one_var\":{},\"push_two_var\":{},\"use_jkmax\":{},\"dovetail\":{}}}",
+                    self.strategy.push_one_var,
+                    self.strategy.push_two_var,
+                    self.strategy.use_jkmax,
+                    self.strategy.dovetail
+                );
+            }
+        }
+        if self.bypass_cache {
+            out.push_str(",\"bypass_cache\":true");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a request from JSON. Only `"query"` is required; every
+    /// other field falls back to its [`QueryRequest::new`] default.
+    /// Unknown keys are rejected so typos fail loudly instead of
+    /// silently running with defaults.
+    pub fn from_json(text: &str) -> Result<QueryRequest> {
+        let v = json::parse(text)?;
+        let fields = match &v {
+            Json::Obj(fields) => fields,
+            _ => return Err(CfqError::Parse("request must be a JSON object".into())),
+        };
+        const KNOWN: &[&str] = &[
+            "query", "support", "s_universe", "t_universe", "max_level", "max_pairs",
+            "counting_threads", "trim", "strategy", "bypass_cache",
+        ];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(CfqError::Parse(format!("unknown request field `{key}`")));
+            }
+        }
+        let query = v
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CfqError::Parse("request needs a string `query` field".into()))?;
+        let mut req = QueryRequest::new(query);
+
+        if let Some(s) = v.get("support") {
+            req.support = parse_support(s)?;
+        }
+        for (key, slot) in
+            [("s_universe", &mut req.s_universe), ("t_universe", &mut req.t_universe)]
+        {
+            if let Some(u) = v.get(key) {
+                let items = u
+                    .as_arr()
+                    .ok_or_else(|| CfqError::Parse(format!("`{key}` must be an array")))?;
+                *slot = items
+                    .iter()
+                    .map(|j| {
+                        j.as_u64()
+                            .filter(|&n| n <= u32::MAX as u64)
+                            .map(|n| ItemId(n as u32))
+                            .ok_or_else(|| {
+                                CfqError::Parse(format!("`{key}` entries must be item ids"))
+                            })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+            }
+        }
+        if let Some(n) = v.get("max_level") {
+            req.max_level = n
+                .as_u64()
+                .ok_or_else(|| CfqError::Parse("`max_level` must be a non-negative integer".into()))?
+                as usize;
+        }
+        for (key, slot) in
+            [("max_pairs", &mut req.max_pairs), ("counting_threads", &mut req.counting_threads)]
+        {
+            match v.get(key) {
+                None => {}
+                Some(j) if j.is_null() => {}
+                Some(j) => {
+                    *slot = Some(j.as_u64().ok_or_else(|| {
+                        CfqError::Parse(format!("`{key}` must be a non-negative integer"))
+                    })? as usize);
+                }
+            }
+        }
+        match v.get("trim") {
+            None => {}
+            Some(j) if j.is_null() => {}
+            Some(j) => {
+                req.trim = Some(
+                    j.as_bool()
+                        .ok_or_else(|| CfqError::Parse("`trim` must be a boolean".into()))?,
+                );
+            }
+        }
+        if let Some(s) = v.get("strategy") {
+            req.strategy = parse_strategy(s)?;
+        }
+        if let Some(b) = v.get("bypass_cache") {
+            req.bypass_cache = b
+                .as_bool()
+                .ok_or_else(|| CfqError::Parse("`bypass_cache` must be a boolean".into()))?;
+        }
+        Ok(req)
+    }
+}
+
+fn parse_support(v: &Json) -> Result<SupportSpec> {
+    // Accepted shapes: 0.25 (fraction shorthand), {"frac": 0.25},
+    // {"s": 3, "t": 4}, {"abs": 3} (both sides).
+    if let Some(f) = v.as_f64() {
+        return Ok(SupportSpec::Frac(f));
+    }
+    if let Some(f) = v.get("frac").and_then(Json::as_f64) {
+        return Ok(SupportSpec::Frac(f));
+    }
+    if let Some(n) = v.get("abs").and_then(Json::as_u64) {
+        return Ok(SupportSpec::Abs(n, n));
+    }
+    if let (Some(s), Some(t)) =
+        (v.get("s").and_then(Json::as_u64), v.get("t").and_then(Json::as_u64))
+    {
+        return Ok(SupportSpec::Abs(s, t));
+    }
+    Err(CfqError::Parse(
+        "`support` must be a fraction, {\"frac\":f}, {\"abs\":n}, or {\"s\":n,\"t\":n}".into(),
+    ))
+}
+
+fn parse_strategy(v: &Json) -> Result<Strategy> {
+    if let Some(name) = v.as_str() {
+        return Strategy::from_name(name)
+            .ok_or_else(|| CfqError::Parse(format!("unknown strategy `{name}`")));
+    }
+    if matches!(v, Json::Obj(_)) {
+        let flag = |key: &str, default: bool| -> Result<bool> {
+            match v.get(key) {
+                None => Ok(default),
+                Some(j) => j
+                    .as_bool()
+                    .ok_or_else(|| CfqError::Parse(format!("strategy `{key}` must be a boolean"))),
+            }
+        };
+        let d = Strategy::default();
+        return Ok(Strategy {
+            push_one_var: flag("push_one_var", d.push_one_var)?,
+            push_two_var: flag("push_two_var", d.push_two_var)?,
+            use_jkmax: flag("use_jkmax", d.use_jkmax)?,
+            dovetail: flag("dovetail", d.dovetail)?,
+        });
+    }
+    Err(CfqError::Parse("`strategy` must be a name or a flag object".into()))
+}
+
+/// A query's answer in wire form: the valid sets and pairs plus the
+/// provenance and work counters a client needs to reason about cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResponse {
+    /// The engine epoch the answer is exact for.
+    pub epoch: u64,
+    /// Number of valid (S, T) pairs (counted even past `max_pairs`).
+    pub pair_count: u64,
+    /// Materialized pairs as `(s_index, t_index)` into the set lists.
+    pub pairs: Vec<(u32, u32)>,
+    /// Frequent valid S-sets as `(items, support)`.
+    pub s_sets: Vec<(Vec<u32>, u64)>,
+    /// Frequent valid T-sets as `(items, support)`.
+    pub t_sets: Vec<(Vec<u32>, u64)>,
+    /// Database scans this execution performed (0 = fully cache-served).
+    pub db_scans: u64,
+    /// Provenance of the S lattice (`LatticeSource::describe`).
+    pub s_lattice: String,
+    /// Provenance of the T lattice.
+    pub t_lattice: String,
+    /// Whether the plan came from the plan cache.
+    pub plan_cached: bool,
+    /// Microseconds the query waited in the scheduler's admission queue.
+    pub wait_us: u64,
+}
+
+impl QueryResponse {
+    /// Projects a [`QueryOutcome`] into wire form.
+    pub fn from_outcome(out: &QueryOutcome) -> QueryResponse {
+        let project = |sets: &[(cfq_types::Itemset, u64)]| {
+            sets.iter()
+                .map(|(set, n)| (set.iter().map(|i| i.0).collect(), *n))
+                .collect()
+        };
+        QueryResponse {
+            epoch: out.epoch,
+            pair_count: out.outcome.pair_result.count,
+            pairs: out.outcome.pair_result.pairs.clone(),
+            s_sets: project(&out.outcome.s_sets),
+            t_sets: project(&out.outcome.t_sets),
+            db_scans: out.outcome.db_scans,
+            s_lattice: out.outcome.provenance.s_lattice.describe().to_string(),
+            t_lattice: out.outcome.provenance.t_lattice.describe().to_string(),
+            plan_cached: out.outcome.provenance.plan_cached,
+            wait_us: out.admission_wait.as_micros() as u64,
+        }
+    }
+
+    /// Renders the response as one line of JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"epoch\":{},\"pair_count\":{}", self.epoch, self.pair_count);
+        out.push_str(",\"pairs\":[");
+        for (i, (s, t)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{s},{t}]");
+        }
+        out.push(']');
+        for (key, sets) in [("s_sets", &self.s_sets), ("t_sets", &self.t_sets)] {
+            let _ = write!(out, ",\"{key}\":[");
+            for (i, (items, support)) in sets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"items\":[");
+                for (j, item) in items.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{item}");
+                }
+                let _ = write!(out, "],\"support\":{support}}}");
+            }
+            out.push(']');
+        }
+        let _ = write!(out, ",\"db_scans\":{}", self.db_scans);
+        out.push_str(",\"s_lattice\":");
+        json::write_escaped(&mut out, &self.s_lattice);
+        out.push_str(",\"t_lattice\":");
+        json::write_escaped(&mut out, &self.t_lattice);
+        let _ = write!(out, ",\"plan_cached\":{},\"wait_us\":{}", self.plan_cached, self.wait_us);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let req = QueryRequest::from_json(r#"{"query": "count(S) >= 1"}"#).unwrap();
+        assert_eq!(req, QueryRequest::new("count(S) >= 1"));
+        assert_eq!(req.support, SupportSpec::Frac(0.01));
+        assert!(!req.bypass_cache);
+    }
+
+    #[test]
+    fn full_request_round_trips() {
+        let req = QueryRequest {
+            query: "max(S.Price) <= 30 & min(T.Price) >= 40".into(),
+            support: SupportSpec::Abs(2, 3),
+            s_universe: vec![ItemId(0), ItemId(1)],
+            t_universe: vec![ItemId(4)],
+            max_level: 3,
+            max_pairs: Some(100),
+            counting_threads: Some(2),
+            trim: Some(false),
+            strategy: Strategy::cap_one_var(),
+            bypass_cache: true,
+        };
+        let round = QueryRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(req, round);
+    }
+
+    #[test]
+    fn hand_rolled_strategy_round_trips_as_flags() {
+        let mut req = QueryRequest::new("count(S) >= 1");
+        req.strategy = Strategy { dovetail: false, ..Strategy::default() };
+        assert!(req.strategy.name().is_none());
+        assert!(req.to_json().contains("\"dovetail\":false"));
+        assert_eq!(QueryRequest::from_json(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
+    fn support_shorthands() {
+        let frac =
+            QueryRequest::from_json(r#"{"query":"q", "support": 0.5}"#).unwrap();
+        assert_eq!(frac.support, SupportSpec::Frac(0.5));
+        let abs = QueryRequest::from_json(r#"{"query":"q", "support": {"abs": 7}}"#).unwrap();
+        assert_eq!(abs.support, SupportSpec::Abs(7, 7));
+        let st =
+            QueryRequest::from_json(r#"{"query":"q", "support": {"s": 2, "t": 9}}"#).unwrap();
+        assert_eq!(st.support, SupportSpec::Abs(2, 9));
+    }
+
+    #[test]
+    fn typos_are_rejected_not_defaulted() {
+        let err = QueryRequest::from_json(r#"{"query":"q", "bypass_cahce": true}"#).unwrap_err();
+        assert!(err.to_string().contains("bypass_cahce"), "{err}");
+        assert!(QueryRequest::from_json(r#"{"support": 0.5}"#).is_err(), "query is required");
+        assert!(QueryRequest::from_json(r#"{"query":"q","strategy":"fastest"}"#).is_err());
+    }
+
+    #[test]
+    fn support_resolution_validates() {
+        assert_eq!(SupportSpec::Frac(0.5).resolve(8).unwrap(), (4, 4));
+        assert_eq!(SupportSpec::Abs(2, 3).resolve(8).unwrap(), (2, 3));
+        assert!(SupportSpec::Frac(0.0).resolve(8).is_err());
+        assert!(SupportSpec::Frac(1.5).resolve(8).is_err());
+        assert!(SupportSpec::Abs(0, 1).resolve(8).is_err());
+    }
+
+    #[test]
+    fn response_renders_valid_json() {
+        let resp = QueryResponse {
+            epoch: 1,
+            pair_count: 2,
+            pairs: vec![(0, 1), (1, 0)],
+            s_sets: vec![(vec![0, 2], 3)],
+            t_sets: vec![(vec![4], 2), (vec![5], 2)],
+            db_scans: 0,
+            s_lattice: "cache hit (reused mined lattice)".into(),
+            t_lattice: "coalesced (shared an in-flight mining)".into(),
+            plan_cached: true,
+            wait_us: 17,
+        };
+        let v = crate::json::parse(&resp.to_json()).unwrap();
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("pairs").unwrap().as_arr().unwrap().len(), 2);
+        let s0 = &v.get("s_sets").unwrap().as_arr().unwrap()[0];
+        assert_eq!(s0.get("support").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("t_lattice").unwrap().as_str().unwrap(), resp.t_lattice);
+        assert_eq!(v.get("wait_us").unwrap().as_u64(), Some(17));
+    }
+}

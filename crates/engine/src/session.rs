@@ -1,8 +1,11 @@
 //! The fluent query API: `Session::query(..).min_support(..).run()`.
 //!
-//! A [`Session`] is a cheap handle on an [`Engine`]. Each query snapshots
-//! the engine's current epoch, plans through the plan cache, and serves
-//! each variable's lattice cache-first:
+//! A [`Session`] is a cheap handle on an [`Engine`]. The canonical query
+//! shape is a [`QueryRequest`] — [`QueryBuilder`] is sugar that fills one
+//! in, and [`Session::execute`] is the single entry point both feed
+//! into. Each execution takes a scheduler admission slot, snapshots the
+//! engine's current epoch, plans through the plan cache, and serves each
+//! variable's lattice cache-first:
 //!
 //! * the *effective universe* of a variable is its domain after the
 //!   succinct allowed-item filter of its 1-var constraints — the largest
@@ -10,6 +13,9 @@
 //! * a cached **complete** lattice over any superset universe at any
 //!   equal-or-lower threshold is filtered down (subset-of-universe,
 //!   support, level, full 1-var evaluation) instead of re-mined;
+//! * a cold miss goes through the scheduler's single-flight groups, so
+//!   concurrent identical misses share one mining pass and compatible
+//!   ones batch onto it at the minimum requested support;
 //! * final pair formation re-verifies every original 2-var constraint
 //!   and the answer is compacted to the sets participating in a valid
 //!   pair — the same step the one-shot [`Optimizer`] ends with, which is
@@ -21,6 +27,7 @@
 //! asserts.
 
 use crate::engine::{plan_fingerprint, Engine, EpochState};
+use crate::request::QueryRequest;
 use cfq_constraints::{bind_query, eval_all_one, parse_query, OneVar, SuccinctForm, Var};
 use cfq_core::{
     compact_used, form_pairs_with, CfqPlan, ExecutionOutcome, LatticeSource, Optimizer,
@@ -28,8 +35,10 @@ use cfq_core::{
 };
 use cfq_mining::WorkStats;
 use cfq_obs as obs;
-use cfq_types::{Catalog, CfqError, ItemId, Itemset, Result};
+use cfq_types::{Catalog, ItemId, Itemset, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A handle for running queries against an [`Engine`]. Cheap to clone;
 /// open one per thread of work.
@@ -48,19 +57,19 @@ impl Session {
     /// builder methods, then [`QueryBuilder::run`] or
     /// [`QueryBuilder::explain`].
     pub fn query(&self, text: &str) -> QueryBuilder {
-        QueryBuilder {
-            engine: Arc::clone(&self.engine),
-            text: text.to_string(),
-            support: SupportSpec::Frac(0.01),
-            s_universe: Vec::new(),
-            t_universe: Vec::new(),
-            max_level: 0,
-            max_pairs: None,
-            counting_threads: None,
-            trim: None,
-            strategy: Optimizer::default(),
-            use_cache: true,
-        }
+        QueryBuilder { engine: Arc::clone(&self.engine), req: QueryRequest::new(text) }
+    }
+
+    /// Runs a fully-specified [`QueryRequest`] — the entry point the
+    /// builder, the wire protocol, and programmatic callers share.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        execute(&self.engine, req)
+    }
+
+    /// Plans `req` and renders the EXPLAIN text without executing (and
+    /// without taking an admission slot).
+    pub fn explain(&self, req: &QueryRequest) -> Result<String> {
+        explain(&self.engine, req)
     }
 
     /// The engine this session runs against.
@@ -69,315 +78,329 @@ impl Session {
     }
 }
 
-/// How the support threshold was specified.
-#[derive(Clone, Copy, Debug)]
-enum SupportSpec {
-    /// Fraction of the epoch's transaction count (default 1%).
-    Frac(f64),
-    /// Absolute thresholds, S and T.
-    Abs(u64, u64),
+/// A fixed-size, round-robin pool of [`Session`]s over one engine.
+///
+/// Serving stacks hand every request `pool.session()` instead of opening
+/// a session per connection: scheduler fairness (admission order,
+/// batching) is then per-*request*, and a connection that never speaks
+/// again holds no query state.
+pub struct SessionPool {
+    sessions: Vec<Session>,
+    next: AtomicUsize,
 }
 
-impl SupportSpec {
-    fn resolve(self, rows: usize) -> Result<(u64, u64)> {
-        match self {
-            SupportSpec::Frac(f) => {
-                // Zero is rejected, not clamped: `0` silently meaning
-                // "support 1 transaction" misled serve clients into
-                // mining everything.
-                if !(f > 0.0 && f <= 1.0) {
-                    return Err(CfqError::Config(format!(
-                        "support fraction {f} is outside (0, 1]"
-                    )));
-                }
-                let s = ((f * rows as f64).ceil() as u64).max(1);
-                Ok((s, s))
-            }
-            SupportSpec::Abs(s, t) => {
-                if s == 0 || t == 0 {
-                    return Err(CfqError::Config(
-                        "absolute minimum support must be at least 1".into(),
-                    ));
-                }
-                Ok((s, t))
-            }
+impl SessionPool {
+    /// A pool of `size` sessions (at least 1) on `engine`.
+    pub fn new(engine: &Arc<Engine>, size: usize) -> SessionPool {
+        let size = size.max(1);
+        SessionPool {
+            sessions: (0..size).map(|_| engine.session()).collect(),
+            next: AtomicUsize::new(0),
         }
+    }
+
+    /// The next session, round-robin.
+    pub fn session(&self) -> &Session {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        &self.sessions[i % self.sessions.len()]
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        self.sessions[0].engine()
     }
 }
 
-/// Fluent configuration of one query; terminal methods are
-/// [`QueryBuilder::run`] and [`QueryBuilder::explain`].
+/// Fluent configuration of one query — a thin front-end that fills in a
+/// [`QueryRequest`]; terminal methods are [`QueryBuilder::run`] and
+/// [`QueryBuilder::explain`].
 #[derive(Clone)]
 pub struct QueryBuilder {
     engine: Arc<Engine>,
-    text: String,
-    support: SupportSpec,
-    s_universe: Vec<ItemId>,
-    t_universe: Vec<ItemId>,
-    max_level: usize,
-    max_pairs: Option<usize>,
-    counting_threads: Option<usize>,
-    trim: Option<bool>,
-    strategy: Optimizer,
-    use_cache: bool,
+    req: QueryRequest,
 }
 
 impl QueryBuilder {
     /// Absolute minimum support for both variables.
     pub fn min_support(mut self, support: u64) -> Self {
-        self.support = SupportSpec::Abs(support, support);
+        self.req.support = crate::request::SupportSpec::Abs(support, support);
         self
     }
 
     /// Minimum support as a fraction of the transaction count (the
     /// default is 1%).
     pub fn min_support_frac(mut self, frac: f64) -> Self {
-        self.support = SupportSpec::Frac(frac);
+        self.req.support = crate::request::SupportSpec::Frac(frac);
         self
     }
 
     /// Distinct absolute thresholds for S and T.
     pub fn supports(mut self, s: u64, t: u64) -> Self {
-        self.support = SupportSpec::Abs(s, t);
+        self.req.support = crate::request::SupportSpec::Abs(s, t);
         self
     }
 
     /// Restricts the S domain (empty = all items). Order is normalized.
     pub fn s_universe(mut self, items: Vec<ItemId>) -> Self {
-        self.s_universe = items;
+        self.req.s_universe = items;
         self
     }
 
     /// Restricts the T domain (empty = all items). Order is normalized.
     pub fn t_universe(mut self, items: Vec<ItemId>) -> Self {
-        self.t_universe = items;
+        self.req.t_universe = items;
         self
     }
 
     /// Caps the lattice depth (0 = unbounded). Capped queries can still
-    /// *hit* the cache, but their own cold minings are not cached —
-    /// a truncated family is not complete.
+    /// *hit* the cache or join a single-flight group, but their own cold
+    /// minings are not cached — a truncated family is not complete.
     pub fn max_level(mut self, max_level: usize) -> Self {
-        self.max_level = max_level;
+        self.req.max_level = max_level;
         self
     }
 
     /// Caps pair materialization (`None` = materialize all).
     pub fn max_pairs(mut self, max_pairs: usize) -> Self {
-        self.max_pairs = Some(max_pairs);
+        self.req.max_pairs = Some(max_pairs);
         self
     }
 
-    /// Selects the optimizer strategy family. With the cache enabled
-    /// (the default) this shapes the plan and EXPLAIN output — answers
-    /// are strategy-invariant by final pair verification. With
+    /// Selects the strategy family. With the cache enabled (the default)
+    /// this shapes the plan and EXPLAIN output — answers are
+    /// strategy-invariant by final pair verification. With
     /// [`QueryBuilder::bypass_cache`] it selects the one-shot executor
     /// actually run.
     pub fn strategy(mut self, strategy: Optimizer) -> Self {
-        self.strategy = strategy;
+        self.req.strategy = strategy;
         self
     }
 
     /// Overrides the engine's default support-counting thread count.
     pub fn counting_threads(mut self, threads: usize) -> Self {
-        self.counting_threads = Some(threads);
+        self.req.counting_threads = Some(threads);
         self
     }
 
     /// Overrides the engine's default per-level database reduction.
     pub fn trim(mut self, trim: bool) -> Self {
-        self.trim = Some(trim);
+        self.req.trim = Some(trim);
         self
     }
 
     /// Executes this query as a one-shot [`Optimizer`] run against the
-    /// epoch snapshot — no lattice cache lookups or insertions. The plan
-    /// cache is still used (plans never read the data). This is the knob
-    /// benchmarks use to compare the cached path against the paper's
-    /// per-query strategies.
+    /// epoch snapshot — no lattice cache lookups, insertions, or
+    /// single-flight groups. The plan cache is still used (plans never
+    /// read the data). This is the knob benchmarks use to compare the
+    /// cached path against the paper's per-query strategies.
     pub fn bypass_cache(mut self) -> Self {
-        self.use_cache = false;
+        self.req.bypass_cache = true;
         self
     }
 
-    fn full_universe(&self, var: Var, catalog: &Catalog) -> Vec<ItemId> {
-        let u = match var {
-            Var::S => &self.s_universe,
-            Var::T => &self.t_universe,
-        };
-        if u.is_empty() {
-            (0..catalog.n_items() as u32).map(ItemId).collect()
-        } else {
-            let mut u = u.clone();
-            u.sort_unstable();
-            u.dedup();
-            u
-        }
+    /// The accumulated [`QueryRequest`] — what [`QueryBuilder::run`]
+    /// will execute; serialize it with `to_json` to replay elsewhere.
+    pub fn request(&self) -> &QueryRequest {
+        &self.req
     }
 
     /// Plans the query and renders the EXPLAIN text, including predicted
     /// cache provenance for both lattices. Does not touch the data or
     /// perturb cache counters.
     pub fn explain(&self) -> Result<String> {
-        let snap = self.engine.snapshot();
-        let bound = bind_query(&parse_query(&self.text)?, &snap.catalog)?;
-        let (plan, plan_cached) = self
-            .engine
-            .plan_for(plan_fingerprint(&self.strategy, &bound, &snap.catalog), || {
-                self.strategy.build_plan(&bound, &snap.catalog)
-            });
-        let (s_sup, t_sup) = self.support.resolve(snap.db.len())?;
-        let mut provenance = OutcomeProvenance { plan_cached, ..Default::default() };
-        if self.use_cache {
-            for (var, sup, slot) in [
-                (Var::S, s_sup, &mut provenance.s_lattice),
-                (Var::T, t_sup, &mut provenance.t_lattice),
-            ] {
-                let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
-                let form = SuccinctForm::compile(&one, &snap.catalog);
-                if !form.unsatisfiable() {
-                    let eff = form.filter_universe(&self.full_universe(var, &snap.catalog));
-                    *slot = self.engine.peek_source(&snap, &eff, sup);
-                }
-            }
-        }
-        Ok(format!("{}{}", plan.explain(&snap.catalog), provenance.render()))
+        explain(&self.engine, &self.req)
     }
 
     /// Runs the query and returns the outcome together with the epoch it
     /// was answered at.
     pub fn run(self) -> Result<QueryOutcome> {
-        let snap = self.engine.snapshot();
-        let mut query_span = obs::span(obs::Level::Info, "session.query")
-            .str("query", self.text.clone())
-            .u64("epoch", snap.epoch);
-        let bound = bind_query(&parse_query(&self.text)?, &snap.catalog)?;
-        let fingerprint = plan_fingerprint(&self.strategy, &bound, &snap.catalog);
-        let (plan, plan_cached) = self
-            .engine
-            .plan_for(fingerprint, || self.strategy.build_plan(&bound, &snap.catalog));
-        let (s_sup, t_sup) = self.support.resolve(snap.db.len())?;
-        let threads = self.counting_threads.unwrap_or(self.engine.config().counting_threads);
-        let trim = self.trim.unwrap_or(self.engine.config().trim);
+        execute(&self.engine, &self.req)
+    }
+}
 
-        if !self.use_cache {
-            let env = QueryEnv {
-                db: &snap.db,
-                catalog: &snap.catalog,
-                s_universe: self.full_universe(Var::S, &snap.catalog),
-                t_universe: self.full_universe(Var::T, &snap.catalog),
-                s_min_support: s_sup,
-                t_min_support: t_sup,
-                max_level: self.max_level,
-                max_pairs: self.max_pairs,
-                form_pairs: true,
-                counting_threads: threads,
-                trim,
-            };
-            let mut outcome = self.strategy.execute_plan(&plan, &env)?;
-            outcome.provenance.plan_cached = plan_cached;
-            query_span.record_u64("db_scans", outcome.db_scans);
-            query_span.record_str("path", "bypass_cache");
-            return Ok(QueryOutcome {
-                outcome,
-                epoch: snap.epoch,
-                plan,
-                fingerprint,
-                catalog: Arc::clone(&snap.catalog),
-            });
+fn full_universe(req: &QueryRequest, var: Var, catalog: &Catalog) -> Vec<ItemId> {
+    let u = match var {
+        Var::S => &req.s_universe,
+        Var::T => &req.t_universe,
+    };
+    if u.is_empty() {
+        (0..catalog.n_items() as u32).map(ItemId).collect()
+    } else {
+        let mut u = u.clone();
+        u.sort_unstable();
+        u.dedup();
+        u
+    }
+}
+
+/// Plans `req` and renders the EXPLAIN text with predicted provenance.
+pub(crate) fn explain(engine: &Arc<Engine>, req: &QueryRequest) -> Result<String> {
+    let snap = engine.snapshot();
+    let bound = bind_query(&parse_query(&req.query)?, &snap.catalog)?;
+    let (plan, plan_cached) = engine
+        .plan_for(plan_fingerprint(&req.strategy, &bound, &snap.catalog), || {
+            req.strategy.build_plan(&bound, &snap.catalog)
+        });
+    let (s_sup, t_sup) = req.support.resolve(snap.db.len())?;
+    let mut provenance = OutcomeProvenance { plan_cached, ..Default::default() };
+    if !req.bypass_cache {
+        for (var, sup, slot) in [
+            (Var::S, s_sup, &mut provenance.s_lattice),
+            (Var::T, t_sup, &mut provenance.t_lattice),
+        ] {
+            let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
+            let form = SuccinctForm::compile(&one, &snap.catalog);
+            if !form.unsatisfiable() {
+                let eff = form.filter_universe(&full_universe(req, var, &snap.catalog));
+                *slot = engine.peek_source(&snap, &eff, sup);
+            }
         }
+    }
+    Ok(format!("{}{}", plan.explain(&snap.catalog), provenance.render()))
+}
 
-        let s_side = self.run_side(&snap, &bound, Var::S, s_sup, threads, trim);
-        let t_side = self.run_side(&snap, &bound, Var::T, t_sup, threads, trim);
+/// Executes `req` against `engine`: admission, snapshot, plan, both
+/// sides cache-first, final pair formation.
+pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryOutcome> {
+    // Admission covers the whole execution, including the bypass path —
+    // every query holds exactly one slot while it runs.
+    let permit = engine.admit()?;
+    let admission_wait = permit.wait;
 
-        let mut pair_result = form_pairs_with(
-            &s_side.sets,
-            &t_side.sets,
-            &plan.trace().final_two,
-            &snap.catalog,
-            self.max_pairs,
-            threads,
-        );
-        let (s_sets, s_remap) = compact_used(s_side.sets, &pair_result.s_used);
-        let (t_sets, t_remap) = compact_used(t_side.sets, &pair_result.t_used);
-        for (si, ti) in &mut pair_result.pairs {
-            *si = s_remap[*si as usize];
-            *ti = t_remap[*ti as usize];
-        }
+    let snap = engine.snapshot();
+    let mut query_span = obs::span(obs::Level::Info, "session.query")
+        .str("query", req.query.clone())
+        .u64("epoch", snap.epoch)
+        .u64("wait_us", admission_wait.as_micros() as u64);
+    let bound = bind_query(&parse_query(&req.query)?, &snap.catalog)?;
+    let fingerprint = plan_fingerprint(&req.strategy, &bound, &snap.catalog);
+    let (plan, plan_cached) =
+        engine.plan_for(fingerprint, || req.strategy.build_plan(&bound, &snap.catalog));
+    let (s_sup, t_sup) = req.support.resolve(snap.db.len())?;
+    let threads = req.counting_threads.unwrap_or(engine.config().counting_threads);
+    let trim = req.trim.unwrap_or(engine.config().trim);
 
-        let db_scans = s_side.stats.db_scans + t_side.stats.db_scans;
-        let mut scan = s_side.stats.scan.clone();
-        scan.absorb(&t_side.stats.scan);
-        let outcome = ExecutionOutcome {
-            s_sets,
-            t_sets,
-            pair_result,
-            s_stats: s_side.stats,
-            t_stats: t_side.stats,
-            db_scans,
-            scan,
-            v_histories: Vec::new(),
-            provenance: OutcomeProvenance {
-                s_lattice: s_side.source,
-                t_lattice: t_side.source,
-                plan_cached,
-            },
+    if req.bypass_cache {
+        let env = QueryEnv {
+            db: &snap.db,
+            catalog: &snap.catalog,
+            s_universe: full_universe(req, Var::S, &snap.catalog),
+            t_universe: full_universe(req, Var::T, &snap.catalog),
+            s_min_support: s_sup,
+            t_min_support: t_sup,
+            max_level: req.max_level,
+            max_pairs: req.max_pairs,
+            form_pairs: true,
+            counting_threads: threads,
+            trim,
         };
+        let mut outcome = req.strategy.execute_plan(&plan, &env)?;
+        outcome.provenance.plan_cached = plan_cached;
         query_span.record_u64("db_scans", outcome.db_scans);
-        query_span.record_u64("pairs", outcome.pair_result.count);
-        query_span.record_str("s_lattice", outcome.provenance.s_lattice.describe());
-        query_span.record_str("t_lattice", outcome.provenance.t_lattice.describe());
-        Ok(QueryOutcome {
+        query_span.record_str("path", "bypass_cache");
+        return Ok(QueryOutcome {
             outcome,
             epoch: snap.epoch,
+            admission_wait,
             plan,
             fingerprint,
             catalog: Arc::clone(&snap.catalog),
-        })
+        });
     }
 
-    /// One variable's cache-first evaluation: effective universe, lattice
-    /// (cached or mined), then the filter that carves this query's
-    /// frequent valid sets out of the complete family.
-    fn run_side(
-        &self,
-        snap: &EpochState,
-        bound: &cfq_constraints::BoundQuery,
-        var: Var,
-        min_support: u64,
-        threads: usize,
-        trim: bool,
-    ) -> SideOutcome {
-        let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
-        let form = SuccinctForm::compile(&one, &snap.catalog);
-        let mut stats = WorkStats::new();
-        if form.unsatisfiable() {
-            return SideOutcome { sets: Vec::new(), stats, source: LatticeSource::MinedCold };
-        }
-        let eff = form.filter_universe(&self.full_universe(var, &snap.catalog));
-        let (lattice, source) =
-            self.engine.lattice_for(snap, &eff, min_support, self.max_level, threads, trim, &mut stats);
+    let s_side = run_side(engine, req, &snap, &bound, Var::S, s_sup, threads, trim);
+    let t_side = run_side(engine, req, &snap, &bound, Var::T, t_sup, threads, trim);
 
-        let mut sets: Vec<(Itemset, u64)> = Vec::new();
-        let mut checks = 0u64;
-        for (set, n) in lattice.iter() {
-            if self.max_level != 0 && set.len() > self.max_level {
-                break; // iteration is by ascending level
-            }
-            if n < min_support {
-                continue;
-            }
-            if !set.iter().all(|i| eff.binary_search(&i).is_ok()) {
-                continue; // entry was mined over a wider universe
-            }
-            checks += one.len() as u64;
-            if eval_all_one(&one, set, &snap.catalog) {
-                sets.push((set.clone(), n));
-            }
-        }
-        stats.record_checks(checks);
-        SideOutcome { sets, stats, source }
+    let mut pair_result = form_pairs_with(
+        &s_side.sets,
+        &t_side.sets,
+        &plan.trace().final_two,
+        &snap.catalog,
+        req.max_pairs,
+        threads,
+    );
+    let (s_sets, s_remap) = compact_used(s_side.sets, &pair_result.s_used);
+    let (t_sets, t_remap) = compact_used(t_side.sets, &pair_result.t_used);
+    for (si, ti) in &mut pair_result.pairs {
+        *si = s_remap[*si as usize];
+        *ti = t_remap[*ti as usize];
     }
+
+    let db_scans = s_side.stats.db_scans + t_side.stats.db_scans;
+    let mut scan = s_side.stats.scan.clone();
+    scan.absorb(&t_side.stats.scan);
+    let outcome = ExecutionOutcome {
+        s_sets,
+        t_sets,
+        pair_result,
+        s_stats: s_side.stats,
+        t_stats: t_side.stats,
+        db_scans,
+        scan,
+        v_histories: Vec::new(),
+        provenance: OutcomeProvenance {
+            s_lattice: s_side.source,
+            t_lattice: t_side.source,
+            plan_cached,
+        },
+    };
+    query_span.record_u64("db_scans", outcome.db_scans);
+    query_span.record_u64("pairs", outcome.pair_result.count);
+    query_span.record_str("s_lattice", outcome.provenance.s_lattice.describe());
+    query_span.record_str("t_lattice", outcome.provenance.t_lattice.describe());
+    Ok(QueryOutcome {
+        outcome,
+        epoch: snap.epoch,
+        admission_wait,
+        plan,
+        fingerprint,
+        catalog: Arc::clone(&snap.catalog),
+    })
+}
+
+/// One variable's cache-first evaluation: effective universe, lattice
+/// (cached, coalesced, or mined), then the filter that carves this
+/// query's frequent valid sets out of the complete family.
+#[allow(clippy::too_many_arguments)]
+fn run_side(
+    engine: &Arc<Engine>,
+    req: &QueryRequest,
+    snap: &EpochState,
+    bound: &cfq_constraints::BoundQuery,
+    var: Var,
+    min_support: u64,
+    threads: usize,
+    trim: bool,
+) -> SideOutcome {
+    let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
+    let form = SuccinctForm::compile(&one, &snap.catalog);
+    let mut stats = WorkStats::new();
+    if form.unsatisfiable() {
+        return SideOutcome { sets: Vec::new(), stats, source: LatticeSource::MinedCold };
+    }
+    let eff = form.filter_universe(&full_universe(req, var, &snap.catalog));
+    let (lattice, source) =
+        engine.lattice_for(snap, &eff, min_support, req.max_level, threads, trim, &mut stats);
+
+    let mut sets: Vec<(Itemset, u64)> = Vec::new();
+    let mut checks = 0u64;
+    for (set, n) in lattice.iter() {
+        if req.max_level != 0 && set.len() > req.max_level {
+            break; // iteration is by ascending level
+        }
+        if n < min_support {
+            continue;
+        }
+        if !set.iter().all(|i| eff.binary_search(&i).is_ok()) {
+            continue; // entry was mined over a wider universe
+        }
+        checks += one.len() as u64;
+        if eval_all_one(&one, set, &snap.catalog) {
+            sets.push((set.clone(), n));
+        }
+    }
+    stats.record_checks(checks);
+    SideOutcome { sets, stats, source }
 }
 
 struct SideOutcome {
@@ -394,6 +417,9 @@ pub struct QueryOutcome {
     pub outcome: ExecutionOutcome,
     /// The engine epoch this answer is exact for.
     pub epoch: u64,
+    /// Time spent waiting at the scheduler's admission gate (zero on the
+    /// uncontended fast path).
+    pub admission_wait: Duration,
     plan: Arc<CfqPlan>,
     fingerprint: u64,
     catalog: Arc<Catalog>,
@@ -436,7 +462,8 @@ impl QueryOutcome {
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
-    use cfq_types::{CatalogBuilder, TransactionDb};
+    use crate::request::SupportSpec;
+    use cfq_types::{CatalogBuilder, CfqError, TransactionDb};
 
     fn catalog() -> Catalog {
         let mut b = CatalogBuilder::new(6);
@@ -486,6 +513,24 @@ mod tests {
     }
 
     #[test]
+    fn builder_and_request_are_the_same_query() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let built = session.query(Q).min_support(2).run().unwrap();
+
+        let mut req = QueryRequest::new(Q);
+        req.support = SupportSpec::Abs(2, 2);
+        assert_eq!(session.query(Q).min_support(2).request(), &req);
+        let executed = session.execute(&req).unwrap();
+        assert_same_answer(&built.outcome, &executed.outcome);
+
+        // And through the wire form.
+        let wire = QueryRequest::from_json(&req.to_json()).unwrap();
+        let from_wire = session.execute(&wire).unwrap();
+        assert_same_answer(&built.outcome, &from_wire.outcome);
+    }
+
+    #[test]
     fn warm_rerun_scans_nothing() {
         let engine = crate::Engine::new(db(), catalog()).unwrap();
         let session = engine.session();
@@ -503,6 +548,11 @@ mod tests {
         assert_eq!(stats.lattice_hits, 2);
         assert!(stats.scans_saved > 0);
         assert!(stats.plan_hits >= 1);
+
+        let sched = engine.scheduler_stats();
+        assert_eq!(sched.mining_passes, 2, "one pass per cold side");
+        assert_eq!(sched.coalesced, 0, "sequential queries never coalesce");
+        assert_eq!(sched.admitted, 2);
     }
 
     #[test]
@@ -633,5 +683,37 @@ mod tests {
     fn parse_errors_surface() {
         let engine = crate::Engine::new(db(), catalog()).unwrap();
         assert!(engine.session().query("max(S.Price <= 30").min_support(2).run().is_err());
+    }
+
+    #[test]
+    fn session_pool_round_robins_over_one_engine() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let pool = SessionPool::new(&engine, 3);
+        assert!(Arc::ptr_eq(pool.engine(), &engine));
+        // Warm the cache through one pool session, then observe every
+        // session sharing it.
+        pool.session().query(Q).min_support(2).run().unwrap();
+        for _ in 0..3 {
+            let out = pool.session().query(Q).min_support(2).run().unwrap();
+            assert_eq!(out.outcome.db_scans, 0, "pool sessions share the engine cache");
+        }
+        // Size 0 is clamped to a working pool.
+        let tiny = SessionPool::new(&engine, 0);
+        tiny.session().query(Q).min_support(2).run().unwrap();
+    }
+
+    #[test]
+    fn uncontended_admission_is_free_and_counted() {
+        let cfg = EngineConfig {
+            max_inflight_queries: 1,
+            max_queued_queries: 1,
+            ..EngineConfig::default()
+        };
+        let engine = crate::Engine::with_config(db(), catalog(), cfg).unwrap();
+        let out = engine.session().query(Q).min_support(2).run().unwrap();
+        assert_eq!(out.admission_wait, Duration::ZERO);
+        let sched = engine.scheduler_stats();
+        assert_eq!(sched.admitted, 1);
+        assert_eq!((sched.inflight, sched.queued, sched.overloaded), (0, 0, 0));
     }
 }

@@ -7,9 +7,9 @@
 use cfq_constraints::{bind_query, parse_query};
 use cfq_core::{ExecutionOutcome, Optimizer, QueryEnv};
 use cfq_datagen::{QuestConfig, ScenarioBuilder};
-use cfq_engine::Engine;
-use cfq_types::{ItemId, TransactionDb};
-use std::sync::Arc;
+use cfq_engine::{Engine, EngineConfig};
+use cfq_types::{CatalogBuilder, ItemId, TransactionDb};
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
@@ -118,4 +118,74 @@ fn concurrent_sessions_survive_an_append() {
 
     let stats = engine.cache_stats();
     assert!(stats.lattice_hits > 0, "concurrent runs should share cached lattices");
+}
+
+/// The scheduler's single-flight guarantee, end to end: K identical cold
+/// queries released simultaneously perform exactly ONE mining pass —
+/// one leader mines, the other K-1 coalesce onto it and are answered
+/// from the shared lattice.
+#[test]
+fn identical_cold_queries_share_one_mining_pass() {
+    // `min(T.Price) >= 999` is succinct-unsatisfiable (no such item), so
+    // the T side never requests a lattice and each query makes exactly
+    // one scheduler request (for S) — making the pass count exact.
+    const Q: &str = "max(S.Price) <= 30 & min(T.Price) >= 999";
+    const K: usize = 6;
+
+    let mut b = CatalogBuilder::new(6);
+    b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+    let db = TransactionDb::from_u32(
+        6,
+        &[
+            &[0, 1, 2, 3],
+            &[0, 1, 2],
+            &[1, 2, 3, 4],
+            &[0, 2, 4],
+            &[0, 1, 3, 5],
+            &[2, 3, 4, 5],
+            &[0, 1, 2, 3, 4],
+            &[1, 3, 5],
+        ],
+    );
+    // A generous batch window: the leader holds its group open long
+    // enough that every barrier-released peer joins it, keeping the
+    // assertion deterministic even on a loaded machine.
+    let config =
+        EngineConfig { batch_window: Duration::from_millis(200), ..EngineConfig::default() };
+    let engine = Engine::with_config(db, b.build(), config).unwrap();
+
+    let barrier = Arc::new(Barrier::new(K));
+    let handles: Vec<_> = (0..K)
+        .map(|_| {
+            let session = engine.session();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                session.query(Q).min_support(2).run().unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every member of the group got the same (empty-pair) answer.
+    for out in &outcomes {
+        assert_eq!(out.outcome.s_sets, outcomes[0].outcome.s_sets);
+        assert_eq!(out.outcome.pair_result.count, 0, "T side is unsatisfiable");
+    }
+
+    let sched = engine.scheduler_stats();
+    assert_eq!(sched.mining_passes, 1, "one leader mined for everyone: {sched:?}");
+    assert_eq!(sched.coalesced as usize, K - 1, "the rest coalesced: {sched:?}");
+    assert_eq!(sched.batched, 0, "identical supports are not batches: {sched:?}");
+    assert_eq!(sched.admitted as usize, K, "{sched:?}");
+    assert_eq!(sched.overloaded, 0, "{sched:?}");
+
+    // Every lookup missed (the entry lands only after the group mines),
+    // but the K-1 coalesced queries credited the leader's scan cost as
+    // saved work — and only the leader actually touched the database.
+    let cache = engine.cache_stats();
+    assert_eq!(cache.lattice_misses as usize, K, "{cache:?}");
+    assert!(cache.scans_saved > 0, "coalesced scans credited: {cache:?}");
+    let scanning: Vec<_> = outcomes.iter().filter(|o| o.outcome.db_scans > 0).collect();
+    assert_eq!(scanning.len(), 1, "only the leader touched the database");
 }

@@ -28,7 +28,7 @@ pub mod metrics;
 pub mod slowlog;
 pub mod trace;
 
-pub use metrics::{latency_buckets, Counter, Gauge, Histogram, Registry};
+pub use metrics::{latency_buckets, wait_buckets, Counter, Gauge, Histogram, Registry};
 pub use slowlog::{SlowLevel, SlowLog, SlowQuery};
 pub use trace::{
     enabled, event, set_subscriber, span, Event, FieldValue, FmtSubscriber, Level, SpanGuard,

@@ -37,6 +37,10 @@ pub enum CfqError {
     /// by the lossless `From<Diagnostic>` conversion in `cfq-audit`, so
     /// `--audit` gates propagate as typed errors.
     Audit(String),
+    /// The engine's admission queue is full: the query was rejected before
+    /// doing any work so the caller can shed load or retry. Carries the
+    /// concurrency and queue-depth limits that were hit.
+    Overloaded(String),
 }
 
 impl fmt::Display for CfqError {
@@ -50,6 +54,7 @@ impl fmt::Display for CfqError {
             CfqError::Engine(m) => write!(f, "engine error: {m}"),
             CfqError::CacheBudget(m) => write!(f, "cache budget error: {m}"),
             CfqError::Audit(m) => write!(f, "audit error: {m}"),
+            CfqError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

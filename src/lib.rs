@@ -79,9 +79,13 @@ pub mod prelude {
         LatticeConfig, LatticeRun, LatticeSource, Optimizer, OutcomeProvenance, QueryEnv, Rule,
         RuleConfig,
     };
+    // `cfq_core::Strategy` (the Optimizer alias) stays out of the
+    // prelude: it would shadow-collide with proptest's `Strategy` trait
+    // under double glob imports. Reach it as `cfq::core::Strategy`.
     pub use cfq_datagen::{generate_transactions, QuestConfig, Scenario, ScenarioBuilder};
     pub use cfq_engine::{
-        CacheStats, Engine, EngineConfig, EpochInfo, QueryBuilder, QueryOutcome, Session,
+        CacheStats, Engine, EngineConfig, EpochInfo, QueryBuilder, QueryOutcome, QueryRequest,
+        QueryResponse, SchedulerStats, Session, SessionPool, SupportSpec,
     };
     pub use cfq_mining::{
         apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,

@@ -1,0 +1,100 @@
+//! Property test for the scheduler's batched single-flight mining: when
+//! several concurrent queries over the same universe — at *different*
+//! supports — coalesce onto one mining pass (executed at the group's
+//! minimum support), every member's answer must be bit-identical to the
+//! answer it would get mined alone: same sets, same support counts, same
+//! valid pairs. This is the weaker-envelope reuse guarantee under
+//! concurrency instead of across time.
+
+use cfq::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const QUERIES: [&str; 3] = [
+    "max(S.Price) <= 80 & min(T.Price) >= 80",
+    "sum(S.Price) <= sum(T.Price)",
+    "max(S.Price) <= min(T.Price)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_members_match_solo_mining(
+        seed in 0u64..1_000,
+        qi in 0usize..QUERIES.len(),
+        supports in prop::collection::vec(2u64..7, 2..5),
+    ) {
+        let sc = ScenarioBuilder::new(QuestConfig { seed, ..QuestConfig::tiny() })
+            .split_uniform_prices((10.0, 100.0), (40.0, 160.0))
+            .unwrap();
+        let query = QUERIES[qi];
+
+        // One engine, a batch window wide enough that every
+        // barrier-released member lands in the leader's group.
+        let config = EngineConfig {
+            batch_window: Duration::from_millis(100),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_config(sc.db.clone(), sc.catalog, config).unwrap();
+
+        let barrier = Arc::new(Barrier::new(supports.len()));
+        let handles: Vec<_> = supports
+            .iter()
+            .map(|&support| {
+                let session = engine.session();
+                let barrier = Arc::clone(&barrier);
+                let s_items = sc.s_items.clone();
+                let t_items = sc.t_items.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    session
+                        .query(query)
+                        .min_support(support)
+                        .s_universe(s_items)
+                        .t_universe(t_items)
+                        .run()
+                        .unwrap()
+                })
+            })
+            .collect();
+        let grouped: Vec<QueryOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Solo reference per member: the one-shot optimizer at exactly
+        // that member's support, no cache and no scheduler involved.
+        let catalog = engine.catalog();
+        let bound = bind_query(&parse_query(query).unwrap(), &catalog).unwrap();
+        for (&support, out) in supports.iter().zip(&grouped) {
+            let env = QueryEnv::new(&sc.db, &catalog, support)
+                .with_s_universe(sc.s_items.clone())
+                .with_t_universe(sc.t_items.clone());
+            let solo = Optimizer::default().evaluate(&bound, &env).unwrap();
+            prop_assert_eq!(
+                &out.outcome.s_sets, &solo.s_sets,
+                "S side for `{}` at support {}", query, support
+            );
+            prop_assert_eq!(
+                &out.outcome.t_sets, &solo.t_sets,
+                "T side for `{}` at support {}", query, support
+            );
+            prop_assert_eq!(
+                out.outcome.pair_result.count, solo.pair_result.count,
+                "pair count for `{}` at support {}", query, support
+            );
+            prop_assert_eq!(
+                &out.outcome.pair_result.pairs, &solo.pair_result.pairs,
+                "pairs for `{}` at support {}", query, support
+            );
+        }
+
+        // The group really did share work: at most one mining pass per
+        // side (S and T), regardless of how many members ran.
+        let sched = engine.scheduler_stats();
+        prop_assert!(
+            sched.mining_passes <= 2,
+            "expected at most one pass per side, got {:?}", sched
+        );
+    }
+}
