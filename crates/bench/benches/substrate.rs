@@ -41,9 +41,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut stats = WorkStats::new();
             let cfg = PartitionConfig {
-                universe: Vec::new(),
                 min_support: support,
                 n_partitions: 8,
+                ..PartitionConfig::default()
             };
             partition_mine(&db, &cfg, &mut stats).total()
         })
@@ -66,6 +66,10 @@ fn bench(c: &mut Criterion) {
     let index = TidsetIndex::build(&db);
     g.bench_function("vertical_counter_level2", |b| {
         b.iter(|| VerticalCounter::new(&index).count(&db, &cands).len())
+    });
+    let bitmap_index = cfq_mining::BitmapIndex::build(&db);
+    g.bench_function("bitmap_counter_level2", |b| {
+        b.iter(|| cfq_mining::BitmapCounter::new(&bitmap_index).count(&db, &cands).len())
     });
     if cands.len() <= 2000 {
         g.bench_function("naive_counter_level2", |b| {

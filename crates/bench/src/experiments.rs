@@ -13,6 +13,7 @@ use cfq_core::{ExecutionOutcome, Optimizer, QueryEnv};
 use cfq_datagen::scenario::range_overlap_percent;
 use cfq_datagen::{QuestConfig, Scenario, ScenarioBuilder};
 use cfq_engine::Engine;
+use cfq_mining::CountingBackend;
 use cfq_types::{Catalog, ItemId, TransactionDb};
 use std::time::Instant;
 
@@ -587,7 +588,11 @@ pub fn backbone_comparison(e: &ExpEnv) -> Table {
     {
         let mut stats = cfq_mining::WorkStats::new();
         let start = Instant::now();
-        let cfg = PartitionConfig { universe: Vec::new(), min_support: support, n_partitions: 8 };
+        let cfg = PartitionConfig {
+            min_support: support,
+            n_partitions: 8,
+            ..PartitionConfig::default()
+        };
         let fs = partition_mine(&db, &cfg, &mut stats);
         let secs_taken = start.elapsed().as_secs_f64();
         check("partition", &fs);
@@ -654,28 +659,56 @@ pub fn substrate_report(e: &ExpEnv) -> (Table, String) {
         ),
     ];
     let mut json_workloads: Vec<String> = Vec::new();
+    // At small scales the full matrix runs; at (or near) paper scale the
+    // untrimmed sequential baseline alone would dwarf the rest of the
+    // report's wall clock, so the trimmed horizontal config becomes the
+    // reference the backends are measured against.
+    let full_matrix = e.scale <= 0.25;
     for (name, sc, query, support_div) in &workloads {
         let support = (e.abs_support(sc.db.len()) / support_div).max(1);
         let q = bind(query, &sc.catalog);
-        let mk_env = |trim: bool, threads: usize| {
+        let mk_env = |trim: bool, threads: usize, backend: CountingBackend| {
             QueryEnv::new(&sc.db, &sc.catalog, support)
                 .with_s_universe(sc.s_items.clone())
                 .with_t_universe(sc.t_items.clone())
                 .with_trim(trim)
                 .with_counting_threads(threads)
+                .with_backend(backend)
         };
-        let base_env = mk_env(false, 1);
-        let opt_env = mk_env(true, e.threads);
-        let (base, tb) = timed(&Optimizer::default(), &q, &base_env);
-        let (opt, to) = timed(&Optimizer::default(), &q, &opt_env);
-        assert_eq!(base.pair_result.count, opt.pair_result.count, "{name}: answers must agree");
-        assert_eq!(base.s_sets, opt.s_sets, "{name}: S answers must agree");
-        assert_eq!(base.t_sets, opt.t_sets, "{name}: T answers must agree");
+        let mut runs: Vec<(&str, f64, ExecutionOutcome)> = Vec::new();
+        if full_matrix {
+            let (base, tb) =
+                timed(&Optimizer::default(), &q, &mk_env(false, 1, CountingBackend::Horizontal));
+            runs.push(("untrimmed_sequential", tb, base));
+        }
+        let (opt, to) = timed(
+            &Optimizer::default(),
+            &q,
+            &mk_env(true, e.threads, CountingBackend::Horizontal),
+        );
+        let trimmed_wall = to;
+        runs.push(("trimmed_parallel", to, opt));
+        for (cfg, backend) in
+            [("bitmap", CountingBackend::Bitmap), ("auto", CountingBackend::Auto)]
+        {
+            let (out, wall) = timed(&Optimizer::default(), &q, &mk_env(true, e.threads, backend));
+            runs.push((cfg, wall, out));
+        }
+        let (baseline_wall, base) = (runs[0].1, &runs[0].2);
+        for (cfg, _, out) in &runs[1..] {
+            assert_eq!(
+                base.pair_result.count, out.pair_result.count,
+                "{name}/{cfg}: answers must agree"
+            );
+            assert_eq!(base.s_sets, out.s_sets, "{name}/{cfg}: S answers must agree");
+            assert_eq!(base.t_sets, out.t_sets, "{name}/{cfg}: T answers must agree");
+        }
+        let base_items_scanned = base.scan.items_scanned;
 
         let mut json_configs: Vec<String> = Vec::new();
-        for (cfg, wall, out) in [("untrimmed_sequential", tb, &base), ("trimmed_parallel", to, &opt)] {
-            let sp =
-                if cfg == "untrimmed_sequential" { "1.00x".to_string() } else { speedup(tb, to) };
+        for (i, (cfg, wall, out)) in runs.iter().enumerate() {
+            let (cfg, wall) = (*cfg, *wall);
+            let sp = if i == 0 { "1.00x".to_string() } else { speedup(baseline_wall, wall) };
             t.row(vec![
                 name.to_string(),
                 cfg.to_string(),
@@ -696,7 +729,7 @@ pub fn substrate_report(e: &ExpEnv) -> (Table, String) {
                     "{{\"config\":\"{}\",\"wall_clock_s\":{:.6},\"candidates_counted\":{},",
                     "\"rows_scanned\":{},\"items_scanned\":{},\"bytes_scanned\":{},",
                     "\"trim_passes\":{},\"trim_rows_dropped\":{},\"trim_items_dropped\":{},",
-                    "\"pairs\":{},\"levels\":[{}]}}"
+                    "\"pairs\":{},\"speedup_vs_trimmed_parallel\":{:.3},\"levels\":[{}]}}"
                 ),
                 cfg,
                 wall,
@@ -708,10 +741,16 @@ pub fn substrate_report(e: &ExpEnv) -> (Table, String) {
                 out.scan.trim_rows_dropped,
                 out.scan.trim_items_dropped,
                 out.pair_result.count,
+                trimmed_wall / wall.max(1e-9),
                 levels.join(","),
             ));
         }
-        let reduction = base.scan.items_scanned as f64 / (opt.scan.items_scanned.max(1)) as f64;
+        let trimmed_items = runs
+            .iter()
+            .find(|r| r.0 == "trimmed_parallel")
+            .map(|r| r.2.scan.items_scanned)
+            .unwrap_or(base_items_scanned);
+        let reduction = base_items_scanned as f64 / (trimmed_items.max(1)) as f64;
         json_workloads.push(format!(
             concat!(
                 "{{\"workload\":\"{}\",\"query\":\"{}\",\"transactions\":{},\"support\":{},",
@@ -722,7 +761,7 @@ pub fn substrate_report(e: &ExpEnv) -> (Table, String) {
             sc.db.len(),
             support,
             json_configs.join(","),
-            tb / to.max(1e-9),
+            baseline_wall / trimmed_wall.max(1e-9),
             reduction,
         ));
     }
@@ -1035,13 +1074,16 @@ mod tests {
         // document must carry the headline counters.
         let e = ExpEnv { scale: 0.01, threads: 2, ..ExpEnv::default() };
         let (t, json) = substrate_report(&e);
-        assert_eq!(t.rows.len(), 4, "two workloads x two configs");
+        assert_eq!(t.rows.len(), 8, "two workloads x four configs");
         for key in [
             "\"bench\":\"substrate\"",
             "\"workload\":\"fig8a_overlap16.6\"",
             "\"workload\":\"fig8b_type_overlap40\"",
             "\"config\":\"untrimmed_sequential\"",
             "\"config\":\"trimmed_parallel\"",
+            "\"config\":\"bitmap\"",
+            "\"config\":\"auto\"",
+            "\"speedup_vs_trimmed_parallel\"",
             "\"items_scanned_reduction\"",
             "\"levels\":[{\"level\":1,",
         ] {

@@ -6,8 +6,8 @@ use cfq_constraints::{bind_dnf, parse_dnf};
 use cfq_core::{form_rules, Optimizer, QueryEnv, RuleConfig};
 use cfq_datagen::{generate_transactions, io, QuestConfig};
 use cfq_mining::{
-    apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,
-    PartitionConfig, WorkStats,
+    apriori, fp_growth, partition_mine, AprioriConfig, CountingBackend, FpGrowthConfig,
+    FrequentSets, PartitionConfig, WorkStats,
 };
 use cfq_types::{Catalog, CatalogBuilder, CfqError, Result, TransactionDb};
 use rand_lite::Pcg;
@@ -111,7 +111,7 @@ pub fn query(argv: Vec<String>) -> Result<()> {
              [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
              [--explain] [--audit] [--limit N] [--rules] [--min-confidence F]\n\
              [--threads N (default 0 = all cores)] [--trim on|off]\n\
-             [--out pairs.csv]"
+             [--backend horizontal|tidset|bitmap|auto] [--out pairs.csv]"
         );
         return Ok(());
     }
@@ -144,7 +144,8 @@ pub fn query(argv: Vec<String>) -> Result<()> {
     // programmatic runs are deterministic in their work accounting.
     let env = QueryEnv::new(&db, &catalog, min_support)
         .with_counting_threads(a.num("threads", 0usize)?)
-        .with_trim(parse_on_off(a.get("trim"), "trim")?);
+        .with_trim(parse_on_off(a.get("trim"), "trim")?)
+        .with_backend(parse_backend(a.get("backend"))?);
     if a.flag("explain") {
         for (i, bound) in disjuncts.iter().enumerate() {
             if disjuncts.len() > 1 {
@@ -263,7 +264,8 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
         println!(
             "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
              [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]\n\
-             [--threads N (default 0 = all cores; apriori only)] [--trim on|off] [--audit]"
+             [--threads N (default 0 = all cores; apriori only)] [--trim on|off]\n\
+             [--backend horizontal|tidset|bitmap|auto] [--audit]"
         );
         return Ok(());
     }
@@ -284,23 +286,29 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
         }
     };
     let backbone = a.get("backbone").unwrap_or("fpgrowth");
+    let backend = parse_backend(a.get("backend"))?;
     let mut stats = WorkStats::new();
     let start = std::time::Instant::now();
     let fs: FrequentSets = match backbone {
         "apriori" => {
             let cfg = AprioriConfig::new(min_support)
                 .with_counting_threads(a.num("threads", 0usize)?)
-                .with_trim(parse_on_off(a.get("trim"), "trim")?);
+                .with_trim(parse_on_off(a.get("trim"), "trim")?)
+                .with_backend(backend);
             apriori(&db, &cfg, &mut stats)
         }
         "fpgrowth" | "fp-growth" => {
-            fp_growth(&db, &FpGrowthConfig::new(min_support), &mut stats)
+            let cfg = FpGrowthConfig { backend, ..FpGrowthConfig::new(min_support) };
+            fp_growth(&db, &cfg, &mut stats)
         }
         "partition" => {
             let cfg = PartitionConfig {
-                universe: Vec::new(),
                 min_support,
                 n_partitions: 8,
+                // Partition's local mining is vertical by default; only
+                // replace it when the user asks for a specific backend.
+                backend: a.get("backend").map(|_| backend).unwrap_or(CountingBackend::Tidset),
+                ..PartitionConfig::default()
             };
             partition_mine(&db, &cfg, &mut stats)
         }
@@ -394,6 +402,18 @@ pub(crate) fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
     let name = value.unwrap_or("full");
     Optimizer::from_name(name)
         .ok_or_else(|| CfqError::Config(format!("unknown strategy `{name}`")))
+}
+
+/// Parses a `--backend` option value; absent means horizontal counting.
+pub(crate) fn parse_backend(value: Option<&str>) -> Result<CountingBackend> {
+    match value {
+        None => Ok(CountingBackend::Horizontal),
+        Some(name) => CountingBackend::parse(name).ok_or_else(|| {
+            CfqError::Config(format!(
+                "bad --backend `{name}` (use horizontal|tidset|bitmap|auto)"
+            ))
+        }),
+    }
 }
 
 /// Parses an `on`/`off` option value; absent means `on`.
@@ -559,6 +579,53 @@ mod tests {
             data,
             "--trim".into(),
             "sideways".into(),
+            "S disjoint T".into(),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn backend_flag_on_query_and_mine() {
+        let data = tmp("d6.txt");
+        gen(argv(&[
+            "--out".into(),
+            data.clone(),
+            "--items".into(),
+            "30".into(),
+            "--transactions".into(),
+            "200".into(),
+            "--patterns".into(),
+            "10".into(),
+        ]))
+        .unwrap();
+        for backend in ["horizontal", "tidset", "bitmap", "auto"] {
+            query(argv(&[
+                "--data".into(),
+                data.clone(),
+                "--min-support".into(),
+                "0.05".into(),
+                "--backend".into(),
+                backend.into(),
+                "S disjoint T".into(),
+            ]))
+            .unwrap();
+            for backbone in ["apriori", "fpgrowth", "partition"] {
+                mine(argv(&[
+                    "--data".into(),
+                    data.clone(),
+                    "--backbone".into(),
+                    backbone.into(),
+                    "--backend".into(),
+                    backend.into(),
+                ]))
+                .unwrap();
+            }
+        }
+        assert!(query(argv(&[
+            "--data".into(),
+            data,
+            "--backend".into(),
+            "diagonal".into(),
             "S disjoint T".into(),
         ]))
         .is_err());

@@ -31,7 +31,7 @@
 //!   provenance, and level-by-level timings.
 
 use crate::args::Args;
-use crate::commands::{load, parse_strategy, wants_help};
+use crate::commands::{load, parse_backend, parse_strategy, wants_help};
 use cfq_core::Optimizer;
 use cfq_datagen::io;
 use cfq_engine::{json, Engine, EngineConfig, QueryRequest, QueryResponse, SessionPool};
@@ -266,7 +266,10 @@ impl ServerMetrics {
     }
 
     /// Syncs the engine-owned counters and renders every family in
-    /// Prometheus text format.
+    /// Prometheus text format, followed by the process-global registry
+    /// (mining backend counters like `cfq_mining_backend_selected_total`
+    /// live there — they are recorded deep inside the counting loops,
+    /// not per-server).
     pub fn render(&self, engine: &Engine) -> String {
         let s = engine.cache_stats();
         self.lattice_hits.store(s.lattice_hits);
@@ -289,7 +292,9 @@ impl ServerMetrics {
         self.sched_overloaded.store(sched.overloaded);
         self.sched_queue_depth.set(sched.queued as i64);
         self.sched_inflight.set(sched.inflight as i64);
-        self.registry.render()
+        let mut out = self.registry.render();
+        out.push_str(&obs::metrics::global().render());
+        out
     }
 }
 
@@ -635,6 +640,7 @@ fn build_engine(a: &Args) -> Result<Arc<Engine>> {
         batch_window: Duration::from_millis(
             a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?,
         ),
+        backend: parse_backend(a.get("backend"))?,
         ..defaults
     };
     let engine = Engine::with_config(db, catalog, config)?;
@@ -965,6 +971,7 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
              [--queue-depth N]       admission queue beyond the in-flight cap (default 1024, 0 = unlimited)\n\
              [--batch-window-ms MS]  cold-mining batch window (default 2, 0 = single-flight only)\n\
              [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
+             [--backend NAME]        default counting backend (horizontal|tidset|bitmap|auto)\n\
              [--slow-ms MS]          slow-query log threshold (default 500)\n\
              [--trace LEVEL]         stderr tracing (error|warn|info|debug|trace)\n\n\
              protocol: one request per line\n{PROTOCOL_HELP}\n\n\
@@ -1151,6 +1158,26 @@ mod tests {
             .and_then(|v| v.parse().ok())
             .unwrap();
         assert!(hits >= 2, "{text}");
+    }
+
+    #[test]
+    fn backend_metrics_surface_in_scrapes() {
+        let mut state = ReplState::new(engine());
+        let line = format!(
+            ":json {{\"query\": \"{Q}\", \"support\": {{\"frac\": 0.25}}, \
+             \"backend\": \"bitmap\", \"bypass_cache\": true}}"
+        );
+        let reply = handle_line(&mut state, &line).unwrap();
+        let v = json::parse(&reply).unwrap();
+        assert!(v.get("error").is_none(), "{reply}");
+        let text = handle_line(&mut state, ":metrics").unwrap();
+        for needle in [
+            "cfq_mining_backend_selected_total{backend=\"bitmap\"}",
+            "cfq_mining_backend_level_micros_total{backend=\"bitmap\"}",
+            "cfq_mining_backend_words_anded_total",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 
     #[test]

@@ -27,9 +27,12 @@ use cfq_constraints::{
     classify_two, eval_all_one, induce_weaker, reduce_quasi_succinct, Agg, BoundQuery, CmpOp,
     OneVar, SuccinctForm, TwoVar, Var,
 };
+use cfq_mining::backend;
 use cfq_mining::counter::count_supports_with;
 use cfq_mining::trim::{trim_db_recorded, LiveSet};
-use cfq_mining::{ParallelTrieCounter, ScanStats, SupportCounter, WorkStats};
+use cfq_mining::{
+    CountingBackend, CountingRun, ParallelTrieCounter, ScanStats, SupportCounter, WorkStats,
+};
 use cfq_types::{AttrId, Catalog, CfqError, ItemId, Itemset, Result, TransactionDb};
 
 /// How a 2-var constraint ends up being handled.
@@ -77,6 +80,10 @@ pub struct QueryEnv<'a> {
     /// candidates — and rows left shorter than the smallest candidate.
     /// Answers are provably identical with trimming on or off.
     pub trim: bool,
+    /// Support-counting backend (default `Horizontal`): horizontal row
+    /// scans, a vertical tidset/bitmap index, or the `Auto` per-level
+    /// crossover. Answers are bit-identical across backends.
+    pub backend: CountingBackend,
 }
 
 impl<'a> QueryEnv<'a> {
@@ -94,12 +101,19 @@ impl<'a> QueryEnv<'a> {
             form_pairs: true,
             counting_threads: 1,
             trim: true,
+            backend: CountingBackend::Horizontal,
         }
     }
 
     /// Enables multi-threaded support counting (0 = one worker per core).
     pub fn with_counting_threads(mut self, threads: usize) -> Self {
         self.counting_threads = threads;
+        self
+    }
+
+    /// Selects the support-counting backend.
+    pub fn with_backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -601,6 +615,23 @@ impl Optimizer {
         let catalog = env.catalog;
         let mut db_scans = 0u64;
         let mut scan = ScanStats::default();
+        // Backend state shared by every level of both lattices: a vertical
+        // index is inverted once (accounted as one database scan) and then
+        // serves both sides scan-free — dovetailing taken to its limit.
+        let mut crun = CountingRun::new(env.db, env.backend);
+        let count_vertical = |crun: &mut CountingRun<'_>,
+                                  resolved: cfq_mining::ResolvedBackend,
+                                  cands: &[Itemset],
+                                  level: usize,
+                                  db_scans: &mut u64,
+                                  scan: &mut ScanStats|
+         -> Vec<u64> {
+            let mut vstats = WorkStats::new();
+            let counts = crun.count_vertical(resolved, cands, level, &mut vstats);
+            *db_scans += vstats.db_scans;
+            scan.absorb(&vstats.scan);
+            counts
+        };
 
         let make_run = |var: Var| {
             let pushed: Vec<OneVar> = if self.push_one_var {
@@ -631,23 +662,45 @@ impl Optimizer {
         let ct = t_run.next_candidates();
         if self.dovetail {
             if !(cs.is_empty() && ct.is_empty()) {
-                let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
-                db_scans += 1;
-                scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
-                if !cs.is_empty() {
-                    s_run.absorb_counts(&counts[0]);
-                }
-                if !ct.is_empty() {
-                    t_run.absorb_counts(&counts[1]);
+                let resolved = crun.resolve(1, cs.len() + ct.len(), &scan);
+                backend::metric_selected(resolved.name());
+                if resolved.is_vertical() {
+                    if !cs.is_empty() {
+                        let counts =
+                            count_vertical(&mut crun, resolved, &cs, 1, &mut db_scans, &mut scan);
+                        s_run.absorb_counts(&counts);
+                    }
+                    if !ct.is_empty() {
+                        let counts =
+                            count_vertical(&mut crun, resolved, &ct, 1, &mut db_scans, &mut scan);
+                        t_run.absorb_counts(&counts);
+                    }
+                } else {
+                    let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
+                    db_scans += 1;
+                    scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
+                    if !cs.is_empty() {
+                        s_run.absorb_counts(&counts[0]);
+                    }
+                    if !ct.is_empty() {
+                        t_run.absorb_counts(&counts[1]);
+                    }
                 }
             }
         } else {
             for (run, cands) in [(&mut s_run, &cs), (&mut t_run, &ct)] {
                 if !cands.is_empty() {
-                    let counts =
-                        ParallelTrieCounter { threads: env.counting_threads }.count(env.db, cands);
-                    db_scans += 1;
-                    scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
+                    let resolved = crun.resolve(1, cands.len(), &scan);
+                    backend::metric_selected(resolved.name());
+                    let counts = if resolved.is_vertical() {
+                        count_vertical(&mut crun, resolved, cands, 1, &mut db_scans, &mut scan)
+                    } else {
+                        let counts = ParallelTrieCounter { threads: env.counting_threads }
+                            .count(env.db, cands);
+                        db_scans += 1;
+                        scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
+                        counts
+                    };
                     run.absorb_counts(&counts);
                 }
             }
@@ -721,37 +774,57 @@ impl Optimizer {
                     break;
                 }
                 let level = if cs.is_empty() { t_before + 1 } else { s_before + 1 };
-                if env.trim {
-                    // The shared scan serves both lattices, so trimming must
-                    // keep the *union* of their live items: an item dead for
-                    // S may appear in T's candidates and vice versa.
-                    let live = LiveSet::from_items(
-                        env.db.n_items(),
-                        cs.iter().chain(ct.iter()).flat_map(|c| c.iter()),
-                    );
-                    let min_len = [&cs, &ct]
-                        .into_iter()
-                        .filter(|b| !b.is_empty())
-                        .map(|b| b[0].len())
-                        .min()
-                        .expect("at least one batch is non-empty");
-                    let r = trim_db_recorded(
-                        trimmed.as_ref().unwrap_or(env.db),
-                        &live,
-                        min_len,
-                        &mut scan,
-                    );
-                    trimmed = Some(r.db);
-                }
-                let cur = trimmed.as_ref().unwrap_or(env.db);
-                let counts = count_supports_with(cur, &[&cs, &ct], env.counting_threads);
-                db_scans += 1;
-                scan.record_extent(level, cur.len() as u64, cur.total_items() as u64);
-                if !cs.is_empty() {
-                    s_run.absorb_counts(&counts[0]);
-                }
-                if !ct.is_empty() {
-                    t_run.absorb_counts(&counts[1]);
+                let resolved = crun.resolve(level, cs.len() + ct.len(), &scan);
+                backend::metric_selected(resolved.name());
+                if resolved.is_vertical() {
+                    // Vertical levels count off the shared index: no scan,
+                    // no trim (an auto crossover back to horizontal trims
+                    // from wherever the working database last stood).
+                    if !cs.is_empty() {
+                        let counts = count_vertical(
+                            &mut crun, resolved, &cs, level, &mut db_scans, &mut scan,
+                        );
+                        s_run.absorb_counts(&counts);
+                    }
+                    if !ct.is_empty() {
+                        let counts = count_vertical(
+                            &mut crun, resolved, &ct, level, &mut db_scans, &mut scan,
+                        );
+                        t_run.absorb_counts(&counts);
+                    }
+                } else {
+                    if env.trim {
+                        // The shared scan serves both lattices, so trimming must
+                        // keep the *union* of their live items: an item dead for
+                        // S may appear in T's candidates and vice versa.
+                        let live = LiveSet::from_items(
+                            env.db.n_items(),
+                            cs.iter().chain(ct.iter()).flat_map(|c| c.iter()),
+                        );
+                        let min_len = [&cs, &ct]
+                            .into_iter()
+                            .filter(|b| !b.is_empty())
+                            .map(|b| b[0].len())
+                            .min()
+                            .expect("at least one batch is non-empty");
+                        let r = trim_db_recorded(
+                            trimmed.as_ref().unwrap_or(env.db),
+                            &live,
+                            min_len,
+                            &mut scan,
+                        );
+                        trimmed = Some(r.db);
+                    }
+                    let cur = trimmed.as_ref().unwrap_or(env.db);
+                    let counts = count_supports_with(cur, &[&cs, &ct], env.counting_threads);
+                    db_scans += 1;
+                    scan.record_extent(level, cur.len() as u64, cur.total_items() as u64);
+                    if !cs.is_empty() {
+                        s_run.absorb_counts(&counts[0]);
+                    }
+                    if !ct.is_empty() {
+                        t_run.absorb_counts(&counts[1]);
+                    }
                 }
                 update_jk(&mut jk_states, &s_run, &t_run, s_before, t_before, catalog);
             }
@@ -776,24 +849,33 @@ impl Optimizer {
                     if cands.is_empty() {
                         break;
                     }
-                    if env.trim {
-                        let live = LiveSet::from_items(
-                            env.db.n_items(),
-                            cands.iter().flat_map(|c| c.iter()),
-                        );
-                        let r = trim_db_recorded(
-                            trimmed.as_ref().unwrap_or(env.db),
-                            &live,
-                            cands[0].len(),
-                            &mut scan,
-                        );
-                        trimmed = Some(r.db);
-                    }
-                    let cur = trimmed.as_ref().unwrap_or(env.db);
-                    let counts =
-                        ParallelTrieCounter { threads: env.counting_threads }.count(cur, &cands);
-                    db_scans += 1;
-                    scan.record_extent(before + 1, cur.len() as u64, cur.total_items() as u64);
+                    let resolved = crun.resolve(before + 1, cands.len(), &scan);
+                    backend::metric_selected(resolved.name());
+                    let counts = if resolved.is_vertical() {
+                        count_vertical(
+                            &mut crun, resolved, &cands, before + 1, &mut db_scans, &mut scan,
+                        )
+                    } else {
+                        if env.trim {
+                            let live = LiveSet::from_items(
+                                env.db.n_items(),
+                                cands.iter().flat_map(|c| c.iter()),
+                            );
+                            let r = trim_db_recorded(
+                                trimmed.as_ref().unwrap_or(env.db),
+                                &live,
+                                cands[0].len(),
+                                &mut scan,
+                            );
+                            trimmed = Some(r.db);
+                        }
+                        let cur = trimmed.as_ref().unwrap_or(env.db);
+                        let counts = ParallelTrieCounter { threads: env.counting_threads }
+                            .count(cur, &cands);
+                        db_scans += 1;
+                        scan.record_extent(before + 1, cur.len() as u64, cur.total_items() as u64);
+                        counts
+                    };
                     run.absorb_counts(&counts);
                     let (sb, tb) = match var {
                         Var::S => (before, t_run.levels_done()),
@@ -1142,6 +1224,42 @@ mod tests {
                     "`{src}`: trimmed scan volume grew"
                 );
                 assert_eq!(off.scan.trim_passes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_identical_answers() {
+        let cat = catalog();
+        let d = db();
+        // Cover the dovetail + J^k_max path (sum/sum), the sequential
+        // executor and every strategy family, across all four backends.
+        for src in [
+            "sum(S.Price) <= sum(T.Price)",
+            "max(S.Price) <= min(T.Price)",
+            "S.Type disjoint T.Type",
+            "avg(S.Price) <= avg(T.Price) & S.Type = T.Type",
+        ] {
+            let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+            for opt in [
+                Optimizer::default(),
+                Optimizer { dovetail: false, ..Optimizer::default() },
+                Optimizer::apriori_plus(),
+            ] {
+                let base = opt.evaluate(&q, &QueryEnv::new(&d, &cat, 2)).unwrap();
+                for b in CountingBackend::all() {
+                    let env = QueryEnv::new(&d, &cat, 2).with_backend(b);
+                    let got = opt.evaluate(&q, &env).unwrap();
+                    assert_eq!(base.s_sets, got.s_sets, "`{src}` {b}: S-sets diverge");
+                    assert_eq!(base.t_sets, got.t_sets, "`{src}` {b}: T-sets diverge");
+                    assert_eq!(base.pair_result.pairs, got.pair_result.pairs, "`{src}` {b}");
+                    assert_eq!(base.v_histories, got.v_histories, "`{src}` {b}: V^k diverges");
+                    if b == CountingBackend::Tidset || b == CountingBackend::Bitmap {
+                        // A fully vertical run reads the database exactly
+                        // once: the index inversion pass.
+                        assert_eq!(got.db_scans, 1, "`{src}` {b}");
+                    }
+                }
             }
         }
     }

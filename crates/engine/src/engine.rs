@@ -21,7 +21,9 @@ use crate::scheduler::{AdmissionPermit, GroupRole, Scheduler, SchedulerStats};
 use crate::session::Session;
 use cfq_core::{CfqPlan, LatticeSource, Optimizer};
 use cfq_obs as obs;
-use cfq_mining::{apriori, fup_update_abs, AprioriConfig, FrequentSets, WorkStats};
+use cfq_mining::{
+    apriori, fup_update_abs, AprioriConfig, CountingBackend, FrequentSets, WorkStats,
+};
 use cfq_types::{Catalog, CfqError, ItemId, Result, TransactionDb};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -42,6 +44,10 @@ pub struct EngineConfig {
     /// per query. Cached lattices are identical either way, so entries
     /// are shared across queries regardless of their trim setting.
     pub trim: bool,
+    /// Default support-counting backend for cold mining; overridable per
+    /// query. All backends produce bit-identical lattices, so cache
+    /// entries are shared across queries regardless of backend.
+    pub backend: CountingBackend,
     /// Maximum concurrently executing queries (0 = unlimited;
     /// default 256).
     pub max_inflight_queries: usize,
@@ -62,6 +68,7 @@ impl Default for EngineConfig {
             plan_cache_entries: 128,
             counting_threads: 1,
             trim: true,
+            backend: CountingBackend::Horizontal,
             max_inflight_queries: 256,
             max_queued_queries: 1024,
             batch_window: Duration::from_millis(2),
@@ -274,6 +281,7 @@ impl Engine {
         max_level: usize,
         threads: usize,
         trim: bool,
+        backend: CountingBackend,
         stats: &mut WorkStats,
     ) -> (Arc<FrequentSets>, LatticeSource) {
         if universe.is_empty() {
@@ -308,6 +316,7 @@ impl Engine {
                 let cfg = AprioriConfig::new(support)
                     .with_universe(universe.to_vec())
                     .with_trim(trim)
+                    .with_backend(backend)
                     .with_counting_threads(threads);
                 let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
                 let scans_cost = mine.db_scans;
@@ -358,6 +367,7 @@ impl Engine {
                     .with_universe(universe.to_vec())
                     .with_max_level(max_level)
                     .with_trim(trim)
+                    .with_backend(backend)
                     .with_counting_threads(threads);
                 let lattice = Arc::new(apriori(&snap.db, &cfg, &mut mine));
                 self.scheduler.note_direct_mining();
@@ -540,13 +550,13 @@ mod tests {
         let snap = engine.snapshot();
         let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
         let mut stats = WorkStats::new();
-        let (cold, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut stats);
+        let (cold, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, CountingBackend::Horizontal, &mut stats);
         assert_eq!(src, LatticeSource::MinedCold);
         assert!(stats.db_scans > 0);
         assert_eq!(stats.cache_misses, 1);
 
         let mut warm_stats = WorkStats::new();
-        let (warm, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut warm_stats);
+        let (warm, src) = engine.lattice_for(&snap, &universe, 2, 0, 1, true, CountingBackend::Horizontal, &mut warm_stats);
         assert_eq!(src, LatticeSource::Cached);
         assert_eq!(warm_stats.db_scans, 0);
         assert_eq!(warm_stats.cache_hits, 1);
@@ -556,7 +566,7 @@ mod tests {
         // A subset universe at a higher threshold also hits.
         let sub: Vec<ItemId> = vec![ItemId(1), ItemId(2)];
         let mut sub_stats = WorkStats::new();
-        let (_, src) = engine.lattice_for(&snap, &sub, 3, 0, 1, true, &mut sub_stats);
+        let (_, src) = engine.lattice_for(&snap, &sub, 3, 0, 1, true, CountingBackend::Horizontal, &mut sub_stats);
         assert_eq!(src, LatticeSource::Cached);
         assert_eq!(sub_stats.db_scans, 0);
     }
@@ -567,7 +577,7 @@ mod tests {
         let snap = engine.snapshot();
         let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
         let mut stats = WorkStats::new();
-        let (_, src) = engine.lattice_for(&snap, &universe, 2, 1, 1, true, &mut stats);
+        let (_, src) = engine.lattice_for(&snap, &universe, 2, 1, 1, true, CountingBackend::Horizontal, &mut stats);
         assert_eq!(src, LatticeSource::MinedCold);
         assert_eq!(engine.cache_stats().entries, 0);
     }
@@ -578,7 +588,7 @@ mod tests {
         let snap = engine.snapshot();
         let universe: Vec<ItemId> = (0..6u32).map(ItemId).collect();
         let mut stats = WorkStats::new();
-        engine.lattice_for(&snap, &universe, 2, 0, 1, true, &mut stats);
+        engine.lattice_for(&snap, &universe, 2, 0, 1, true, CountingBackend::Horizontal, &mut stats);
 
         let delta = TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5], &[0, 3]]);
         let info = engine.append(delta.clone()).unwrap();
@@ -588,7 +598,7 @@ mod tests {
         // matches a cold re-mine of the combined database.
         let snap2 = engine.snapshot();
         let mut warm = WorkStats::new();
-        let (lattice, src) = engine.lattice_for(&snap2, &universe, 2, 0, 1, true, &mut warm);
+        let (lattice, src) = engine.lattice_for(&snap2, &universe, 2, 0, 1, true, CountingBackend::Horizontal, &mut warm);
         assert_eq!(src, LatticeSource::FupUpgraded);
         assert_eq!(warm.db_scans, 0);
 

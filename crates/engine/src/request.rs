@@ -21,6 +21,7 @@
 use crate::json::{self, Json};
 use crate::session::QueryOutcome;
 use cfq_core::Strategy;
+use cfq_mining::CountingBackend;
 use cfq_types::{CfqError, ItemId, Result};
 use std::fmt::Write as _;
 
@@ -83,6 +84,8 @@ pub struct QueryRequest {
     pub counting_threads: Option<usize>,
     /// Per-level database reduction override (`None` = engine default).
     pub trim: Option<bool>,
+    /// Support-counting backend override (`None` = engine default).
+    pub backend: Option<CountingBackend>,
     /// Strategy-family flags (plan shape; the executor when
     /// `bypass_cache` is set).
     pub strategy: Strategy,
@@ -103,6 +106,7 @@ impl QueryRequest {
             max_pairs: None,
             counting_threads: None,
             trim: None,
+            backend: None,
             strategy: Strategy::default(),
             bypass_cache: false,
         }
@@ -148,6 +152,9 @@ impl QueryRequest {
         if let Some(t) = self.trim {
             let _ = write!(out, ",\"trim\":{t}");
         }
+        if let Some(b) = self.backend {
+            let _ = write!(out, ",\"backend\":\"{}\"", b.name());
+        }
         match self.strategy.name() {
             Some(name) => {
                 let _ = write!(out, ",\"strategy\":\"{name}\"");
@@ -182,7 +189,7 @@ impl QueryRequest {
         };
         const KNOWN: &[&str] = &[
             "query", "support", "s_universe", "t_universe", "max_level", "max_pairs",
-            "counting_threads", "trim", "strategy", "bypass_cache",
+            "counting_threads", "trim", "backend", "strategy", "bypass_cache",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -245,6 +252,20 @@ impl QueryRequest {
                     j.as_bool()
                         .ok_or_else(|| CfqError::Parse("`trim` must be a boolean".into()))?,
                 );
+            }
+        }
+        match v.get("backend") {
+            None => {}
+            Some(j) if j.is_null() => {}
+            Some(j) => {
+                let name = j.as_str().ok_or_else(|| {
+                    CfqError::Parse("`backend` must be a backend name".into())
+                })?;
+                req.backend = Some(CountingBackend::parse(name).ok_or_else(|| {
+                    CfqError::Parse(format!(
+                        "unknown backend `{name}` (expected horizontal, tidset, bitmap, or auto)"
+                    ))
+                })?);
             }
         }
         if let Some(s) = v.get("strategy") {
@@ -417,6 +438,7 @@ mod tests {
             max_pairs: Some(100),
             counting_threads: Some(2),
             trim: Some(false),
+            backend: Some(CountingBackend::Auto),
             strategy: Strategy::cap_one_var(),
             bypass_cache: true,
         };
@@ -451,6 +473,21 @@ mod tests {
         assert!(err.to_string().contains("bypass_cahce"), "{err}");
         assert!(QueryRequest::from_json(r#"{"support": 0.5}"#).is_err(), "query is required");
         assert!(QueryRequest::from_json(r#"{"query":"q","strategy":"fastest"}"#).is_err());
+        assert!(QueryRequest::from_json(r#"{"query":"q","backend":"vertical"}"#).is_err());
+    }
+
+    #[test]
+    fn backend_round_trips_by_name() {
+        for name in ["horizontal", "tidset", "bitmap", "auto"] {
+            let req = QueryRequest::from_json(&format!(
+                r#"{{"query":"q","backend":"{name}"}}"#
+            ))
+            .unwrap();
+            assert_eq!(req.backend.unwrap().name(), name);
+            assert_eq!(QueryRequest::from_json(&req.to_json()).unwrap(), req);
+        }
+        let dflt = QueryRequest::from_json(r#"{"query":"q","backend":null}"#).unwrap();
+        assert_eq!(dflt.backend, None);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use cfq_core::{
     compact_used, form_pairs_with, CfqPlan, ExecutionOutcome, LatticeSource, Optimizer,
     OutcomeProvenance, QueryEnv,
 };
-use cfq_mining::WorkStats;
+use cfq_mining::{CountingBackend, WorkStats};
 use cfq_obs as obs;
 use cfq_types::{Catalog, ItemId, Itemset, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -188,6 +188,14 @@ impl QueryBuilder {
         self
     }
 
+    /// Overrides the engine's default support-counting backend. Every
+    /// backend produces bit-identical lattices; this only changes how
+    /// cold minings count.
+    pub fn backend(mut self, backend: CountingBackend) -> Self {
+        self.req.backend = Some(backend);
+        self
+    }
+
     /// Executes this query as a one-shot [`Optimizer`] run against the
     /// epoch snapshot — no lattice cache lookups, insertions, or
     /// single-flight groups. The plan cache is still used (plans never
@@ -279,6 +287,7 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
     let (s_sup, t_sup) = req.support.resolve(snap.db.len())?;
     let threads = req.counting_threads.unwrap_or(engine.config().counting_threads);
     let trim = req.trim.unwrap_or(engine.config().trim);
+    let backend = req.backend.unwrap_or(engine.config().backend);
 
     if req.bypass_cache {
         let env = QueryEnv {
@@ -293,6 +302,7 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
             form_pairs: true,
             counting_threads: threads,
             trim,
+            backend,
         };
         let mut outcome = req.strategy.execute_plan(&plan, &env)?;
         outcome.provenance.plan_cached = plan_cached;
@@ -308,8 +318,8 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
         });
     }
 
-    let s_side = run_side(engine, req, &snap, &bound, Var::S, s_sup, threads, trim);
-    let t_side = run_side(engine, req, &snap, &bound, Var::T, t_sup, threads, trim);
+    let s_side = run_side(engine, req, &snap, &bound, Var::S, s_sup, threads, trim, backend);
+    let t_side = run_side(engine, req, &snap, &bound, Var::T, t_sup, threads, trim, backend);
 
     let mut pair_result = form_pairs_with(
         &s_side.sets,
@@ -371,6 +381,7 @@ fn run_side(
     min_support: u64,
     threads: usize,
     trim: bool,
+    backend: CountingBackend,
 ) -> SideOutcome {
     let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
     let form = SuccinctForm::compile(&one, &snap.catalog);
@@ -379,8 +390,16 @@ fn run_side(
         return SideOutcome { sets: Vec::new(), stats, source: LatticeSource::MinedCold };
     }
     let eff = form.filter_universe(&full_universe(req, var, &snap.catalog));
-    let (lattice, source) =
-        engine.lattice_for(snap, &eff, min_support, req.max_level, threads, trim, &mut stats);
+    let (lattice, source) = engine.lattice_for(
+        snap,
+        &eff,
+        min_support,
+        req.max_level,
+        threads,
+        trim,
+        backend,
+        &mut stats,
+    );
 
     let mut sets: Vec<(Itemset, u64)> = Vec::new();
     let mut checks = 0u64;
@@ -607,6 +626,23 @@ mod tests {
         assert_eq!(engine.cache_stats().entries, 0, "bypass must not populate the cache");
         let cached = session.query(Q).min_support(2).run().unwrap();
         assert_same_answer(&direct.outcome, &cached.outcome);
+    }
+
+    #[test]
+    fn backend_override_keeps_answers_and_cache_sharing() {
+        let engine = crate::Engine::new(db(), catalog()).unwrap();
+        let session = engine.session();
+        let reference = session.query(Q).min_support(2).run().unwrap();
+        for b in CountingBackend::all() {
+            // Lattices are backend-invariant, so every override is served
+            // by the entry the first run cached — and a bypass run that
+            // actually counts with the backend still matches.
+            let warm = session.query(Q).min_support(2).backend(b).run().unwrap();
+            assert_eq!(warm.outcome.db_scans, 0, "{b}: cache must serve any backend");
+            assert_same_answer(&reference.outcome, &warm.outcome);
+            let direct = session.query(Q).min_support(2).backend(b).bypass_cache().run().unwrap();
+            assert_same_answer(&reference.outcome, &direct.outcome);
+        }
     }
 
     #[test]

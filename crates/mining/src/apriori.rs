@@ -1,5 +1,6 @@
 //! Plain Apriori over a restricted item universe.
 
+use crate::backend::{self, CountingBackend, CountingRun};
 use crate::candidates::generate_candidates;
 use crate::counter::{ParallelTrieCounter, SupportCounter};
 use crate::frequent::FrequentSets;
@@ -26,6 +27,9 @@ pub struct AprioriConfig {
     /// 1 keeps runs deterministic in work accounting and reproducible in
     /// thread-count-sensitive benchmarks.
     pub counting_threads: usize,
+    /// The support-counting substrate (see [`CountingBackend`]). The
+    /// default `Horizontal` keeps the classic one-scan-per-level shape.
+    pub backend: CountingBackend,
 }
 
 impl AprioriConfig {
@@ -38,6 +42,7 @@ impl AprioriConfig {
             max_level: 0,
             trim: true,
             counting_threads: 1,
+            backend: CountingBackend::Horizontal,
         }
     }
 
@@ -65,6 +70,12 @@ impl AprioriConfig {
         self.counting_threads = threads;
         self
     }
+
+    /// Selects the support-counting backend.
+    pub fn with_backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Runs levelwise Apriori, recording work in `stats`.
@@ -80,31 +91,38 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
     let mut run_span = obs::span(obs::Level::Debug, "apriori")
         .u64("universe", universe.len() as u64)
         .u64("min_support", cfg.min_support)
-        .bool("trim", cfg.trim);
+        .bool("trim", cfg.trim)
+        .str("backend", cfg.backend.name());
 
     let mut result = FrequentSets::new();
     let counter = ParallelTrieCounter { threads: cfg.counting_threads };
+    let mut run = CountingRun::new(db, cfg.backend);
 
-    // Level 1 always scans the full database.
+    // Level 1 always reads the full database — as a counting scan
+    // (horizontal) or as the one-off index inversion pass (vertical).
     let level_started = std::time::Instant::now();
     let level_span = obs::span(obs::Level::Trace, "apriori.level").u64("level", 1);
     let candidates: Vec<Itemset> =
         universe.iter().map(|&i| Itemset::singleton(i)).collect();
-    let counts = counter.count(db, &candidates);
-    stats.record_scan();
-    stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
+    let resolved = run.resolve(1, candidates.len(), &stats.scan);
+    backend::metric_selected(resolved.name());
+    let counts = if resolved.is_vertical() {
+        run.count_vertical(resolved, &candidates, 1, stats)
+    } else {
+        let counts = counter.count(db, &candidates);
+        stats.record_scan();
+        stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
+        counts
+    };
     let mut frequent: Vec<(Itemset, u64)> = candidates
         .into_iter()
         .zip(counts)
         .filter(|&(_, n)| n >= cfg.min_support)
         .collect();
     close_level_span(level_span, universe.len() as u64, frequent.len() as u64);
-    stats.record_level_timed(
-        1,
-        universe.len() as u64,
-        frequent.len() as u64,
-        level_started.elapsed().as_micros() as u64,
-    );
+    let micros = level_started.elapsed().as_micros() as u64;
+    backend::metric_level_micros(resolved.name(), micros);
+    stats.record_level_timed(1, universe.len() as u64, frequent.len() as u64, micros);
 
     // The working database: `None` borrows `db` untrimmed.
     let mut trimmed: Option<TransactionDb> = None;
@@ -123,25 +141,36 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
             break;
         }
         let n_candidates = candidates.len() as u64;
-        let cur = trimmed.as_ref().unwrap_or(db);
-        let cur = if cfg.trim {
-            // Only items inside some level-(k+1) candidate can still count,
-            // and only rows keeping ≥ k+1 of them can contain one.
-            let live = LiveSet::from_items(
-                db.n_items(),
-                candidates.iter().flat_map(|c| c.iter()),
-            );
-            let r = trim_db_recorded(cur, &live, level + 1, &mut stats.scan);
-            trimmed = Some(r.db);
-            trimmed.as_ref().unwrap()
+        let resolved = run.resolve(level + 1, candidates.len(), &stats.scan);
+        backend::metric_selected(resolved.name());
+        let counts = if resolved.is_vertical() {
+            // Vertical levels count off the index: no scan, no trim. A
+            // later horizontal level (auto crossover) trims from wherever
+            // the working database last stood — liveness only shrinks, so
+            // skipping levels keeps the trim exact.
+            run.count_vertical(resolved, &candidates, level + 1, stats)
         } else {
-            cur
+            let cur = trimmed.as_ref().unwrap_or(db);
+            let cur = if cfg.trim {
+                // Only items inside some level-(k+1) candidate can still count,
+                // and only rows keeping ≥ k+1 of them can contain one.
+                let live = LiveSet::from_items(
+                    db.n_items(),
+                    candidates.iter().flat_map(|c| c.iter()),
+                );
+                let r = trim_db_recorded(cur, &live, level + 1, &mut stats.scan);
+                trimmed = Some(r.db);
+                trimmed.as_ref().unwrap()
+            } else {
+                cur
+            };
+            let counts = counter.count(cur, &candidates);
+            stats.record_scan();
+            stats
+                .scan
+                .record_extent(level + 1, cur.len() as u64, cur.total_items() as u64);
+            counts
         };
-        let counts = counter.count(cur, &candidates);
-        stats.record_scan();
-        stats
-            .scan
-            .record_extent(level + 1, cur.len() as u64, cur.total_items() as u64);
         level += 1;
         frequent = candidates
             .into_iter()
@@ -149,12 +178,9 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
             .filter(|&(_, n)| n >= cfg.min_support)
             .collect();
         close_level_span(level_span, n_candidates, frequent.len() as u64);
-        stats.record_level_timed(
-            level,
-            n_candidates,
-            frequent.len() as u64,
-            level_started.elapsed().as_micros() as u64,
-        );
+        let micros = level_started.elapsed().as_micros() as u64;
+        backend::metric_level_micros(resolved.name(), micros);
+        stats.record_level_timed(level, n_candidates, frequent.len() as u64, micros);
     }
     run_span.record_u64("db_scans", stats.db_scans);
     run_span.record_u64("frequent_total", result.total() as u64);
@@ -300,6 +326,37 @@ mod tests {
         let a: Vec<(Itemset, u64)> = seq.iter().map(|(s, n)| (s.clone(), n)).collect();
         let b: Vec<(Itemset, u64)> = par.iter().map(|(s, n)| (s.clone(), n)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_backends_identical_lattices() {
+        let d = db();
+        for min_support in 1..=4u64 {
+            let mut reference: Option<Vec<(Itemset, u64)>> = None;
+            for b in CountingBackend::all() {
+                let mut stats = WorkStats::new();
+                let fs =
+                    apriori(&d, &AprioriConfig::new(min_support).with_backend(b), &mut stats);
+                let got: Vec<(Itemset, u64)> = fs.iter().map(|(s, n)| (s.clone(), n)).collect();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => assert_eq!(r, &got, "{b} min_support={min_support}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_backends_scan_once() {
+        let d = db();
+        for b in [CountingBackend::Tidset, CountingBackend::Bitmap] {
+            let mut stats = WorkStats::new();
+            let fs = apriori(&d, &AprioriConfig::new(1).with_backend(b), &mut stats);
+            assert!(fs.total() > 0);
+            // The index inversion pass is the run's only database read.
+            assert_eq!(stats.db_scans, 1, "{b}");
+            assert_eq!(stats.scan.extents.len(), 1, "{b}");
+        }
     }
 
     #[test]

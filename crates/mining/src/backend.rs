@@ -1,0 +1,326 @@
+//! The counting-backend axis: horizontal scans vs vertical indices.
+//!
+//! Every levelwise executor (Apriori, the CAP/dovetail executors in
+//! `cfq-core`, Partition's local mining) counts candidate supports
+//! against the database. *How* is a first-class choice, selected the same
+//! way `--trim` already is:
+//!
+//! * [`CountingBackend::Horizontal`] — per-level row scans through the
+//!   trie counter (optionally trimmed and sharded; the default).
+//! * [`CountingBackend::Tidset`] — invert once into sorted-u32 tid lists
+//!   ([`crate::vertical`]) and count by merge intersection.
+//! * [`CountingBackend::Bitmap`] — invert once into u64 tid-bitmaps
+//!   ([`crate::bitmap`]): AND + popcount, diffsets at deep levels.
+//! * [`CountingBackend::Auto`] — per-level crossover: bitmaps where the
+//!   word volume beats the (trimmed) horizontal scan volume, horizontal
+//!   scans where trim has made rows cheaper than words.
+//!
+//! [`CountingRun`] owns the per-run state: lazily built indices (whose
+//! one inversion pass is accounted as a database scan) and the per-level
+//! resolution. Backend selections, AND volume and per-backend level
+//! micros are published to the process-global `cfq-obs` registry as
+//! `cfq_mining_backend_*` so `cfq serve --metrics-addr` scrapes expose
+//! them.
+
+use crate::bitmap::{BitmapCounter, BitmapIndex};
+use crate::counter::SupportCounter;
+use crate::stats::{ScanStats, WorkStats};
+use crate::vertical::{TidsetIndex, VerticalCounter};
+use cfq_obs as obs;
+use cfq_types::{Itemset, TransactionDb};
+
+/// Which support-counting substrate a mining run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CountingBackend {
+    /// Horizontal row scans (trie counter), one scan per level.
+    #[default]
+    Horizontal,
+    /// Vertical sorted-u32 tidset intersection (Eclat lists).
+    Tidset,
+    /// Vertical u64 tid-bitmaps: AND + popcount, diffsets deep down.
+    Bitmap,
+    /// Per-level crossover between `Bitmap` and `Horizontal`.
+    Auto,
+}
+
+impl CountingBackend {
+    /// Canonical lowercase name (CLI/JSON value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CountingBackend::Horizontal => "horizontal",
+            CountingBackend::Tidset => "tidset",
+            CountingBackend::Bitmap => "bitmap",
+            CountingBackend::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI/JSON backend name.
+    pub fn parse(s: &str) -> Option<CountingBackend> {
+        match s {
+            "horizontal" => Some(CountingBackend::Horizontal),
+            "tidset" => Some(CountingBackend::Tidset),
+            "bitmap" => Some(CountingBackend::Bitmap),
+            "auto" => Some(CountingBackend::Auto),
+            _ => None,
+        }
+    }
+
+    /// All selectable backends, in CLI help order.
+    pub fn all() -> [CountingBackend; 4] {
+        [
+            CountingBackend::Horizontal,
+            CountingBackend::Tidset,
+            CountingBackend::Bitmap,
+            CountingBackend::Auto,
+        ]
+    }
+}
+
+impl std::fmt::Display for CountingBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a level actually counts with after `Auto` resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Horizontal row scan — the caller keeps its trim + trie path.
+    Horizontal,
+    /// Sorted-u32 tidset intersection against the lazily built index.
+    Tidset,
+    /// Bitmap AND + popcount against the lazily built index.
+    Bitmap,
+}
+
+impl ResolvedBackend {
+    /// Canonical lowercase name (metric label value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedBackend::Horizontal => "horizontal",
+            ResolvedBackend::Tidset => "tidset",
+            ResolvedBackend::Bitmap => "bitmap",
+        }
+    }
+
+    /// Does this level count through a vertical index?
+    pub fn is_vertical(&self) -> bool {
+        !matches!(self, ResolvedBackend::Horizontal)
+    }
+}
+
+/// Per-run backend state: the configured axis plus lazily built vertical
+/// indices over the *untrimmed* database.
+pub struct CountingRun<'a> {
+    db: &'a TransactionDb,
+    backend: CountingBackend,
+    bitmap: Option<BitmapIndex>,
+    tidset: Option<TidsetIndex>,
+}
+
+impl<'a> CountingRun<'a> {
+    /// Creates the run state for one mining run over `db`.
+    pub fn new(db: &'a TransactionDb, backend: CountingBackend) -> Self {
+        CountingRun { db, backend, bitmap: None, tidset: None }
+    }
+
+    /// The configured (unresolved) backend axis.
+    pub fn backend(&self) -> CountingBackend {
+        self.backend
+    }
+
+    /// Decides how to count level `level`'s `n_candidates` candidates.
+    ///
+    /// `Auto`'s crossover compares the level's vertical word volume
+    /// (`n_candidates × words-per-item`) against the horizontal scan
+    /// volume the trimmed database would cost — the last [`ScanStats`]
+    /// extent, i.e. the per-level density the stats layer already tracks.
+    /// Dense early levels win for bitmaps (one word covers 64 rows);
+    /// once trim has shrunk the live rows below the word volume, the
+    /// horizontal scan is the cheaper read.
+    pub fn resolve(&self, level: usize, n_candidates: usize, scan: &ScanStats) -> ResolvedBackend {
+        match self.backend {
+            CountingBackend::Horizontal => ResolvedBackend::Horizontal,
+            CountingBackend::Tidset => ResolvedBackend::Tidset,
+            CountingBackend::Bitmap => ResolvedBackend::Bitmap,
+            CountingBackend::Auto => {
+                // Levels 1–2 are always dense enough for words: level 1 is
+                // free off the index, level 2 is the candidate flood where
+                // 64-rows-per-word wins by construction.
+                if level <= 2 {
+                    return ResolvedBackend::Bitmap;
+                }
+                let words = self.db.len().div_ceil(64) as u64;
+                let word_volume = (n_candidates as u64).saturating_mul(words);
+                let horizontal_volume = scan
+                    .extents
+                    .last()
+                    .map(|e| e.items)
+                    .unwrap_or(self.db.total_items() as u64);
+                if word_volume <= horizontal_volume {
+                    ResolvedBackend::Bitmap
+                } else {
+                    ResolvedBackend::Horizontal
+                }
+            }
+        }
+    }
+
+    /// Counts `candidates` through a vertical index, recording work in
+    /// `stats`: the first index use charges one database scan (the
+    /// inversion pass reads every row once); later levels are scan-free.
+    ///
+    /// The caller records the level itself (`record_level_timed`), same
+    /// as on the horizontal path.
+    pub fn count_vertical(
+        &mut self,
+        resolved: ResolvedBackend,
+        candidates: &[Itemset],
+        level: usize,
+        stats: &mut WorkStats,
+    ) -> Vec<u64> {
+        match resolved {
+            ResolvedBackend::Horizontal => {
+                unreachable!("count_vertical called with a horizontal resolution")
+            }
+            ResolvedBackend::Tidset => {
+                if self.tidset.is_none() {
+                    self.tidset = Some(TidsetIndex::build(self.db));
+                    stats.record_scan();
+                    stats.scan.record_extent(
+                        level,
+                        self.db.len() as u64,
+                        self.db.total_items() as u64,
+                    );
+                }
+                VerticalCounter::new(self.tidset.as_ref().unwrap()).count(self.db, candidates)
+            }
+            ResolvedBackend::Bitmap => {
+                if self.bitmap.is_none() {
+                    self.bitmap = Some(BitmapIndex::build(self.db));
+                    stats.record_scan();
+                    stats.scan.record_extent(
+                        level,
+                        self.db.len() as u64,
+                        self.db.total_items() as u64,
+                    );
+                }
+                let counter = BitmapCounter::new(self.bitmap.as_ref().unwrap());
+                let counts = counter.count(self.db, candidates);
+                metric_words_anded(counter.words_anded());
+                counts
+            }
+        }
+    }
+}
+
+/// Bumps `cfq_mining_backend_selected_total{backend=...}` — one increment
+/// per counted level.
+pub fn metric_selected(backend: &'static str) {
+    obs::metrics::global()
+        .counter_with(
+            "cfq_mining_backend_selected_total",
+            "Counted levels per resolved counting backend.",
+            &[("backend", backend)],
+        )
+        .inc();
+}
+
+/// Adds to `cfq_mining_backend_level_micros_total{backend=...}` — wall
+/// micros spent generating + counting levels, per resolved backend.
+pub fn metric_level_micros(backend: &'static str, micros: u64) {
+    obs::metrics::global()
+        .counter_with(
+            "cfq_mining_backend_level_micros_total",
+            "Wall-clock microseconds spent on counted levels, per resolved counting backend.",
+            &[("backend", backend)],
+        )
+        .add(micros);
+}
+
+/// Adds to `cfq_mining_backend_words_anded_total` — u64 word operations
+/// performed by bitmap AND/popcount loops.
+pub fn metric_words_anded(n: u64) {
+    obs::metrics::global()
+        .counter_with(
+            "cfq_mining_backend_words_anded_total",
+            "u64 word operations performed by bitmap AND/popcount loops.",
+            &[],
+        )
+        .add(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in CountingBackend::all() {
+            assert_eq!(CountingBackend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(CountingBackend::parse("eclat"), None);
+        assert_eq!(CountingBackend::default(), CountingBackend::Horizontal);
+    }
+
+    #[test]
+    fn fixed_backends_resolve_to_themselves() {
+        let db = TransactionDb::from_u32(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let scan = ScanStats::default();
+        for (b, want) in [
+            (CountingBackend::Horizontal, ResolvedBackend::Horizontal),
+            (CountingBackend::Tidset, ResolvedBackend::Tidset),
+            (CountingBackend::Bitmap, ResolvedBackend::Bitmap),
+        ] {
+            let run = CountingRun::new(&db, b);
+            for level in 1..5 {
+                assert_eq!(run.resolve(level, 100, &scan), want);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_crosses_over_by_level_density() {
+        // 640 rows → 10 words per item.
+        let rows: Vec<Vec<cfq_types::ItemId>> = (0..640)
+            .map(|i| vec![cfq_types::ItemId(i as u32 % 4), cfq_types::ItemId(4 + i as u32 % 3)])
+            .collect();
+        let db = TransactionDb::new(7, rows).unwrap();
+        let run = CountingRun::new(&db, CountingBackend::Auto);
+        let mut scan = ScanStats::default();
+        // Early levels: always bitmap.
+        assert_eq!(run.resolve(1, 7, &scan), ResolvedBackend::Bitmap);
+        assert_eq!(run.resolve(2, 21, &scan), ResolvedBackend::Bitmap);
+        // Deep level, fat horizontal extent: word volume (5×10=50) is far
+        // below 1280 scanned items → stay vertical.
+        scan.record_extent(2, 640, 1280);
+        assert_eq!(run.resolve(3, 5, &scan), ResolvedBackend::Bitmap);
+        // Trim collapsed the live rows to 30 items: 50 words > 30 items →
+        // horizontal wins the crossover.
+        scan.record_extent(3, 15, 30);
+        assert_eq!(run.resolve(4, 5, &scan), ResolvedBackend::Horizontal);
+    }
+
+    #[test]
+    fn vertical_counting_charges_one_scan_total() {
+        let db = TransactionDb::from_u32(
+            4,
+            &[&[0, 1, 2], &[0, 1, 3], &[1, 2, 3], &[0, 2], &[0, 1, 2, 3]],
+        );
+        for backend in [CountingBackend::Tidset, CountingBackend::Bitmap] {
+            let mut run = CountingRun::new(&db, backend);
+            let mut stats = WorkStats::new();
+            let resolved = run.resolve(1, 4, &stats.scan);
+            let singles: Vec<Itemset> = (0..4u32).map(|i| [i].into()).collect();
+            let c1 = run.count_vertical(resolved, &singles, 1, &mut stats);
+            assert_eq!(c1, vec![4, 4, 4, 3]);
+            assert_eq!(stats.db_scans, 1, "{backend}: index build is the only scan");
+            let pairs: Vec<Itemset> = vec![[0u32, 1].into(), [1u32, 2].into()];
+            let c2 = run.count_vertical(run.resolve(2, 2, &stats.scan), &pairs, 2, &mut stats);
+            assert_eq!(c2, vec![3, 3]);
+            assert_eq!(stats.db_scans, 1, "{backend}: later levels are scan-free");
+            assert_eq!(stats.scan.extents.len(), 1);
+        }
+    }
+}

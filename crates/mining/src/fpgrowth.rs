@@ -10,8 +10,11 @@
 //! unconstrained sub-problems — e.g. the Apriori⁺ baseline's raw frequency
 //! phase or downstream analyses — can use this instead.
 
+use crate::backend::CountingBackend;
+use crate::bitmap::BitmapIndex;
 use crate::frequent::FrequentSets;
 use crate::stats::WorkStats;
+use crate::vertical::TidsetIndex;
 use cfq_types::{FxHashMap, ItemId, Itemset, TransactionDb};
 
 /// Configuration for an FP-Growth run.
@@ -23,12 +26,28 @@ pub struct FpGrowthConfig {
     pub min_support: u64,
     /// Maximum itemset size to report (0 = unbounded).
     pub max_len: usize,
+    /// How scan 1 computes the f-list frequencies: `Horizontal` tallies
+    /// rows directly; a vertical backend takes them off a one-pass
+    /// inverted index. Either way it is one scan — the tree build (scan
+    /// 2) and the recursive mining are backend-independent.
+    pub backend: CountingBackend,
 }
 
 impl FpGrowthConfig {
     /// All items, given threshold, unbounded length.
     pub fn new(min_support: u64) -> Self {
-        FpGrowthConfig { universe: Vec::new(), min_support, max_len: 0 }
+        FpGrowthConfig {
+            universe: Vec::new(),
+            min_support,
+            max_len: 0,
+            backend: CountingBackend::Horizontal,
+        }
+    }
+
+    /// Selects the scan-1 frequency backend.
+    pub fn with_backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -128,10 +147,26 @@ pub fn fp_growth(db: &TransactionDb, cfg: &FpGrowthConfig, stats: &mut WorkStats
 
     // Scan 1: item frequencies.
     let mut freq = vec![0u64; db.n_items()];
-    for t in db.iter() {
-        for &i in t {
-            if in_universe[i.index()] {
-                freq[i.index()] += 1;
+    match cfg.backend {
+        CountingBackend::Horizontal => {
+            for t in db.iter() {
+                for &i in t {
+                    if in_universe[i.index()] {
+                        freq[i.index()] += 1;
+                    }
+                }
+            }
+        }
+        CountingBackend::Tidset => {
+            let idx = TidsetIndex::build(db);
+            for &i in &universe {
+                freq[i.index()] = idx.item_tids(i).len() as u64;
+            }
+        }
+        CountingBackend::Bitmap | CountingBackend::Auto => {
+            let idx = BitmapIndex::build(db);
+            for &i in &universe {
+                freq[i.index()] = idx.item_support(i);
             }
         }
     }
@@ -286,8 +321,7 @@ mod tests {
         let mut stats = WorkStats::new();
         let cfg = FpGrowthConfig {
             universe: vec![ItemId(1), ItemId(2), ItemId(3)],
-            min_support: 2,
-            max_len: 0,
+            ..FpGrowthConfig::new(2)
         };
         let got = fp_growth(&d, &cfg, &mut stats);
         for (s, _) in got.iter() {
@@ -306,10 +340,23 @@ mod tests {
     fn max_len_caps_output() {
         let d = db();
         let mut stats = WorkStats::new();
-        let cfg = FpGrowthConfig { universe: Vec::new(), min_support: 1, max_len: 2 };
+        let cfg = FpGrowthConfig { max_len: 2, ..FpGrowthConfig::new(1) };
         let got = fp_growth(&d, &cfg, &mut stats);
         assert!(got.iter().all(|(s, _)| s.len() <= 2));
         assert_eq!(got.n_levels(), 2);
+    }
+
+    #[test]
+    fn scan1_backends_agree() {
+        let d = db();
+        let mut s1 = WorkStats::new();
+        let expected = fp_growth(&d, &FpGrowthConfig::new(2), &mut s1);
+        for b in CountingBackend::all() {
+            let mut s2 = WorkStats::new();
+            let got = fp_growth(&d, &FpGrowthConfig::new(2).with_backend(b), &mut s2);
+            assert_eq!(collect(&got), collect(&expected), "{b}");
+            assert_eq!(s2.db_scans, 2, "{b}: still exactly two scans");
+        }
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //!
 //! * [`counter`] — support counting: a candidate prefix-trie counter (one
 //!   database scan per level) and a naive reference counter; [`hashtree`]
-//!   adds the classic Apriori hash tree and [`vertical`] an Eclat-style
-//!   tidset counter. All four agree (property-tested).
+//!   adds the classic Apriori hash tree, [`vertical`] an Eclat-style
+//!   tidset counter and [`bitmap`] a u64 tid-bitmap counter (AND +
+//!   popcount, diffsets at deep levels). All agree (property-tested).
+//! * [`backend`] — the [`backend::CountingBackend`] axis
+//!   (`horizontal | tidset | bitmap | auto`) every executor threads
+//!   through, with `auto`'s per-level density crossover.
 //! * [`candidates`] — the Apriori candidate generation (prefix join +
 //!   subset prune) with a pluggable *validity oracle*, so CAP can restrict
 //!   the prune to subsets that are themselves valid (required for succinct
@@ -32,6 +36,8 @@
 //!   contain one are dropped, with row provenance kept for FUP.
 
 pub mod apriori;
+pub mod backend;
+pub mod bitmap;
 pub mod candidates;
 pub mod counter;
 pub mod fpgrowth;
@@ -44,6 +50,8 @@ pub mod trim;
 pub mod vertical;
 
 pub use apriori::{apriori, AprioriConfig};
+pub use backend::{CountingBackend, CountingRun, ResolvedBackend};
+pub use bitmap::{BitmapCounter, BitmapIndex};
 pub use candidates::generate_candidates;
 pub use counter::{
     count_supports, count_supports_with, NaiveCounter, ParallelTrieCounter, SupportCounter,

@@ -12,11 +12,16 @@
 //! 2. One global counting pass over all candidates; keep those meeting the
 //!    global threshold.
 //!
-//! Local mining here runs levelwise against a per-partition tidset index
-//! (the original paper also works vertically). The two-scan property is
-//! what matters to the CFQ paper's dovetailing/I-O discussion, so
-//! [`WorkStats::db_scans`] records exactly 2 for the global database.
+//! Local mining here runs levelwise against a per-partition vertical
+//! index — tidsets or bitmaps, following the injected
+//! [`CountingBackend`] (the original paper also works vertically). The
+//! two-scan property is what matters to the CFQ paper's dovetailing/I-O
+//! discussion, so [`WorkStats::db_scans`] records exactly 2 for the
+//! global database; per-partition counting work lands in
+//! [`WorkStats::support_counted`].
 
+use crate::backend::CountingBackend;
+use crate::bitmap::{BitmapCounter, BitmapIndex};
 use crate::candidates::generate_candidates;
 use crate::counter::{SupportCounter, TrieCounter};
 use crate::frequent::FrequentSets;
@@ -34,6 +39,22 @@ pub struct PartitionConfig {
     /// Number of partitions (clamped to at least 1 and at most the number
     /// of transactions).
     pub n_partitions: usize,
+    /// Counting backend for the per-partition local mining (`Auto`
+    /// resolves to bitmaps: partitions are in-memory and dense). The
+    /// global Phase II pass stays a single horizontal scan — that is the
+    /// algorithm's defining property.
+    pub backend: CountingBackend,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            universe: Vec::new(),
+            min_support: 1,
+            n_partitions: 1,
+            backend: CountingBackend::Tidset,
+        }
+    }
 }
 
 /// Runs the Partition algorithm; the result equals plain Apriori's.
@@ -80,15 +101,18 @@ pub fn partition_mine(
         // Scaled local threshold: ceil(min_support * |part| / |D|), ≥ 1.
         let local_min =
             ((cfg.min_support as u128 * part.len() as u128).div_ceil(n as u128) as u64).max(1);
-        candidates.extend(local_frequent(&part, &universe, local_min));
+        candidates.extend(local_frequent(&part, &universe, local_min, cfg.backend, stats));
     }
     stats.record_scan();
+    stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
     candidates.sort();
     candidates.dedup();
 
     // ---- Phase II: one global counting pass over all candidate sizes.
     let counts = TrieCounter.count(db, &candidates);
     stats.record_scan();
+    let deepest = candidates.iter().map(|c| c.len()).max().unwrap_or(1);
+    stats.scan.record_extent(deepest, db.len() as u64, db.total_items() as u64);
 
     let mut by_level: Vec<Vec<(Itemset, u64)>> = Vec::new();
     let mut counted_per_level: Vec<u64> = Vec::new();
@@ -113,14 +137,39 @@ pub fn partition_mine(
 }
 
 /// All locally frequent itemsets of one in-memory partition, via levelwise
-/// generation against a tidset index.
-fn local_frequent(part: &TransactionDb, universe: &[ItemId], local_min: u64) -> Vec<Itemset> {
-    let index = TidsetIndex::build(part);
-    let counter = VerticalCounter::new(&index);
+/// generation against the injected counting backend. Local candidates
+/// counted are recorded in `stats.support_counted` (no level rows — those
+/// belong to the global Phase II pass); the partition index builds are
+/// *not* database scans, they are part of the Phase I pass the caller
+/// records once.
+fn local_frequent(
+    part: &TransactionDb,
+    universe: &[ItemId],
+    local_min: u64,
+    backend: CountingBackend,
+    stats: &mut WorkStats,
+) -> Vec<Itemset> {
+    // Owned indices for the counter to borrow; which one exists depends
+    // on the backend. `Auto` resolves to bitmaps: the partition is
+    // in-memory and dense, exactly the bitmap sweet spot.
+    let tidset_index;
+    let bitmap_index;
+    let counter: Box<dyn SupportCounter + '_> = match backend {
+        CountingBackend::Horizontal => Box::new(TrieCounter),
+        CountingBackend::Tidset => {
+            tidset_index = TidsetIndex::build(part);
+            Box::new(VerticalCounter::new(&tidset_index))
+        }
+        CountingBackend::Bitmap | CountingBackend::Auto => {
+            bitmap_index = BitmapIndex::build(part);
+            Box::new(BitmapCounter::new(&bitmap_index))
+        }
+    };
     let mut out = Vec::new();
 
     let mut frontier: Vec<Itemset> = {
         let singles: Vec<Itemset> = universe.iter().map(|&i| Itemset::singleton(i)).collect();
+        stats.record_counted(singles.len() as u64);
         let counts = counter.count(part, &singles);
         singles
             .into_iter()
@@ -135,6 +184,7 @@ fn local_frequent(part: &TransactionDb, universe: &[ItemId], local_min: u64) -> 
         if next.is_empty() {
             break;
         }
+        stats.record_counted(next.len() as u64);
         let counts = counter.count(part, &next);
         frontier = next
             .into_iter()
@@ -171,11 +221,7 @@ mod tests {
 
     fn run(db: &TransactionDb, min_support: u64, p: usize) -> (FrequentSets, WorkStats) {
         let mut stats = WorkStats::new();
-        let cfg = PartitionConfig {
-            universe: Vec::new(),
-            min_support,
-            n_partitions: p,
-        };
+        let cfg = PartitionConfig { min_support, n_partitions: p, ..PartitionConfig::default() };
         (partition_mine(db, &cfg, &mut stats), stats)
     }
 
@@ -208,6 +254,33 @@ mod tests {
     }
 
     #[test]
+    fn local_backends_agree_and_record_work() {
+        let d = db();
+        let mut reference: Option<Vec<(Itemset, u64)>> = None;
+        for b in CountingBackend::all() {
+            let mut stats = WorkStats::new();
+            let cfg = PartitionConfig {
+                min_support: 2,
+                n_partitions: 4,
+                backend: b,
+                ..PartitionConfig::default()
+            };
+            let fs = partition_mine(&d, &cfg, &mut stats);
+            assert_eq!(stats.db_scans, 2, "{b}: still exactly two global scans");
+            assert_eq!(stats.scan.extents.len(), 2, "{b}: both global passes have extents");
+            // Local mining's counting work is visible now, on top of the
+            // global Phase II candidates.
+            let phase2: u64 = stats.levels.iter().map(|l| l.candidates).sum();
+            assert!(stats.support_counted > phase2, "{b}: local work recorded");
+            let got = collect(&fs);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(r, &got, "{b}"),
+            }
+        }
+    }
+
+    #[test]
     fn empty_database() {
         let d = TransactionDb::new(4, Vec::new()).unwrap();
         let (fs, _) = run(&d, 1, 3);
@@ -222,6 +295,7 @@ mod tests {
             universe: vec![ItemId(0), ItemId(2)],
             min_support: 2,
             n_partitions: 3,
+            ..PartitionConfig::default()
         };
         let fs = partition_mine(&d, &cfg, &mut stats);
         for (s, _) in fs.iter() {
@@ -271,9 +345,9 @@ mod clamp_tests {
         for min_support in [1u64, 2] {
             let mut stats = WorkStats::new();
             let cfg = PartitionConfig {
-                universe: Vec::new(),
                 min_support,
                 n_partitions: 100,
+                ..PartitionConfig::default()
             };
             let got = partition_mine(&d, &cfg, &mut stats);
             let mut s = WorkStats::new();

@@ -131,6 +131,13 @@ impl WorkStats {
         self.db_scans += 1;
     }
 
+    /// Records `n` sets counted for support outside the levelwise path
+    /// (e.g. Partition's per-partition vertical mining), without adding a
+    /// level row.
+    pub fn record_counted(&mut self, n: u64) {
+        self.support_counted += n;
+    }
+
     /// Records `n` constraint-check invocations.
     pub fn record_checks(&mut self, n: u64) {
         self.constraint_checks += n;

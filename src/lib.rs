@@ -88,8 +88,8 @@ pub mod prelude {
         QueryResponse, SchedulerStats, Session, SessionPool, SupportSpec,
     };
     pub use cfq_mining::{
-        apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig, FrequentSets,
-        PartitionConfig, TrieCounter, WorkStats,
+        apriori, fp_growth, partition_mine, AprioriConfig, CountingBackend, FpGrowthConfig,
+        FrequentSets, PartitionConfig, TrieCounter, WorkStats,
     };
     pub use cfq_types::{
         Catalog, CatalogBuilder, CfqError, ItemId, Itemset, Result, TransactionDb,

@@ -33,7 +33,7 @@ fn three_backbones_agree_on_quest_data() {
     let mut s3 = WorkStats::new();
     let p = partition_mine(
         &db,
-        &PartitionConfig { universe: Vec::new(), min_support: support, n_partitions: 6 },
+        &PartitionConfig { min_support: support, n_partitions: 6, ..PartitionConfig::default() },
         &mut s3,
     );
     assert_eq!(collect(&a), collect(&f), "fp-growth diverged");
