@@ -434,12 +434,14 @@ mod rand_lite {
     }
 
     impl Pcg {
+        /// Seeds the generator (one warm-up step mixes the seed in).
         pub fn new(seed: u64) -> Pcg {
             let mut p = Pcg { state: seed.wrapping_mul(0x853c_49e6_748f_ea9b) ^ 0x94d0_49bb_1331_11eb };
             p.next_u32();
             p
         }
 
+        /// The next 32 uniform random bits.
         pub fn next_u32(&mut self) -> u32 {
             let old = self.state;
             self.state = old

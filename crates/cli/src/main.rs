@@ -14,6 +14,7 @@
 //! ```
 
 mod args;
+mod check;
 mod commands;
 mod serve;
 
@@ -31,6 +32,8 @@ commands:
   stats        summarize a transaction database
   repl         interactive session over a long-lived caching engine
   serve        line-protocol TCP server; all connections share one engine
+  model        exhaustively model-check the engine's concurrency protocols
+  lint         token-level lint of the workspace sources (invariant pass)
 
 run `cfq <command> --help` for command options";
 
@@ -50,6 +53,8 @@ fn main() {
         "stats" => commands::stats(argv),
         "repl" => serve::repl(argv),
         "serve" => serve::serve(argv),
+        "model" => check::model(argv),
+        "lint" => check::lint(argv),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             std::process::exit(2);

@@ -81,6 +81,10 @@ fn install_sigint_handler() {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
+    // SAFETY: `signal(2)` with these arguments is the documented libc
+    // call: SIGINT is a valid signal number and the handler is an
+    // `extern "C" fn(i32)` that only performs an async-signal-safe
+    // atomic store. The cast to `usize` matches the declaration above.
     unsafe {
         signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
     }

@@ -118,6 +118,7 @@ fn is_superset(sup: &[ItemId], sub: &[ItemId]) -> bool {
 }
 
 impl LatticeCache {
+    /// An empty cache with the given byte budget.
     pub fn new(budget: usize) -> Self {
         LatticeCache {
             entries: Vec::new(),
@@ -286,14 +287,17 @@ impl LatticeCache {
         obs::event(obs::Level::Debug, "cache.stale_drop", &[]);
     }
 
+    /// Live lattice entries.
     pub fn entries(&self) -> usize {
         self.entries.len()
     }
 
+    /// Bytes currently charged against the budget.
     pub fn bytes_used(&self) -> usize {
         self.bytes_used
     }
 
+    /// The configured byte budget.
     pub fn budget(&self) -> usize {
         self.budget
     }
@@ -311,6 +315,7 @@ pub(crate) struct PlanCache {
 }
 
 impl PlanCache {
+    /// An empty cache holding at most `cap` plans.
     pub fn new(cap: usize) -> Self {
         PlanCache { entries: FxHashMap::default(), cap, clock: 0, hits: 0, misses: 0 }
     }

@@ -261,13 +261,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `self.bytes` came from a `&str`, and `pos`
+                    // only ever advances past whole ASCII bytes or by
+                    // `len_utf8` of a decoded scalar, so `rest` starts on
+                    // a character boundary of valid UTF-8.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        // `peek()` said a byte is there; an empty `rest`
+                        // cannot happen, but a protocol error beats a
+                        // panic in the request path.
+                        None => return Err(self.err("truncated string")),
+                    }
                 }
             }
         }
@@ -281,7 +290,11 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Only ASCII sign/digit/exponent bytes were consumed, so the
+        // slice is valid UTF-8; map the impossible failure to a protocol
+        // error rather than panicking the worker.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| CfqError::Parse(format!("json: bad number bytes at {start}")))?;
         let n: f64 = text
             .parse()
             .map_err(|_| CfqError::Parse(format!("json: bad number `{text}` at byte {start}")))?;

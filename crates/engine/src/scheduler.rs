@@ -232,10 +232,12 @@ impl Scheduler {
 
         if let Some(g) = joined {
             let mut st = g.state.lock().unwrap_or_else(|e| e.into_inner());
-            while st.result.is_none() {
+            let (lattice, scans_cost) = loop {
+                if let Some(r) = st.result.clone() {
+                    break r;
+                }
                 st = g.done.wait(st).unwrap_or_else(|e| e.into_inner());
-            }
-            let (lattice, scans_cost) = st.result.clone().expect("checked above");
+            };
             return Some(GroupRole::Joined { lattice, scans_cost });
         }
 

@@ -1,18 +1,29 @@
-//! Deterministic model of the chunk-sharded counter's partition/merge
-//! algebra (`count_supports_with`).
+//! Model check of the chunk-sharded counter's partition/merge algebra
+//! (`count_supports_with`), driven by the `cfq-model` checker.
 //!
-//! Neither loom nor ThreadSanitizer is available in the offline toolchain,
-//! so this test checks the same property a race model would: the parallel
-//! counter's result must be independent of (a) how the database is
-//! partitioned into contiguous chunks and (b) the order in which partial
-//! count vectors are merged. The implementation shards rows with
-//! `TransactionDb::chunks`, counts each chunk in an isolated thread-local
-//! buffer, and merges by commutative addition after all workers join — so
-//! every partition and every merge permutation must agree with the
-//! sequential count. This is exhaustively enumerated here on a small
-//! database; `scripts/ci.sh` runs it as its loom/tsan-substitute stage.
+//! Neither loom nor ThreadSanitizer is available in the offline
+//! toolchain, so the deterministic-interleaving checker stands in: the
+//! parallel counter's result must be independent of (a) how the database
+//! is partitioned into contiguous chunks and (b) the order in which
+//! partial count vectors are merged. The implementation shards rows with
+//! `TransactionDb::chunks`, counts each chunk in an isolated
+//! thread-local buffer, and merges by commutative addition after all
+//! workers join. Two models cover the two granularities:
+//!
+//! * a **coarse** model per partition — each worker merges its whole
+//!   partial in one atomic step (sound by Lipton reduction: the merge
+//!   runs under one lock in one critical section), explored over every
+//!   contiguous partition into at most 4 chunks;
+//! * a **fine** model for one 3-chunk partition — each worker merges
+//!   one *element* per lock section, so the checker interleaves tens of
+//!   thousands of distinct merge schedules against the real counter's
+//!   partials.
+//!
+//! `scripts/ci.sh` runs this as its loom/tsan-substitute stage.
 
 use cfq_mining::counter::count_supports_with;
+use cfq_model::models::merge::MergeModel;
+use cfq_model::{CheckConfig, Checker};
 use cfq_types::{ItemId, Itemset, TransactionDb};
 
 fn db() -> TransactionDb {
@@ -47,32 +58,16 @@ fn count_range(d: &TransactionDb, rows: std::ops::Range<usize>, cands: &[Itemset
     count_supports_with(&sub, &[cands], 1).remove(0)
 }
 
-/// All permutations of `0..n` by repeated insertion (n ≤ 4 here, so at
-/// most 24).
-fn permutations(n: usize) -> Vec<Vec<usize>> {
-    let mut perms: Vec<Vec<usize>> = vec![Vec::new()];
-    for k in 0..n {
-        let mut next = Vec::new();
-        for p in &perms {
-            for pos in 0..=p.len() {
-                let mut q = p.clone();
-                q.insert(pos, k);
-                next.push(q);
-            }
-        }
-        perms = next;
-    }
-    perms
-}
-
 #[test]
 fn every_partition_and_merge_order_matches_sequential() {
     let d = db();
     let cands = candidates();
     let expected = count_supports_with(&d, &[&cands], 1).remove(0);
     let n = d.len();
-    // Enumerate every contiguous partition with at most 4 chunks: choose up
-    // to 3 cut positions among the n-1 row boundaries.
+    // Enumerate every contiguous partition with at most 4 chunks: choose
+    // up to 3 cut positions among the n-1 row boundaries. For each, the
+    // checker explores every merge schedule (whole-vector merges, so the
+    // schedules are exactly the chunk permutations).
     let mut partitions = 0usize;
     for cuts in 0u32..(1 << (n - 1)) {
         if cuts.count_ones() > 3 {
@@ -90,20 +85,61 @@ fn every_partition_and_merge_order_matches_sequential() {
             .map(|w| count_range(&d, w[0]..w[1], &cands))
             .collect();
         partitions += 1;
-        for order in permutations(partials.len()) {
-            let mut merged = vec![0u64; cands.len()];
-            for &chunk in &order {
-                for (acc, x) in merged.iter_mut().zip(&partials[chunk]) {
-                    *acc += x;
-                }
-            }
-            assert_eq!(
-                merged, expected,
-                "partition {bounds:?} merged in order {order:?} diverged"
-            );
-        }
+        let chunks = partials.len() as u64;
+        let model =
+            MergeModel { partials, expected: expected.clone(), granularity: cands.len() };
+        let out = Checker::new(CheckConfig::default()).run(&model);
+        assert!(out.ok(), "partition {bounds:?}: {:?}", out.violations.first());
+        assert!(out.complete, "partition {bounds:?} not exhausted");
+        // Whole-vector merges: one schedule per chunk permutation.
+        let factorial: u64 = (1..=chunks).product();
+        assert_eq!(out.stats.interleavings, factorial, "partition {bounds:?}");
     }
     assert!(partitions > 20, "partition enumeration should be exhaustive, got {partitions}");
+}
+
+#[test]
+fn fine_grained_merge_is_order_independent() {
+    let d = db();
+    let cands = candidates();
+    let expected = count_supports_with(&d, &[&cands], 1).remove(0);
+    // One 3-chunk partition, merged one element per lock section: the
+    // checker covers every interleaving of 3 workers × |cands| merges.
+    let bounds = [0usize, 3, 5, d.len()];
+    let partials: Vec<Vec<u64>> = bounds
+        .windows(2)
+        .map(|w| count_range(&d, w[0]..w[1], &cands))
+        .collect();
+    let model = MergeModel { partials, expected, granularity: 1 };
+    let out = Checker::new(CheckConfig::default()).run(&model);
+    assert!(out.ok(), "{:?}", out.violations.first());
+    assert!(out.complete);
+    assert!(
+        out.stats.interleavings >= 10_000,
+        "fine-grained merge should cover ≥10k schedules, got {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn checker_catches_a_seeded_double_merge() {
+    // Teeth check: a worker that merges its first element twice must be
+    // caught by the overshoot invariant in some schedule.
+    let d = db();
+    let cands = candidates();
+    let expected = count_supports_with(&d, &[&cands], 1).remove(0);
+    let mut partials: Vec<Vec<u64>> = [0usize, 3, 5, d.len()]
+        .windows(2)
+        .map(|w| count_range(&d, w[0]..w[1], &cands))
+        .collect();
+    // Seed the bug by double-counting chunk 0 (equivalent to merging it
+    // twice — what a missing join would allow).
+    for x in &mut partials[0] {
+        *x *= 2;
+    }
+    let model = MergeModel { partials, expected, granularity: 1 };
+    let out = Checker::new(CheckConfig::default()).run(&model);
+    assert!(!out.ok(), "double merge must be caught");
 }
 
 #[test]

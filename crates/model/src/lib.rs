@@ -1,0 +1,32 @@
+//! `cfq-model`: deterministic-interleaving model checking and
+//! source-level lint passes for the cfq workspace.
+//!
+//! The workspace runs offline with no external dev-dependencies, so the
+//! roles loom, miri-on-everything and clippy-with-custom-rules would play
+//! are filled in-tree:
+//!
+//! * [`checker`] — an exhaustive explicit-state explorer over small
+//!   protocol models built from the mock primitives in [`sync`]. Every
+//!   interleaving of the modeled atomic steps is covered (optionally
+//!   under a CHESS-style preemption bound), invariants run at every
+//!   state, and violations come with a replayable thread schedule.
+//! * [`models`] — the engine's three live concurrency protocols (epoch
+//!   swap, single-flight mining, LRU cache eviction) as checkable
+//!   models, each with seeded bugs that `--inject` uses to prove the
+//!   checker still has teeth.
+//! * [`lint`] — a hand-rolled, token-level scan of the workspace's own
+//!   sources enforcing the invariants the code review relies on: no
+//!   `unwrap` in request paths, `// SAFETY:` on every `unsafe`, metric
+//!   naming and single registration, bound span guards, docs on public
+//!   items.
+//! * [`report`] — the JSON rendering `cfq model` writes to
+//!   `BENCH_model.json`.
+
+pub mod checker;
+pub mod lint;
+pub mod models;
+pub mod report;
+pub mod sync;
+
+pub use checker::{CheckConfig, CheckStats, Checker, Model, Outcome, Step, Violation, ViolationKind};
+pub use sync::{MockAtomic, MockCondvar, MockMutex};

@@ -1,0 +1,356 @@
+//! Model of the lattice cache's byte-budgeted LRU eviction against
+//! concurrent hits.
+//!
+//! The real `LatticeCache` is not itself thread-safe — the engine
+//! serializes access through its state mutex and hands lattices out as
+//! `Arc<FrequentSets>` clones, so a query keeps *using* a lattice after
+//! the entry is evicted. The model mirrors that shape:
+//!
+//! * lattices are abstract **buffers** in a pool, each with an `alive`
+//!   flag and a refcount (the Arc);
+//! * two inserter threads each mine (outside the lock) and insert
+//!   (under the lock) two fixed-size entries, running the LRU evict loop
+//!   until the byte budget holds — eviction drops the *cache's*
+//!   reference, freeing the buffer only when no reader still holds it;
+//! * one reader thread does two rounds of: hit an entry under the lock
+//!   (LRU bump + Arc clone), use the buffer outside the lock, drop the
+//!   reference under the lock.
+//!
+//! Checked invariants: the byte budget is never exceeded, `bytes_used`
+//! matches the entries exactly, and every reference a reader holds
+//! points at a live buffer (**no use-after-evict**). Seeded bugs:
+//! [`CacheBug::BudgetLeak`] turns the evict *loop* into a single `if`
+//! (two oversized inserts overrun the budget), and
+//! [`CacheBug::EagerFree`] frees the buffer at eviction regardless of
+//! the refcount (a concurrent reader's handle dangles).
+
+use crate::checker::{Model, Step};
+use crate::sync::MockMutex;
+
+/// Inserter threads (the reader is thread [`READER`]).
+const INSERTERS: usize = 2;
+/// Thread id of the reader.
+const READER: usize = INSERTERS;
+/// Entries each inserter adds.
+const INSERTS_EACH: usize = 2;
+/// Reader hit/use/drop rounds.
+const READS: usize = 2;
+/// Byte sizes of each inserter's entries: the small-then-large shape
+/// means the large insert can need **two** evictions in one call, which
+/// is what separates the evict *loop* from a single buggy `if`.
+const SIZES: [u8; INSERTS_EACH] = [3, 8];
+/// Cache byte budget: holds both small entries plus one large only after
+/// evicting twice.
+const BUDGET: u8 = 10;
+/// Buffer pool size: every insert allocates one buffer.
+const POOL: usize = INSERTERS * INSERTS_EACH;
+
+/// Which seeded bug to inject, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheBug {
+    /// The evict loop runs at most once per insert (`if` instead of
+    /// `while` — the budget silently overruns).
+    BudgetLeak,
+    /// Eviction frees the buffer immediately, ignoring readers that still
+    /// hold a reference.
+    EagerFree,
+}
+
+impl CacheBug {
+    /// Every injectable bug, with its stable report name.
+    pub fn all() -> &'static [(CacheBug, &'static str)] {
+        &[(CacheBug::BudgetLeak, "budget_leak"), (CacheBug::EagerFree, "eager_free")]
+    }
+}
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Entry {
+    /// Buffer index in the pool.
+    buf: u8,
+    /// Budget charge.
+    bytes: u8,
+    /// LRU clock stamp of the last hit (or the insertion).
+    last_used: u8,
+}
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Cache {
+    entries: Vec<Entry>,
+    bytes_used: u8,
+    clock: u8,
+    evictions: u8,
+    /// Arc refcounts per pool buffer (cache + readers).
+    refs: [u8; POOL],
+    /// Buffer is allocated and not yet freed.
+    alive: [bool; POOL],
+    /// Next pool slot to allocate.
+    alloc_next: u8,
+}
+
+impl Cache {
+    /// Drops one reference; the buffer is freed when the last goes.
+    fn unref(&mut self, buf: u8) {
+        let b = buf as usize;
+        self.refs[b] -= 1;
+        if self.refs[b] == 0 {
+            self.alive[b] = false;
+        }
+    }
+
+    /// Evicts the least-recently-used entry (cache reference dropped; an
+    /// `EagerFree` eviction frees the buffer outright).
+    fn evict_lru(&mut self, eager_free: bool) {
+        let Some(i) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let old = self.entries.swap_remove(i);
+        self.bytes_used -= old.bytes;
+        self.evictions += 1;
+        if eager_free {
+            self.refs[old.buf as usize] = self.refs[old.buf as usize].saturating_sub(1);
+            self.alive[old.buf as usize] = false;
+        } else {
+            self.unref(old.buf);
+        }
+    }
+}
+
+/// Full model state: the cache behind the engine mutex plus thread PCs.
+#[derive(Clone, Hash, PartialEq, Eq)]
+pub struct CacheEvictState {
+    cache: MockMutex<Cache>,
+    /// Per-inserter: entries inserted so far and a mined-not-yet-inserted
+    /// flag (the mine step runs outside the lock).
+    ins_done: [u8; INSERTERS],
+    ins_mined: [bool; INSERTERS],
+    /// Reader: rounds completed, PC within the round, held buffer.
+    reads_done: u8,
+    rpc: u8,
+    held: Option<u8>,
+}
+
+/// The cache eviction model. `bug: None` must verify clean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheEvictModel {
+    /// Seeded bug to inject, or `None` for the faithful protocol.
+    pub bug: Option<CacheBug>,
+}
+
+impl CacheEvictModel {
+    fn inserter_step(&self, s: &mut CacheEvictState, tid: usize) -> Step {
+        if usize::from(s.ins_done[tid]) == INSERTS_EACH {
+            return Step::Done;
+        }
+        if !s.ins_mined[tid] {
+            // Mine the lattice outside the lock.
+            s.ins_mined[tid] = true;
+            return Step::Ran;
+        }
+        // Insert under the lock, evicting LRU until the budget holds.
+        if !s.cache.try_lock(tid) {
+            return Step::Blocked;
+        }
+        let leak = self.bug == Some(CacheBug::BudgetLeak);
+        let eager = self.bug == Some(CacheBug::EagerFree);
+        let bytes = SIZES[usize::from(s.ins_done[tid])];
+        let c = s.cache.data_mut(tid);
+        let buf = c.alloc_next;
+        c.alloc_next += 1;
+        c.refs[buf as usize] = 1;
+        c.alive[buf as usize] = true;
+        if leak {
+            // Buggy: one eviction at most, however far over budget.
+            if c.bytes_used + bytes > BUDGET {
+                c.evict_lru(eager);
+            }
+        } else {
+            while c.bytes_used + bytes > BUDGET {
+                c.evict_lru(eager);
+            }
+        }
+        c.clock += 1;
+        let stamp = c.clock;
+        c.entries.push(Entry { buf, bytes, last_used: stamp });
+        c.bytes_used += bytes;
+        s.cache.unlock(tid);
+        s.ins_done[tid] += 1;
+        s.ins_mined[tid] = false;
+        Step::Ran
+    }
+
+    fn reader_step(&self, s: &mut CacheEvictState) -> Step {
+        let tid = READER;
+        if usize::from(s.reads_done) == READS {
+            return Step::Done;
+        }
+        match s.rpc {
+            // Hit: find the LRU-newest entry, bump it, clone the Arc.
+            0 => {
+                if !s.cache.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let c = s.cache.data_mut(tid);
+                c.clock += 1;
+                let stamp = c.clock;
+                match c.entries.iter_mut().max_by_key(|e| e.last_used) {
+                    Some(e) => {
+                        e.last_used = stamp;
+                        let buf = e.buf;
+                        c.refs[buf as usize] += 1;
+                        s.held = Some(buf);
+                        s.rpc = 1;
+                    }
+                    None => {
+                        // Cold cache: count the round as a miss.
+                        s.reads_done += 1;
+                    }
+                }
+                s.cache.unlock(tid);
+                Step::Ran
+            }
+            // Use the lattice outside the lock — the entry may have been
+            // evicted by now; the Arc must keep the buffer alive.
+            1 => {
+                s.rpc = 2;
+                Step::Ran
+            }
+            // Drop the reference under the lock.
+            _ => {
+                if !s.cache.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                if let Some(buf) = s.held.take() {
+                    s.cache.data_mut(tid).unref(buf);
+                }
+                s.cache.unlock(tid);
+                s.rpc = 0;
+                s.reads_done += 1;
+                Step::Ran
+            }
+        }
+    }
+}
+
+impl Model for CacheEvictModel {
+    type State = CacheEvictState;
+
+    fn init(&self) -> CacheEvictState {
+        CacheEvictState {
+            cache: MockMutex::new(Cache {
+                entries: Vec::new(),
+                bytes_used: 0,
+                clock: 0,
+                evictions: 0,
+                refs: [0; POOL],
+                alive: [false; POOL],
+                alloc_next: 0,
+            }),
+            ins_done: [0; INSERTERS],
+            ins_mined: [false; INSERTERS],
+            reads_done: 0,
+            rpc: 0,
+            held: None,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        INSERTERS + 1
+    }
+
+    fn step(&self, s: &mut CacheEvictState, tid: usize) -> Step {
+        if tid == READER {
+            self.reader_step(s)
+        } else {
+            self.inserter_step(s, tid)
+        }
+    }
+
+    fn invariant(&self, s: &CacheEvictState) -> Result<(), String> {
+        let c = s.cache.peek();
+        if c.bytes_used > BUDGET {
+            return Err(format!("byte budget exceeded: {} used, budget {BUDGET}", c.bytes_used));
+        }
+        let sum: u8 = c.entries.iter().map(|e| e.bytes).sum();
+        if sum != c.bytes_used {
+            return Err(format!("bytes_used {} out of sync with entries ({sum})", c.bytes_used));
+        }
+        for e in &c.entries {
+            if !c.alive[e.buf as usize] {
+                return Err(format!("cache entry points at freed buffer {}", e.buf));
+            }
+        }
+        if let Some(buf) = s.held {
+            if !c.alive[buf as usize] {
+                return Err(format!(
+                    "use-after-evict: reader holds a reference to freed buffer {buf}"
+                ));
+            }
+            if c.refs[buf as usize] == 0 {
+                return Err(format!("reader's reference to buffer {buf} is not counted"));
+            }
+        }
+        Ok(())
+    }
+
+    fn finale(&self, s: &CacheEvictState) -> Result<(), String> {
+        let c = s.cache.peek();
+        // All references dropped except the cache's own; live buffers are
+        // exactly the cached ones.
+        for (i, &refs) in c.refs.iter().enumerate() {
+            let cached = c.entries.iter().filter(|e| usize::from(e.buf) == i).count() as u8;
+            if refs != cached {
+                return Err(format!("buffer {i} ends with {refs} refs, {cached} cache entries"));
+            }
+        }
+        let total = INSERTERS * INSERTS_EACH;
+        if usize::from(c.alloc_next) != total {
+            return Err(format!("{} buffers allocated (want {total})", c.alloc_next));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckConfig, Checker};
+
+    #[test]
+    fn faithful_protocol_is_clean() {
+        let out = Checker::new(CheckConfig::default()).run(&CacheEvictModel { bug: None });
+        assert!(out.ok(), "{:?}", out.violations.first());
+        assert!(out.complete);
+        assert!(out.stats.interleavings >= 10_000, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn budget_leak_is_caught() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&CacheEvictModel { bug: Some(CacheBug::BudgetLeak) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("budget exceeded")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn eager_free_is_caught() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&CacheEvictModel { bug: Some(CacheBug::EagerFree) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("use-after-evict")
+                || v.message.contains("freed buffer")),
+            "{:?}",
+            out.violations
+        );
+    }
+}

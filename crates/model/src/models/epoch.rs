@@ -1,0 +1,372 @@
+//! Model of the engine's epoch-versioned swap + FUP append protocol.
+//!
+//! Mirrors `Engine::append` against concurrent readers
+//! (`Engine::lattice_for`):
+//!
+//! * the engine state (current epoch + lattice cache) lives behind one
+//!   mutex; queries snapshot the epoch under the lock, **mine outside
+//!   it**, and re-acquire it to install results;
+//! * `append` snapshots the cache under the lock, FUP-upgrades every
+//!   entry **outside** the lock, then installs `(epoch+1, upgraded
+//!   entries)` in a single critical section — the swap;
+//! * a reader that mined against an epoch that has since moved must have
+//!   its insert **dropped as stale**, never installed.
+//!
+//! A lattice's contents are abstracted to one byte that must equal
+//! `expected(epoch, slot)` — "the correct complete lattice for this
+//! epoch". The protocol invariant (what "no reader ever observes a
+//! half-upgraded lattice" means at this abstraction):
+//!
+//! 1. every cache entry belongs to the **current** epoch;
+//! 2. every cache entry's value is exactly `expected(entry.epoch, slot)`;
+//! 3. every value a reader ever observed from the cache was exact for
+//!    the epoch it snapshotted.
+//!
+//! Two seeded bugs: [`EpochBug::TornSwap`] splits the swap into separate
+//! epoch-bump and per-entry-upgrade critical sections (readers can see a
+//! new-epoch entry with old-epoch contents), and
+//! [`EpochBug::SkipStaleCheck`] installs a reader's cold mining without
+//! re-checking the epoch under the lock (a stale lattice enters a cache
+//! that claims to be current).
+
+use crate::checker::{Model, Step};
+use crate::sync::MockMutex;
+
+/// Number of reader threads (thread 0 is the appender).
+const READERS: usize = 3;
+/// Cache slots (readers target slot `tid - 1`).
+const SLOTS: usize = 3;
+/// Appends the writer performs (final epoch).
+const APPENDS: u8 = 2;
+
+/// The exact lattice byte for `(epoch, slot)` — what a correct mining or
+/// FUP upgrade of that slot at that epoch produces.
+fn expected(epoch: u8, slot: usize) -> u8 {
+    epoch * 16 + slot as u8
+}
+
+/// Which seeded bug to inject, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochBug {
+    /// The swap is torn: the epoch pointer moves in one critical section,
+    /// cached entries are upgraded one per section afterwards.
+    TornSwap,
+    /// Reader inserts skip the `current == snapshot` re-check.
+    SkipStaleCheck,
+}
+
+impl EpochBug {
+    /// Every injectable bug, with its stable report name.
+    pub fn all() -> &'static [(EpochBug, &'static str)] {
+        &[(EpochBug::TornSwap, "torn_swap"), (EpochBug::SkipStaleCheck, "skip_stale_check")]
+    }
+}
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Entry {
+    epoch: u8,
+    val: u8,
+}
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Engine {
+    epoch: u8,
+    cache: [Option<Entry>; SLOTS],
+    stale_drops: u8,
+}
+
+/// Full model state: the engine behind its mutex plus thread PCs.
+#[derive(Clone, Hash, PartialEq, Eq)]
+pub struct EpochState {
+    state: MockMutex<Engine>,
+    /// Writer program counter and its in-flight append snapshot.
+    wpc: u8,
+    wsnap_epoch: u8,
+    wsnap: [Option<Entry>; SLOTS],
+    wupgraded: [Option<Entry>; SLOTS],
+    wdone_appends: u8,
+    /// Per-reader program counter, snapshot epoch, mined value.
+    rpc: [u8; READERS],
+    rsnap: [u8; READERS],
+    rmined: [u8; READERS],
+    /// Every (epoch, slot, value) observation a reader made on a hit.
+    observed: Vec<(u8, u8, u8)>,
+}
+
+/// The epoch swap protocol model. `bug: None` must verify clean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochSwapModel {
+    /// Seeded bug to inject, or `None` for the faithful protocol.
+    pub bug: Option<EpochBug>,
+}
+
+impl EpochSwapModel {
+    fn writer_step(&self, s: &mut EpochState) -> Step {
+        const TID: usize = 0;
+        match s.wpc {
+            // Snapshot epoch + cache under the state lock (one critical
+            // section, so one atomic step).
+            0 => {
+                if s.wdone_appends == APPENDS {
+                    return Step::Done;
+                }
+                if !s.state.try_lock(TID) {
+                    return Step::Blocked;
+                }
+                let eng = s.state.data(TID);
+                s.wsnap_epoch = eng.epoch;
+                let mut snap: [Option<Entry>; SLOTS] = Default::default();
+                for (i, e) in eng.cache.iter().enumerate() {
+                    if let Some(e) = e {
+                        if e.epoch == s.wsnap_epoch {
+                            snap[i] = Some(e.clone());
+                        }
+                    }
+                }
+                s.wsnap = snap;
+                s.state.unlock(TID);
+                s.wpc = 1;
+                Step::Ran
+            }
+            // FUP-upgrade every snapshotted entry OUTSIDE the lock.
+            1 => {
+                let mut up: [Option<Entry>; SLOTS] = Default::default();
+                for (i, e) in s.wsnap.iter().enumerate() {
+                    if e.is_some() {
+                        up[i] = Some(Entry {
+                            epoch: s.wsnap_epoch + 1,
+                            val: expected(s.wsnap_epoch + 1, i),
+                        });
+                    }
+                }
+                s.wupgraded = up;
+                s.wpc = 2;
+                Step::Ran
+            }
+            // Install: epoch bump + wholesale cache replacement in ONE
+            // critical section (the swap). TornSwap tears it apart.
+            2 => {
+                if !s.state.try_lock(TID) {
+                    return Step::Blocked;
+                }
+                let new_epoch = s.wsnap_epoch + 1;
+                if self.bug == Some(EpochBug::TornSwap) {
+                    // Buggy: bump the epoch and relabel entries now,
+                    // upgrade the values in later critical sections.
+                    let upgraded = s.wupgraded.clone();
+                    let eng = s.state.data_mut(TID);
+                    eng.epoch = new_epoch;
+                    for (i, up) in upgraded.iter().enumerate() {
+                        eng.cache[i] = up.as_ref().map(|u| Entry {
+                            epoch: u.epoch,
+                            // Torn: new label, stale value for now.
+                            val: eng.cache[i].as_ref().map(|e| e.val).unwrap_or(u.val),
+                        });
+                    }
+                    s.state.unlock(TID);
+                    s.wpc = 3;
+                } else {
+                    let upgraded = s.wupgraded.clone();
+                    let eng = s.state.data_mut(TID);
+                    eng.epoch = new_epoch;
+                    eng.cache = upgraded;
+                    s.state.unlock(TID);
+                    s.wpc = 10; // append complete
+                }
+                Step::Ran
+            }
+            // TornSwap tail: upgrade one entry's value per critical
+            // section.
+            pc @ 3..=5 => {
+                let slot = (pc - 3) as usize;
+                if !s.state.try_lock(TID) {
+                    return Step::Blocked;
+                }
+                let up = s.wupgraded[slot].clone();
+                let eng = s.state.data_mut(TID);
+                if let Some(u) = up {
+                    eng.cache[slot] = Some(u);
+                }
+                s.state.unlock(TID);
+                s.wpc = if slot + 1 == SLOTS { 10 } else { pc + 1 };
+                Step::Ran
+            }
+            // Append finished; loop for the next one.
+            10 => {
+                s.wdone_appends += 1;
+                s.wpc = 0;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn reader_step(&self, s: &mut EpochState, tid: usize) -> Step {
+        let r = tid - 1;
+        let slot = r % SLOTS;
+        match s.rpc[r] {
+            // Snapshot + cache lookup in one critical section.
+            0 => {
+                if !s.state.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let eng = s.state.data(tid);
+                let epoch = eng.epoch;
+                s.rsnap[r] = epoch;
+                let hit = match &eng.cache[slot] {
+                    Some(e) if e.epoch == epoch => Some(e.val),
+                    _ => None,
+                };
+                s.state.unlock(tid);
+                match hit {
+                    Some(val) => {
+                        s.observed.push((epoch, slot as u8, val));
+                        s.rpc[r] = 3; // served from cache, done
+                    }
+                    None => s.rpc[r] = 1, // cold: mine outside the lock
+                }
+                Step::Ran
+            }
+            // Mine against the snapshot, outside any lock. Mining is
+            // correct by construction: it derives from the snapshot.
+            1 => {
+                s.rmined[r] = expected(s.rsnap[r], slot);
+                s.rpc[r] = 2;
+                Step::Ran
+            }
+            // Install under the lock iff the epoch did not move
+            // (stale-insert guard); SkipStaleCheck installs regardless.
+            2 => {
+                if !s.state.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let (snap, mined) = (s.rsnap[r], s.rmined[r]);
+                let skip_guard = self.bug == Some(EpochBug::SkipStaleCheck);
+                let eng = s.state.data_mut(tid);
+                if eng.epoch == snap || skip_guard {
+                    eng.cache[slot] = Some(Entry { epoch: snap, val: mined });
+                } else {
+                    eng.stale_drops += 1;
+                }
+                s.state.unlock(tid);
+                s.rpc[r] = 3;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+impl Model for EpochSwapModel {
+    type State = EpochState;
+
+    fn init(&self) -> EpochState {
+        let mut cache: [Option<Entry>; SLOTS] = Default::default();
+        // Two warm entries at epoch 0; slot 2 starts cold so one reader
+        // exercises the mine-and-install path.
+        cache[0] = Some(Entry { epoch: 0, val: expected(0, 0) });
+        cache[1] = Some(Entry { epoch: 0, val: expected(0, 1) });
+        EpochState {
+            state: MockMutex::new(Engine { epoch: 0, cache, stale_drops: 0 }),
+            wpc: 0,
+            wsnap_epoch: 0,
+            wsnap: Default::default(),
+            wupgraded: Default::default(),
+            wdone_appends: 0,
+            rpc: [0; READERS],
+            rsnap: [0; READERS],
+            rmined: [0; READERS],
+            observed: Vec::new(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        1 + READERS
+    }
+
+    fn step(&self, s: &mut EpochState, tid: usize) -> Step {
+        if tid == 0 {
+            self.writer_step(s)
+        } else {
+            self.reader_step(s, tid)
+        }
+    }
+
+    fn invariant(&self, s: &EpochState) -> Result<(), String> {
+        let eng = s.state.peek();
+        for (i, e) in eng.cache.iter().enumerate() {
+            if let Some(e) = e {
+                if e.epoch != eng.epoch {
+                    return Err(format!(
+                        "cache slot {i} holds epoch {} while the engine is at epoch {}",
+                        e.epoch, eng.epoch
+                    ));
+                }
+                if e.val != expected(e.epoch, i) {
+                    return Err(format!(
+                        "half-upgraded lattice: slot {i} labeled epoch {} holds {} (want {})",
+                        e.epoch,
+                        e.val,
+                        expected(e.epoch, i)
+                    ));
+                }
+            }
+        }
+        for &(epoch, slot, val) in &s.observed {
+            if val != expected(epoch, slot as usize) {
+                return Err(format!(
+                    "reader observed {val} for slot {slot} at epoch {epoch} (want {})",
+                    expected(epoch, slot as usize)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn finale(&self, s: &EpochState) -> Result<(), String> {
+        let eng = s.state.peek();
+        if eng.epoch != APPENDS {
+            return Err(format!("writer finished at epoch {} (want {APPENDS})", eng.epoch));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckConfig, Checker};
+
+    #[test]
+    fn faithful_protocol_is_clean() {
+        let out = Checker::new(CheckConfig::default()).run(&EpochSwapModel { bug: None });
+        assert!(out.ok(), "{:?}", out.violations.first());
+        assert!(out.complete);
+        assert!(out.stats.interleavings >= 10_000, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn torn_swap_is_caught() {
+        let out =
+            Checker::new(CheckConfig::default()).run(&EpochSwapModel { bug: Some(EpochBug::TornSwap) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("half-upgraded")
+                || v.message.contains("observed")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn skipped_stale_check_is_caught() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&EpochSwapModel { bug: Some(EpochBug::SkipStaleCheck) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("while the engine is at epoch")),
+            "{:?}",
+            out.violations
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Model of the scheduler's single-flight group protocol.
+//!
+//! Mirrors `Scheduler::mine_or_join`: K queriers miss the lattice cache
+//! with the same `(epoch, universe)` key. The first to arrive publishes a
+//! group and becomes its **leader**; the rest join the batch. The leader
+//! waits out the batch window (modeled as a premise: the freeze step
+//! blocks until all K members have arrived), **freezes** the group at the
+//! *minimum* support of its members, runs the mining pass exactly once,
+//! installs the lattice into the cache *before* unpublishing the group,
+//! then publishes the result and `notify_all`s the joiners. Each joiner
+//! filters the batch result down to its own (stronger or equal)
+//! envelope.
+//!
+//! Mining is abstracted by the support it ran at: a result mined at
+//! support `s` is usable by a member that asked for support `r` iff
+//! `s <= r` (a weaker envelope can always be filtered down; a stronger
+//! one cannot be widened). The checked properties:
+//!
+//! 1. at most one mining pass ever runs (single flight), and exactly one
+//!    has run by the end;
+//! 2. every member's answer was mined at a support ≤ its own request
+//!    (weaker-envelope filtering is sound for every joiner);
+//! 3. the coalesce credit equals `(K-1) * scan_cost` — the scans the
+//!    joiners *actually* avoided, counted once;
+//! 4. a published result implies the lattice was already in the cache
+//!    and the group already unpublished (late arrivals re-mine from the
+//!    cache instead of joining a dead group);
+//! 5. no member waits forever (the checker's deadlock detection).
+//!
+//! Seeded bugs: [`SingleFlightBug::FreezeIgnoresJoiner`] freezes at the
+//! leader's own support instead of the batch minimum,
+//! [`SingleFlightBug::DoubleCredit`] counts the leader itself as a saved
+//! scan, and [`SingleFlightBug::NotifyBeforeResult`] notifies before the
+//! result is visible (the classic lost wakeup).
+
+use crate::checker::{Model, Step};
+use crate::sync::{MockAtomic, MockCondvar, MockMutex};
+
+/// Members in the batch (all miss the same `(epoch, universe)` key).
+const K: usize = 4;
+/// Per-member requested minimum support. The batch minimum is 1.
+const SUPPORTS: [u8; K] = [2, 2, 3, 1];
+/// Abstract cost of one mining scan, for the coalesce-credit accounting.
+const SCAN_COST: u8 = 7;
+
+/// Which seeded bug to inject, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SingleFlightBug {
+    /// Freeze at the leader's own support, ignoring joiners' weaker
+    /// envelopes — a joiner asking for less support gets an unusable
+    /// (too-strong) result.
+    FreezeIgnoresJoiner,
+    /// Count the leader's own scan as a coalesce saving — the credit is
+    /// `members * cost` instead of `(members - 1) * cost`.
+    DoubleCredit,
+    /// `notify_all` before the result is stored; the result lands in a
+    /// later critical section with no further notify — a joiner that
+    /// re-checks in between re-parks and sleeps forever.
+    NotifyBeforeResult,
+}
+
+impl SingleFlightBug {
+    /// Every injectable bug, with its stable report name.
+    pub fn all() -> &'static [(SingleFlightBug, &'static str)] {
+        &[
+            (SingleFlightBug::FreezeIgnoresJoiner, "freeze_ignores_joiner"),
+            (SingleFlightBug::DoubleCredit, "double_credit"),
+            (SingleFlightBug::NotifyBeforeResult, "notify_before_result"),
+        ]
+    }
+}
+
+#[derive(Clone, Hash, PartialEq, Eq)]
+struct Group {
+    /// First arrival; `None` until the group exists.
+    leader: Option<usize>,
+    /// Members registered so far.
+    members: u8,
+    /// Minimum support across registered members.
+    min_support: u8,
+    /// Leader froze the batch (no further support changes).
+    frozen: bool,
+    /// Support the mining pass runs at, fixed at freeze.
+    mined_support: Option<u8>,
+    /// Published result: the support the lattice was mined at.
+    result: Option<u8>,
+    /// Lattice installed into the shared cache.
+    cache_inserted: bool,
+    /// Group still discoverable in the scheduler's map.
+    published: bool,
+    /// Coalesce credit recorded against the metrics.
+    credit_saved: u8,
+}
+
+/// Full model state: the group behind its mutex, the result condvar, the
+/// mining-pass counter, and every member's program counter.
+#[derive(Clone, Hash, PartialEq, Eq)]
+pub struct SingleFlightState {
+    group: MockMutex<Group>,
+    done: MockCondvar,
+    /// Mining passes started (incremented by the pass itself, outside the
+    /// group lock — exactly where real code pays the cost).
+    passes: MockAtomic<u64>,
+    pc: [u8; K],
+    /// The support each member's answer was mined at.
+    observed: [Option<u8>; K],
+}
+
+/// The single-flight protocol model. `bug: None` must verify clean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleFlightModel {
+    /// Seeded bug to inject, or `None` for the faithful protocol.
+    pub bug: Option<SingleFlightBug>,
+}
+
+const PC_FREEZE: u8 = 1;
+const PC_MINE: u8 = 2;
+const PC_INSTALL: u8 = 3;
+const PC_PUBLISH: u8 = 4;
+const PC_LATE_RESULT: u8 = 5;
+const PC_WAIT: u8 = 10;
+const PC_DONE: u8 = 20;
+
+impl Model for SingleFlightModel {
+    type State = SingleFlightState;
+
+    fn init(&self) -> SingleFlightState {
+        SingleFlightState {
+            group: MockMutex::new(Group {
+                leader: None,
+                members: 0,
+                min_support: u8::MAX,
+                frozen: false,
+                mined_support: None,
+                result: None,
+                cache_inserted: false,
+                published: false,
+                credit_saved: 0,
+            }),
+            done: MockCondvar::new(),
+            passes: MockAtomic::new(0),
+            pc: [0; K],
+            observed: [None; K],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        K
+    }
+
+    fn step(&self, s: &mut SingleFlightState, tid: usize) -> Step {
+        match s.pc[tid] {
+            // Arrive: create the group (becoming leader) or join it.
+            0 => {
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let g = s.group.data_mut(tid);
+                let am_leader = g.leader.is_none();
+                if am_leader {
+                    g.leader = Some(tid);
+                    g.published = true;
+                }
+                g.members += 1;
+                g.min_support = g.min_support.min(SUPPORTS[tid]);
+                s.group.unlock(tid);
+                s.pc[tid] = if am_leader { PC_FREEZE } else { PC_WAIT };
+                Step::Ran
+            }
+            // Leader: freeze once the whole batch has arrived (the batch
+            // window, as a premise), fixing the mining support.
+            PC_FREEZE => {
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                if usize::from(s.group.data(tid).members) < K {
+                    s.group.unlock(tid);
+                    return Step::Blocked;
+                }
+                let g = s.group.data_mut(tid);
+                g.frozen = true;
+                g.mined_support = Some(if self.bug == Some(SingleFlightBug::FreezeIgnoresJoiner) {
+                    SUPPORTS[tid]
+                } else {
+                    g.min_support
+                });
+                s.group.unlock(tid);
+                s.pc[tid] = PC_MINE;
+                Step::Ran
+            }
+            // Leader: the mining pass itself, outside the group lock.
+            PC_MINE => {
+                s.passes.fetch_add(1);
+                s.pc[tid] = PC_INSTALL;
+                Step::Ran
+            }
+            // Leader: install into the cache, record the coalesce credit,
+            // unpublish the group — one critical section, cache first.
+            PC_INSTALL => {
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let double = self.bug == Some(SingleFlightBug::DoubleCredit);
+                let g = s.group.data_mut(tid);
+                g.cache_inserted = true;
+                let saved_scans = if double { g.members } else { g.members - 1 };
+                g.credit_saved += saved_scans * SCAN_COST;
+                g.published = false;
+                s.group.unlock(tid);
+                s.pc[tid] = PC_PUBLISH;
+                Step::Ran
+            }
+            // Leader: publish the result and wake the joiners.
+            PC_PUBLISH => {
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                if self.bug == Some(SingleFlightBug::NotifyBeforeResult) {
+                    // Buggy: wake first, store the result in a later
+                    // section with no further notify.
+                    s.done.notify_all();
+                    s.group.unlock(tid);
+                    s.pc[tid] = PC_LATE_RESULT;
+                } else {
+                    let g = s.group.data_mut(tid);
+                    let mined = g.mined_support;
+                    g.result = mined;
+                    s.observed[tid] = mined;
+                    s.done.notify_all();
+                    s.group.unlock(tid);
+                    s.pc[tid] = PC_DONE;
+                }
+                Step::Ran
+            }
+            // NotifyBeforeResult tail: the result lands silently.
+            PC_LATE_RESULT => {
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                let g = s.group.data_mut(tid);
+                let mined = g.mined_support;
+                g.result = mined;
+                s.observed[tid] = mined;
+                s.group.unlock(tid);
+                s.pc[tid] = PC_DONE;
+                Step::Ran
+            }
+            // Joiner: condvar wait loop — check under the lock, park when
+            // the result is not there yet, re-check on wakeup.
+            PC_WAIT => {
+                if s.done.is_parked(tid) {
+                    return Step::Blocked;
+                }
+                if !s.group.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                match s.group.data(tid).result {
+                    Some(r) => {
+                        s.observed[tid] = Some(r);
+                        s.group.unlock(tid);
+                        s.pc[tid] = PC_DONE;
+                    }
+                    None => {
+                        s.done.park(tid);
+                        s.group.unlock(tid);
+                    }
+                }
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn invariant(&self, s: &SingleFlightState) -> Result<(), String> {
+        let g = s.group.peek();
+        if s.passes.load() > 1 {
+            return Err(format!("single flight broken: {} mining passes started", s.passes.load()));
+        }
+        if g.frozen && usize::from(g.members) != K {
+            return Err(format!("froze at {} members (batch window promised {K})", g.members));
+        }
+        let max_credit = (K as u8 - 1) * SCAN_COST;
+        if g.credit_saved > max_credit {
+            return Err(format!(
+                "coalesce credit over-counted: {} > {} == (K-1)*scan_cost",
+                g.credit_saved, max_credit
+            ));
+        }
+        if g.result.is_some() && (!g.cache_inserted || g.published) {
+            return Err(
+                "result published before the cache insert + unpublish critical section".into()
+            );
+        }
+        Ok(())
+    }
+
+    fn finale(&self, s: &SingleFlightState) -> Result<(), String> {
+        if s.passes.load() != 1 {
+            return Err(format!("{} mining passes for one batch (want 1)", s.passes.load()));
+        }
+        for (tid, obs) in s.observed.iter().enumerate() {
+            match obs {
+                None => return Err(format!("member {tid} finished without a result")),
+                Some(r) if *r > SUPPORTS[tid] => {
+                    return Err(format!(
+                        "member {tid} got a result mined at support {r}, but asked for \
+                         {} — too strong to filter down",
+                        SUPPORTS[tid]
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        let g = s.group.peek();
+        let want_credit = (K as u8 - 1) * SCAN_COST;
+        if g.credit_saved != want_credit {
+            return Err(format!("coalesce credit {} (want {want_credit})", g.credit_saved));
+        }
+        if !g.cache_inserted || g.published {
+            return Err("batch ended without cache insert + unpublish".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckConfig, Checker, ViolationKind};
+
+    #[test]
+    fn faithful_protocol_is_clean() {
+        let out = Checker::new(CheckConfig::default()).run(&SingleFlightModel { bug: None });
+        assert!(out.ok(), "{:?}", out.violations.first());
+        assert!(out.complete);
+        assert!(out.stats.interleavings >= 10_000, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn freeze_ignoring_joiners_is_caught() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&SingleFlightModel { bug: Some(SingleFlightBug::FreezeIgnoresJoiner) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("too strong")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn double_credit_is_caught() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&SingleFlightModel { bug: Some(SingleFlightBug::DoubleCredit) });
+        assert!(!out.ok());
+        assert!(
+            out.violations.iter().any(|v| v.message.contains("credit")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn lost_wakeup_deadlocks() {
+        let out = Checker::new(CheckConfig::default())
+            .run(&SingleFlightModel { bug: Some(SingleFlightBug::NotifyBeforeResult) });
+        assert!(
+            out.violations.iter().any(|v| v.kind == ViolationKind::Deadlock),
+            "{:?}",
+            out.violations
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine-readable JSON reports for model-checking runs.
+//!
+//! The shape written to `BENCH_model.json` by `cfq model`:
+//!
+//! ```json
+//! {"bench":"model",
+//!  "protocols":[{"protocol":"epoch_swap","states":..,"interleavings":..,
+//!                "transitions":..,"max_depth":..,"violations":0,
+//!                "complete":true}],
+//!  "injections":[{"protocol":"epoch_swap","bug":"torn_swap",
+//!                 "caught":true,"violations":2,"kind":"invariant",
+//!                 "schedule":[0,1,0]}],
+//!  "all_clean":true,"all_injections_caught":true}
+//! ```
+//!
+//! Rendering is hand-rolled (the workspace's dependency policy), matching
+//! the precedent of the engine's wire codec.
+
+use crate::checker::Outcome;
+
+/// One clean protocol exploration, for the report.
+#[derive(Clone, Debug)]
+pub struct ProtocolReport {
+    /// Stable protocol name (`epoch_swap`, `single_flight`, …).
+    pub protocol: String,
+    /// The exploration result.
+    pub outcome: Outcome,
+}
+
+/// One seeded-bug run: the injected mutation and whether it was caught.
+#[derive(Clone, Debug)]
+pub struct InjectionReport {
+    /// The protocol the bug was injected into.
+    pub protocol: String,
+    /// Stable bug name (`torn_swap`, `double_credit`, …).
+    pub bug: String,
+    /// The exploration result (caught means at least one violation).
+    pub outcome: Outcome,
+}
+
+impl InjectionReport {
+    /// Whether the checker caught the seeded bug.
+    pub fn caught(&self) -> bool {
+        !self.outcome.violations.is_empty()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_outcome_fields(out: &mut String, o: &Outcome) {
+    out.push_str(&format!(
+        "\"states\":{},\"interleavings\":{},\"transitions\":{},\"max_depth\":{},\
+         \"terminal_states\":{},\"violations\":{},\"complete\":{}",
+        o.stats.states,
+        o.stats.interleavings,
+        o.stats.transitions,
+        o.stats.max_depth_seen,
+        o.stats.terminal_states,
+        o.violations.len(),
+        o.complete,
+    ));
+}
+
+/// Renders the combined report as one line of JSON.
+pub fn render(protocols: &[ProtocolReport], injections: &[InjectionReport]) -> String {
+    let mut out = String::from("{\"bench\":\"model\",\"protocols\":[");
+    for (i, p) in protocols.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"protocol\":\"{}\",", escape(&p.protocol)));
+        push_outcome_fields(&mut out, &p.outcome);
+        if let Some(v) = p.outcome.violations.first() {
+            out.push_str(&format!(
+                ",\"first_violation\":{{\"kind\":\"{}\",\"message\":\"{}\",\"schedule\":{:?}}}",
+                v.kind.label(),
+                escape(&v.message),
+                v.schedule,
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("],\"injections\":[");
+    for (i, inj) in injections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"protocol\":\"{}\",\"bug\":\"{}\",\"caught\":{},",
+            escape(&inj.protocol),
+            escape(&inj.bug),
+            inj.caught(),
+        ));
+        push_outcome_fields(&mut out, &inj.outcome);
+        if let Some(v) = inj.outcome.violations.first() {
+            out.push_str(&format!(
+                ",\"kind\":\"{}\",\"message\":\"{}\",\"schedule\":{:?}",
+                v.kind.label(),
+                escape(&v.message),
+                v.schedule,
+            ));
+        }
+        out.push('}');
+    }
+    let all_clean = protocols.iter().all(|p| p.outcome.ok());
+    let all_caught = injections.iter().all(InjectionReport::caught);
+    out.push_str(&format!(
+        "],\"all_clean\":{all_clean},\"all_injections_caught\":{all_caught}}}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckStats, Outcome, Violation, ViolationKind};
+
+    fn outcome(violations: usize) -> Outcome {
+        Outcome {
+            stats: CheckStats {
+                states: 10,
+                interleavings: 42,
+                transitions: 20,
+                max_depth_seen: 6,
+                terminal_states: 3,
+            },
+            violations: (0..violations)
+                .map(|i| Violation {
+                    kind: ViolationKind::Invariant,
+                    message: format!("broken \"{i}\""),
+                    schedule: vec![0, 1, 0],
+                })
+                .collect(),
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn renders_clean_and_injected() {
+        let p = vec![ProtocolReport { protocol: "epoch_swap".into(), outcome: outcome(0) }];
+        let i = vec![InjectionReport {
+            protocol: "epoch_swap".into(),
+            bug: "torn_swap".into(),
+            outcome: outcome(2),
+        }];
+        let text = render(&p, &i);
+        assert!(text.starts_with("{\"bench\":\"model\""), "{text}");
+        assert!(text.contains("\"protocol\":\"epoch_swap\""), "{text}");
+        assert!(text.contains("\"interleavings\":42"), "{text}");
+        assert!(text.contains("\"violations\":0"), "{text}");
+        assert!(text.contains("\"bug\":\"torn_swap\",\"caught\":true"), "{text}");
+        assert!(text.contains("\"schedule\":[0, 1, 0]"), "{text}");
+        assert!(text.contains("\"all_clean\":true"), "{text}");
+        assert!(text.contains("\"all_injections_caught\":true"), "{text}");
+        // The message's embedded quotes must be escaped.
+        assert!(text.contains("broken \\\"0\\\""), "{text}");
+    }
+
+    #[test]
+    fn uncaught_injection_flips_the_flag() {
+        let i = vec![InjectionReport {
+            protocol: "cache_evict".into(),
+            bug: "noop".into(),
+            outcome: outcome(0),
+        }];
+        let text = render(&[], &i);
+        assert!(text.contains("\"caught\":false"), "{text}");
+        assert!(text.contains("\"all_injections_caught\":false"), "{text}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Mock synchronization primitives for model states.
+//!
+//! These are *data*, not OS objects: a [`MockMutex`], [`MockAtomic`] or
+//! [`MockCondvar`] lives inside a model's `State` (which must be
+//! `Clone + Hash + Eq`), and the checker explores every order in which
+//! model threads may step against them. A real mutex blocks a thread; a
+//! mock mutex merely *reports* that it is held, and the model's step
+//! function translates that into [`Step::Blocked`](crate::Step::Blocked)
+//! — the checker then simply never schedules that step until another
+//! thread changes the state.
+//!
+//! The intended idiom inside a [`Model::step`](crate::Model::step)
+//! program-counter machine:
+//!
+//! ```
+//! # use cfq_model::{MockMutex, Step};
+//! # struct S { m: MockMutex<u32> }
+//! # fn demo(shared: &mut S, tid: usize) -> Step {
+//! if !shared.m.try_lock(tid) {
+//!     return Step::Blocked;
+//! }
+//! *shared.m.data_mut(tid) += 1;
+//! shared.m.unlock(tid);
+//! # Step::Ran
+//! # }
+//! ```
+//!
+//! A step that returns [`Step::Blocked`](crate::Step::Blocked) must leave
+//! the state untouched — the checker debug-checks this by hashing.
+
+/// A mutex modeled as an owner tag plus the protected data.
+///
+/// Lock acquisition is [`MockMutex::try_lock`]: it either takes ownership
+/// and returns `true`, or returns `false` (the model step should then
+/// return `Blocked` without mutating anything). Ownership persists across
+/// steps until [`MockMutex::unlock`], so a model thread can hold the lock
+/// over a multi-step critical section exactly like real code does.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MockMutex<T> {
+    owner: Option<usize>,
+    data: T,
+}
+
+impl<T> MockMutex<T> {
+    /// Wraps `data` in an unlocked mutex.
+    pub fn new(data: T) -> Self {
+        MockMutex { owner: None, data }
+    }
+
+    /// Attempts to take the lock for thread `tid`. Returns `false` when
+    /// another thread holds it. Re-locking a mutex the thread already
+    /// holds is a model bug and panics (real code would deadlock).
+    pub fn try_lock(&mut self, tid: usize) -> bool {
+        match self.owner {
+            None => {
+                self.owner = Some(tid);
+                true
+            }
+            Some(o) if o == tid => panic!("model bug: thread {tid} re-locked a held MockMutex"),
+            Some(_) => false,
+        }
+    }
+
+    /// Releases the lock. Panics when `tid` is not the owner — that is a
+    /// model bug, not an explorable behavior.
+    pub fn unlock(&mut self, tid: usize) {
+        match self.owner {
+            Some(o) if o == tid => self.owner = None,
+            other => panic!("model bug: thread {tid} unlocked a MockMutex owned by {other:?}"),
+        }
+    }
+
+    /// Whether thread `tid` currently owns the lock.
+    pub fn held_by(&self, tid: usize) -> bool {
+        self.owner == Some(tid)
+    }
+
+    /// Whether any thread holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// Immutable access to the protected data *without* checking
+    /// ownership — for invariant predicates, which observe the whole
+    /// state from outside any thread.
+    pub fn peek(&self) -> &T {
+        &self.data
+    }
+
+    /// Mutable access for the owning thread. Panics when `tid` does not
+    /// hold the lock — the data race a real mutex prevents.
+    pub fn data_mut(&mut self, tid: usize) -> &mut T {
+        assert!(
+            self.held_by(tid),
+            "model bug: thread {tid} touched MockMutex data without holding the lock"
+        );
+        &mut self.data
+    }
+
+    /// Immutable access for the owning thread, with the same ownership
+    /// check as [`MockMutex::data_mut`].
+    pub fn data(&self, tid: usize) -> &T {
+        assert!(
+            self.held_by(tid),
+            "model bug: thread {tid} read MockMutex data without holding the lock"
+        );
+        &self.data
+    }
+}
+
+/// A cell whose every access is one atomic model step.
+///
+/// There is nothing to interleave *inside* an access — the checker's
+/// granularity is the step — so this is simply a typed cell with the
+/// atomic vocabulary (`load`/`store`/`fetch_add`/`compare_exchange`),
+/// kept distinct from plain fields to mark which shared locations the
+/// modeled code accesses lock-free.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MockAtomic<T: Copy>(T);
+
+impl<T: Copy> MockAtomic<T> {
+    /// Wraps an initial value.
+    pub fn new(v: T) -> Self {
+        MockAtomic(v)
+    }
+
+    /// Atomic read.
+    pub fn load(&self) -> T {
+        self.0
+    }
+
+    /// Atomic write.
+    pub fn store(&mut self, v: T) {
+        self.0 = v;
+    }
+}
+
+impl MockAtomic<u64> {
+    /// Atomic add, returning the previous value.
+    pub fn fetch_add(&mut self, n: u64) -> u64 {
+        let prev = self.0;
+        self.0 += n;
+        prev
+    }
+
+    /// Atomic compare-exchange: stores `new` and returns `Ok(current)`
+    /// when the value equals `current`, else `Err(actual)`.
+    pub fn compare_exchange(&mut self, current: u64, new: u64) -> Result<u64, u64> {
+        if self.0 == current {
+            self.0 = new;
+            Ok(current)
+        } else {
+            Err(self.0)
+        }
+    }
+}
+
+/// A condition variable modeled as a bitmask of parked threads
+/// (supporting up to 64 model threads — far beyond any tractable model).
+///
+/// The wait protocol mirrors `std::sync::Condvar`: a thread that finds
+/// its predicate false calls [`MockCondvar::park`] *while holding the
+/// mutex*, releases the mutex in the same step, and on subsequent steps
+/// returns `Blocked` while [`MockCondvar::is_parked`]. A notifier clears
+/// the mask; woken threads must re-acquire the mutex and re-check their
+/// predicate, so spurious-wakeup-safe loops are modeled faithfully.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MockCondvar {
+    parked: u64,
+}
+
+impl MockCondvar {
+    /// A condvar with no parked threads.
+    pub fn new() -> Self {
+        MockCondvar::default()
+    }
+
+    /// Parks thread `tid` (the caller must also release the mutex it
+    /// holds, in the same step).
+    pub fn park(&mut self, tid: usize) {
+        assert!(tid < 64, "model bug: MockCondvar supports at most 64 threads");
+        self.parked |= 1 << tid;
+    }
+
+    /// Whether thread `tid` is parked (its steps should return `Blocked`).
+    pub fn is_parked(&self, tid: usize) -> bool {
+        self.parked & (1 << tid) != 0
+    }
+
+    /// Wakes every parked thread.
+    pub fn notify_all(&mut self) {
+        self.parked = 0;
+    }
+
+    /// Wakes the lowest-numbered parked thread, if any.
+    pub fn notify_one(&mut self) {
+        if self.parked != 0 {
+            // Clear the lowest set bit.
+            self.parked &= self.parked - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_ownership_protocol() {
+        let mut m = MockMutex::new(5u32);
+        assert!(!m.is_locked());
+        assert!(m.try_lock(0));
+        assert!(m.held_by(0));
+        assert!(!m.try_lock(1), "second thread must not acquire");
+        *m.data_mut(0) = 6;
+        assert_eq!(*m.peek(), 6);
+        m.unlock(0);
+        assert!(m.try_lock(1));
+        assert_eq!(*m.data(1), 6);
+        m.unlock(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without holding the lock")]
+    fn unlocked_data_access_panics() {
+        let mut m = MockMutex::new(0u32);
+        m.data_mut(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-locked")]
+    fn relock_panics() {
+        let mut m = MockMutex::new(0u32);
+        assert!(m.try_lock(3));
+        m.try_lock(3);
+    }
+
+    #[test]
+    fn atomics_and_condvar() {
+        let mut a = MockAtomic::new(1u64);
+        assert_eq!(a.fetch_add(2), 1);
+        assert_eq!(a.load(), 3);
+        assert_eq!(a.compare_exchange(3, 9), Ok(3));
+        assert_eq!(a.compare_exchange(3, 10), Err(9));
+
+        let mut cv = MockCondvar::new();
+        cv.park(2);
+        cv.park(5);
+        assert!(cv.is_parked(2) && cv.is_parked(5));
+        cv.notify_one();
+        assert!(!cv.is_parked(2) && cv.is_parked(5));
+        cv.notify_all();
+        assert!(!cv.is_parked(5));
+    }
+}

@@ -1,0 +1,8 @@
+// Lint fixture: metric registrations violating the naming scheme — one
+// missing the `cfq_` prefix, one counter without the `_total` suffix.
+// Never compiled.
+
+fn wire(reg: &obs::Registry) {
+    reg.gauge("queue_depth", "requests waiting for a worker");
+    reg.counter("cfq_requests_count", "requests admitted");
+}

@@ -1,0 +1,8 @@
+// Lint fixture: a span guard in statement position — it drops (and
+// closes the span) before the work it was meant to cover even starts.
+// Never compiled.
+
+fn run_query(q: &str) {
+    obs::span("cfq.query", &[("q", q)]);
+    execute(q);
+}

@@ -1,0 +1,6 @@
+// Lint fixture: an `unsafe` block with no `// SAFETY:` justification.
+// Never compiled.
+
+fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

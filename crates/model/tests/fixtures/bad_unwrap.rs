@@ -1,0 +1,7 @@
+// Lint fixture: `.unwrap()` / `.expect(...)` in a request-handling path.
+// Scanned with FileClass::Hot by the fixture test; never compiled.
+
+fn handle(line: Option<&str>) -> usize {
+    let text = line.unwrap();
+    text.parse::<usize>().expect("malformed request")
+}

@@ -1,0 +1,31 @@
+// Lint fixture: clean under every rule — documented public items, a
+// justified unsafe block, conforming metric names, a bound span guard,
+// and unwraps confined to test code. Never compiled.
+
+/// Reads the first byte of a non-empty buffer.
+pub fn first(buf: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `buf` is non-empty, so index 0 is in
+    // bounds of the allocation.
+    unsafe { *buf.as_ptr() }
+}
+
+/// Registers this module's metrics.
+pub fn wire(reg: &obs::Registry) {
+    reg.counter("cfq_fixture_requests_total", "requests seen");
+    reg.histogram("cfq_fixture_latency_micros", "request latency");
+}
+
+/// Traces one request.
+pub fn traced(q: &str) {
+    let _span = obs::span("cfq.fixture", &[("q", q)]);
+    drop(q);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

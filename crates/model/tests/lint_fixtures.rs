@@ -1,0 +1,84 @@
+//! Integration tests for `cfq lint`: the seeded violation fixtures under
+//! `tests/fixtures/` must each trip their rule, the clean fixture must be
+//! silent, and the workspace itself must scan clean (the same gate
+//! `scripts/ci.sh` enforces through the CLI).
+
+use cfq_model::lint::{lint_source, lint_workspace, FileClass};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn bad_unwrap_fixture_is_flagged() {
+    let (findings, _) =
+        lint_source("fixtures/bad_unwrap.rs", FileClass::Hot, &fixture("bad_unwrap.rs"));
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "no-unwrap"), "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("unwrap")), "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("expect")), "{findings:?}");
+}
+
+#[test]
+fn bad_unsafe_fixture_is_flagged() {
+    let (findings, _) =
+        lint_source("fixtures/bad_unsafe.rs", FileClass::Normal, &fixture("bad_unsafe.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "unsafe-needs-safety");
+    // The unsafe rule holds even for test/bench files.
+    let (findings, _) =
+        lint_source("fixtures/bad_unsafe.rs", FileClass::TestOrBench, &fixture("bad_unsafe.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn bad_metric_fixture_is_flagged() {
+    let (findings, regs) =
+        lint_source("fixtures/bad_metric.rs", FileClass::Normal, &fixture("bad_metric.rs"));
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "metric-name"), "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("queue_depth")), "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("_total")), "{findings:?}");
+    assert_eq!(regs.len(), 2);
+}
+
+#[test]
+fn bad_span_fixture_is_flagged() {
+    let (findings, _) =
+        lint_source("fixtures/bad_span.rs", FileClass::Normal, &fixture("bad_span.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "span-guard-bound");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let (findings, regs) = lint_source("fixtures/clean.rs", FileClass::Hot, &fixture("clean.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(regs.len(), 2, "clean fixture registers two metrics");
+}
+
+#[test]
+fn workspace_scans_clean() {
+    // Two levels up from crates/model is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "not a workspace root: {}", root.display());
+    let report = lint_workspace(&root);
+    assert!(
+        report.clean(),
+        "cfq lint must pass on the workspace itself:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 50, "walker found only {} files", report.files);
+    assert!(report.metrics > 5, "only {} metric names seen", report.metrics);
+}

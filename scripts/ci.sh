@@ -29,8 +29,14 @@ fi
 
 echo "== cargo miri (undefined-behavior sanitizer substitute)"
 if cargo miri --version >/dev/null 2>&1; then
-  # Miri can't run FFI/threads-heavy tests; scope it to the data structures.
-  cargo miri test -p cfq-types -q
+  # Miri can't run FFI/threads-heavy tests; scope it to the pure data
+  # structure crates: types, the constraint algebra, and the metrics
+  # registry (all single-threaded unit tests).
+  MIRI_CRATES="cfq-types cfq-constraints cfq-obs"
+  echo "miri crates: $MIRI_CRATES"
+  for c in $MIRI_CRATES; do
+    cargo miri test -p "$c" -q
+  done
 else
   echo "WARNING: miri not installed (offline toolchain); skipping UB-check stage"
 fi
@@ -41,6 +47,24 @@ echo "== chunk-sharded counter merge model (loom/tsan substitute)"
 # parallel counter and checks bit-identical agreement with the sequential
 # scan (see crates/mining/tests/merge_model.rs).
 cargo test -q -p cfq-mining --test merge_model
+
+echo "== cfq model --inject: exhaustive concurrency model check (writes BENCH_model.json)"
+# Explores every interleaving of the engine's live protocols (epoch swap,
+# single-flight mining, cache eviction, counter merge) and then re-runs
+# each with seeded bugs enabled — the command exits nonzero if any clean
+# protocol has a violation OR any injected bug goes uncaught.
+./target/release/cfq model --inject --out BENCH_model.json
+test -s BENCH_model.json
+grep -q '"all_clean":true' BENCH_model.json \
+  || { echo "model check recorded protocol violations"; exit 1; }
+grep -q '"all_injections_caught":true' BENCH_model.json \
+  || { echo "a seeded bug went uncaught (checker lost its teeth)"; exit 1; }
+head -c 400 BENCH_model.json; echo
+
+echo "== cfq lint --workspace: token-level invariant pass over the sources"
+# unwrap/expect in request paths, undocumented unsafe, metric-name
+# hygiene, unbound span guards, missing docs on public items.
+./target/release/cfq lint --workspace
 
 echo "== repro fig8a + substrate at smoke scale"
 CFQ_SCALE="${CFQ_SCALE:-0.02}" cargo run -p cfq-bench --release --bin repro -- fig8a substrate
