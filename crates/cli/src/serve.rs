@@ -34,29 +34,47 @@ use crate::args::Args;
 use crate::commands::{load, parse_backend, parse_strategy, wants_help};
 use cfq_core::Optimizer;
 use cfq_datagen::io;
-use cfq_engine::{json, Engine, EngineConfig, QueryRequest, QueryResponse, SessionPool};
+use cfq_engine::wal::WalTailer;
+use cfq_engine::{
+    json, wire, Engine, EngineConfig, QueryRequest, QueryResponse, SessionPool,
+};
 use cfq_obs::{self as obs, Counter, Gauge, Histogram, Registry, SlowLevel, SlowLog, SlowQuery};
 use cfq_types::{CfqError, Result};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const PROTOCOL_HELP: &str = "\
-enter a CFQ conjunction to run it, or a control command:
-  :json REQUEST      run a JSON QueryRequest, reply one JSON QueryResponse line
+enter a CFQ conjunction to run it, a v1 JSON envelope, or a control command.
+v1 envelope (one JSON object per line; the preferred machine protocol):
+  {\"v\":1,\"cmd\":\"query\",\"req\":{...}}   run a QueryRequest
+  {\"v\":1,\"cmd\":\"metrics\"}             Prometheus text dump
+  {\"v\":1,\"cmd\":\"slowlog\"}             recent slow queries
+  {\"v\":1,\"cmd\":\"status\"}              engine + durability status object
+  {\"v\":1,\"cmd\":\"snapshot\"}            write a snapshot now, rotate the WAL
+  replies are {\"v\":1,\"result\":...} or
+  {\"v\":1,\"error\":{\"kind\":\"...\",\"message\":\"...\"}}; unknown versions
+  are rejected with kind \"unsupported_version\".
+control commands:
+  :json REQUEST      run a JSON QueryRequest (deprecated: use the v1 envelope)
   :explain QUERY     show the plan and predicted cache provenance
-  :append FILE       append a transaction file as a new epoch (FUP upgrade)
+  :append FILE       append a transaction file as a new epoch (FUP upgrade;
+                     WAL-logged and fsynced before the ack under --wal-dir)
   :support FRAC      set the minimum support fraction in (0, 1] (default 0.01)
   :strategy NAME     set the planning strategy (full|cap1|apriori+)
   :stats             show cache counters and epoch
-  :metrics           dump the metrics registry (Prometheus text format)
-  :slowlog           show recent queries slower than --slow-ms
+  :metrics           dump the metrics registry (deprecated: use the v1 envelope)
+  :slowlog           show recent slow queries (deprecated: use the v1 envelope)
+  :wal-status        one-line durability status (mode, WAL/snapshot counters)
+  :snapshot          write a snapshot now and rotate the WAL
   :help              this message
   :quit              leave
 replies: a saturated engine answers `overloaded: ...` (plain queries) or
-a JSON object with \"overloaded\":true (:json); back off and retry.";
+a JSON error object with \"overloaded\":true (envelope and :json); back
+off and retry.";
 
 /// How often the non-blocking accept loop polls for shutdown/reaping.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -160,6 +178,13 @@ pub struct ServerMetrics {
     cache_budget_bytes: Arc<Gauge>,
     epoch: Arc<Gauge>,
     transactions: Arc<Gauge>,
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    wal_replayed: Arc<Counter>,
+    snapshot_writes: Arc<Counter>,
+    snapshot_bytes: Arc<Counter>,
+    snapshot_last_epoch: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -256,6 +281,23 @@ impl ServerMetrics {
                 .gauge("cfq_cache_budget_bytes", "Configured lattice cache byte budget."),
             epoch: r.gauge("cfq_epoch", "Current engine epoch."),
             transactions: r.gauge("cfq_transactions", "Transactions in the current epoch."),
+            wal_records: r
+                .counter("cfq_wal_records_total", "WAL records written by this process."),
+            wal_bytes: r
+                .counter("cfq_wal_bytes_total", "WAL payload bytes written by this process."),
+            wal_fsyncs: r.counter("cfq_wal_fsyncs_total", "WAL fsyncs issued by this process."),
+            wal_replayed: r.counter(
+                "cfq_wal_replayed_records_total",
+                "WAL records replayed (boot recovery plus replica tailing).",
+            ),
+            snapshot_writes: r
+                .counter("cfq_snapshot_writes_total", "Snapshots written by this process."),
+            snapshot_bytes: r
+                .counter("cfq_snapshot_bytes_total", "Snapshot bytes written by this process."),
+            snapshot_last_epoch: r.gauge(
+                "cfq_snapshot_last_epoch",
+                "Epoch of the newest snapshot written or recovered from.",
+            ),
             registry: r,
         })
     }
@@ -296,6 +338,14 @@ impl ServerMetrics {
         self.sched_overloaded.store(sched.overloaded);
         self.sched_queue_depth.set(sched.queued as i64);
         self.sched_inflight.set(sched.inflight as i64);
+        let d = engine.durability_stats();
+        self.wal_records.store(d.wal_records);
+        self.wal_bytes.store(d.wal_bytes);
+        self.wal_fsyncs.store(d.wal_fsyncs);
+        self.wal_replayed.store(d.replayed_records);
+        self.snapshot_writes.store(d.snapshot_writes);
+        self.snapshot_bytes.store(d.snapshot_bytes);
+        self.snapshot_last_epoch.set(d.last_snapshot_epoch as i64);
         let mut out = self.registry.render();
         out.push_str(&obs::metrics::global().render());
         out
@@ -359,9 +409,20 @@ impl ReplState {
     }
 }
 
+/// Whether a line is addressed to the v1 JSON envelope rather than the
+/// CFQ parser. A JSON object continues `{` with a quoted key (or closes
+/// immediately); a CFQ set literal (`{Snacks} subseteq S.Type`)
+/// continues with a bare ident or number, so the two never collide.
+fn looks_like_envelope(line: &str) -> bool {
+    let mut chars = line.trim_start().chars();
+    chars.next() == Some('{')
+        && matches!(chars.find(|c| !c.is_whitespace()), Some('"') | Some('}'))
+}
+
 /// Handles one protocol line. Returns `None` on `:quit`, otherwise the
 /// text to print. Errors are rendered into the reply — a bad query must
-/// not kill a shared server loop.
+/// not kill a shared server loop. JSON-object lines go to the v1
+/// envelope and *always* reply with one JSON object, never prose.
 pub fn handle_line(state: &mut ReplState, line: &str) -> Option<String> {
     let line = line.trim();
     if line.is_empty() {
@@ -369,6 +430,9 @@ pub fn handle_line(state: &mut ReplState, line: &str) -> Option<String> {
     }
     if line == ":quit" || line == ":q" {
         return None;
+    }
+    if looks_like_envelope(line) {
+        return Some(run_envelope(state, line));
     }
     Some(dispatch(state, line).unwrap_or_else(|e| match e {
         // Overload is back-pressure, not a malfunction: the Display form
@@ -407,6 +471,34 @@ fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
             }
             "metrics" => Ok(state.metrics.render(&state.engine)),
             "slowlog" => Ok(state.slow.render()),
+            "wal-status" => {
+                let d = state.engine.durability_stats();
+                if !d.enabled {
+                    return Ok("durability off (ephemeral engine; start with --wal-dir)".into());
+                }
+                Ok(format!(
+                    "{} | epoch {} | wal: {} records, {} bytes, {} fsyncs, {} replayed | \
+                     snapshots: {} written ({} bytes), last at epoch {}",
+                    if d.follow { "replica (--follow)" } else { "primary" },
+                    state.engine.epoch(),
+                    d.wal_records,
+                    d.wal_bytes,
+                    d.wal_fsyncs,
+                    d.replayed_records,
+                    d.snapshot_writes,
+                    d.snapshot_bytes,
+                    d.last_snapshot_epoch,
+                ))
+            }
+            "snapshot" => {
+                let info = state.engine.snapshot_now()?;
+                Ok(format!(
+                    "snapshot written: epoch {} ({} bytes) at {}",
+                    info.epoch,
+                    info.bytes,
+                    info.path.display(),
+                ))
+            }
             "support" => {
                 let f: f64 = arg
                     .parse()
@@ -532,12 +624,17 @@ fn run_query(state: &mut ReplState, line: &str) -> Result<String> {
     ))
 }
 
-/// Renders an error as the one-line JSON object `:json` clients expect;
-/// overload rejections additionally carry `"overloaded":true` so a
-/// machine client can back off without string-matching the message.
+/// Renders an error as the one-line JSON object `:json` clients expect.
+/// Every error carries a machine-dispatchable `"kind"` field; overload
+/// rejections additionally carry `"overloaded":true` so a machine client
+/// can back off without string-matching the message. (The v1 envelope
+/// wraps the same kinds in `{"v":1,"error":{...}}` — see
+/// [`cfq_engine::wire`].)
 fn json_error(e: &CfqError) -> String {
     let mut out = String::from("{\"error\":");
     json::write_escaped(&mut out, &e.to_string());
+    out.push_str(",\"kind\":");
+    json::write_escaped(&mut out, wire::error_kind(e));
     if matches!(e, CfqError::Overloaded(_)) {
         out.push_str(",\"overloaded\":true");
     }
@@ -545,28 +642,19 @@ fn json_error(e: &CfqError) -> String {
     out
 }
 
-/// Runs one `:json REQUEST` line. Always replies with exactly one JSON
-/// line — a [`QueryResponse`] on success, an error object otherwise —
-/// so wire clients never have to parse prose.
-fn run_json(state: &mut ReplState, arg: &str) -> String {
-    if arg.is_empty() {
-        return json_error(&CfqError::Config(":json needs a request object (try :help)".into()));
-    }
-    let req = match QueryRequest::from_json(arg) {
-        Ok(req) => req,
-        Err(e) => {
-            state.metrics.query_errors_total.inc();
-            return json_error(&e);
-        }
-    };
+/// Executes one [`QueryRequest`], recording latency, outcome metrics
+/// and (when slow enough) a slow-query log entry — the shared engine
+/// room behind both the legacy `:json` command and the v1 envelope.
+/// Returns the [`QueryResponse`] as one JSON line.
+fn run_request(state: &mut ReplState, req: &QueryRequest) -> Result<String> {
     let start = Instant::now();
-    let result = state.pool.session().execute(&req);
+    let result = state.pool.session().execute(req);
     let elapsed = start.elapsed();
     let out = match result {
         Ok(out) => out,
         Err(e) => {
             state.metrics.query_errors_total.inc();
-            return json_error(&e);
+            return Err(e);
         }
     };
 
@@ -601,7 +689,88 @@ fn run_json(state: &mut ReplState, arg: &str) -> String {
         state.metrics.slow_queries_total.inc();
     }
 
-    QueryResponse::from_outcome(&out).to_json()
+    Ok(QueryResponse::from_outcome(&out).to_json())
+}
+
+/// Runs one `:json REQUEST` line (the deprecated pre-envelope form).
+/// Always replies with exactly one JSON line — a [`QueryResponse`] on
+/// success, an error object otherwise — so wire clients never parse
+/// prose.
+fn run_json(state: &mut ReplState, arg: &str) -> String {
+    if arg.is_empty() {
+        return json_error(&CfqError::Config(":json needs a request object (try :help)".into()));
+    }
+    let req = match QueryRequest::from_json(arg) {
+        Ok(req) => req,
+        Err(e) => {
+            state.metrics.query_errors_total.inc();
+            return json_error(&e);
+        }
+    };
+    run_request(state, &req).unwrap_or_else(|e| json_error(&e))
+}
+
+/// The `status` command's result object: serving mode plus the epoch,
+/// cache, and durability counters a control plane watches.
+fn status_json(state: &ReplState) -> String {
+    use std::fmt::Write as _;
+    let d = state.engine.durability_stats();
+    let mode = if !d.enabled {
+        "ephemeral"
+    } else if d.follow {
+        "replica"
+    } else {
+        "primary"
+    };
+    let c = state.engine.cache_stats();
+    let mut out = String::from("{\"mode\":\"");
+    out.push_str(mode);
+    let _ = write!(
+        out,
+        "\",\"epoch\":{},\"transactions\":{},\"cache_entries\":{},\"cache_bytes\":{},\
+         \"wal_records\":{},\"wal_bytes\":{},\"replayed_records\":{},\
+         \"snapshot_writes\":{},\"last_snapshot_epoch\":{}}}",
+        state.engine.epoch(),
+        state.engine.db().len(),
+        c.entries,
+        c.bytes_used,
+        d.wal_records,
+        d.wal_bytes,
+        d.replayed_records,
+        d.snapshot_writes,
+        d.last_snapshot_epoch,
+    );
+    out
+}
+
+/// Handles one v1 envelope line. Always replies with exactly one JSON
+/// envelope — `{"v":1,"result":...}` or a typed error object.
+fn run_envelope(state: &mut ReplState, line: &str) -> String {
+    let cmd = match wire::parse_envelope(line) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            state.metrics.query_errors_total.inc();
+            return e.render();
+        }
+    };
+    match cmd {
+        wire::WireCmd::Query(req) => match run_request(state, &req) {
+            Ok(resp) => wire::result_object(&resp),
+            Err(e) => wire::error_from(&e),
+        },
+        wire::WireCmd::Metrics => wire::text_result(&state.metrics.render(&state.engine)),
+        wire::WireCmd::Slowlog => wire::text_result(&state.slow.render()),
+        wire::WireCmd::Status => wire::result_object(&status_json(state)),
+        wire::WireCmd::Snapshot => match state.engine.snapshot_now() {
+            Ok(info) => {
+                let mut body = format!("{{\"epoch\":{},\"bytes\":{},\"path\":", info.epoch, info.bytes);
+                json::write_escaped(&mut body, &info.path.display().to_string());
+                body.push('}');
+                wire::result_object(&body)
+            }
+            Err(e) => wire::error_from(&e),
+        },
+    }
 }
 
 /// Drives the line protocol over arbitrary reader/writer pairs — the REPL
@@ -638,22 +807,83 @@ pub fn repl_loop<R: BufRead, W: Write>(
 fn build_engine(a: &Args) -> Result<Arc<Engine>> {
     let (db, catalog) = load(a)?;
     let defaults = EngineConfig::default();
-    let config = EngineConfig {
-        max_inflight_queries: a.num("max-inflight", defaults.max_inflight_queries)?,
-        max_queued_queries: a.num("queue-depth", defaults.max_queued_queries)?,
-        batch_window: Duration::from_millis(
-            a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?,
-        ),
-        backend: parse_backend(a.get("backend"))?,
-        ..defaults
+    let mut builder = EngineConfig::builder()
+        .max_inflight_queries(a.num("max-inflight", defaults.max_inflight_queries)?)
+        .max_queued_queries(a.num("queue-depth", defaults.max_queued_queries)?)
+        .batch_window_ms(a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?)
+        .backend(parse_backend(a.get("backend"))?);
+    match (a.get("wal-dir"), a.get("follow")) {
+        (Some(_), Some(_)) => {
+            return Err(CfqError::Config(
+                "--wal-dir and --follow are mutually exclusive: a primary owns its WAL \
+                 directory, a replica only tails one"
+                    .into(),
+            ));
+        }
+        (Some(dir), None) => {
+            builder = builder
+                .wal_dir(dir)
+                .snapshot_every(a.num("snapshot-every", defaults.snapshot_every)?);
+        }
+        (None, Some(dir)) => {
+            builder = builder.wal_dir(dir).follow(true);
+        }
+        (None, None) => {}
+    }
+    let engine = Engine::with_config(db, catalog, builder.build())?;
+    let d = engine.durability_stats();
+    let mode = if !d.enabled {
+        "ephemeral"
+    } else if d.follow {
+        "replica"
+    } else {
+        "durable"
     };
-    let engine = Engine::with_config(db, catalog, config)?;
     println!(
-        "engine up: {} transactions over {} items, epoch 0",
+        "engine up ({mode}): {} transactions over {} items, epoch {}",
         engine.db().len(),
-        engine.db().n_items()
+        engine.db().n_items(),
+        engine.epoch(),
     );
+    if d.replayed_records > 0 || d.last_snapshot_epoch > 0 {
+        println!(
+            "recovered from snapshot epoch {} + {} WAL records",
+            d.last_snapshot_epoch, d.replayed_records
+        );
+    }
     Ok(engine)
+}
+
+/// Tails the primary's WAL directory on a `--follow` replica: polls for
+/// new fsynced records and replays them, keeping the replica's epoch
+/// (and FUP-maintained caches) converged with the writer. Runs until
+/// shutdown; transient read errors back off and retry, since the
+/// primary may be mid-rotation.
+fn follow_wal(engine: Arc<Engine>, dir: PathBuf, shutdown: Arc<AtomicBool>) {
+    let mut tailer = WalTailer::new(&dir, engine.epoch() + 1);
+    loop {
+        if shutdown.load(Ordering::SeqCst) || SIGINT_SEEN.load(Ordering::SeqCst) {
+            return;
+        }
+        match tailer.poll() {
+            Ok(records) => {
+                let caught_up = records.is_empty();
+                for rec in records {
+                    if let Err(e) = engine.replay_append(rec.delta) {
+                        eprintln!("replica replay failed at epoch {}: {e}", rec.epoch);
+                        return;
+                    }
+                }
+                if caught_up {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            Err(e) => {
+                eprintln!("replica WAL poll error (will retry): {e}");
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        }
+    }
 }
 
 /// Installs the tracing subscriber requested by `--trace LEVEL` (or the
@@ -976,6 +1206,9 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
              [--batch-window-ms MS]  cold-mining batch window (default 2, 0 = single-flight only)\n\
              [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
              [--backend NAME]        default counting backend (horizontal|tidset|bitmap|auto)\n\
+             [--wal-dir DIR]         durable mode: WAL + snapshots in DIR, warm restart on boot\n\
+             [--snapshot-every N]    snapshot cadence in appends (default 8, 0 = manual :snapshot only)\n\
+             [--follow DIR]          read replica: tail the primary's WAL DIR (read-only)\n\
              [--slow-ms MS]          slow-query log threshold (default 500)\n\
              [--trace LEVEL]         stderr tracing (error|warn|info|debug|trace)\n\n\
              protocol: one request per line\n{PROTOCOL_HELP}\n\n\
@@ -1019,7 +1252,19 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
         }));
     }
 
+    let mut follow_thread = None;
+    if engine.config().follow {
+        if let Some(dir) = engine.config().wal_dir.clone() {
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&opts.shutdown);
+            follow_thread = Some(std::thread::spawn(move || follow_wal(engine, dir, shutdown)));
+        }
+    }
+
     let result = serve_connections(listener, engine, opts);
+    if let Some(h) = follow_thread {
+        let _ = h.join();
+    }
     if let Some(h) = metrics_thread {
         let _ = h.join();
     }
@@ -1456,5 +1701,195 @@ mod tests {
         assert_eq!(accept_backoff(30), ACCEPT_BACKOFF_MAX, "ceiling holds for huge streaks");
         // u32::MAX must not overflow the shift.
         assert_eq!(accept_backoff(u32::MAX), ACCEPT_BACKOFF_MAX);
+    }
+
+    /// Fresh per-test directory without `Date`/randomness: pid + counter.
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("cfq-serve-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_engine(dir: &std::path::Path) -> Arc<Engine> {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        let db = TransactionDb::from_u32(
+            6,
+            &[&[0, 1, 2, 3], &[0, 1, 2], &[1, 2, 3, 4], &[0, 2, 4], &[0, 1, 3, 5], &[2, 3, 4, 5]],
+        );
+        let config = EngineConfig::builder().wal_dir(dir).snapshot_every(0).build();
+        Engine::with_config(db, b.build(), config).unwrap()
+    }
+
+    #[test]
+    fn envelope_lines_are_told_apart_from_set_literal_queries() {
+        // CFQ set literals legitimately start a line with `{`; only a
+        // JSON object (`{` then `"` or `}`) is a v1 envelope.
+        assert!(looks_like_envelope("{\"v\":1,\"cmd\":\"status\"}"));
+        assert!(looks_like_envelope("  { \"v\": 1 }"));
+        assert!(looks_like_envelope("{}"));
+        assert!(!looks_like_envelope("{Snacks} subseteq S.Type"));
+        assert!(!looks_like_envelope("{ Snacks, Beers } = S.Type"));
+        assert!(!looks_like_envelope("max(S.Price) <= 30"));
+        assert!(!looks_like_envelope(":json {\"query\": \"q\"}"));
+    }
+
+    #[test]
+    fn envelope_query_round_trips_and_matches_legacy_json() {
+        let mut state = ReplState::new(engine());
+        let line = format!(
+            "{{\"v\": 1, \"cmd\": \"query\", \"req\": {{\"query\": \"{Q}\", \
+             \"support\": {{\"frac\": 0.25}}}}}}"
+        );
+        let reply = handle_line(&mut state, &line).unwrap();
+        let v = json::parse(&reply).unwrap();
+        assert_eq!(v.get("v").unwrap().as_u64(), Some(1), "{reply}");
+        let result = v.get("result").unwrap();
+        assert!(result.get("pair_count").unwrap().as_u64().unwrap() > 0, "{reply}");
+        assert!(result.get("db_scans").unwrap().as_u64().unwrap() > 0, "{reply}");
+
+        // The envelope result body is byte-identical to the deprecated
+        // `:json` reply for the same request (warm, so both hit cache).
+        let legacy = handle_line(
+            &mut state,
+            &format!(":json {{\"query\": \"{Q}\", \"support\": {{\"frac\": 0.25}}}}"),
+        )
+        .unwrap();
+        let warm = handle_line(&mut state, &line).unwrap();
+        assert_eq!(warm, wire::result_object(&legacy));
+        assert_eq!(state.metrics.queries_total.get(), 3);
+    }
+
+    #[test]
+    fn envelope_errors_are_typed_objects() {
+        let mut state = ReplState::new(engine());
+        for (line, kind, needle) in [
+            ("{\"v\": 1", "protocol", "error"),
+            ("{\"cmd\": \"metrics\"}", "protocol", "numeric `v` field"),
+            ("{\"v\": 2, \"cmd\": \"metrics\"}", "unsupported_version", "this server speaks v1"),
+            ("{\"v\": 1, \"cmd\": \"wat\"}", "unknown_command", "unknown command"),
+            ("{\"v\": 1, \"cmd\": \"query\"}", "protocol", "needs a `req`"),
+            ("{\"v\": 1, \"cmd\": \"metrics\", \"extra\": 1}", "protocol", "unknown envelope field"),
+            (
+                "{\"v\": 1, \"cmd\": \"query\", \"req\": {\"query\": \"max(S.Price <= 30\"}}",
+                "parse",
+                "error",
+            ),
+        ] {
+            let reply = handle_line(&mut state, line).unwrap();
+            let v = json::parse(&reply)
+                .unwrap_or_else(|e| panic!("non-JSON reply to `{line}`: {reply} ({e})"));
+            assert_eq!(v.get("v").unwrap().as_u64(), Some(1), "{reply}");
+            let err = v.get("error").unwrap();
+            assert_eq!(err.get("kind").unwrap().as_str(), Some(kind), "`{line}` -> {reply}");
+            assert!(
+                err.get("message").unwrap().as_str().unwrap().contains(needle),
+                "`{line}` -> {reply}"
+            );
+        }
+        assert_eq!(state.metrics.queries_total.get(), 0);
+    }
+
+    #[test]
+    fn legacy_json_errors_carry_a_kind_field() {
+        let mut state = ReplState::new(engine());
+        for (line, kind) in [
+            (":json {nope}", "parse"),
+            (":json {\"quary\": \"q\"}", "parse"),
+            (":json {\"query\": \"count(S) >= 1\", \"support\": 0.0}", "config"),
+        ] {
+            let reply = handle_line(&mut state, line).unwrap();
+            let v = json::parse(&reply).unwrap();
+            assert_eq!(v.get("kind").unwrap().as_str(), Some(kind), "`{line}` -> {reply}");
+        }
+        let obj = json_error(&CfqError::Overloaded("busy".into()));
+        let v = json::parse(&obj).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(v.get("overloaded").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn status_and_snapshot_commands_on_an_ephemeral_engine() {
+        let mut state = ReplState::new(engine());
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"status\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("ephemeral"), "{reply}");
+        assert_eq!(result.get("epoch").unwrap().as_u64(), Some(0));
+        assert_eq!(result.get("transactions").unwrap().as_u64(), Some(8));
+
+        // Snapshots need a WAL directory; the rejection is typed.
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"snapshot\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("config"),
+            "{reply}"
+        );
+        let reply = handle_line(&mut state, ":wal-status").unwrap();
+        assert!(reply.contains("durability off"), "{reply}");
+        let reply = handle_line(&mut state, ":snapshot").unwrap();
+        assert!(reply.contains("--wal-dir"), "{reply}");
+    }
+
+    #[test]
+    fn status_snapshot_and_wal_status_on_a_durable_engine() {
+        let dir = temp_dir("durable");
+        let mut state = ReplState::new(durable_engine(&dir));
+
+        let reply = handle_line(&mut state, ":wal-status").unwrap();
+        assert!(reply.contains("primary"), "{reply}");
+
+        // An append is WAL-logged; the status counters show it.
+        let path = dir.join("delta.txt");
+        let delta = TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5]]);
+        io::save_transactions(&delta, &path).unwrap();
+        let reply = handle_line(&mut state, &format!(":append {}", path.display())).unwrap();
+        assert!(reply.contains("now epoch 1"), "{reply}");
+
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"status\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("mode").unwrap().as_str(), Some("primary"), "{reply}");
+        assert_eq!(result.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(result.get("wal_records").unwrap().as_u64(), Some(1));
+
+        // Manual snapshot over the envelope, visible in :wal-status.
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"snapshot\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("epoch").unwrap().as_u64(), Some(1), "{reply}");
+        assert!(result.get("bytes").unwrap().as_u64().unwrap() > 0, "{reply}");
+        let reply = handle_line(&mut state, ":wal-status").unwrap();
+        assert!(reply.contains("1 written"), "{reply}");
+
+        // The scrape surfaces the new wal/snapshot families.
+        let text = handle_line(&mut state, ":metrics").unwrap();
+        for needle in [
+            "cfq_wal_records_total 1",
+            "cfq_wal_fsyncs_total",
+            "cfq_snapshot_writes_total 1",
+            "cfq_snapshot_last_epoch 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn envelope_metrics_and_slowlog_wrap_text() {
+        let mut state = ReplState::new(engine());
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"metrics\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        let text = v.get("result").unwrap().get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("cfq_queries_total"), "{reply}");
+        let reply = handle_line(&mut state, "{\"v\": 1, \"cmd\": \"slowlog\"}").unwrap();
+        let v = json::parse(&reply).unwrap();
+        let text = v.get("result").unwrap().get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("slow-query log empty"), "{reply}");
     }
 }

@@ -19,17 +19,22 @@
 use crate::cache::{CacheHit, CacheStats, LatticeCache, LatticeEntry, PlanCache};
 use crate::scheduler::{AdmissionPermit, GroupRole, Scheduler, SchedulerStats};
 use crate::session::Session;
+use crate::snapshot::{self, LatticeView};
+use crate::wal::{self, WalRecord, WalWriter};
 use cfq_core::{CfqPlan, LatticeSource, Optimizer};
 use cfq_obs as obs;
 use cfq_mining::{
     apriori, fup_update_abs, AprioriConfig, CountingBackend, FrequentSets, WorkStats,
 };
 use cfq_types::{Catalog, CfqError, ItemId, Result, TransactionDb};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Tuning knobs of an [`Engine`].
-#[derive(Clone, Copy, Debug)]
+/// Tuning knobs of an [`Engine`]. Construct with
+/// [`EngineConfig::builder`] — the builder is the one canonical surface
+/// for every knob the CLI flags and wire requests expose.
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Byte budget of the lattice cache (default 64 MiB). Must be
     /// positive; construction fails with [`CfqError::CacheBudget`]
@@ -59,6 +64,19 @@ pub struct EngineConfig {
     /// its single-flight group (default 2 ms; zero disables batching but
     /// keeps single-flight).
     pub batch_window: Duration,
+    /// Durability directory (default `None` = ephemeral engine). When
+    /// set, construction recovers from the newest snapshot plus WAL
+    /// replay, and every [`Engine::append`] is written to the WAL and
+    /// fsynced before it is acknowledged.
+    pub wal_dir: Option<PathBuf>,
+    /// Write a snapshot and rotate the WAL every N durable appends
+    /// (default 8; 0 = snapshots only via [`Engine::snapshot_now`]).
+    pub snapshot_every: u64,
+    /// Run as a read replica: recover from `wal_dir` but open no writer,
+    /// reject [`Engine::append`], and accept deltas only through
+    /// [`Engine::replay_append`] (fed by a WAL tailer). Requires
+    /// `wal_dir`.
+    pub follow: bool,
 }
 
 impl Default for EngineConfig {
@@ -72,8 +90,165 @@ impl Default for EngineConfig {
             max_inflight_queries: 256,
             max_queued_queries: 1024,
             batch_window: Duration::from_millis(2),
+            wal_dir: None,
+            snapshot_every: 8,
+            follow: false,
         }
     }
+}
+
+impl EngineConfig {
+    /// Starts a builder over the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: EngineConfig::default() }
+    }
+}
+
+/// Fluent builder for [`EngineConfig`] — one method per knob, mirroring
+/// the `cfq serve` flags (`--backend`, `--max-inflight`,
+/// `--batch-window-ms`, `--wal-dir`, `--snapshot-every`, `--follow`).
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Byte budget of the lattice cache.
+    pub fn cache_budget_bytes(mut self, bytes: usize) -> Self {
+        self.config.cache_budget_bytes = bytes;
+        self
+    }
+
+    /// Entry cap of the plan cache (0 disables it).
+    pub fn plan_cache_entries(mut self, entries: usize) -> Self {
+        self.config.plan_cache_entries = entries;
+        self
+    }
+
+    /// Default support-counting threads (1 = sequential, 0 = per core).
+    pub fn counting_threads(mut self, threads: usize) -> Self {
+        self.config.counting_threads = threads;
+        self
+    }
+
+    /// Default per-level database reduction for cold mining.
+    pub fn trim(mut self, trim: bool) -> Self {
+        self.config.trim = trim;
+        self
+    }
+
+    /// Default support-counting backend.
+    pub fn backend(mut self, backend: CountingBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Maximum concurrently executing queries (0 = unlimited).
+    pub fn max_inflight_queries(mut self, n: usize) -> Self {
+        self.config.max_inflight_queries = n;
+        self
+    }
+
+    /// Maximum queued queries beyond the in-flight cap (0 = unlimited).
+    pub fn max_queued_queries(mut self, n: usize) -> Self {
+        self.config.max_queued_queries = n;
+        self
+    }
+
+    /// Single-flight batch window.
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// Single-flight batch window in milliseconds (the `--batch-window-ms`
+    /// flag's unit).
+    pub fn batch_window_ms(mut self, ms: u64) -> Self {
+        self.config.batch_window = Duration::from_millis(ms);
+        self
+    }
+
+    /// Durability directory: WAL + snapshots + boot-time recovery.
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Snapshot-and-rotate cadence in durable appends (0 = manual only).
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.config.snapshot_every = every;
+        self
+    }
+
+    /// Read-replica mode (requires [`Self::wal_dir`]).
+    pub fn follow(mut self, follow: bool) -> Self {
+        self.config.follow = follow;
+        self
+    }
+
+    /// Finishes the builder. Validation (budget, follow/wal-dir
+    /// coherence) happens in [`Engine::with_config`].
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
+}
+
+/// A counter snapshot of the durability subsystem
+/// ([`Engine::durability_stats`]). All zeros on an ephemeral engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurabilityStats {
+    /// Whether a WAL directory is configured.
+    pub enabled: bool,
+    /// Whether this engine is a read replica.
+    pub follow: bool,
+    /// WAL records written by this process.
+    pub wal_records: u64,
+    /// WAL payload bytes written by this process.
+    pub wal_bytes: u64,
+    /// WAL fsyncs issued by this process.
+    pub wal_fsyncs: u64,
+    /// WAL records replayed (at boot, plus tailed records on a replica).
+    pub replayed_records: u64,
+    /// Snapshots written by this process.
+    pub snapshot_writes: u64,
+    /// Snapshot bytes written by this process.
+    pub snapshot_bytes: u64,
+    /// Snapshot attempts that failed (the append itself still
+    /// succeeded; the WAL covers the gap until the next attempt).
+    pub snapshot_failures: u64,
+    /// Epoch of the newest snapshot written or recovered from.
+    pub last_snapshot_epoch: u64,
+}
+
+/// What [`Engine::snapshot_now`] wrote.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    /// The epoch the snapshot captures.
+    pub epoch: u64,
+    /// Final snapshot file path.
+    pub path: PathBuf,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+}
+
+/// Mutable durability state, locked after `append_lock` and before the
+/// engine state lock.
+struct DurabilityState {
+    dir: PathBuf,
+    /// `None` on replicas (they never write).
+    writer: Option<WalWriter>,
+    snapshot_every: u64,
+    appends_since_snapshot: u64,
+    replayed_records: u64,
+    snapshot_writes: u64,
+    snapshot_bytes: u64,
+    snapshot_failures: u64,
+    last_snapshot_epoch: u64,
+    /// Counters carried over from writers retired by WAL rotation, so
+    /// the process totals survive segment changes.
+    retired_records: u64,
+    retired_bytes: u64,
+    retired_fsyncs: u64,
 }
 
 /// What an [`Engine::append`] did: the new epoch and the FUP work.
@@ -112,6 +287,8 @@ pub struct Engine {
     state: Mutex<EngineState>,
     /// Serializes appends with each other (never with queries).
     append_lock: Mutex<()>,
+    /// Lock order: `append_lock` → `durability` → `state`.
+    durability: Option<Mutex<DurabilityState>>,
     scheduler: Scheduler,
     config: EngineConfig,
 }
@@ -136,8 +313,16 @@ impl Engine {
 
     /// Creates an engine with explicit configuration. Fails with
     /// [`CfqError::Engine`] when the catalog covers fewer items than the
-    /// database references, and with [`CfqError::CacheBudget`] on a zero
-    /// cache budget.
+    /// database references, with [`CfqError::CacheBudget`] on a zero
+    /// cache budget, and with [`CfqError::Config`] when `follow` is set
+    /// without `wal_dir`.
+    ///
+    /// With `wal_dir` set, `db` is the *seed* for a fresh directory: when
+    /// the directory already holds a snapshot or WAL, construction
+    /// recovers — install the newest valid snapshot (database plus cached
+    /// lattices, every image gated by `TransactionDb::validate` and the
+    /// lattice shape checks), then replay every WAL record above its
+    /// epoch — and serves warm from the recovered state.
     pub fn with_config(
         db: TransactionDb,
         catalog: Catalog,
@@ -155,25 +340,110 @@ impl Engine {
                 "the lattice cache budget must be positive".into(),
             ));
         }
+        if config.follow && config.wal_dir.is_none() {
+            return Err(CfqError::Config(
+                "follow mode needs a WAL directory to tail (--wal-dir / --follow DIR)".into(),
+            ));
+        }
         let current = Arc::new(EpochState {
             epoch: 0,
             db: Arc::new(db),
             catalog: Arc::new(catalog),
         });
-        Ok(Arc::new(Engine {
+        let durability = config.wal_dir.as_ref().map(|dir| {
+            Mutex::new(DurabilityState {
+                dir: dir.clone(),
+                writer: None,
+                snapshot_every: config.snapshot_every,
+                appends_since_snapshot: 0,
+                replayed_records: 0,
+                snapshot_writes: 0,
+                snapshot_bytes: 0,
+                snapshot_failures: 0,
+                last_snapshot_epoch: 0,
+                retired_records: 0,
+                retired_bytes: 0,
+                retired_fsyncs: 0,
+            })
+        });
+        let engine = Engine {
             state: Mutex::new(EngineState {
                 current,
                 lattices: LatticeCache::new(config.cache_budget_bytes),
                 plans: PlanCache::new(config.plan_cache_entries),
             }),
             append_lock: Mutex::new(()),
+            durability,
             scheduler: Scheduler::new(
                 config.max_inflight_queries,
                 config.max_queued_queries,
                 config.batch_window,
             ),
             config,
-        }))
+        };
+        if let Some(dir) = engine.config.wal_dir.clone() {
+            engine.recover(&dir)?;
+        }
+        Ok(Arc::new(engine))
+    }
+
+    /// Boot-time recovery: newest valid snapshot, then WAL replay, then
+    /// (primaries only) reopen or create the tail WAL segment.
+    fn recover(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut span = obs::span(obs::Level::Info, "engine.recover")
+            .str("dir", dir.display().to_string());
+        let mut snapshot_epoch = 0u64;
+        if let Some(image) = snapshot::load_latest(dir)? {
+            let mut st = self.locked();
+            if image.db.n_items() > st.current.catalog.n_items() {
+                return Err(CfqError::Engine(format!(
+                    "snapshot references {} items but the catalog covers {}",
+                    image.db.n_items(),
+                    st.current.catalog.n_items()
+                )));
+            }
+            snapshot_epoch = image.epoch;
+            st.current = Arc::new(EpochState {
+                epoch: image.epoch,
+                db: Arc::new(image.db),
+                catalog: Arc::clone(&st.current.catalog),
+            });
+            for l in image.lattices {
+                let lattice = Arc::new(l.lattice);
+                // Oversize images just don't re-enter the cache; the
+                // budget may have shrunk since the snapshot was taken.
+                let _ = st.lattices.insert(LatticeEntry {
+                    epoch: image.epoch,
+                    universe: Arc::new(l.universe),
+                    min_support: l.min_support,
+                    lattice: Arc::clone(&lattice),
+                    source: LatticeSource::Cached,
+                    bytes: lattice.approx_bytes(),
+                    scans_cost: l.scans_cost,
+                    last_used: 0,
+                });
+            }
+        }
+        let after_epoch = self.epoch();
+        let summary = wal::replay(dir, after_epoch, |rec| {
+            self.apply_append(rec.delta, false).map(|_| ())
+        })?;
+        span.record_u64("snapshot_epoch", snapshot_epoch);
+        span.record_u64("replayed_records", summary.records);
+        span.record_u64("epoch", self.epoch());
+        let d = self.durability.as_ref().expect("recover runs only with wal_dir");
+        let mut d = d.lock().unwrap_or_else(|e| e.into_inner());
+        d.replayed_records = summary.records;
+        d.appends_since_snapshot = summary.records;
+        d.last_snapshot_epoch = snapshot_epoch;
+        if !self.config.follow {
+            d.writer = Some(match summary.tail {
+                Some((path, valid_end)) => WalWriter::reopen(&path, valid_end)?,
+                None => WalWriter::create(dir, self.epoch() + 1)?,
+            });
+        }
+        Ok(())
     }
 
     fn locked(&self) -> MutexGuard<'_, EngineState> {
@@ -405,7 +675,40 @@ impl Engine {
     /// keep their cache warmth across the swap. Queries running during
     /// the append finish against their snapshot; results they try to
     /// cache afterwards are dropped as stale.
+    ///
+    /// With a WAL configured, the delta is written and fsynced *before*
+    /// the epoch swap makes it visible, so an acknowledged append
+    /// survives `kill -9`; a crash between the WAL write and the
+    /// acknowledgment may replay an unacknowledged delta at recovery
+    /// (at-least-once, never lossy). On a `--follow` replica this fails
+    /// with [`CfqError::Engine`] — appends must go to the primary.
     pub fn append(&self, delta: TransactionDb) -> Result<EpochInfo> {
+        if self.config.follow {
+            return Err(CfqError::Engine(
+                "this engine is a read-only replica (--follow); appends must go to the primary"
+                    .into(),
+            ));
+        }
+        self.apply_append(delta, true)
+    }
+
+    /// Applies a delta tailed from the primary's WAL. Only meaningful on
+    /// a `--follow` replica — everything else must use
+    /// [`Engine::append`] so the delta is logged.
+    pub fn replay_append(&self, delta: TransactionDb) -> Result<EpochInfo> {
+        if !self.config.follow {
+            return Err(CfqError::Engine(
+                "replay_append is reserved for --follow replicas; use append".into(),
+            ));
+        }
+        let info = self.apply_append(delta, false)?;
+        if let Some(d) = &self.durability {
+            d.lock().unwrap_or_else(|e| e.into_inner()).replayed_records += 1;
+        }
+        Ok(info)
+    }
+
+    fn apply_append(&self, delta: TransactionDb, durable: bool) -> Result<EpochInfo> {
         let _serialize =
             self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut span = obs::span(obs::Level::Info, "engine.fup_append")
@@ -441,6 +744,19 @@ impl Engine {
                 last_used: e.last_used,
             });
         }
+        // Durable-before-visible: the record is on disk (fsynced) before
+        // the swap below acknowledges the epoch. A failure here leaves
+        // the in-memory state untouched.
+        if durable {
+            if let Some(d) = &self.durability {
+                let mut d = d.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(writer) = &mut d.writer {
+                    let record = WalRecord { epoch: snap.epoch + 1, delta };
+                    let bytes = writer.append(&record)?;
+                    span.record_u64("wal_bytes", bytes);
+                }
+            }
+        }
         let upgraded_lattices = upgraded.len();
         let info = {
             let mut st = self.locked();
@@ -457,10 +773,119 @@ impl Engine {
                 old_db_recounts,
             }
         };
+        if durable {
+            if let Some(d) = &self.durability {
+                let mut d = d.lock().unwrap_or_else(|e| e.into_inner());
+                if d.writer.is_some() && d.snapshot_every > 0 {
+                    d.appends_since_snapshot += 1;
+                    if d.appends_since_snapshot >= d.snapshot_every {
+                        // The append already succeeded and its record is
+                        // on the WAL; a failed snapshot only defers
+                        // compaction to the next attempt.
+                        if let Err(e) = self.write_snapshot(&mut d) {
+                            d.snapshot_failures += 1;
+                            span.record_str("snapshot_error", e.to_string());
+                        }
+                    }
+                }
+            }
+        }
         span.record_u64("epoch", info.epoch);
         span.record_u64("upgraded_lattices", info.upgraded_lattices as u64);
         span.record_u64("old_db_recounts", info.old_db_recounts);
         Ok(info)
+    }
+
+    /// Writes a snapshot of the current epoch (database plus every cached
+    /// lattice of that epoch) and rotates the WAL. Fails with
+    /// [`CfqError::Config`] on an ephemeral engine and with
+    /// [`CfqError::Engine`] on a replica (the WAL directory belongs to
+    /// the primary).
+    pub fn snapshot_now(&self) -> Result<SnapshotInfo> {
+        if self.config.follow {
+            return Err(CfqError::Engine(
+                "a --follow replica does not own the WAL directory; snapshot on the primary"
+                    .into(),
+            ));
+        }
+        let d = self.durability.as_ref().ok_or_else(|| {
+            CfqError::Config("snapshots need a durability directory (--wal-dir)".into())
+        })?;
+        let _serialize =
+            self.append_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut d = d.lock().unwrap_or_else(|e| e.into_inner());
+        self.write_snapshot(&mut d)
+    }
+
+    /// Snapshot + WAL rotation. Caller holds `append_lock` (or is still
+    /// single-threaded construction) and the durability lock.
+    fn write_snapshot(&self, d: &mut DurabilityState) -> Result<SnapshotInfo> {
+        let mut span = obs::span(obs::Level::Info, "engine.snapshot");
+        let (epoch, db, entries) = {
+            let st = self.locked();
+            let epoch = st.current.epoch;
+            (epoch, Arc::clone(&st.current.db), st.lattices.snapshot_epoch(epoch))
+        };
+        let views: Vec<LatticeView<'_>> = entries
+            .iter()
+            .map(|e| LatticeView {
+                universe: &e.universe,
+                min_support: e.min_support,
+                scans_cost: e.scans_cost,
+                lattice: &e.lattice,
+            })
+            .collect();
+        let (path, bytes) = snapshot::write(&d.dir, epoch, &db, &views)?;
+        span.record_u64("epoch", epoch);
+        span.record_u64("bytes", bytes);
+        span.record_u64("lattices", views.len() as u64);
+        // Rotate: later appends go to a fresh segment so generations at
+        // or below the snapshot can be pruned. Skip when no epoch has
+        // passed since the last rotation (back-to-back manual
+        // snapshots) — the segment already starts past the snapshot.
+        let next_segment = wal::wal_path(&d.dir, epoch + 1);
+        let rotate = d
+            .writer
+            .as_ref()
+            .is_some_and(|w| w.path() != next_segment.as_path());
+        if rotate {
+            let fresh = WalWriter::create(&d.dir, epoch + 1)?;
+            if let Some(old) = d.writer.replace(fresh) {
+                d.retired_records += old.records;
+                d.retired_bytes += old.bytes;
+                d.retired_fsyncs += old.fsyncs;
+            }
+            let _pruned = wal::prune(&d.dir, epoch)?;
+        }
+        d.snapshot_writes += 1;
+        d.snapshot_bytes += bytes;
+        d.last_snapshot_epoch = epoch;
+        d.appends_since_snapshot = 0;
+        Ok(SnapshotInfo { epoch, path, bytes })
+    }
+
+    /// A counter snapshot of the durability subsystem.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let Some(d) = &self.durability else {
+            return DurabilityStats::default();
+        };
+        let d = d.lock().unwrap_or_else(|e| e.into_inner());
+        let (wal_records, wal_bytes, wal_fsyncs) = d
+            .writer
+            .as_ref()
+            .map_or((0, 0, 0), |w| (w.records, w.bytes, w.fsyncs));
+        DurabilityStats {
+            enabled: true,
+            follow: self.config.follow,
+            wal_records: d.retired_records + wal_records,
+            wal_bytes: d.retired_bytes + wal_bytes,
+            wal_fsyncs: d.retired_fsyncs + wal_fsyncs,
+            replayed_records: d.replayed_records,
+            snapshot_writes: d.snapshot_writes,
+            snapshot_bytes: d.snapshot_bytes,
+            snapshot_failures: d.snapshot_failures,
+            last_snapshot_epoch: d.last_snapshot_epoch,
+        }
     }
 }
 

@@ -67,9 +67,14 @@ pub mod json;
 pub mod request;
 pub mod scheduler;
 pub mod session;
+pub mod snapshot;
+pub mod wal;
+pub mod wire;
 
 pub use cache::CacheStats;
-pub use engine::{Engine, EngineConfig, EpochInfo};
+pub use engine::{
+    DurabilityStats, Engine, EngineConfig, EngineConfigBuilder, EpochInfo, SnapshotInfo,
+};
 pub use request::{QueryRequest, QueryResponse, SupportSpec};
 pub use scheduler::SchedulerStats;
 pub use session::{QueryBuilder, QueryOutcome, Session, SessionPool};

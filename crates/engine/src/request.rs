@@ -183,7 +183,13 @@ impl QueryRequest {
     /// silently running with defaults.
     pub fn from_json(text: &str) -> Result<QueryRequest> {
         let v = json::parse(text)?;
-        let fields = match &v {
+        QueryRequest::from_value(&v)
+    }
+
+    /// Parses a request from an already-parsed JSON value — the entry
+    /// point the v1 wire envelope uses for its embedded `req` object.
+    pub fn from_value(v: &Json) -> Result<QueryRequest> {
+        let fields = match v {
             Json::Obj(fields) => fields,
             _ => return Err(CfqError::Parse("request must be a JSON object".into())),
         };

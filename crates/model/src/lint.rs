@@ -15,6 +15,11 @@
 //! * **metric-name** — metric registration names match `cfq_[a-z0-9_]+`,
 //!   counters end in `_total`, and each name is registered at exactly
 //!   one call site in the workspace (the obs crate itself is exempt).
+//! * **durability-metric** — the `cfq_wal_*` / `cfq_snapshot_*`
+//!   families are a closed catalog: a registration outside
+//!   [`DURABILITY_METRICS`], or with the wrong instrument kind, is a
+//!   finding. Primaries and replicas must export the same durability
+//!   surface, so new families are added to the catalog deliberately.
 //! * **span-guard-bound** — `obs::span(...)` in statement position is a
 //!   guard dropped immediately (the span closes before the work runs);
 //!   it must be bound to a local.
@@ -55,6 +60,22 @@ pub struct Finding {
     /// Human-readable explanation.
     pub message: String,
 }
+
+/// The closed catalog of durability metric families with their
+/// instrument kinds. Every `cfq_wal_*` / `cfq_snapshot_*` registration
+/// in the workspace must appear here — the durability surface is part
+/// of the wire contract between primaries, replicas and dashboards, so
+/// growing it is a deliberate edit to this table, not a drive-by
+/// `.counter(...)` call.
+pub const DURABILITY_METRICS: &[(&str, &str)] = &[
+    ("cfq_wal_records_total", "counter"),
+    ("cfq_wal_bytes_total", "counter"),
+    ("cfq_wal_fsyncs_total", "counter"),
+    ("cfq_wal_replayed_records_total", "counter"),
+    ("cfq_snapshot_writes_total", "counter"),
+    ("cfq_snapshot_bytes_total", "counter"),
+    ("cfq_snapshot_last_epoch", "gauge"),
+];
 
 /// One metric registration site, collected for the cross-file
 /// exactly-once check.
@@ -552,6 +573,27 @@ pub fn lint_source(path: &str, class: FileClass, src: &str) -> (Vec<Finding>, Ve
                         "metric-name",
                         format!("counter `{name}` must end in `_total`"),
                     ));
+                } else if name.starts_with("cfq_wal_") || name.starts_with("cfq_snapshot_") {
+                    match DURABILITY_METRICS.iter().find(|(n, _)| *n == name) {
+                        None => findings.push(finding(
+                            t.line,
+                            "durability-metric",
+                            format!(
+                                "durability metric `{name}` is not in the catalog — add it \
+                                 to DURABILITY_METRICS (lint.rs) or fix the name"
+                            ),
+                        )),
+                        Some((_, kind)) if !t.text.starts_with(kind) => findings.push(finding(
+                            t.line,
+                            "durability-metric",
+                            format!(
+                                "durability metric `{name}` must be registered as a {kind}, \
+                                 not `{}`",
+                                t.text
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
                 }
                 metrics.push(MetricReg {
                     name,
@@ -850,6 +892,34 @@ mod tests {
         assert_eq!(classify("crates/bench/src/table.rs"), FileClass::TestOrBench);
         assert_eq!(classify("tests/equivalence.rs"), FileClass::TestOrBench);
         assert_eq!(classify("src/lib.rs"), FileClass::Normal);
+    }
+
+    #[test]
+    fn durability_metrics_come_from_the_catalog() {
+        let src = r#"
+            fn wire(r: &obs::Registry) {
+                r.counter("cfq_wal_records_total", "d");
+                r.gauge("cfq_snapshot_last_epoch", "d");
+                r.counter("cfq_wal_torn_tails_total", "d");
+                r.gauge("cfq_wal_bytes_total", "d");
+            }
+        "#;
+        let (f, m) = lint_source("crates/cli/src/serve.rs", FileClass::Hot, src);
+        assert_eq!(m.len(), 4);
+        let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == "durability-metric").collect();
+        assert_eq!(hits.len(), 2, "{f:?}");
+        // Unknown family name: points at the catalog.
+        assert!(
+            hits.iter().any(|x| x.message.contains("cfq_wal_torn_tails_total")
+                && x.message.contains("DURABILITY_METRICS")),
+            "{hits:?}"
+        );
+        // Known name, wrong instrument: a byte counter is not a gauge.
+        assert!(
+            hits.iter().any(|x| x.message.contains("cfq_wal_bytes_total")
+                && x.message.contains("counter")),
+            "{hits:?}"
+        );
     }
 
     #[test]

@@ -102,7 +102,8 @@ head -c 400 BENCH_engine.json; echo
 echo "== cfq serve: boot, drive fig8a twice, scrape metrics (writes BENCH_serve.json)"
 SERVE_DIR="$(mktemp -d)"
 SERVE_PID=""
-trap 'if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi; rm -rf "$SERVE_DIR"' EXIT
+REPLICA_PID=""
+trap 'for p in "$SERVE_PID" "$REPLICA_PID"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done; rm -rf "$SERVE_DIR"' EXIT
 ./target/release/cfq gen --items 60 --transactions 400 --avg-trans-len 8 --patterns 40 \
   --out "$SERVE_DIR/tx.txt"
 ./target/release/cfq gen-catalog --items 60 --num Price:uniform:0:1000 --cat Type:6 \
@@ -297,6 +298,161 @@ done
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID" || { echo "backend serve exited non-zero on SIGINT"; cat "$SERVE_DIR/backend.log"; exit 1; }
 SERVE_PID=""
+
+echo "== durability: WAL + snapshot survive kill -9, restart serves warm (extends BENCH_serve.json)"
+WAL_DIR="$SERVE_DIR/wal"
+# A bigger database than the serve stage, and a selective query: cold
+# mining scans 20k rows level-by-level while the answer is only a few
+# hundred pairs, so the warm-restart collapse is mining time, not noise.
+./target/release/cfq gen --items 60 --transactions 20000 --avg-trans-len 8 --patterns 40 \
+  --out "$SERVE_DIR/tx-durable.txt"
+./target/release/cfq gen --items 60 --transactions 20 --avg-trans-len 8 --patterns 40 \
+  --out "$SERVE_DIR/delta.txt"
+DUR_Q='count(S) >= 4 & count(T) >= 4 & max(S.Price) <= min(T.Price)'
+./target/release/cfq serve --data "$SERVE_DIR/tx-durable.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --wal-dir "$WAL_DIR" --snapshot-every 0 --listen 127.0.0.1:0 \
+  > "$SERVE_DIR/durable.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$SERVE_DIR/durable.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/durable.log")"
+[ -n "$PORT" ] || { echo "durable serve did not come up:"; cat "$SERVE_DIR/durable.log"; exit 1; }
+grep -q '^engine up (durable)' "$SERVE_DIR/durable.log" \
+  || { echo "durable serve not in durable mode"; cat "$SERVE_DIR/durable.log"; exit 1; }
+
+# Cold query, an append, a manual snapshot, then a second append that
+# lives only on the WAL — the state a crash must not lose.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf ':support 0.05\n' >&3
+read -r _ <&3
+t0=$(date +%s%N)
+printf '%s\n' "$DUR_Q" >&3
+read -r DUR_COLD <&3
+t1=$(date +%s%N)
+RESTART_COLD_MS=$(( (t1 - t0) / 1000000 ))
+echo "$DUR_COLD" | grep -q 'valid pairs' || { echo "durable cold query failed: $DUR_COLD"; exit 1; }
+printf ':append %s\n' "$SERVE_DIR/delta.txt" >&3
+read -r APPEND1 <&3
+echo "$APPEND1" | grep -q 'now epoch 1' || { echo "first append failed: $APPEND1"; exit 1; }
+printf ':snapshot\n' >&3
+read -r SNAP_REPLY <&3
+echo "$SNAP_REPLY" | grep -q 'snapshot written: epoch 1' \
+  || { echo "manual snapshot failed: $SNAP_REPLY"; exit 1; }
+printf ':append %s\n' "$SERVE_DIR/delta.txt" >&3
+read -r APPEND2 <&3
+echo "$APPEND2" | grep -q 'now epoch 2' || { echo "acked append failed: $APPEND2"; exit 1; }
+exec 3<&- 3>&-
+
+# The ack above means "fsynced": kill -9 and reboot from the directory.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+./target/release/cfq serve --data "$SERVE_DIR/tx-durable.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --wal-dir "$WAL_DIR" --snapshot-every 0 --listen 127.0.0.1:0 \
+  > "$SERVE_DIR/restart.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$SERVE_DIR/restart.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/restart.log")"
+[ -n "$PORT" ] || { echo "restarted serve did not come up:"; cat "$SERVE_DIR/restart.log"; exit 1; }
+grep -q 'epoch 2' "$SERVE_DIR/restart.log" \
+  || { echo "restart lost the acked append (want epoch 2):"; cat "$SERVE_DIR/restart.log"; exit 1; }
+grep -q 'recovered from snapshot epoch 1 + 1 WAL records' "$SERVE_DIR/restart.log" \
+  || { echo "restart did not recover snapshot+WAL:"; cat "$SERVE_DIR/restart.log"; exit 1; }
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf ':support 0.05\n' >&3
+read -r _ <&3
+t2=$(date +%s%N)
+printf '%s\n' "$DUR_Q" >&3
+read -r DUR_WARM <&3
+t3=$(date +%s%N)
+RESTART_WARM_MS=$(( (t3 - t2) / 1000000 ))
+echo "$DUR_WARM" | grep -q 'epoch 2' || { echo "restart answered at the wrong epoch: $DUR_WARM"; exit 1; }
+echo "$DUR_WARM" | grep -q '| 0 db scans |' \
+  || { echo "restart did not serve from the recovered cache: $DUR_WARM"; exit 1; }
+printf ':wal-status\n:quit\n' >&3
+WAL_STATUS="$(cat <&3)"
+exec 3<&- 3>&-
+echo "$WAL_STATUS" | grep -q '1 replayed' \
+  || { echo "wal-status missing replay count: $WAL_STATUS"; exit 1; }
+echo "  restart cold: ${RESTART_COLD_MS}ms, warm: ${RESTART_WARM_MS}ms ($WAL_STATUS)"
+[ "$RESTART_WARM_MS" -le "$RESTART_COLD_MS" ] \
+  || { echo "warm restart query (${RESTART_WARM_MS}ms) not faster than cold (${RESTART_COLD_MS}ms)"; exit 1; }
+
+printf '{"bench":"serve","query":"%s","cold_ms":%s,"warm_ms":%s,"p50_s":%s,"p95_s":%s,"p99_s":%s,"queries_total":2,"lattice_hits":%s,"restart_cold_ms":%s,"restart_warm_ms":%s}\n' \
+  "$FIG8A" "$COLD_MS" "$WARM_MS" "${P50:-0}" "${P95:-0}" "${P99:-0}" "$LATTICE_HITS" \
+  "$RESTART_COLD_MS" "$RESTART_WARM_MS" > BENCH_serve.json
+head -c 400 BENCH_serve.json; echo
+
+echo "== replica: --follow tails the primary's WAL and answers bit-equal over the v1 envelope"
+./target/release/cfq serve --data "$SERVE_DIR/tx-durable.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --follow "$WAL_DIR" --listen 127.0.0.1:0 \
+  > "$SERVE_DIR/replica.log" 2>&1 &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$SERVE_DIR/replica.log" 2>/dev/null && break
+  sleep 0.1
+done
+RPORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/replica.log")"
+[ -n "$RPORT" ] || { echo "replica did not come up:"; cat "$SERVE_DIR/replica.log"; exit 1; }
+grep -q '^engine up (replica)' "$SERVE_DIR/replica.log" \
+  || { echo "replica not in follow mode"; cat "$SERVE_DIR/replica.log"; exit 1; }
+
+ENVELOPE_Q='{"v":1,"cmd":"query","req":{"query":"count(S) >= 4 & count(T) >= 4 & max(S.Price) <= min(T.Price)","support":{"frac":0.05}}}'
+ask() { # $1 = port; envelope query twice, keep the second reply so both
+        # sides answer from a warmed plan cache; wait_us zeroed (timing)
+  exec 6<>"/dev/tcp/127.0.0.1/$1"
+  printf '%s\n%s\n:quit\n' "$ENVELOPE_Q" "$ENVELOPE_Q" >&6
+  head -2 <&6 | tail -1 | sed 's/"wait_us":[0-9]*/"wait_us":0/'
+  exec 6<&- 6>&-
+}
+P_REPLY="$(ask "$PORT")"
+R_REPLY="$(ask "$RPORT")"
+echo "$P_REPLY" | grep -q '"pair_count"' || { echo "primary envelope query failed: $P_REPLY"; exit 1; }
+[ "$P_REPLY" = "$R_REPLY" ] \
+  || { echo "replica answer diverges:"; echo "  primary: $P_REPLY"; echo "  replica: $R_REPLY"; exit 1; }
+
+# The primary moves on; the replica tails the WAL and converges.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf ':append %s\n:quit\n' "$SERVE_DIR/delta.txt" >&3
+APPEND3="$(head -1 <&3)"
+exec 3<&- 3>&-
+echo "$APPEND3" | grep -q 'now epoch 3' || { echo "primary append failed: $APPEND3"; exit 1; }
+CAUGHT_UP=""
+for _ in $(seq 1 100); do
+  exec 6<>"/dev/tcp/127.0.0.1/$RPORT"
+  printf '{"v":1,"cmd":"status"}\n:quit\n' >&6
+  R_STATUS="$(head -1 <&6)"
+  exec 6<&- 6>&-
+  if echo "$R_STATUS" | grep -q '"epoch":3'; then CAUGHT_UP=1; break; fi
+  sleep 0.1
+done
+[ -n "$CAUGHT_UP" ] || { echo "replica never reached epoch 3: $R_STATUS"; exit 1; }
+P_REPLY="$(ask "$PORT")"
+R_REPLY="$(ask "$RPORT")"
+[ "$P_REPLY" = "$R_REPLY" ] \
+  || { echo "replica diverges after tailing:"; echo "  primary: $P_REPLY"; echo "  replica: $R_REPLY"; exit 1; }
+
+# Writes go to the primary, never the replica.
+exec 6<>"/dev/tcp/127.0.0.1/$RPORT"
+printf ':append %s\n:quit\n' "$SERVE_DIR/delta.txt" >&6
+R_APPEND="$(head -1 <&6)"
+exec 6<&- 6>&-
+echo "$R_APPEND" | grep -q 'read-only replica' \
+  || { echo "replica accepted a write: $R_APPEND"; exit 1; }
+
+kill -INT "$REPLICA_PID"
+wait "$REPLICA_PID" || { echo "replica exited non-zero on SIGINT"; cat "$SERVE_DIR/replica.log"; exit 1; }
+REPLICA_PID=""
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "durable serve exited non-zero on SIGINT"; cat "$SERVE_DIR/restart.log"; exit 1; }
+SERVE_PID=""
+echo "  replica bit-equal at epochs 2 and 3; writes correctly rejected"
 
 echo "== BENCH_substrate.json carries the backend comparison"
 grep -q '"config":"bitmap"' BENCH_substrate.json \

@@ -84,8 +84,9 @@ pub mod prelude {
     // under double glob imports. Reach it as `cfq::core::Strategy`.
     pub use cfq_datagen::{generate_transactions, QuestConfig, Scenario, ScenarioBuilder};
     pub use cfq_engine::{
-        CacheStats, Engine, EngineConfig, EpochInfo, QueryBuilder, QueryOutcome, QueryRequest,
-        QueryResponse, SchedulerStats, Session, SessionPool, SupportSpec,
+        CacheStats, DurabilityStats, Engine, EngineConfig, EngineConfigBuilder, EpochInfo,
+        QueryBuilder, QueryOutcome, QueryRequest, QueryResponse, SchedulerStats, Session,
+        SessionPool, SnapshotInfo, SupportSpec,
     };
     pub use cfq_mining::{
         apriori, fp_growth, partition_mine, AprioriConfig, CountingBackend, FpGrowthConfig,

@@ -1,0 +1,273 @@
+//! Crash-recovery and replication properties of the durable engine.
+//!
+//! The contract under test: an *acknowledged* `Engine::append` is on the
+//! fsynced WAL before the epoch swap makes it visible, so killing the
+//! process at any point and rebooting from the same directory recovers
+//! exactly the acknowledged state — and a `--follow` replica tailing the
+//! same WAL answers queries bit-equal to the primary.
+
+use cfq::engine::wal::WalTailer;
+use cfq::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fresh per-test directory without `Date`/randomness: pid + counter.
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cfq-durability-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn catalog() -> Catalog {
+    let mut b = CatalogBuilder::new(6);
+    b.num_attr("Price", (0..6).map(|i| 10.0 * (i + 1) as f64).collect())
+        .unwrap();
+    b.build()
+}
+
+fn seed_db() -> TransactionDb {
+    TransactionDb::from_u32(
+        6,
+        &[
+            &[0, 1, 2, 3],
+            &[0, 1, 2],
+            &[1, 2, 3, 4],
+            &[0, 2, 4],
+            &[0, 1, 3, 5],
+            &[2, 3, 4, 5],
+            &[0, 1, 2, 3, 4],
+            &[1, 3, 5],
+        ],
+    )
+}
+
+const QUERY: &str = "max(S.Price) <= 30 & min(T.Price) >= 40";
+
+fn rows_to_db(rows: &[Vec<u32>]) -> TransactionDb {
+    let cleaned: Vec<Vec<u32>> = rows
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.sort_unstable();
+            r.dedup();
+            r
+        })
+        .collect();
+    let slices: Vec<&[u32]> = cleaned.iter().map(Vec::as_slice).collect();
+    TransactionDb::from_u32(6, &slices)
+}
+
+/// The semantic payload of an answer: everything except scheduling
+/// noise (`wait_us`) and provenance (which legitimately differs between
+/// a cache-warm and a cache-cold engine).
+type Answer = (u64, u64, Vec<(u32, u32)>, Vec<(Vec<u32>, u64)>, Vec<(Vec<u32>, u64)>);
+
+fn answer(engine: &Arc<Engine>, min_support: u64) -> Answer {
+    let out = engine
+        .session()
+        .query(QUERY)
+        .min_support(min_support)
+        .run()
+        .unwrap();
+    let r = QueryResponse::from_outcome(&out);
+    (r.epoch, r.pair_count, r.pairs, r.s_sets, r.t_sets)
+}
+
+fn db_rows(db: &TransactionDb) -> Vec<Vec<u32>> {
+    db.iter().map(|t| t.iter().map(|i| i.0).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random append sequences against a durable engine; "kill" it by
+    /// dropping, optionally smear a torn (never-acknowledged) frame onto
+    /// the WAL tail, reboot from the directory — the recovered engine
+    /// must match a reference engine that never crashed, for every
+    /// snapshot cadence.
+    #[test]
+    fn reboot_recovers_every_acknowledged_append(
+        deltas in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..6, 1..5), 1..4),
+            1..6,
+        ),
+        snapshot_every in 0u64..4,
+        torn in prop::collection::vec(0u8..=255, 0..40),
+        warm_queries in 0usize..3,
+    ) {
+        let dir = temp_dir("crash");
+        let reference = Engine::new(seed_db(), catalog()).unwrap();
+        let config = EngineConfig::builder()
+            .wal_dir(&dir)
+            .snapshot_every(snapshot_every)
+            .build();
+        let durable = Engine::with_config(seed_db(), catalog(), config.clone()).unwrap();
+
+        // Some appends land on a query-warmed cache so snapshots carry
+        // lattices; FUP keeps those exact across epochs.
+        for _ in 0..warm_queries {
+            let _ = answer(&durable, 2);
+        }
+        for rows in &deltas {
+            let ack = durable.append(rows_to_db(rows)).unwrap();
+            let want = reference.append(rows_to_db(rows)).unwrap();
+            prop_assert_eq!(ack.epoch, want.epoch);
+        }
+        drop(durable);
+
+        // A crash mid-write leaves a torn frame: an impossible length
+        // prefix plus garbage. Recovery must discard it and nothing else.
+        if !torn.is_empty() {
+            use std::io::Write as _;
+            let files = cfq::engine::wal::wal_files(&dir).unwrap();
+            if let Some((_, path)) = files.last() {
+                let mut f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+                f.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+                f.write_all(&torn).unwrap();
+            }
+        }
+
+        let recovered = Engine::with_config(seed_db(), catalog(), config).unwrap();
+        prop_assert_eq!(recovered.epoch(), reference.epoch());
+        prop_assert_eq!(db_rows(&recovered.db()), db_rows(&reference.db()));
+        prop_assert_eq!(answer(&recovered, 2), answer(&reference, 2));
+
+        // The reopened writer keeps accepting appends past the torn tail.
+        let extra: &[&[u32]] = &[&[0, 3], &[1, 4, 5]];
+        let ack = recovered.append(TransactionDb::from_u32(6, extra)).unwrap();
+        let want = reference.append(TransactionDb::from_u32(6, extra)).unwrap();
+        prop_assert_eq!(ack.epoch, want.epoch);
+        prop_assert_eq!(answer(&recovered, 3), answer(&reference, 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A snapshot taken after cache-warming queries makes the rebooted
+/// engine answer with zero database scans — the warm-restart headline.
+#[test]
+fn snapshot_reboot_serves_warm() {
+    let dir = temp_dir("warm");
+    let config = EngineConfig::builder().wal_dir(&dir).snapshot_every(1).build();
+    let engine = Engine::with_config(seed_db(), catalog(), config.clone()).unwrap();
+
+    let cold = engine.session().query(QUERY).min_support(2).run().unwrap();
+    assert!(cold.outcome.db_scans > 0, "first run must scan");
+    // This append FUP-upgrades the cached lattices and (cadence 1)
+    // snapshots them together with the new epoch's database.
+    engine.append(TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5]])).unwrap();
+    let stats = engine.durability_stats();
+    assert_eq!(stats.snapshot_writes, 1);
+    assert_eq!(stats.last_snapshot_epoch, 1);
+    drop(engine);
+
+    let rebooted = Engine::with_config(seed_db(), catalog(), config).unwrap();
+    assert_eq!(rebooted.epoch(), 1);
+    assert!(rebooted.cache_stats().entries >= 1, "snapshot lattices re-enter the cache");
+    assert_eq!(rebooted.durability_stats().replayed_records, 0, "snapshot covers the WAL");
+    let warm = rebooted.session().query(QUERY).min_support(2).run().unwrap();
+    assert_eq!(warm.outcome.db_scans, 0, "rebooted engine serves from the recovered cache");
+    // The recovered answer matches an engine that lived through the
+    // append instead of rebooting.
+    let reference = Engine::new(seed_db(), catalog()).unwrap();
+    reference.append(TransactionDb::from_u32(6, &[&[0, 1, 2], &[3, 4, 5]])).unwrap();
+    let live = reference.session().query(QUERY).min_support(2).run().unwrap();
+    assert_eq!(warm.outcome.s_sets, live.outcome.s_sets);
+    assert_eq!(warm.outcome.t_sets, live.outcome.t_sets);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `--follow` replica recovered from the primary's WAL answers
+/// bit-equal (modulo scheduler wait time) and stays bit-equal as it
+/// tails later appends; writing to it is rejected.
+#[test]
+fn replica_answers_bit_equal_and_is_read_only() {
+    let dir = temp_dir("replica");
+    let primary_cfg = EngineConfig::builder().wal_dir(&dir).snapshot_every(0).build();
+    let primary = Engine::with_config(seed_db(), catalog(), primary_cfg).unwrap();
+    primary.append(TransactionDb::from_u32(6, &[&[0, 2, 4], &[1, 3, 5]])).unwrap();
+
+    let follower_cfg = EngineConfig::builder().wal_dir(&dir).follow(true).build();
+    let follower = Engine::with_config(seed_db(), catalog(), follower_cfg).unwrap();
+    assert_eq!(follower.epoch(), primary.epoch());
+
+    let bit_equal = |min_support: u64| {
+        let respond = |e: &Arc<Engine>| {
+            let out = e.session().query(QUERY).min_support(min_support).run().unwrap();
+            let mut r = QueryResponse::from_outcome(&out);
+            r.wait_us = 0; // scheduler wait is timing, not answer
+            r
+        };
+        let p = respond(&primary);
+        let f = respond(&follower);
+        assert_eq!(p.to_json(), f.to_json(), "support {min_support}");
+    };
+    bit_equal(2);
+
+    // The primary moves on; the replica tails the WAL and converges.
+    primary.append(TransactionDb::from_u32(6, &[&[2, 3], &[0, 1, 5]])).unwrap();
+    let mut tailer = WalTailer::new(&dir, follower.epoch() + 1);
+    let mut rounds = 0;
+    while follower.epoch() < primary.epoch() {
+        for rec in tailer.poll().unwrap() {
+            follower.replay_append(rec.delta).unwrap();
+        }
+        rounds += 1;
+        assert!(rounds < 100, "replica never caught up");
+    }
+    assert_eq!(follower.epoch(), primary.epoch());
+    bit_equal(2);
+    bit_equal(3);
+    assert!(follower.durability_stats().follow);
+
+    let err = follower.append(TransactionDb::from_u32(6, &[&[0]])).unwrap_err();
+    assert!(err.to_string().contains("read-only replica"), "{err}");
+    let err = follower.snapshot_now().unwrap_err();
+    assert!(err.to_string().contains("primary"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The builder covers every knob and `with_config` enforces the
+/// follow/wal-dir coherence rule.
+#[test]
+fn builder_round_trips_and_validates() {
+    let cfg = EngineConfig::builder()
+        .cache_budget_bytes(1 << 20)
+        .plan_cache_entries(7)
+        .counting_threads(2)
+        .trim(false)
+        .backend(CountingBackend::Bitmap)
+        .max_inflight_queries(3)
+        .max_queued_queries(9)
+        .batch_window_ms(50)
+        .wal_dir("/tmp/cfq-nowhere")
+        .snapshot_every(5)
+        .follow(true)
+        .build();
+    assert_eq!(cfg.cache_budget_bytes, 1 << 20);
+    assert_eq!(cfg.plan_cache_entries, 7);
+    assert_eq!(cfg.counting_threads, 2);
+    assert!(!cfg.trim);
+    assert_eq!(cfg.backend, CountingBackend::Bitmap);
+    assert_eq!(cfg.max_inflight_queries, 3);
+    assert_eq!(cfg.max_queued_queries, 9);
+    assert_eq!(cfg.batch_window.as_millis(), 50);
+    assert_eq!(cfg.wal_dir.as_deref(), Some(std::path::Path::new("/tmp/cfq-nowhere")));
+    assert_eq!(cfg.snapshot_every, 5);
+    assert!(cfg.follow);
+
+    let err = Engine::with_config(
+        seed_db(),
+        catalog(),
+        EngineConfig::builder().follow(true).build(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("follow"), "{err}");
+}
