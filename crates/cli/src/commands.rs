@@ -111,7 +111,8 @@ pub fn query(argv: Vec<String>) -> Result<()> {
              [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
              [--explain] [--audit] [--limit N] [--rules] [--min-confidence F]\n\
              [--threads N (default 0 = all cores)] [--trim on|off]\n\
-             [--backend horizontal|tidset|bitmap|auto] [--out pairs.csv]"
+             [--backend horizontal|tidset|bitmap|auto] [--shards N (default 1)]\n\
+             [--out pairs.csv]"
         );
         return Ok(());
     }
@@ -145,7 +146,8 @@ pub fn query(argv: Vec<String>) -> Result<()> {
     let env = QueryEnv::new(&db, &catalog, min_support)
         .with_counting_threads(a.num("threads", 0usize)?)
         .with_trim(parse_on_off(a.get("trim"), "trim")?)
-        .with_backend(parse_backend(a.get("backend"))?);
+        .with_backend(parse_backend(a.get("backend"))?)
+        .with_shards(a.num("shards", 1usize)?);
     if a.flag("explain") {
         for (i, bound) in disjuncts.iter().enumerate() {
             if disjuncts.len() > 1 {
@@ -265,7 +267,8 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
             "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
              [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]\n\
              [--threads N (default 0 = all cores; apriori only)] [--trim on|off]\n\
-             [--backend horizontal|tidset|bitmap|auto] [--audit]"
+             [--backend horizontal|tidset|bitmap|auto] [--shards N (apriori only)]\n\
+             [--audit]"
         );
         return Ok(());
     }
@@ -294,7 +297,8 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
             let cfg = AprioriConfig::new(min_support)
                 .with_counting_threads(a.num("threads", 0usize)?)
                 .with_trim(parse_on_off(a.get("trim"), "trim")?)
-                .with_backend(backend);
+                .with_backend(backend)
+                .with_shards(a.num("shards", 1usize)?);
             apriori(&db, &cfg, &mut stats)
         }
         "fpgrowth" | "fp-growth" => {
@@ -305,9 +309,13 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
             let cfg = PartitionConfig {
                 min_support,
                 n_partitions: 8,
-                // Partition's local mining is vertical by default; only
-                // replace it when the user asks for a specific backend.
-                backend: a.get("backend").map(|_| backend).unwrap_or(CountingBackend::Tidset),
+                // `Auto` (the PartitionConfig default) resolves to bitmaps
+                // in one place inside the partition module; an explicit
+                // --backend overrides it.
+                backend: a
+                    .get("backend")
+                    .map(|_| backend)
+                    .unwrap_or(PartitionConfig::default().backend),
                 ..PartitionConfig::default()
             };
             partition_mine(&db, &cfg, &mut stats)

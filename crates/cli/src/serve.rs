@@ -811,7 +811,8 @@ fn build_engine(a: &Args) -> Result<Arc<Engine>> {
         .max_inflight_queries(a.num("max-inflight", defaults.max_inflight_queries)?)
         .max_queued_queries(a.num("queue-depth", defaults.max_queued_queries)?)
         .batch_window_ms(a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?)
-        .backend(parse_backend(a.get("backend"))?);
+        .backend(parse_backend(a.get("backend"))?)
+        .shards(a.num("shards", defaults.shards)?);
     match (a.get("wal-dir"), a.get("follow")) {
         (Some(_), Some(_)) => {
             return Err(CfqError::Config(
@@ -1206,6 +1207,7 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
              [--batch-window-ms MS]  cold-mining batch window (default 2, 0 = single-flight only)\n\
              [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
              [--backend NAME]        default counting backend (horizontal|tidset|bitmap|auto)\n\
+             [--shards N]            default horizontal shard count for counting (default 1)\n\
              [--wal-dir DIR]         durable mode: WAL + snapshots in DIR, warm restart on boot\n\
              [--snapshot-every N]    snapshot cadence in appends (default 8, 0 = manual :snapshot only)\n\
              [--follow DIR]          read replica: tail the primary's WAL DIR (read-only)\n\
@@ -1424,6 +1426,25 @@ mod tests {
             "cfq_mining_backend_selected_total{backend=\"bitmap\"}",
             "cfq_mining_backend_level_micros_total{backend=\"bitmap\"}",
             "cfq_mining_backend_words_anded_total",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn shard_metrics_surface_in_scrapes() {
+        let mut state = ReplState::new(engine());
+        let line = format!(
+            ":json {{\"query\": \"{Q}\", \"support\": {{\"frac\": 0.25}}, \
+             \"shards\": 2, \"bypass_cache\": true}}"
+        );
+        let reply = handle_line(&mut state, &line).unwrap();
+        let v = json::parse(&reply).unwrap();
+        assert!(v.get("error").is_none(), "{reply}");
+        let text = handle_line(&mut state, ":metrics").unwrap();
+        for needle in [
+            "cfq_mining_shard_levels_total{shards=\"2\"}",
+            "cfq_mining_shard_merges_total",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

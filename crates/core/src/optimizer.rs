@@ -31,7 +31,8 @@ use cfq_mining::backend;
 use cfq_mining::counter::count_supports_with;
 use cfq_mining::trim::{trim_db_recorded, LiveSet};
 use cfq_mining::{
-    CountingBackend, CountingRun, ParallelTrieCounter, ScanStats, SupportCounter, WorkStats,
+    CountingBackend, CountingRun, ParallelTrieCounter, ScanStats, ShardedRun, SupportCounter,
+    WorkStats,
 };
 use cfq_types::{AttrId, Catalog, CfqError, ItemId, Itemset, Result, TransactionDb};
 
@@ -84,6 +85,12 @@ pub struct QueryEnv<'a> {
     /// scans, a vertical tidset/bitmap index, or the `Auto` per-level
     /// crossover. Answers are bit-identical across backends.
     pub backend: CountingBackend,
+    /// Horizontal database shards for counting (1 = unsharded, the
+    /// default). With `n > 1` the store is split into `n` row ranges,
+    /// counted (and trimmed) independently, and partial counts are merged
+    /// at a per-level barrier. Answers are bit-identical to unsharded —
+    /// support is additive over a row partition.
+    pub shards: usize,
 }
 
 impl<'a> QueryEnv<'a> {
@@ -102,6 +109,7 @@ impl<'a> QueryEnv<'a> {
             counting_threads: 1,
             trim: true,
             backend: CountingBackend::Horizontal,
+            shards: 1,
         }
     }
 
@@ -120,6 +128,12 @@ impl<'a> QueryEnv<'a> {
     /// Enables or disables per-level database reduction.
     pub fn with_trim(mut self, trim: bool) -> Self {
         self.trim = trim;
+        self
+    }
+
+    /// Shards counting over `shards` horizontal row ranges (1 = unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -619,13 +633,23 @@ impl Optimizer {
         // index is inverted once (accounted as one database scan) and then
         // serves both sides scan-free — dovetailing taken to its limit.
         let mut crun = CountingRun::new(env.db, env.backend);
+        // Sharded counting substrate (`--shards N`): partial counts per
+        // row range, merged at each level. Accounting is shard-transparent
+        // (one scan/extent/trim record per level with summed volumes), so
+        // every path below charges identically with or without it.
+        let mut sharded: Option<ShardedRun> =
+            (env.shards > 1).then(|| ShardedRun::new(env.db, env.shards, env.backend));
         let count_vertical = |crun: &mut CountingRun<'_>,
+                                  sharded: &mut Option<ShardedRun>,
                                   resolved: cfq_mining::ResolvedBackend,
                                   cands: &[Itemset],
                                   level: usize,
                                   db_scans: &mut u64,
                                   scan: &mut ScanStats|
          -> Vec<u64> {
+            if let Some(s) = sharded {
+                return s.count_vertical(resolved, cands, level, db_scans, scan);
+            }
             let mut vstats = WorkStats::new();
             let counts = crun.count_vertical(resolved, cands, level, &mut vstats);
             *db_scans += vstats.db_scans;
@@ -662,23 +686,35 @@ impl Optimizer {
         let ct = t_run.next_candidates();
         if self.dovetail {
             if !(cs.is_empty() && ct.is_empty()) {
-                let resolved = crun.resolve(1, cs.len() + ct.len(), &scan);
+                let resolved = match &sharded {
+                    Some(s) => s.resolve(1, cs.len() + ct.len(), &scan),
+                    None => crun.resolve(1, cs.len() + ct.len(), &scan),
+                };
                 backend::metric_selected(resolved.name());
                 if resolved.is_vertical() {
                     if !cs.is_empty() {
-                        let counts =
-                            count_vertical(&mut crun, resolved, &cs, 1, &mut db_scans, &mut scan);
+                        let counts = count_vertical(
+                            &mut crun, &mut sharded, resolved, &cs, 1, &mut db_scans, &mut scan,
+                        );
                         s_run.absorb_counts(&counts);
                     }
                     if !ct.is_empty() {
-                        let counts =
-                            count_vertical(&mut crun, resolved, &ct, 1, &mut db_scans, &mut scan);
+                        let counts = count_vertical(
+                            &mut crun, &mut sharded, resolved, &ct, 1, &mut db_scans, &mut scan,
+                        );
                         t_run.absorb_counts(&counts);
                     }
                 } else {
-                    let counts = count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
-                    db_scans += 1;
-                    scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
+                    let counts = match &mut sharded {
+                        Some(s) => s.count_batches(&[&cs, &ct], 1, None, &mut db_scans, &mut scan),
+                        None => {
+                            let counts =
+                                count_supports_with(env.db, &[&cs, &ct], env.counting_threads);
+                            db_scans += 1;
+                            scan.record_extent(1, env.db.len() as u64, env.db.total_items() as u64);
+                            counts
+                        }
+                    };
                     if !cs.is_empty() {
                         s_run.absorb_counts(&counts[0]);
                     }
@@ -690,10 +726,17 @@ impl Optimizer {
         } else {
             for (run, cands) in [(&mut s_run, &cs), (&mut t_run, &ct)] {
                 if !cands.is_empty() {
-                    let resolved = crun.resolve(1, cands.len(), &scan);
+                    let resolved = match &sharded {
+                        Some(s) => s.resolve(1, cands.len(), &scan),
+                        None => crun.resolve(1, cands.len(), &scan),
+                    };
                     backend::metric_selected(resolved.name());
                     let counts = if resolved.is_vertical() {
-                        count_vertical(&mut crun, resolved, cands, 1, &mut db_scans, &mut scan)
+                        count_vertical(
+                            &mut crun, &mut sharded, resolved, cands, 1, &mut db_scans, &mut scan,
+                        )
+                    } else if let Some(s) = &mut sharded {
+                        s.count(cands, 1, None, &mut db_scans, &mut scan)
                     } else {
                         let counts = ParallelTrieCounter { threads: env.counting_threads }
                             .count(env.db, cands);
@@ -774,7 +817,10 @@ impl Optimizer {
                     break;
                 }
                 let level = if cs.is_empty() { t_before + 1 } else { s_before + 1 };
-                let resolved = crun.resolve(level, cs.len() + ct.len(), &scan);
+                let resolved = match &sharded {
+                    Some(s) => s.resolve(level, cs.len() + ct.len(), &scan),
+                    None => crun.resolve(level, cs.len() + ct.len(), &scan),
+                };
                 backend::metric_selected(resolved.name());
                 if resolved.is_vertical() {
                     // Vertical levels count off the shared index: no scan,
@@ -782,43 +828,60 @@ impl Optimizer {
                     // from wherever the working database last stood).
                     if !cs.is_empty() {
                         let counts = count_vertical(
-                            &mut crun, resolved, &cs, level, &mut db_scans, &mut scan,
+                            &mut crun, &mut sharded, resolved, &cs, level, &mut db_scans,
+                            &mut scan,
                         );
                         s_run.absorb_counts(&counts);
                     }
                     if !ct.is_empty() {
                         let counts = count_vertical(
-                            &mut crun, resolved, &ct, level, &mut db_scans, &mut scan,
+                            &mut crun, &mut sharded, resolved, &ct, level, &mut db_scans,
+                            &mut scan,
                         );
                         t_run.absorb_counts(&counts);
                     }
                 } else {
-                    if env.trim {
-                        // The shared scan serves both lattices, so trimming must
-                        // keep the *union* of their live items: an item dead for
-                        // S may appear in T's candidates and vice versa.
-                        let live = LiveSet::from_items(
+                    // The shared scan serves both lattices, so trimming must
+                    // keep the *union* of their live items: an item dead for
+                    // S may appear in T's candidates and vice versa.
+                    let live = env.trim.then(|| {
+                        LiveSet::from_items(
                             env.db.n_items(),
                             cs.iter().chain(ct.iter()).flat_map(|c| c.iter()),
-                        );
-                        let min_len = [&cs, &ct]
-                            .into_iter()
-                            .filter(|b| !b.is_empty())
-                            .map(|b| b[0].len())
-                            .min()
-                            .expect("at least one batch is non-empty");
-                        let r = trim_db_recorded(
-                            trimmed.as_ref().unwrap_or(env.db),
-                            &live,
-                            min_len,
+                        )
+                    });
+                    let min_len = [&cs, &ct]
+                        .into_iter()
+                        .filter(|b| !b.is_empty())
+                        .map(|b| b[0].len())
+                        .min()
+                        .expect("at least one batch is non-empty");
+                    let counts = match &mut sharded {
+                        Some(s) => s.count_batches(
+                            &[&cs, &ct],
+                            level,
+                            live.as_ref().map(|l| (l, min_len)),
+                            &mut db_scans,
                             &mut scan,
-                        );
-                        trimmed = Some(r.db);
-                    }
-                    let cur = trimmed.as_ref().unwrap_or(env.db);
-                    let counts = count_supports_with(cur, &[&cs, &ct], env.counting_threads);
-                    db_scans += 1;
-                    scan.record_extent(level, cur.len() as u64, cur.total_items() as u64);
+                        ),
+                        None => {
+                            if let Some(live) = &live {
+                                let r = trim_db_recorded(
+                                    trimmed.as_ref().unwrap_or(env.db),
+                                    live,
+                                    min_len,
+                                    &mut scan,
+                                );
+                                trimmed = Some(r.db);
+                            }
+                            let cur = trimmed.as_ref().unwrap_or(env.db);
+                            let counts =
+                                count_supports_with(cur, &[&cs, &ct], env.counting_threads);
+                            db_scans += 1;
+                            scan.record_extent(level, cur.len() as u64, cur.total_items() as u64);
+                            counts
+                        }
+                    };
                     if !cs.is_empty() {
                         s_run.absorb_counts(&counts[0]);
                     }
@@ -838,6 +901,9 @@ impl Optimizer {
                 // Each lattice trims for its own candidates only; start it
                 // from the full database again.
                 trimmed = None;
+                if let Some(s) = &mut sharded {
+                    s.reset_trim();
+                }
                 loop {
                     let run = match var {
                         Var::S => &mut s_run,
@@ -849,11 +915,29 @@ impl Optimizer {
                     if cands.is_empty() {
                         break;
                     }
-                    let resolved = crun.resolve(before + 1, cands.len(), &scan);
+                    let resolved = match &sharded {
+                        Some(s) => s.resolve(before + 1, cands.len(), &scan),
+                        None => crun.resolve(before + 1, cands.len(), &scan),
+                    };
                     backend::metric_selected(resolved.name());
                     let counts = if resolved.is_vertical() {
                         count_vertical(
-                            &mut crun, resolved, &cands, before + 1, &mut db_scans, &mut scan,
+                            &mut crun, &mut sharded, resolved, &cands, before + 1, &mut db_scans,
+                            &mut scan,
+                        )
+                    } else if let Some(s) = &mut sharded {
+                        let live = env.trim.then(|| {
+                            LiveSet::from_items(
+                                env.db.n_items(),
+                                cands.iter().flat_map(|c| c.iter()),
+                            )
+                        });
+                        s.count(
+                            &cands,
+                            before + 1,
+                            live.as_ref().map(|l| (l, cands[0].len())),
+                            &mut db_scans,
+                            &mut scan,
                         )
                     } else {
                         if env.trim {
@@ -1258,6 +1342,55 @@ mod tests {
                         // A fully vertical run reads the database exactly
                         // once: the index inversion pass.
                         assert_eq!(got.db_scans, 1, "`{src}` {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_answers_and_accounting_match_unsharded() {
+        let cat = catalog();
+        let d = db();
+        // Dovetail + J^k_max, sequential, and Apriori⁺, across all four
+        // backends and several shard counts: answers AND accounting
+        // (scan count, volumes, trim drops) must be bit-identical.
+        for src in [
+            "sum(S.Price) <= sum(T.Price)",
+            "max(S.Price) <= min(T.Price)",
+            "S.Type disjoint T.Type",
+        ] {
+            let q = bind_query(&parse_query(src).unwrap(), &cat).unwrap();
+            for opt in [
+                Optimizer::default(),
+                Optimizer { dovetail: false, ..Optimizer::default() },
+                Optimizer::apriori_plus(),
+            ] {
+                for b in CountingBackend::all() {
+                    let base =
+                        opt.evaluate(&q, &QueryEnv::new(&d, &cat, 2).with_backend(b)).unwrap();
+                    for shards in [2usize, 3, 8] {
+                        let env =
+                            QueryEnv::new(&d, &cat, 2).with_backend(b).with_shards(shards);
+                        let got = opt.evaluate(&q, &env).unwrap();
+                        let tag = format!("`{src}` {b} shards={shards}");
+                        assert_eq!(base.s_sets, got.s_sets, "{tag}: S-sets diverge");
+                        assert_eq!(base.t_sets, got.t_sets, "{tag}: T-sets diverge");
+                        assert_eq!(base.pair_result.pairs, got.pair_result.pairs, "{tag}");
+                        assert_eq!(base.v_histories, got.v_histories, "{tag}: V^k diverges");
+                        assert_eq!(base.db_scans, got.db_scans, "{tag}: scan count");
+                        assert_eq!(
+                            base.scan.rows_scanned, got.scan.rows_scanned,
+                            "{tag}: rows scanned"
+                        );
+                        assert_eq!(
+                            base.scan.items_scanned, got.scan.items_scanned,
+                            "{tag}: items scanned"
+                        );
+                        assert_eq!(
+                            base.scan.trim_rows_dropped, got.scan.trim_rows_dropped,
+                            "{tag}: trim drops"
+                        );
                     }
                 }
             }

@@ -82,6 +82,9 @@ pub struct QueryRequest {
     pub max_pairs: Option<usize>,
     /// Support-counting thread override (`None` = engine default).
     pub counting_threads: Option<usize>,
+    /// Horizontal shard-count override for counting (`None` = engine
+    /// default; 1 = unsharded). Sharded answers are bit-identical.
+    pub shards: Option<usize>,
     /// Per-level database reduction override (`None` = engine default).
     pub trim: Option<bool>,
     /// Support-counting backend override (`None` = engine default).
@@ -105,6 +108,7 @@ impl QueryRequest {
             max_level: 0,
             max_pairs: None,
             counting_threads: None,
+            shards: None,
             trim: None,
             backend: None,
             strategy: Strategy::default(),
@@ -148,6 +152,9 @@ impl QueryRequest {
         }
         if let Some(n) = self.counting_threads {
             let _ = write!(out, ",\"counting_threads\":{n}");
+        }
+        if let Some(n) = self.shards {
+            let _ = write!(out, ",\"shards\":{n}");
         }
         if let Some(t) = self.trim {
             let _ = write!(out, ",\"trim\":{t}");
@@ -195,7 +202,7 @@ impl QueryRequest {
         };
         const KNOWN: &[&str] = &[
             "query", "support", "s_universe", "t_universe", "max_level", "max_pairs",
-            "counting_threads", "trim", "backend", "strategy", "bypass_cache",
+            "counting_threads", "shards", "trim", "backend", "strategy", "bypass_cache",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -237,9 +244,11 @@ impl QueryRequest {
                 .ok_or_else(|| CfqError::Parse("`max_level` must be a non-negative integer".into()))?
                 as usize;
         }
-        for (key, slot) in
-            [("max_pairs", &mut req.max_pairs), ("counting_threads", &mut req.counting_threads)]
-        {
+        for (key, slot) in [
+            ("max_pairs", &mut req.max_pairs),
+            ("counting_threads", &mut req.counting_threads),
+            ("shards", &mut req.shards),
+        ] {
             match v.get(key) {
                 None => {}
                 Some(j) if j.is_null() => {}
@@ -443,6 +452,7 @@ mod tests {
             max_level: 3,
             max_pairs: Some(100),
             counting_threads: Some(2),
+            shards: Some(4),
             trim: Some(false),
             backend: Some(CountingBackend::Auto),
             strategy: Strategy::cap_one_var(),

@@ -182,6 +182,13 @@ impl QueryBuilder {
         self
     }
 
+    /// Overrides the engine's default horizontal shard count for
+    /// counting (1 = unsharded). Sharded answers are bit-identical.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.req.shards = Some(shards);
+        self
+    }
+
     /// Overrides the engine's default per-level database reduction.
     pub fn trim(mut self, trim: bool) -> Self {
         self.req.trim = Some(trim);
@@ -288,6 +295,7 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
     let threads = req.counting_threads.unwrap_or(engine.config().counting_threads);
     let trim = req.trim.unwrap_or(engine.config().trim);
     let backend = req.backend.unwrap_or(engine.config().backend);
+    let shards = req.shards.unwrap_or(engine.config().shards);
 
     if req.bypass_cache {
         let env = QueryEnv {
@@ -303,6 +311,7 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
             counting_threads: threads,
             trim,
             backend,
+            shards,
         };
         let mut outcome = req.strategy.execute_plan(&plan, &env)?;
         outcome.provenance.plan_cached = plan_cached;
@@ -318,8 +327,10 @@ pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryO
         });
     }
 
-    let s_side = run_side(engine, req, &snap, &bound, Var::S, s_sup, threads, trim, backend);
-    let t_side = run_side(engine, req, &snap, &bound, Var::T, t_sup, threads, trim, backend);
+    let s_side =
+        run_side(engine, req, &snap, &bound, Var::S, s_sup, threads, trim, backend, shards);
+    let t_side =
+        run_side(engine, req, &snap, &bound, Var::T, t_sup, threads, trim, backend, shards);
 
     let mut pair_result = form_pairs_with(
         &s_side.sets,
@@ -382,6 +393,7 @@ fn run_side(
     threads: usize,
     trim: bool,
     backend: CountingBackend,
+    shards: usize,
 ) -> SideOutcome {
     let one: Vec<OneVar> = bound.one_var_for(var).cloned().collect();
     let form = SuccinctForm::compile(&one, &snap.catalog);
@@ -398,6 +410,7 @@ fn run_side(
         threads,
         trim,
         backend,
+        shards,
         &mut stats,
     );
 

@@ -4,6 +4,7 @@ use crate::backend::{self, CountingBackend, CountingRun};
 use crate::candidates::generate_candidates;
 use crate::counter::{ParallelTrieCounter, SupportCounter};
 use crate::frequent::FrequentSets;
+use crate::shard::ShardedRun;
 use crate::stats::WorkStats;
 use crate::trim::{trim_db_recorded, LiveSet};
 use cfq_obs as obs;
@@ -30,6 +31,11 @@ pub struct AprioriConfig {
     /// The support-counting substrate (see [`CountingBackend`]). The
     /// default `Horizontal` keeps the classic one-scan-per-level shape.
     pub backend: CountingBackend,
+    /// Horizontal shards (0 or 1 = unsharded). With `N > 1` the database
+    /// is split into N contiguous row ranges counted concurrently and
+    /// merged per level ([`crate::shard::ShardedRun`]); lattices and work
+    /// accounting are bit-identical to the unsharded run.
+    pub shards: usize,
 }
 
 impl AprioriConfig {
@@ -43,6 +49,7 @@ impl AprioriConfig {
             trim: true,
             counting_threads: 1,
             backend: CountingBackend::Horizontal,
+            shards: 1,
         }
     }
 
@@ -76,6 +83,12 @@ impl AprioriConfig {
         self.backend = backend;
         self
     }
+
+    /// Sets the horizontal shard count (0 or 1 = unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 /// Runs levelwise Apriori, recording work in `stats`.
@@ -92,11 +105,16 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
         .u64("universe", universe.len() as u64)
         .u64("min_support", cfg.min_support)
         .bool("trim", cfg.trim)
-        .str("backend", cfg.backend.name());
+        .str("backend", cfg.backend.name())
+        .u64("shards", cfg.shards.max(1) as u64);
 
     let mut result = FrequentSets::new();
     let counter = ParallelTrieCounter { threads: cfg.counting_threads };
     let mut run = CountingRun::new(db, cfg.backend);
+    // `Some` when the run counts through P > 1 horizontal shards; the
+    // unsharded path below stays byte-identical to the P = 1 run.
+    let mut sharded: Option<ShardedRun> =
+        (cfg.shards > 1).then(|| ShardedRun::new(db, cfg.shards, cfg.backend));
 
     // Level 1 always reads the full database — as a counting scan
     // (horizontal) or as the one-off index inversion pass (vertical).
@@ -104,15 +122,24 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
     let level_span = obs::span(obs::Level::Trace, "apriori.level").u64("level", 1);
     let candidates: Vec<Itemset> =
         universe.iter().map(|&i| Itemset::singleton(i)).collect();
-    let resolved = run.resolve(1, candidates.len(), &stats.scan);
+    let resolved = match &sharded {
+        Some(s) => s.resolve(1, candidates.len(), &stats.scan),
+        None => run.resolve(1, candidates.len(), &stats.scan),
+    };
     backend::metric_selected(resolved.name());
-    let counts = if resolved.is_vertical() {
-        run.count_vertical(resolved, &candidates, 1, stats)
-    } else {
-        let counts = counter.count(db, &candidates);
-        stats.record_scan();
-        stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
-        counts
+    stats.record_backend(resolved.name());
+    let counts = match (&mut sharded, resolved.is_vertical()) {
+        (Some(s), true) => {
+            s.count_vertical(resolved, &candidates, 1, &mut stats.db_scans, &mut stats.scan)
+        }
+        (Some(s), false) => s.count(&candidates, 1, None, &mut stats.db_scans, &mut stats.scan),
+        (None, true) => run.count_vertical(resolved, &candidates, 1, stats),
+        (None, false) => {
+            let counts = counter.count(db, &candidates);
+            stats.record_scan();
+            stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
+            counts
+        }
     };
     let mut frequent: Vec<(Itemset, u64)> = candidates
         .into_iter()
@@ -141,35 +168,62 @@ pub fn apriori(db: &TransactionDb, cfg: &AprioriConfig, stats: &mut WorkStats) -
             break;
         }
         let n_candidates = candidates.len() as u64;
-        let resolved = run.resolve(level + 1, candidates.len(), &stats.scan);
+        let resolved = match &sharded {
+            Some(s) => s.resolve(level + 1, candidates.len(), &stats.scan),
+            None => run.resolve(level + 1, candidates.len(), &stats.scan),
+        };
         backend::metric_selected(resolved.name());
-        let counts = if resolved.is_vertical() {
-            // Vertical levels count off the index: no scan, no trim. A
-            // later horizontal level (auto crossover) trims from wherever
-            // the working database last stood — liveness only shrinks, so
-            // skipping levels keeps the trim exact.
-            run.count_vertical(resolved, &candidates, level + 1, stats)
-        } else {
-            let cur = trimmed.as_ref().unwrap_or(db);
-            let cur = if cfg.trim {
-                // Only items inside some level-(k+1) candidate can still count,
-                // and only rows keeping ≥ k+1 of them can contain one.
-                let live = LiveSet::from_items(
-                    db.n_items(),
-                    candidates.iter().flat_map(|c| c.iter()),
-                );
-                let r = trim_db_recorded(cur, &live, level + 1, &mut stats.scan);
-                trimmed = Some(r.db);
-                trimmed.as_ref().unwrap()
-            } else {
-                cur
-            };
-            let counts = counter.count(cur, &candidates);
-            stats.record_scan();
-            stats
-                .scan
-                .record_extent(level + 1, cur.len() as u64, cur.total_items() as u64);
-            counts
+        stats.record_backend(resolved.name());
+        let counts = match (&mut sharded, resolved.is_vertical()) {
+            (Some(s), true) => {
+                // Vertical levels count off the per-shard indices: no
+                // scan after the first, no trim.
+                s.count_vertical(resolved, &candidates, level + 1, &mut stats.db_scans, &mut stats.scan)
+            }
+            (Some(s), false) => {
+                // The live set is shard-independent (built from the global
+                // candidates), which is what keeps per-shard trimming
+                // provably lossless — see the shard module docs.
+                let live = cfg.trim.then(|| {
+                    LiveSet::from_items(db.n_items(), candidates.iter().flat_map(|c| c.iter()))
+                });
+                s.count(
+                    &candidates,
+                    level + 1,
+                    live.as_ref().map(|l| (l, level + 1)),
+                    &mut stats.db_scans,
+                    &mut stats.scan,
+                )
+            }
+            (None, true) => {
+                // Vertical levels count off the index: no scan, no trim. A
+                // later horizontal level (auto crossover) trims from wherever
+                // the working database last stood — liveness only shrinks, so
+                // skipping levels keeps the trim exact.
+                run.count_vertical(resolved, &candidates, level + 1, stats)
+            }
+            (None, false) => {
+                let cur = trimmed.as_ref().unwrap_or(db);
+                let cur = if cfg.trim {
+                    // Only items inside some level-(k+1) candidate can still count,
+                    // and only rows keeping ≥ k+1 of them can contain one.
+                    let live = LiveSet::from_items(
+                        db.n_items(),
+                        candidates.iter().flat_map(|c| c.iter()),
+                    );
+                    let r = trim_db_recorded(cur, &live, level + 1, &mut stats.scan);
+                    trimmed = Some(r.db);
+                    trimmed.as_ref().unwrap()
+                } else {
+                    cur
+                };
+                let counts = counter.count(cur, &candidates);
+                stats.record_scan();
+                stats
+                    .scan
+                    .record_extent(level + 1, cur.len() as u64, cur.total_items() as u64);
+                counts
+            }
         };
         level += 1;
         frequent = candidates
@@ -356,6 +410,44 @@ mod tests {
             // The index inversion pass is the run's only database read.
             assert_eq!(stats.db_scans, 1, "{b}");
             assert_eq!(stats.scan.extents.len(), 1, "{b}");
+        }
+    }
+
+    #[test]
+    fn sharded_lattices_and_accounting_match_unsharded() {
+        let d = db();
+        for backend in CountingBackend::all() {
+            for min_support in 1..=3u64 {
+                let mut s_ref = WorkStats::new();
+                let reference = apriori(
+                    &d,
+                    &AprioriConfig::new(min_support).with_backend(backend),
+                    &mut s_ref,
+                );
+                let r: Vec<(Itemset, u64)> =
+                    reference.iter().map(|(s, n)| (s.clone(), n)).collect();
+                for shards in [2usize, 3, 4, 16] {
+                    let mut s = WorkStats::new();
+                    let fs = apriori(
+                        &d,
+                        &AprioriConfig::new(min_support)
+                            .with_backend(backend)
+                            .with_shards(shards),
+                        &mut s,
+                    );
+                    let got: Vec<(Itemset, u64)> =
+                        fs.iter().map(|(s, n)| (s.clone(), n)).collect();
+                    assert_eq!(got, r, "{backend} shards={shards} s={min_support}");
+                    // Work accounting is shard-transparent.
+                    assert_eq!(s.db_scans, s_ref.db_scans, "{backend} shards={shards}");
+                    assert_eq!(s.support_counted, s_ref.support_counted);
+                    assert_eq!(s.scan.rows_scanned, s_ref.scan.rows_scanned);
+                    assert_eq!(s.scan.items_scanned, s_ref.scan.items_scanned);
+                    assert_eq!(s.scan.trim_rows_dropped, s_ref.scan.trim_rows_dropped);
+                    assert_eq!(s.scan.trim_items_dropped, s_ref.scan.trim_items_dropped);
+                    assert_eq!(s.backends_used, s_ref.backends_used);
+                }
+            }
         }
     }
 

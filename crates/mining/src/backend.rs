@@ -250,6 +250,31 @@ pub fn metric_words_anded(n: u64) {
         .add(n);
 }
 
+/// Bumps `cfq_mining_shard_levels_total{shards=...}` — one increment per
+/// level counted through the sharded substrate, labeled by shard count.
+pub fn metric_shard_levels(n_shards: usize) {
+    let shards = n_shards.to_string();
+    obs::metrics::global()
+        .counter_with(
+            "cfq_mining_shard_levels_total",
+            "Levels counted through the sharded substrate, per shard count.",
+            &[("shards", shards.as_str())],
+        )
+        .inc();
+}
+
+/// Adds to `cfq_mining_shard_merges_total` — per-shard partial count
+/// vectors merged at level barriers (one per shard per counted level).
+pub fn metric_shard_merges(n: u64) {
+    obs::metrics::global()
+        .counter_with(
+            "cfq_mining_shard_merges_total",
+            "Per-shard partial count vectors merged at level barriers.",
+            &[],
+        )
+        .add(n);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,9 @@
 //!   as alternative frequency backbones, both result-equivalent to Apriori.
 //! * [`incremental`] — FUP-style maintenance of frequent sets under
 //!   insertions (Cheung et al., ICDE 1996; the paper's citation \[6\]).
+//! * [`shard`] — horizontally sharded counting: split the CSR store into
+//!   P row ranges, count (and trim) each independently, merge per-level
+//!   at a barrier; bit-identical to unsharded by support additivity.
 //! * [`stats`] — work accounting: database scans, sets counted for support,
 //!   constraint-check invocations; the raw material for the paper's
 //!   ccc-optimality (Definition 6) and for the §7 tables. [`stats::ScanStats`]
@@ -45,6 +48,7 @@ pub mod frequent;
 pub mod hashtree;
 pub mod incremental;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod trim;
 pub mod vertical;
@@ -60,6 +64,7 @@ pub use counter::{
 pub use hashtree::HashTreeCounter;
 pub use incremental::{fup_update, fup_update_abs, UpdateOutcome};
 pub use partition::{partition_mine, PartitionConfig};
+pub use shard::ShardedRun;
 pub use vertical::{TidsetIndex, VerticalCounter};
 pub use fpgrowth::{fp_growth, FpGrowthConfig};
 pub use frequent::FrequentSets;

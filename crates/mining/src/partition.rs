@@ -20,7 +20,8 @@
 //! global database; per-partition counting work lands in
 //! [`WorkStats::support_counted`].
 
-use crate::backend::CountingBackend;
+use crate::apriori::{apriori, AprioriConfig};
+use crate::backend::{CountingBackend, ResolvedBackend};
 use crate::bitmap::{BitmapCounter, BitmapIndex};
 use crate::candidates::generate_candidates;
 use crate::counter::{SupportCounter, TrieCounter};
@@ -39,10 +40,13 @@ pub struct PartitionConfig {
     /// Number of partitions (clamped to at least 1 and at most the number
     /// of transactions).
     pub n_partitions: usize,
-    /// Counting backend for the per-partition local mining (`Auto`
-    /// resolves to bitmaps: partitions are in-memory and dense). The
-    /// global Phase II pass stays a single horizontal scan — that is the
-    /// algorithm's defining property.
+    /// Counting backend for the per-partition local mining, resolved in
+    /// exactly one place ([`resolve_local_backend`]): `Auto` resolves to
+    /// bitmaps — partitions are in-memory and dense — and that is also
+    /// the default. The resolved backend is recorded in
+    /// [`WorkStats::backends_used`]. The global Phase II pass stays a
+    /// single horizontal scan — that is the algorithm's defining
+    /// property.
     pub backend: CountingBackend,
 }
 
@@ -52,9 +56,37 @@ impl Default for PartitionConfig {
             universe: Vec::new(),
             min_support: 1,
             n_partitions: 1,
-            backend: CountingBackend::Tidset,
+            backend: CountingBackend::Auto,
         }
     }
+}
+
+/// The one place `PartitionConfig::backend` is resolved for local
+/// mining: `Auto` means bitmaps, everything else means itself.
+pub fn resolve_local_backend(backend: CountingBackend) -> ResolvedBackend {
+    match backend {
+        CountingBackend::Horizontal => ResolvedBackend::Horizontal,
+        CountingBackend::Tidset => ResolvedBackend::Tidset,
+        CountingBackend::Bitmap | CountingBackend::Auto => ResolvedBackend::Bitmap,
+    }
+}
+
+/// Phase-I local threshold for a partition of `part_rows` rows out of
+/// `total_rows`: the **floor** of the proportional support,
+/// `⌊min_support · part_rows / total_rows⌋`, clamped to at least 1.
+///
+/// Floor is sound by the SON pigeonhole argument: if a set is locally
+/// infrequent in *every* partition, its global support is at most
+/// `Σᵢ (tᵢ − 1) ≤ Σᵢ ⌊s·nᵢ/n⌋ − P ≤ s − P < s`, so every globally
+/// frequent set is locally frequent somewhere. Rounding *up* from a
+/// nominal (uniform) partition size instead — re-rounding `⌈s·n̂/n⌉`
+/// computed for the nominal size `n̂` and applying it to an undersized
+/// tail partition — breaks the bound and can drop a globally frequent
+/// set whose support is concentrated in that tail (regression-tested
+/// below and property-tested in `tests/shard_props.rs`).
+pub fn scaled_local_threshold(min_support: u64, part_rows: usize, total_rows: usize) -> u64 {
+    debug_assert!(part_rows <= total_rows && total_rows > 0);
+    ((min_support as u128 * part_rows as u128 / total_rows as u128) as u64).max(1)
 }
 
 /// Runs the Partition algorithm; the result equals plain Apriori's.
@@ -65,6 +97,7 @@ pub fn partition_mine(
 ) -> FrequentSets {
     let n = db.len();
     if n == 0 {
+        // No rows, no scans: the accounting stays at zero.
         return FrequentSets::new();
     }
     let universe: Vec<ItemId> = if cfg.universe.is_empty() {
@@ -72,17 +105,31 @@ pub fn partition_mine(
     } else {
         cfg.universe.clone()
     };
+    let resolved = resolve_local_backend(cfg.backend);
     // With too many partitions the scaled local threshold degenerates to 1
     // and phase I enumerates every itemset occurring anywhere — an
     // exponential blowup. Using fewer partitions is always sound (the
     // candidate superset only shrinks), so clamp the count to keep the
-    // local threshold at 2 or higher where the global threshold allows.
-    let p_cap = if cfg.min_support >= 2 {
-        (cfg.min_support as usize - 1).max(1)
-    } else {
-        1
-    };
+    // floored local threshold at 2 or higher where the global threshold
+    // allows (⌊s·nᵢ/n⌋ ≥ 2 needs nᵢ ≥ 2n/s, i.e. at most s/2 partitions).
+    let p_cap = ((cfg.min_support / 2) as usize).max(1);
     let p = cfg.n_partitions.clamp(1, n.min(p_cap));
+    if p == 1 {
+        // Degenerate single-partition run: phase I already counts every
+        // candidate at the global threshold over the whole database, so a
+        // phase-II recount would be a wasted scan charged as real work.
+        // Delegate to plain Apriori with the resolved local backend — a
+        // single-pass run with the (default) vertical backends.
+        let acfg = AprioriConfig::new(cfg.min_support)
+            .with_universe(universe)
+            .with_backend(match resolved {
+                ResolvedBackend::Horizontal => CountingBackend::Horizontal,
+                ResolvedBackend::Tidset => CountingBackend::Tidset,
+                ResolvedBackend::Bitmap => CountingBackend::Bitmap,
+            });
+        return apriori(db, &acfg, stats);
+    }
+    stats.record_backend(resolved.name());
 
     // ---- Phase I: local mining (one pass over the database overall).
     let mut candidates: Vec<Itemset> = Vec::new();
@@ -98,10 +145,8 @@ pub fn partition_mine(
             (start..start + len).map(|i| db.transaction(i).to_vec()).collect();
         start += len;
         let part = TransactionDb::new(db.n_items(), rows).expect("rows are valid");
-        // Scaled local threshold: ceil(min_support * |part| / |D|), ≥ 1.
-        let local_min =
-            ((cfg.min_support as u128 * part.len() as u128).div_ceil(n as u128) as u64).max(1);
-        candidates.extend(local_frequent(&part, &universe, local_min, cfg.backend, stats));
+        let local_min = scaled_local_threshold(cfg.min_support, part.len(), n);
+        candidates.extend(local_frequent(&part, &universe, local_min, resolved, stats));
     }
     stats.record_scan();
     stats.scan.record_extent(1, db.len() as u64, db.total_items() as u64);
@@ -146,21 +191,20 @@ fn local_frequent(
     part: &TransactionDb,
     universe: &[ItemId],
     local_min: u64,
-    backend: CountingBackend,
+    resolved: ResolvedBackend,
     stats: &mut WorkStats,
 ) -> Vec<Itemset> {
     // Owned indices for the counter to borrow; which one exists depends
-    // on the backend. `Auto` resolves to bitmaps: the partition is
-    // in-memory and dense, exactly the bitmap sweet spot.
+    // on the backend the caller resolved through [`resolve_local_backend`].
     let tidset_index;
     let bitmap_index;
-    let counter: Box<dyn SupportCounter + '_> = match backend {
-        CountingBackend::Horizontal => Box::new(TrieCounter),
-        CountingBackend::Tidset => {
+    let counter: Box<dyn SupportCounter + '_> = match resolved {
+        ResolvedBackend::Horizontal => Box::new(TrieCounter),
+        ResolvedBackend::Tidset => {
             tidset_index = TidsetIndex::build(part);
             Box::new(VerticalCounter::new(&tidset_index))
         }
-        CountingBackend::Bitmap | CountingBackend::Auto => {
+        ResolvedBackend::Bitmap => {
             bitmap_index = BitmapIndex::build(part);
             Box::new(BitmapCounter::new(&bitmap_index))
         }
@@ -249,7 +293,9 @@ mod tests {
     #[test]
     fn exactly_two_global_scans() {
         let d = db();
-        let (_, stats) = run(&d, 2, 4);
+        // min_support 4 keeps the partition-count clamp at 2, so the run
+        // genuinely uses two partitions (and thus two global scans).
+        let (_, stats) = run(&d, 4, 2);
         assert_eq!(stats.db_scans, 2, "Partition's defining property");
     }
 
@@ -260,8 +306,8 @@ mod tests {
         for b in CountingBackend::all() {
             let mut stats = WorkStats::new();
             let cfg = PartitionConfig {
-                min_support: 2,
-                n_partitions: 4,
+                min_support: 4,
+                n_partitions: 2,
                 backend: b,
                 ..PartitionConfig::default()
             };
@@ -272,12 +318,80 @@ mod tests {
             // global Phase II candidates.
             let phase2: u64 = stats.levels.iter().map(|l| l.candidates).sum();
             assert!(stats.support_counted > phase2, "{b}: local work recorded");
+            // The resolved backend — never `Auto` itself — lands in the
+            // work accounting.
+            let expected_name = resolve_local_backend(b).name();
+            assert_eq!(
+                stats.backends_used,
+                vec![expected_name],
+                "{b}: resolved backend recorded"
+            );
             let got = collect(&fs);
             match &reference {
                 None => reference = Some(got),
                 Some(r) => assert_eq!(r, &got, "{b}"),
             }
         }
+    }
+
+    /// Satellite bugfix: when the partition count clamps to 1 the run
+    /// degenerates to a single levelwise pass and must *not* charge the
+    /// phantom second scan the old unconditional `db_scans = 2` recorded.
+    #[test]
+    fn clamp_to_one_partition_is_single_pass() {
+        let d = db();
+        // s=2 ⇒ p_cap = max(2/2, 1) = 1: any requested partition count
+        // collapses to a single partition.
+        let (got, stats) = run(&d, 2, 4);
+        let mut s = WorkStats::new();
+        let expected = apriori(
+            &d,
+            &AprioriConfig::new(2).with_backend(CountingBackend::Bitmap),
+            &mut s,
+        );
+        assert_eq!(collect(&got), collect(&expected));
+        assert_eq!(
+            stats.db_scans, s.db_scans,
+            "clamped run charges exactly what the single-pass run does"
+        );
+        assert_eq!(stats.db_scans, 1, "vertical backend: one scan, not two");
+        assert_eq!(stats.backends_used, vec!["bitmap"], "Auto resolves to bitmaps");
+    }
+
+    /// Satellite bugfix: an empty database does no scanning at all —
+    /// `db_scans` stays 0 and no extents are recorded.
+    #[test]
+    fn empty_database_charges_no_scans() {
+        let d = TransactionDb::new(4, Vec::new()).unwrap();
+        let mut stats = WorkStats::new();
+        let cfg = PartitionConfig { min_support: 1, n_partitions: 3, ..PartitionConfig::default() };
+        let fs = partition_mine(&d, &cfg, &mut stats);
+        assert_eq!(fs.total(), 0);
+        assert_eq!(stats.db_scans, 0, "no rows, no scans");
+        assert!(stats.scan.extents.is_empty(), "no extents either");
+    }
+
+    /// A universe of items absent from every row yields no frequent sets
+    /// but still keeps the accounting consistent (scans are real passes
+    /// over the data, not fabricated).
+    #[test]
+    fn effectively_empty_universe_accounting() {
+        let d = db();
+        let mut stats = WorkStats::new();
+        let cfg = PartitionConfig {
+            // Item 6 exists in the alphabet (n_items is widened) but in no row.
+            universe: vec![ItemId(6)],
+            min_support: 4,
+            n_partitions: 2,
+            ..PartitionConfig::default()
+        };
+        let widened =
+            TransactionDb::new(7, d.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap();
+        let fs = partition_mine(&widened, &cfg, &mut stats);
+        assert_eq!(fs.total(), 0);
+        // Phase I still scans each partition once (one logical global pass);
+        // Phase II has no candidates to verify, so no second pass happens.
+        assert!(stats.db_scans <= 2, "no phantom scans beyond the two passes");
     }
 
     #[test]
@@ -302,6 +416,74 @@ mod tests {
             assert!(s.iter().all(|i| i == ItemId(0) || i == ItemId(2)));
         }
         assert!(fs.contains(&[0u32, 2].into()));
+    }
+
+    /// Satellite bugfix regression: the local threshold must be the
+    /// **floor** of the proportional support per *actual* partition size.
+    /// The broken variant — `⌈s·n̂/n⌉` computed once for the nominal
+    /// uniform size `n̂ = ⌈n/p⌉` and applied to every partition — loses a
+    /// globally frequent set whose support straddles an undersized tail
+    /// partition. Counterexample: n=5 rows split {3,2}, s=4, a pair with
+    /// local supports (2,2): nominal ceil gives t=⌈4·3/5⌉=3 everywhere
+    /// and drops it; the floored per-size threshold (t₂=⌊8/5⌋=1) keeps it.
+    #[test]
+    fn floored_threshold_keeps_tail_concentrated_sets() {
+        let d = TransactionDb::from_u32(3, &[&[0, 1], &[0, 1], &[2], &[0, 1], &[0, 1]]);
+        let s = 4u64;
+        let pair: Itemset = [0u32, 1].into();
+        assert_eq!(d.support(&pair), 4, "globally frequent at s=4");
+
+        // The correct path finds it.
+        let (fs, _) = run(&d, s, 2);
+        assert!(fs.contains(&pair), "floor threshold keeps the pair");
+
+        // The buggy re-rounded-ceil variant loses it: with the nominal
+        // threshold every partition's local mining drops the pair, so it
+        // never reaches Phase II.
+        let nominal = d.len().div_ceil(2);
+        let bad_t = (s * nominal as u64).div_ceil(d.len() as u64);
+        assert_eq!(bad_t, 3);
+        let universe: Vec<ItemId> = (0..3).map(ItemId).collect();
+        let mut lost = Vec::new();
+        for (lo, hi) in [(0usize, 3usize), (3, 5)] {
+            let rows: Vec<Vec<ItemId>> =
+                (lo..hi).map(|i| d.transaction(i).to_vec()).collect();
+            let part = TransactionDb::new(3, rows).unwrap();
+            let mut sink = WorkStats::new();
+            lost.extend(local_frequent(
+                &part,
+                &universe,
+                bad_t,
+                ResolvedBackend::Bitmap,
+                &mut sink,
+            ));
+        }
+        assert!(
+            !lost.contains(&pair),
+            "the ceil-from-nominal variant drops the globally frequent pair"
+        );
+    }
+
+    /// The SON soundness bound for the floored thresholds: over any split,
+    /// `Σᵢ (tᵢ − 1) < s`, so a set locally infrequent everywhere cannot be
+    /// globally frequent. Exercised on deliberately uneven splits.
+    #[test]
+    fn floored_thresholds_satisfy_pigeonhole_bound() {
+        for (s, sizes) in [
+            (4u64, vec![3usize, 2]),
+            (7, vec![1, 1, 5, 9]),
+            (10, vec![10, 1, 1, 1, 1]),
+            (3, vec![2, 2, 2]),
+            (100, vec![33, 33, 34]),
+            (5, vec![1, 2, 3, 4, 5, 6]),
+        ] {
+            let n: usize = sizes.iter().sum();
+            let slack: u64 = sizes
+                .iter()
+                .map(|&ni| scaled_local_threshold(s, ni, n) - 1)
+                .sum();
+            assert!(slack < s, "s={s} sizes={sizes:?}: Σ(tᵢ−1)={slack} must be < s");
+        }
     }
 
     #[test]

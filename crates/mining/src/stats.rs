@@ -106,6 +106,10 @@ pub struct WorkStats {
     /// Database scans a cache hit avoided: the scan cost the cached
     /// lattice's cold mining run paid, credited on each reuse.
     pub scans_saved: u64,
+    /// Counting backends this run actually resolved to, in first-use
+    /// order, deduplicated — `Auto` never appears here, only what it
+    /// resolved to. Lets callers assert which backend did the work.
+    pub backends_used: Vec<&'static str>,
 }
 
 impl WorkStats {
@@ -159,6 +163,14 @@ impl WorkStats {
         self.cache_misses += 1;
     }
 
+    /// Records that counting resolved to `backend` (a concrete backend
+    /// name, never `"auto"`). Idempotent per name.
+    pub fn record_backend(&mut self, backend: &'static str) {
+        if !self.backends_used.contains(&backend) {
+            self.backends_used.push(backend);
+        }
+    }
+
     /// Merges another stats object into this one (used when combining the
     /// S- and T-lattice halves of a run). Levels are concatenated.
     pub fn absorb(&mut self, other: &WorkStats) {
@@ -171,6 +183,9 @@ impl WorkStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.scans_saved += other.scans_saved;
+        for b in &other.backends_used {
+            self.record_backend(b);
+        }
     }
 
     /// Total frequent sets found across levels.
@@ -251,5 +266,18 @@ mod tests {
         assert_eq!(a.cache_hits, 1);
         assert_eq!(a.cache_misses, 1);
         assert_eq!(a.scans_saved, 4);
+    }
+
+    #[test]
+    fn backends_used_dedups_and_absorbs() {
+        let mut a = WorkStats::new();
+        a.record_backend("bitmap");
+        a.record_backend("bitmap");
+        assert_eq!(a.backends_used, vec!["bitmap"]);
+        let mut b = WorkStats::new();
+        b.record_backend("horizontal");
+        b.record_backend("bitmap");
+        a.absorb(&b);
+        assert_eq!(a.backends_used, vec!["bitmap", "horizontal"]);
     }
 }

@@ -145,6 +145,52 @@ impl TrimResult {
         }
         Ok(())
     }
+
+    /// Checks that this pass is the *exact* trim of `input` under
+    /// (`live`, `min_len`) — not merely structurally consistent:
+    ///
+    /// * **completeness** — every input row with at least `min_len` live
+    ///   items survives (an over-eager trim that drops such a row can
+    ///   lose candidate support);
+    /// * **exactness** — each surviving row equals the live-filter of its
+    ///   source row (no item kept that is dead, none dropped that is
+    ///   live).
+    ///
+    /// Together with [`TrimResult::check_invariants`] this is the proof
+    /// obligation sharded mining discharges per shard: a row partition of
+    /// the database trimmed shard-by-shard against the *same* `live` set
+    /// is then row-for-row identical to the global trim, so per-shard
+    /// counts still sum to the global counts.
+    pub fn check_exactness(
+        &self,
+        input: &TransactionDb,
+        live: &LiveSet,
+        min_len: usize,
+    ) -> Result<(), String> {
+        let min_len = min_len.max(1);
+        let mut next = 0usize; // cursor into provenance
+        for (tid, row) in input.iter().enumerate() {
+            let live_len = row.iter().filter(|&&i| live.contains(i)).count();
+            let survived = self.provenance.get(next) == Some(&(tid as u32));
+            if live_len >= min_len && !survived {
+                return Err(format!(
+                    "input row {tid} has {live_len} live items (>= {min_len}) but was dropped"
+                ));
+            }
+            if survived {
+                let out = self.db.transaction(next);
+                let expect: Vec<ItemId> =
+                    row.iter().copied().filter(|&i| live.contains(i)).collect();
+                if out != expect.as_slice() {
+                    return Err(format!(
+                        "surviving row {next} (input row {tid}) is not the live-filter of its source"
+                    ));
+                }
+                next += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Rewrites `db`, keeping only items in `live` and only transactions
@@ -301,6 +347,54 @@ mod tests {
         r.provenance[2] = 3; // row {2,3} is not a subset of input row 3 = {1,5}
         r.rows_dropped = (d.len() - r.db.len()) as u64;
         assert!(r.check_invariants(&d).unwrap_err().contains("subset"));
+    }
+
+    #[test]
+    fn check_exactness_accepts_real_passes_and_rejects_lossy_ones() {
+        let d = db();
+        let live = LiveSet::from_items(6, [1, 2, 3].map(ItemId));
+        let r = trim_db(&d, &live, 2);
+        assert!(r.check_exactness(&d, &live, 2).is_ok());
+        // A lossy trim (dropped a row that had enough live items) passes
+        // the structural invariants but fails exactness.
+        let lossy = TrimResult {
+            db: TransactionDb::from_u32(6, &[&[1, 2, 3], &[2, 3]]),
+            provenance: vec![1, 4],
+            rows_dropped: 4,
+            items_dropped: (d.total_items() - 5) as u64,
+        };
+        assert!(lossy.check_invariants(&d).is_ok());
+        let err = lossy.check_exactness(&d, &live, 2).unwrap_err();
+        assert!(err.contains("was dropped"), "{err}");
+        // A trim that kept a dead item fails exactness too.
+        let sloppy = trim_db(&d, &LiveSet::from_items(6, [0, 1, 2, 3].map(ItemId)), 2);
+        assert!(sloppy.check_exactness(&d, &live, 2).is_err());
+    }
+
+    #[test]
+    fn sharded_trim_equals_global_trim() {
+        // The soundness core of sharded mining: trimming each half of a
+        // row partition against the same live set concatenates to the
+        // global trim.
+        let d = db();
+        let live = LiveSet::from_items(6, [1, 2, 3].map(ItemId));
+        let global = trim_db(&d, &live, 2);
+        let rows = |lo: usize, hi: usize| -> TransactionDb {
+            let rows: Vec<Vec<ItemId>> = (lo..hi).map(|i| d.transaction(i).to_vec()).collect();
+            TransactionDb::new(d.n_items(), rows).unwrap()
+        };
+        let (a, b) = (rows(0, 3), rows(3, d.len()));
+        let (ta, tb) = (trim_db(&a, &live, 2), trim_db(&b, &live, 2));
+        ta.check_exactness(&a, &live, 2).unwrap();
+        tb.check_exactness(&b, &live, 2).unwrap();
+        assert_eq!(ta.db.len() + tb.db.len(), global.db.len());
+        let merged: Vec<&[ItemId]> = ta.db.iter().chain(tb.db.iter()).collect();
+        let globals: Vec<&[ItemId]> = global.db.iter().collect();
+        assert_eq!(merged, globals);
+        assert_eq!(
+            ta.rows_dropped + tb.rows_dropped + ta.items_dropped + tb.items_dropped,
+            global.rows_dropped + global.items_dropped
+        );
     }
 
     #[test]

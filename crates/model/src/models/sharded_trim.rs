@@ -1,0 +1,191 @@
+//! Model of sharded mining's per-shard trim → count → merge protocol.
+//!
+//! `ShardedRun` splits the CSR store into row ranges; at each level every
+//! shard worker *trims* its rows against the **global** live set, counts
+//! the candidates over its trimmed rows, and folds both its partial count
+//! vector and its trim accounting (rows dropped) into shared accumulators
+//! at the level barrier. The soundness claim under test: because the live
+//! set is built from the global candidate list (it does not depend on
+//! which shard a row landed in), per-shard trimming drops exactly the
+//! rows global trimming would drop — no shard can lose a row that still
+//! supports a candidate, so the merged counts are bit-identical to the
+//! unsharded run's and the merged drop totals match the global trim's.
+//!
+//! Like [`super::merge::MergeModel`], the per-shard data are caller
+//! supplied — tests and `cfq model` feed *real* `cfq-mining` trim and
+//! count results — and the checker explores every interleaving of the
+//! lock-free trim steps with the locked merge sections. There is no
+//! built-in bug switch: callers seed bugs by perturbing one shard's data,
+//! e.g. dropping a live row's contribution (counts lost to an over-eager
+//! trim) while bumping its drop count.
+
+use crate::checker::{Model, Step};
+use crate::sync::MockMutex;
+
+/// The sharded trim model. Workers = `shard_counts.len()`.
+pub struct ShardedTrimModel {
+    /// Per-shard partial count vector, computed over the shard's
+    /// *trimmed* rows; all the same length.
+    pub shard_counts: Vec<Vec<u64>>,
+    /// Rows each shard's trim pass dropped.
+    pub shard_drops: Vec<u64>,
+    /// The unsharded (global) counts the merge must reproduce.
+    pub expected: Vec<u64>,
+    /// The unsharded (global) trim's dropped-row total.
+    pub expected_drops: u64,
+    /// Count elements folded per lock section (1 = finest interleaving).
+    pub granularity: usize,
+}
+
+/// Per-worker phase: trim locally, then merge under the lock.
+#[derive(Clone, Hash, PartialEq, Eq)]
+enum Phase {
+    /// Shard not yet trimmed: counting cannot start.
+    Untrimmed,
+    /// Trimmed; next count element to merge is the payload.
+    Merging(usize),
+    /// Drops folded in; worker finished.
+    Done,
+}
+
+/// Full model state: the shared accumulators plus per-worker phase.
+#[derive(Clone, Hash, PartialEq, Eq)]
+pub struct ShardedTrimState {
+    /// Shared level accumulator: merged counts + merged drop total.
+    acc: MockMutex<(Vec<u64>, u64)>,
+    phase: Vec<Phase>,
+}
+
+impl Model for ShardedTrimModel {
+    type State = ShardedTrimState;
+
+    fn init(&self) -> ShardedTrimState {
+        ShardedTrimState {
+            acc: MockMutex::new((vec![0; self.expected.len()], 0)),
+            phase: vec![Phase::Untrimmed; self.shard_counts.len()],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.shard_counts.len()
+    }
+
+    fn step(&self, s: &mut ShardedTrimState, tid: usize) -> Step {
+        match s.phase[tid] {
+            Phase::Untrimmed => {
+                // Trimming is shard-local: no lock, no shared state. The
+                // step exists so the checker interleaves slow trims with
+                // other shards' merges.
+                s.phase[tid] = Phase::Merging(0);
+                Step::Ran
+            }
+            Phase::Merging(from) => {
+                let part = &self.shard_counts[tid];
+                if !s.acc.try_lock(tid) {
+                    return Step::Blocked;
+                }
+                if from < part.len() {
+                    let to = (from + self.granularity.max(1)).min(part.len());
+                    let acc = s.acc.data_mut(tid);
+                    for (a, p) in acc.0[from..to].iter_mut().zip(&part[from..to]) {
+                        *a += p;
+                    }
+                    s.acc.unlock(tid);
+                    s.phase[tid] = Phase::Merging(to);
+                } else {
+                    // Final locked section: fold in the trim accounting.
+                    s.acc.data_mut(tid).1 += self.shard_drops[tid];
+                    s.acc.unlock(tid);
+                    s.phase[tid] = Phase::Done;
+                }
+                Step::Ran
+            }
+            Phase::Done => Step::Done,
+        }
+    }
+
+    fn invariant(&self, s: &ShardedTrimState) -> Result<(), String> {
+        let (counts, drops) = s.acc.peek();
+        for (i, (&got, &want)) in counts.iter().zip(&self.expected).enumerate() {
+            if got > want {
+                return Err(format!(
+                    "candidate {i} overshot the unsharded count: {got} > {want}"
+                ));
+            }
+        }
+        if *drops > self.expected_drops {
+            return Err(format!(
+                "shards dropped more rows than the global trim: {drops} > {}",
+                self.expected_drops
+            ));
+        }
+        Ok(())
+    }
+
+    fn finale(&self, s: &ShardedTrimState) -> Result<(), String> {
+        let (counts, drops) = s.acc.peek();
+        if *counts != self.expected {
+            return Err(format!(
+                "sharded counts diverged: {counts:?} != {:?}",
+                self.expected
+            ));
+        }
+        if *drops != self.expected_drops {
+            return Err(format!(
+                "trim accounting diverged: {drops} dropped != {}",
+                self.expected_drops
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckConfig, Checker};
+
+    fn model(granularity: usize) -> ShardedTrimModel {
+        ShardedTrimModel {
+            shard_counts: vec![vec![2, 1, 0], vec![1, 0, 2], vec![0, 2, 1]],
+            shard_drops: vec![1, 0, 2],
+            expected: vec![3, 3, 3],
+            expected_drops: 3,
+            granularity,
+        }
+    }
+
+    #[test]
+    fn clean_protocol_verifies_across_all_interleavings() {
+        let out = Checker::new(CheckConfig::default()).run(&model(1));
+        assert!(out.ok(), "{:?}", out.violations.first());
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn coarse_merges_verify_too() {
+        let out = Checker::new(CheckConfig::default()).run(&model(3));
+        assert!(out.ok(), "{:?}", out.violations.first());
+    }
+
+    #[test]
+    fn seeded_over_trim_is_caught() {
+        // Shard 0's trim wrongly drops a live row: its counts lose that
+        // row's contribution and its drop count gains one.
+        let mut m = model(1);
+        m.shard_counts[0] = vec![1, 0, 0];
+        m.shard_drops[0] += 1;
+        let out = Checker::new(CheckConfig::default()).run(&m);
+        assert!(!out.ok(), "an over-eager shard trim must be caught");
+    }
+
+    #[test]
+    fn seeded_double_drop_accounting_is_caught() {
+        // Counts intact but a shard reports its drops twice: the drop
+        // invariant trips even though the counts verify.
+        let mut m = model(1);
+        m.shard_drops[2] *= 2;
+        let out = Checker::new(CheckConfig::default()).run(&m);
+        assert!(!out.ok(), "double-counted trim accounting must be caught");
+    }
+}

@@ -299,6 +299,52 @@ kill -INT "$SERVE_PID"
 wait "$SERVE_PID" || { echo "backend serve exited non-zero on SIGINT"; cat "$SERVE_DIR/backend.log"; exit 1; }
 SERVE_PID=""
 
+echo "== sharded mining: --shards answers bit-identical, cfq_mining_shard_* metrics surface"
+# Same timing-free prefix comparison as the backend stage: byte-equality
+# of the pair/set counts means sharded counting merged to the exact
+# lattices the unsharded run mined.
+for Q in "$FIG8A" "$FIG8B"; do
+  REF=""
+  for N in 1 4; do
+    FULL="$(./target/release/cfq query --data "$SERVE_DIR/tx.txt" --catalog "$SERVE_DIR/catalog.txt" \
+      --min-support 0.1 --shards "$N" "$Q")"
+    ANSWER="$(printf '%s\n' "$FULL" | sed -n '1s/|.*$//p')"
+    if [ -z "$REF" ]; then REF="$ANSWER"; fi
+    [ "$ANSWER" = "$REF" ] \
+      || { echo "--shards $N disagrees on \`$Q\`: got '$ANSWER', want '$REF'"; exit 1; }
+  done
+  echo "  \`$Q\` -> ${REF}(identical under --shards 1 and 4)"
+done
+
+./target/release/cfq serve --data "$SERVE_DIR/tx.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --listen 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+  > "$SERVE_DIR/shard.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^metrics on ' "$SERVE_DIR/shard.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/shard.log")"
+if [ -z "$PORT" ]; then
+  echo "shard serve did not come up:"; cat "$SERVE_DIR/shard.log"; exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf ':json {"query":"max(S.Price) <= min(T.Price)","support":{"frac":0.1},"shards":2}\n' >&3
+read -r SH_REPLY <&3
+printf ':metrics\n:quit\n' >&3
+SH_SCRAPE="$(cat <&3)"
+exec 3<&- 3>&-
+echo "$SH_REPLY" | grep -q '"pair_count"' || { echo "sharded :json query failed: $SH_REPLY"; exit 1; }
+for M in \
+  'cfq_mining_shard_levels_total{shards="2"}' \
+  'cfq_mining_shard_merges_total'; do
+  echo "$SH_SCRAPE" | grep -qF "$M" \
+    || { echo "scrape missing $M"; echo "$SH_SCRAPE"; exit 1; }
+done
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "shard serve exited non-zero on SIGINT"; cat "$SERVE_DIR/shard.log"; exit 1; }
+SERVE_PID=""
+
 echo "== durability: WAL + snapshot survive kill -9, restart serves warm (extends BENCH_serve.json)"
 WAL_DIR="$SERVE_DIR/wal"
 # A bigger database than the serve stage, and a selective query: cold
@@ -461,6 +507,14 @@ grep -q '"config":"auto"' BENCH_substrate.json \
   || { echo "BENCH_substrate.json missing auto config"; exit 1; }
 grep -q '"speedup_vs_trimmed_parallel"' BENCH_substrate.json \
   || { echo "BENCH_substrate.json missing speedup_vs_trimmed_parallel"; exit 1; }
+
+echo "== BENCH_substrate.json carries the shard-speedup curve"
+grep -q '"shard_curve":\[{"workload":"shard_curve"' BENCH_substrate.json \
+  || { echo "BENCH_substrate.json missing the shard curve"; exit 1; }
+grep -q '"speedup_vs_shards1"' BENCH_substrate.json \
+  || { echo "BENCH_substrate.json missing speedup_vs_shards1"; exit 1; }
+grep -q '"shards":8' BENCH_substrate.json \
+  || { echo "BENCH_substrate.json shard curve missing the shards=8 point"; exit 1; }
 
 echo "== cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

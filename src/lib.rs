@@ -90,7 +90,7 @@ pub mod prelude {
     };
     pub use cfq_mining::{
         apriori, fp_growth, partition_mine, AprioriConfig, CountingBackend, FpGrowthConfig,
-        FrequentSets, PartitionConfig, TrieCounter, WorkStats,
+        FrequentSets, PartitionConfig, ShardedRun, TrieCounter, WorkStats,
     };
     pub use cfq_types::{
         Catalog, CatalogBuilder, CfqError, ItemId, Itemset, Result, TransactionDb,

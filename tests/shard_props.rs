@@ -1,0 +1,245 @@
+//! Property tests for sharded counting (`cfq_mining::shard`) and the
+//! `--shards N` axis end to end:
+//!
+//! * the complete lattice mined through the sharded substrate is
+//!   bit-identical to the unsharded run — for every backend, shard
+//!   count, trim setting, and random row shape — **including** the work
+//!   accounting (scan count, rows/items touched, trim drops),
+//! * optimizer answers are shard-invariant end to end across the
+//!   paper's query shapes and both executors,
+//! * the Partition phase-I local threshold is the floor of the
+//!   proportional support and satisfies the SON pigeonhole bound
+//!   `Σ(tᵢ−1) < s` on arbitrarily uneven shard sizes — while the buggy
+//!   ceil-from-nominal-size variant violates completeness,
+//! * edge cases hold: empty database, support = 1, and a universe
+//!   smaller than the shard count.
+
+use cfq::mining::partition::scaled_local_threshold;
+use cfq::prelude::*;
+use proptest::prelude::*;
+
+fn build_db(rows: &[Vec<u32>], n_items: usize) -> TransactionDb {
+    let rows: Vec<Vec<ItemId>> =
+        rows.iter().map(|r| r.iter().map(|&i| ItemId(i)).collect()).collect();
+    TransactionDb::new(n_items, rows).unwrap()
+}
+
+fn collect(fs: &FrequentSets) -> Vec<(Itemset, u64)> {
+    fs.iter().map(|(s, n)| (s.clone(), n)).collect()
+}
+
+fn mine(db: &TransactionDb, cfg: &AprioriConfig) -> (Vec<(Itemset, u64)>, WorkStats) {
+    let mut stats = WorkStats::new();
+    let fs = apriori(db, cfg, &mut stats);
+    (collect(&fs), stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant: sharded mining is bit-identical to
+    /// unsharded — answers and accounting — for all four backends and
+    /// shard counts 1, 2, 3, 8.
+    #[test]
+    fn sharded_lattices_are_bit_identical_to_unsharded(
+        rows in prop::collection::vec(prop::collection::vec(0u32..10, 0..7), 1..40),
+        mask in 1u16..1023,
+        min_support in 1u64..5,
+        trim_bit in 0u32..2,
+    ) {
+        let db = build_db(&rows, 10);
+        let universe: Vec<ItemId> =
+            (0..10u32).filter(|i| mask & (1 << i) != 0).map(ItemId).collect();
+        for backend in CountingBackend::all() {
+            let base_cfg = AprioriConfig::new(min_support)
+                .with_universe(universe.clone())
+                .with_trim(trim_bit == 1)
+                .with_backend(backend);
+            let (reference, ref_stats) = mine(&db, &base_cfg);
+            for shards in [1usize, 2, 3, 8] {
+                let (got, stats) = mine(&db, &base_cfg.clone().with_shards(shards));
+                prop_assert_eq!(&reference, &got, "{} x{} diverged", backend, shards);
+                prop_assert_eq!(
+                    ref_stats.db_scans, stats.db_scans,
+                    "{} x{} scan count", backend, shards
+                );
+                prop_assert_eq!(
+                    ref_stats.scan.rows_scanned, stats.scan.rows_scanned,
+                    "{} x{} rows scanned", backend, shards
+                );
+                prop_assert_eq!(
+                    ref_stats.scan.items_scanned, stats.scan.items_scanned,
+                    "{} x{} items scanned", backend, shards
+                );
+                prop_assert_eq!(
+                    ref_stats.scan.trim_rows_dropped, stats.scan.trim_rows_dropped,
+                    "{} x{} trim drops", backend, shards
+                );
+                prop_assert_eq!(
+                    ref_stats.support_counted, stats.support_counted,
+                    "{} x{} support counted", backend, shards
+                );
+            }
+        }
+    }
+
+    /// The floored local threshold obeys the SON pigeonhole bound on
+    /// arbitrary uneven splits: `Σᵢ (tᵢ − 1) < s`, so a set that is
+    /// locally infrequent in every shard cannot be globally frequent.
+    /// The ceil-from-nominal-size variant breaks the bound on splits
+    /// with an undersized tail shard.
+    #[test]
+    fn floored_thresholds_are_sound_on_uneven_shards(
+        sizes in prop::collection::vec(1usize..50, 1..10),
+        min_support in 1u64..200,
+    ) {
+        let n: usize = sizes.iter().sum();
+        prop_assume!(min_support <= n as u64);
+        let slack: u64 = sizes
+            .iter()
+            .map(|&ni| scaled_local_threshold(min_support, ni, n) - 1)
+            .sum();
+        prop_assert!(
+            slack < min_support,
+            "sizes {:?}, s={}: slack {} >= s breaks SON completeness",
+            sizes, min_support, slack
+        );
+        // Each floored threshold never exceeds the sound per-size ceil.
+        for &ni in &sizes {
+            let t = scaled_local_threshold(min_support, ni, n);
+            let ceil = (min_support * ni as u64).div_ceil(n as u64).max(1);
+            prop_assert!(t <= ceil, "floor {} above ceil {} for size {}", t, ceil, ni);
+        }
+    }
+
+    /// The regression shape for the partition-threshold bugfix: with a
+    /// deliberately undersized tail shard, the ceil threshold computed
+    /// from the *nominal* uniform shard size can exceed what the tail
+    /// may soundly require — the floored per-size threshold never does.
+    #[test]
+    fn nominal_ceil_overshoots_where_floor_does_not(
+        head in 2usize..40,
+        tail_deficit in 1usize..10,
+        min_support in 2u64..100,
+    ) {
+        let tail = head.saturating_sub(tail_deficit).max(1);
+        let n = head + tail;
+        prop_assume!(min_support <= n as u64);
+        let nominal = n.div_ceil(2);
+        let bad = (min_support * nominal as u64).div_ceil(n as u64).max(1);
+        let good = scaled_local_threshold(min_support, tail, n);
+        // The buggy variant is never more permissive, and the two-shard
+        // pigeonhole bound stays intact only for the floored pair.
+        prop_assert!(good <= bad);
+        let t_head = scaled_local_threshold(min_support, head, n);
+        prop_assert!((t_head - 1) + (good - 1) < min_support);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// End to end: optimizer answers are shard-invariant for the
+    /// paper's query shapes under both executors and all backends.
+    #[test]
+    fn optimizer_answers_are_shard_invariant(
+        prices in prop::collection::vec(1u32..40, 6),
+        types in prop::collection::vec(0u32..3, 6),
+        rows in prop::collection::vec(prop::collection::vec(0u32..6, 0..5), 4..20),
+        min_support in 1u64..4,
+        which in 0usize..4,
+    ) {
+        let queries = [
+            "sum(S.Price) <= sum(T.Price)",
+            "max(S.Price) <= min(T.Price)",
+            "S.Type disjoint T.Type",
+            "avg(S.Price) <= avg(T.Price) & S.Type = T.Type",
+        ];
+        let db = build_db(&rows, 6);
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", prices.iter().map(|&p| p as f64).collect()).unwrap();
+        let labels: Vec<String> =
+            types.iter().map(|&t| ((b'a' + (t % 3) as u8) as char).to_string()).collect();
+        b.cat_attr("Type", &labels).unwrap();
+        let catalog = b.build();
+        let q = bind_query(&parse_query(queries[which]).unwrap(), &catalog).unwrap();
+        for opt in [
+            Optimizer::default(),
+            Optimizer { dovetail: false, ..Optimizer::default() },
+        ] {
+            for backend in CountingBackend::all() {
+                let reference = opt
+                    .evaluate(&q, &QueryEnv::new(&db, &catalog, min_support).with_backend(backend))
+                    .unwrap();
+                for shards in [2usize, 3, 8] {
+                    let env = QueryEnv::new(&db, &catalog, min_support)
+                        .with_backend(backend)
+                        .with_shards(shards);
+                    let got = opt.evaluate(&q, &env).unwrap();
+                    prop_assert_eq!(
+                        &reference.s_sets, &got.s_sets,
+                        "`{}` {} x{}", queries[which], backend, shards
+                    );
+                    prop_assert_eq!(
+                        &reference.t_sets, &got.t_sets,
+                        "`{}` {} x{}", queries[which], backend, shards
+                    );
+                    prop_assert_eq!(&reference.pair_result.pairs, &got.pair_result.pairs);
+                    prop_assert_eq!(reference.pair_result.count, got.pair_result.count);
+                    prop_assert_eq!(&reference.v_histories, &got.v_histories);
+                    prop_assert_eq!(reference.db_scans, got.db_scans);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_database_shards_to_nothing() {
+    let db = TransactionDb::new(5, Vec::<Vec<ItemId>>::new()).unwrap();
+    for backend in CountingBackend::all() {
+        for shards in [1usize, 2, 8] {
+            let cfg = AprioriConfig::new(1).with_backend(backend).with_shards(shards);
+            let mut stats = WorkStats::new();
+            let fs = apriori(&db, &cfg, &mut stats);
+            assert_eq!(fs.total(), 0, "{backend} x{shards}: empty db must mine nothing");
+        }
+    }
+}
+
+#[test]
+fn support_one_keeps_every_candidate_alive_across_shards() {
+    // Support 1 is the worst case for per-shard trimming: every
+    // candidate that occurs anywhere survives, so nothing may be lost
+    // at any shard boundary.
+    let rows: Vec<Vec<u32>> = (0..37u32)
+        .map(|r| (0..6u32).filter(|i| (r + i) % (i + 2) == 0).collect())
+        .collect();
+    let db = build_db(&rows, 6);
+    let (reference, _) = mine(&db, &AprioriConfig::new(1));
+    assert!(!reference.is_empty());
+    for backend in CountingBackend::all() {
+        for shards in [2usize, 5, 16] {
+            let (got, _) =
+                mine(&db, &AprioriConfig::new(1).with_backend(backend).with_shards(shards));
+            assert_eq!(reference, got, "{backend} x{shards} diverged at support=1");
+        }
+    }
+}
+
+#[test]
+fn universe_smaller_than_shard_count_still_agrees() {
+    // 2 live items, 8 requested shards over 5 rows: the shard count
+    // clamps to the row count and the tiny universe must not confuse
+    // per-shard trimming or vertical index builds.
+    let db = build_db(&[vec![0, 1], vec![1, 2], vec![0, 2], vec![2, 3], vec![0, 1]], 4);
+    let universe = vec![ItemId(0), ItemId(1)];
+    for backend in CountingBackend::all() {
+        let base = AprioriConfig::new(1).with_universe(universe.clone()).with_backend(backend);
+        let (reference, _) = mine(&db, &base);
+        for shards in [8usize, 16] {
+            let (got, _) = mine(&db, &base.clone().with_shards(shards));
+            assert_eq!(reference, got, "{backend} x{shards}: tiny universe diverged");
+        }
+    }
+}
