@@ -1,6 +1,11 @@
 //! Minimal argument parsing (no external dependencies): `--key value`
-//! options, `--flag` booleans, and positional arguments.
+//! options, `--flag` booleans, and positional arguments — plus
+//! [`MiningArgs`], the shared `--threads/--trim/--backend/--shards`
+//! surface every mining subcommand (`query`, `mine`, `serve`) parses
+//! exactly once.
 
+use cfq_engine::EngineConfigBuilder;
+use cfq_mining::{AprioriConfig, CountingBackend};
 use cfq_types::{CfqError, Result};
 use std::collections::BTreeMap;
 
@@ -63,6 +68,85 @@ impl Args {
     }
 }
 
+/// The mining-knob flags shared by `cfq query`, `cfq mine`, and
+/// `cfq serve`: `--threads N`, `--trim on|off`,
+/// `--backend horizontal|tidset|bitmap|auto`, `--shards N`. One parse,
+/// one validation, one application per target config — a new knob added
+/// here threads through every subcommand at once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MiningArgs {
+    /// Support-counting threads (0 = all cores).
+    pub threads: usize,
+    /// Per-level database reduction between counting passes.
+    pub trim: bool,
+    /// Support-counting backend.
+    pub backend: CountingBackend,
+    /// Whether `--backend` was given explicitly (commands with their own
+    /// backend default, like `mine --backbone partition`, key off this).
+    pub backend_given: bool,
+    /// Horizontal shard count for counting (1 = unsharded).
+    pub shards: usize,
+}
+
+impl MiningArgs {
+    /// The help lines for the shared flags, so every subcommand's usage
+    /// text stays in sync.
+    pub const HELP: &'static str = "\
+[--threads N]           support-counting threads (0 = all cores)\n\
+[--trim on|off]         per-level database reduction (default on)\n\
+[--backend NAME]        counting backend (horizontal|tidset|bitmap|auto)\n\
+[--shards N]            horizontal shard count for counting (default 1)";
+
+    /// Parses the four shared flags out of `a`. `default_threads` differs
+    /// per subcommand: the one-shot CLI commands default to 0 (all
+    /// cores), `serve` to the engine default (1, for deterministic scan
+    /// accounting across requests).
+    pub fn from_args(a: &Args, default_threads: usize) -> Result<MiningArgs> {
+        let backend_given = a.get("backend").is_some();
+        let backend = match a.get("backend") {
+            None => CountingBackend::Horizontal,
+            Some(name) => CountingBackend::parse(name).ok_or_else(|| {
+                CfqError::Config(format!(
+                    "bad --backend `{name}` (use horizontal|tidset|bitmap|auto)"
+                ))
+            })?,
+        };
+        let trim = match a.get("trim") {
+            None | Some("on") | Some("true") | Some("1") => true,
+            Some("off") | Some("false") | Some("0") => false,
+            Some(other) => {
+                return Err(CfqError::Config(format!("bad --trim `{other}` (use on|off)")))
+            }
+        };
+        let shards = a.num("shards", 1usize)?;
+        if shards == 0 {
+            return Err(CfqError::Config("--shards must be at least 1".into()));
+        }
+        Ok(MiningArgs {
+            threads: a.num("threads", default_threads)?,
+            trim,
+            backend,
+            backend_given,
+            shards,
+        })
+    }
+
+    /// Applies the knobs to an [`EngineConfigBuilder`] — the `serve`
+    /// path, where they become the engine-wide defaults every request
+    /// inherits unless its `QueryRequest` overrides them.
+    pub fn apply_to(&self, b: EngineConfigBuilder) -> EngineConfigBuilder {
+        b.counting_threads(self.threads).trim(self.trim).backend(self.backend).shards(self.shards)
+    }
+
+    /// Applies the knobs to an [`AprioriConfig`] — the `mine` path.
+    pub fn apply_to_apriori(&self, cfg: AprioriConfig) -> AprioriConfig {
+        cfg.with_counting_threads(self.threads)
+            .with_trim(self.trim)
+            .with_backend(self.backend)
+            .with_shards(self.shards)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +184,65 @@ mod tests {
     fn require_reports_missing() {
         let a = parse(&[]);
         assert!(a.require("data").is_err());
+    }
+
+    fn mining(v: &[&str], default_threads: usize) -> Result<MiningArgs> {
+        MiningArgs::from_args(
+            &Args::parse(v.iter().map(|s| s.to_string()), &[]).unwrap(),
+            default_threads,
+        )
+    }
+
+    #[test]
+    fn mining_args_defaults_and_parsing() {
+        let m = mining(&[], 0).unwrap();
+        assert_eq!(
+            m,
+            MiningArgs {
+                threads: 0,
+                trim: true,
+                backend: CountingBackend::Horizontal,
+                backend_given: false,
+                shards: 1,
+            }
+        );
+        // The per-subcommand thread default threads through.
+        assert_eq!(mining(&[], 1).unwrap().threads, 1);
+
+        let m = mining(
+            &["--threads", "4", "--trim", "off", "--backend", "bitmap", "--shards", "3"],
+            0,
+        )
+        .unwrap();
+        assert_eq!(m.threads, 4);
+        assert!(!m.trim);
+        assert_eq!(m.backend, CountingBackend::Bitmap);
+        assert!(m.backend_given);
+        assert_eq!(m.shards, 3);
+    }
+
+    #[test]
+    fn mining_args_rejects_bad_values() {
+        assert!(mining(&["--trim", "sideways"], 0).is_err());
+        assert!(mining(&["--backend", "diagonal"], 0).is_err());
+        assert!(mining(&["--shards", "0"], 0).is_err());
+        assert!(mining(&["--threads", "many"], 0).is_err());
+    }
+
+    #[test]
+    fn mining_args_apply_to_engine_builder_and_apriori() {
+        let m = mining(&["--threads", "2", "--trim", "off", "--backend", "auto", "--shards", "2"], 0)
+            .unwrap();
+        let cfg = m.apply_to(cfq_engine::EngineConfig::builder()).build();
+        assert_eq!(cfg.counting_threads, 2);
+        assert!(!cfg.trim);
+        assert_eq!(cfg.backend, CountingBackend::Auto);
+        assert_eq!(cfg.shards, 2);
+
+        let apriori = m.apply_to_apriori(AprioriConfig::new(5));
+        assert_eq!(apriori.counting_threads, 2);
+        assert!(!apriori.trim);
+        assert_eq!(apriori.backend, CountingBackend::Auto);
+        assert_eq!(apriori.shards, 2);
     }
 }

@@ -1,12 +1,12 @@
 //! The CLI subcommands.
 
-use crate::args::Args;
+use crate::args::{Args, MiningArgs};
 use cfq_audit::{AuditReport, Auditor};
 use cfq_constraints::{bind_dnf, parse_dnf};
 use cfq_core::{form_rules, Optimizer, QueryEnv, RuleConfig};
 use cfq_datagen::{generate_transactions, io, QuestConfig};
 use cfq_mining::{
-    apriori, fp_growth, partition_mine, AprioriConfig, CountingBackend, FpGrowthConfig,
+    apriori, fp_growth, partition_mine, AprioriConfig, FpGrowthConfig,
     FrequentSets, PartitionConfig, WorkStats,
 };
 use cfq_types::{Catalog, CatalogBuilder, CfqError, Result, TransactionDb};
@@ -110,9 +110,8 @@ pub fn query(argv: Vec<String>) -> Result<()> {
             "cfq query --data FILE --catalog FILE \"CONSTRAINTS\"\n\
              [--min-support FRAC|--abs-support N] [--strategy full|cap1|apriori+]\n\
              [--explain] [--audit] [--limit N] [--rules] [--min-confidence F]\n\
-             [--threads N (default 0 = all cores)] [--trim on|off]\n\
-             [--backend horizontal|tidset|bitmap|auto] [--shards N (default 1)]\n\
-             [--out pairs.csv]"
+             [--out pairs.csv]\n{}",
+            MiningArgs::HELP
         );
         return Ok(());
     }
@@ -143,11 +142,12 @@ pub fn query(argv: Vec<String>) -> Result<()> {
 
     // The CLI defaults to all cores (0); the library default stays 1 so
     // programmatic runs are deterministic in their work accounting.
+    let mining = MiningArgs::from_args(&a, 0)?;
     let env = QueryEnv::new(&db, &catalog, min_support)
-        .with_counting_threads(a.num("threads", 0usize)?)
-        .with_trim(parse_on_off(a.get("trim"), "trim")?)
-        .with_backend(parse_backend(a.get("backend"))?)
-        .with_shards(a.num("shards", 1usize)?);
+        .with_counting_threads(mining.threads)
+        .with_trim(mining.trim)
+        .with_backend(mining.backend)
+        .with_shards(mining.shards);
     if a.flag("explain") {
         for (i, bound) in disjuncts.iter().enumerate() {
             if disjuncts.len() > 1 {
@@ -266,9 +266,8 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
         println!(
             "cfq mine --data FILE [--min-support FRAC|--abs-support N]\n\
              [--backbone apriori|fpgrowth|partition] [--limit N] [--maximal] [--closed]\n\
-             [--threads N (default 0 = all cores; apriori only)] [--trim on|off]\n\
-             [--backend horizontal|tidset|bitmap|auto] [--shards N (apriori only)]\n\
-             [--audit]"
+             [--audit]\n{}",
+            MiningArgs::HELP
         );
         return Ok(());
     }
@@ -289,20 +288,16 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
         }
     };
     let backbone = a.get("backbone").unwrap_or("fpgrowth");
-    let backend = parse_backend(a.get("backend"))?;
+    let mining = MiningArgs::from_args(&a, 0)?;
     let mut stats = WorkStats::new();
     let start = std::time::Instant::now();
     let fs: FrequentSets = match backbone {
         "apriori" => {
-            let cfg = AprioriConfig::new(min_support)
-                .with_counting_threads(a.num("threads", 0usize)?)
-                .with_trim(parse_on_off(a.get("trim"), "trim")?)
-                .with_backend(backend)
-                .with_shards(a.num("shards", 1usize)?);
+            let cfg = mining.apply_to_apriori(AprioriConfig::new(min_support));
             apriori(&db, &cfg, &mut stats)
         }
         "fpgrowth" | "fp-growth" => {
-            let cfg = FpGrowthConfig { backend, ..FpGrowthConfig::new(min_support) };
+            let cfg = FpGrowthConfig { backend: mining.backend, ..FpGrowthConfig::new(min_support) };
             fp_growth(&db, &cfg, &mut stats)
         }
         "partition" => {
@@ -312,10 +307,11 @@ pub fn mine(argv: Vec<String>) -> Result<()> {
                 // `Auto` (the PartitionConfig default) resolves to bitmaps
                 // in one place inside the partition module; an explicit
                 // --backend overrides it.
-                backend: a
-                    .get("backend")
-                    .map(|_| backend)
-                    .unwrap_or(PartitionConfig::default().backend),
+                backend: if mining.backend_given {
+                    mining.backend
+                } else {
+                    PartitionConfig::default().backend
+                },
                 ..PartitionConfig::default()
             };
             partition_mine(&db, &cfg, &mut stats)
@@ -410,27 +406,6 @@ pub(crate) fn parse_strategy(value: Option<&str>) -> Result<Optimizer> {
     let name = value.unwrap_or("full");
     Optimizer::from_name(name)
         .ok_or_else(|| CfqError::Config(format!("unknown strategy `{name}`")))
-}
-
-/// Parses a `--backend` option value; absent means horizontal counting.
-pub(crate) fn parse_backend(value: Option<&str>) -> Result<CountingBackend> {
-    match value {
-        None => Ok(CountingBackend::Horizontal),
-        Some(name) => CountingBackend::parse(name).ok_or_else(|| {
-            CfqError::Config(format!(
-                "bad --backend `{name}` (use horizontal|tidset|bitmap|auto)"
-            ))
-        }),
-    }
-}
-
-/// Parses an `on`/`off` option value; absent means `on`.
-fn parse_on_off(value: Option<&str>, name: &str) -> Result<bool> {
-    match value {
-        None | Some("on") | Some("true") | Some("1") => Ok(true),
-        Some("off") | Some("false") | Some("0") => Ok(false),
-        Some(other) => Err(CfqError::Config(format!("bad --{name} `{other}` (use on|off)"))),
-    }
 }
 
 /// A tiny self-contained PCG32 random generator so the CLI crate does not

@@ -31,7 +31,8 @@
 //!   provenance, and level-by-level timings.
 
 use crate::args::Args;
-use crate::commands::{load, parse_backend, parse_strategy, wants_help};
+use crate::args::MiningArgs;
+use crate::commands::{load, parse_strategy, wants_help};
 use cfq_core::Optimizer;
 use cfq_datagen::io;
 use cfq_engine::wal::WalTailer;
@@ -48,8 +49,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const PROTOCOL_HELP: &str = "\
-enter a CFQ conjunction to run it, a v1 JSON envelope, or a control command.
-v1 envelope (one JSON object per line; the preferred machine protocol):
+the machine protocol is the v1 JSON envelope: one JSON object per line,
+one JSON reply per line. A CFQ conjunction typed bare still runs as a
+query, and `:`-prefixed operator commands remain for humans.
+v1 envelope:
   {\"v\":1,\"cmd\":\"query\",\"req\":{...}}   run a QueryRequest
   {\"v\":1,\"cmd\":\"metrics\"}             Prometheus text dump
   {\"v\":1,\"cmd\":\"slowlog\"}             recent slow queries
@@ -58,20 +61,22 @@ v1 envelope (one JSON object per line; the preferred machine protocol):
   replies are {\"v\":1,\"result\":...} or
   {\"v\":1,\"error\":{\"kind\":\"...\",\"message\":\"...\"}}; unknown versions
   are rejected with kind \"unsupported_version\".
-control commands:
-  :json REQUEST      run a JSON QueryRequest (deprecated: use the v1 envelope)
+operator commands:
   :explain QUERY     show the plan and predicted cache provenance
   :append FILE       append a transaction file as a new epoch (FUP upgrade;
                      WAL-logged and fsynced before the ack under --wal-dir)
   :support FRAC      set the minimum support fraction in (0, 1] (default 0.01)
   :strategy NAME     set the planning strategy (full|cap1|apriori+)
   :stats             show cache counters and epoch
-  :metrics           dump the metrics registry (deprecated: use the v1 envelope)
-  :slowlog           show recent slow queries (deprecated: use the v1 envelope)
   :wal-status        one-line durability status (mode, WAL/snapshot counters)
   :snapshot          write a snapshot now and rotate the WAL
   :help              this message
   :quit              leave
+legacy commands (answered only under `cfq serve --legacy-protocol`, and
+in `cfq repl`; otherwise rejected with kind \"unsupported_command\"):
+  :json REQUEST      run a JSON QueryRequest (use the envelope `query` cmd)
+  :metrics           dump the metrics registry (use the envelope `metrics` cmd)
+  :slowlog           show recent slow queries (use the envelope `slowlog` cmd)
 replies: a saturated engine answers `overloaded: ...` (plain queries) or
 a JSON error object with \"overloaded\":true (envelope and :json); back
 off and retry.";
@@ -364,18 +369,32 @@ pub struct ReplState {
     strategy_name: String,
     metrics: Arc<ServerMetrics>,
     slow: Arc<SlowLog>,
+    /// Whether the deprecated `:json`/`:metrics`/`:slowlog` line commands
+    /// are answered. Off for served connections unless the server was
+    /// started with `--legacy-protocol`; the interactive REPL keeps them.
+    legacy_protocol: bool,
 }
 
 impl ReplState {
     /// Fresh state with the CLI defaults (1% support, full optimizer)
-    /// and its own metrics registry / slow log — what the REPL and tests
-    /// use.
+    /// and its own metrics registry / slow log — what the interactive
+    /// REPL uses. Legacy line commands stay available here: deprecation
+    /// targets wire clients, not a human at a prompt.
     pub fn new(engine: Arc<Engine>) -> ReplState {
         ReplState::with_observability(
             engine,
             ServerMetrics::new(),
             Arc::new(SlowLog::new(Duration::from_millis(500), 64)),
         )
+        .with_legacy_protocol(true)
+    }
+
+    /// Sets whether the deprecated `:json`/`:metrics`/`:slowlog` line
+    /// commands are answered (versus a typed `unsupported_command`
+    /// rejection pointing at the v1 envelope).
+    pub fn with_legacy_protocol(mut self, on: bool) -> ReplState {
+        self.legacy_protocol = on;
+        self
     }
 
     /// State sharing a server-wide metrics registry and slow log, with
@@ -405,6 +424,7 @@ impl ReplState {
             strategy_name: "full".to_string(),
             metrics,
             slow,
+            legacy_protocol: false,
         }
     }
 }
@@ -442,12 +462,43 @@ pub fn handle_line(state: &mut ReplState, line: &str) -> Option<String> {
     }))
 }
 
+/// The typed rejection a gated legacy command gets: one JSON object with
+/// `"kind":"unsupported_command"` pointing the client at the envelope
+/// form (and at `--legacy-protocol` for the transition period). JSON
+/// even for the text commands, so wire clients never parse prose.
+fn legacy_gated(cmd: &str, envelope_cmd: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_escaped(
+        &mut out,
+        &format!(
+            ":{cmd} is a legacy command; send {{\"v\":1,\"cmd\":\"{envelope_cmd}\"{}}} \
+             instead, or start the server with --legacy-protocol",
+            if envelope_cmd == "query" { ",\"req\":{...}" } else { "" },
+        ),
+    );
+    out.push_str(",\"kind\":\"unsupported_command\"}");
+    out
+}
+
 fn dispatch(state: &mut ReplState, line: &str) -> Result<String> {
     if let Some(rest) = line.strip_prefix(':') {
         let (cmd, arg) = match rest.split_once(char::is_whitespace) {
             Some((c, a)) => (c, a.trim()),
             None => (rest, ""),
         };
+        // The deprecated pre-envelope commands are answered only when
+        // legacy mode is on; everything else (`:stats`, `:append`, ...)
+        // is operator surface, not a machine protocol, and stays.
+        if !state.legacy_protocol {
+            if let Some(envelope_cmd) = match cmd {
+                "json" => Some("query"),
+                "metrics" => Some("metrics"),
+                "slowlog" => Some("slowlog"),
+                _ => None,
+            } {
+                return Ok(legacy_gated(cmd, envelope_cmd));
+            }
+        }
         return match cmd {
             "help" => Ok(PROTOCOL_HELP.to_string()),
             "json" => Ok(run_json(state, arg)),
@@ -807,12 +858,13 @@ pub fn repl_loop<R: BufRead, W: Write>(
 fn build_engine(a: &Args) -> Result<Arc<Engine>> {
     let (db, catalog) = load(a)?;
     let defaults = EngineConfig::default();
-    let mut builder = EngineConfig::builder()
-        .max_inflight_queries(a.num("max-inflight", defaults.max_inflight_queries)?)
-        .max_queued_queries(a.num("queue-depth", defaults.max_queued_queries)?)
-        .batch_window_ms(a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?)
-        .backend(parse_backend(a.get("backend"))?)
-        .shards(a.num("shards", defaults.shards)?);
+    let mining = MiningArgs::from_args(a, defaults.counting_threads)?;
+    let mut builder = mining.apply_to(
+        EngineConfig::builder()
+            .max_inflight_queries(a.num("max-inflight", defaults.max_inflight_queries)?)
+            .max_queued_queries(a.num("queue-depth", defaults.max_queued_queries)?)
+            .batch_window_ms(a.num("batch-window-ms", defaults.batch_window.as_millis() as u64)?),
+    );
     match (a.get("wal-dir"), a.get("follow")) {
         (Some(_), Some(_)) => {
             return Err(CfqError::Config(
@@ -945,6 +997,10 @@ pub struct ServeOptions {
     pub metrics: Arc<ServerMetrics>,
     /// The server's slow-query log.
     pub slow: Arc<SlowLog>,
+    /// Answer the deprecated `:json`/`:metrics`/`:slowlog` line commands
+    /// (`--legacy-protocol`). Off by default: the v1 envelope is the
+    /// wire protocol.
+    pub legacy_protocol: bool,
 }
 
 impl Default for ServeOptions {
@@ -956,6 +1012,7 @@ impl Default for ServeOptions {
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: ServerMetrics::new(),
             slow: Arc::new(SlowLog::new(Duration::from_millis(500), 64)),
+            legacy_protocol: false,
         }
     }
 }
@@ -1082,8 +1139,12 @@ pub fn serve_connections(
                     // Accepted sockets must block again (some platforms
                     // inherit the listener's non-blocking flag) and honor
                     // the idle timeout both ways so a stalled client
-                    // cannot pin a worker on read *or* write.
+                    // cannot pin a worker on read *or* write. Nagle is
+                    // off: replies are single short lines, and letting
+                    // them sit out a delayed ACK puts a ~40ms floor
+                    // under every request-reply round trip.
                     let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
                     let _ = stream.set_read_timeout(opts.read_timeout);
                     let _ = stream.set_write_timeout(opts.read_timeout);
                     let conn_id = next_conn_id.fetch_add(1, Ordering::Relaxed);
@@ -1095,10 +1156,11 @@ pub fn serve_connections(
                     let metrics = Arc::clone(&opts.metrics);
                     let slow = Arc::clone(&opts.slow);
                     let live = Arc::clone(&live);
+                    let legacy = opts.legacy_protocol;
                     handles.push(std::thread::spawn(move || {
                         let _conn = obs::span(obs::Level::Info, "serve.conn").u64("id", conn_id);
-                        let mut state =
-                            ReplState::with_pool(pool, Arc::clone(&metrics), slow);
+                        let mut state = ReplState::with_pool(pool, Arc::clone(&metrics), slow)
+                            .with_legacy_protocol(legacy);
                         let end = serve_client(&mut state, stream, conn_id);
                         live.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
                         metrics.connections_open.add(-1);
@@ -1206,6 +1268,9 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
              [--queue-depth N]       admission queue beyond the in-flight cap (default 1024, 0 = unlimited)\n\
              [--batch-window-ms MS]  cold-mining batch window (default 2, 0 = single-flight only)\n\
              [--read-timeout SECS]   idle client timeout (default 300, 0 = none)\n\
+             [--legacy-protocol]     answer the deprecated :json/:metrics/:slowlog line commands\n\
+             [--threads N]           default support-counting threads (0 = all cores; default 1)\n\
+             [--trim on|off]         default per-level database reduction (default on)\n\
              [--backend NAME]        default counting backend (horizontal|tidset|bitmap|auto)\n\
              [--shards N]            default horizontal shard count for counting (default 1)\n\
              [--wal-dir DIR]         durable mode: WAL + snapshots in DIR, warm restart on boot\n\
@@ -1218,12 +1283,18 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
         );
         return Ok(());
     }
-    let a = Args::parse(argv, &[])?;
+    let a = Args::parse(argv, &["legacy-protocol"])?;
     install_tracing(&a)?;
     let engine = build_engine(&a)?;
     let addr = a.get("listen").unwrap_or("127.0.0.1:7878");
     let listener = TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
+    let legacy_protocol = a.flag("legacy-protocol");
+    if legacy_protocol {
+        println!("protocol: v1 envelope + legacy line commands (--legacy-protocol)");
+    } else {
+        println!("protocol: v1 envelope (legacy :json/:metrics/:slowlog disabled)");
+    }
 
     let read_timeout_secs: f64 = a.num("read-timeout", 300.0f64)?;
     if read_timeout_secs < 0.0 {
@@ -1237,6 +1308,7 @@ pub fn serve(argv: Vec<String>) -> Result<()> {
             Duration::from_millis(a.num("slow-ms", 500u64)?),
             64,
         )),
+        legacy_protocol,
         ..ServeOptions::default()
     };
 
@@ -1532,7 +1604,8 @@ mod tests {
             engine(),
             ServerMetrics::new(),
             Arc::new(SlowLog::new(Duration::ZERO, 8)),
-        );
+        )
+        .with_legacy_protocol(true);
         handle_line(&mut state, ":support 0.25").unwrap();
         handle_line(&mut state, Q).unwrap();
         let text = handle_line(&mut state, ":slowlog").unwrap();
@@ -1668,9 +1741,10 @@ mod tests {
         });
 
         // The healthy client still works and the scrape reflects all four
-        // outcomes.
+        // outcomes. Served connections speak the envelope (no legacy
+        // `:metrics` without --legacy-protocol).
         pump(&mut healthy, &mut healthy_rd);
-        write!(healthy, ":metrics\n:quit\n").unwrap();
+        write!(healthy, "{{\"v\":1,\"cmd\":\"metrics\"}}\n:quit\n").unwrap();
         let mut scrape = String::new();
         healthy_rd.read_to_string(&mut scrape).unwrap();
         for needle in [
@@ -1688,6 +1762,100 @@ mod tests {
         assert!(healthy_queries >= 3, "healthy client answered throughout");
 
         server.join().unwrap().unwrap();
+    }
+
+    /// Envelope clients pushed past `--max-inflight` must see *only*
+    /// well-formed v1 envelopes back: a result, or a typed error object
+    /// with kind `overloaded` and the `"overloaded":true` back-off flag.
+    /// No prose, no half-written lines, no unknown kinds.
+    #[test]
+    fn overload_rejections_over_tcp_are_typed_envelopes() {
+        let mut b = CatalogBuilder::new(6);
+        b.num_attr("Price", vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        let db = TransactionDb::from_u32(
+            6,
+            &[&[0, 1, 2, 3], &[0, 1, 2], &[1, 2, 3, 4], &[0, 2, 4], &[0, 1, 3, 5], &[2, 3, 4, 5]],
+        );
+        // One query executes at a time, one may queue, and a cold leader
+        // holds its admission slot for the whole 150ms batch window — so
+        // concurrent cold queries (distinct supports = distinct cache
+        // keys) are guaranteed to pile up past the gate.
+        let config = EngineConfig::builder()
+            .max_inflight_queries(1)
+            .max_queued_queries(1)
+            .batch_window_ms(150)
+            .build();
+        let eng = Engine::with_config(db, b.build(), config).unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        const CLIENTS: usize = 6;
+        let opts = ServeOptions { max_conns: Some(CLIENTS), ..ServeOptions::default() };
+        let server = std::thread::spawn(move || serve_connections(listener, eng, opts));
+
+        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    let mut rd = BufReader::new(conn.try_clone().unwrap());
+                    let mut replies = Vec::new();
+                    barrier.wait();
+                    for i in 0..3 {
+                        // Unique support per request: every query is a
+                        // cold cache miss that really mines.
+                        let frac = 0.02 + 0.01 * (c * 3 + i) as f64;
+                        writeln!(
+                            conn,
+                            "{{\"v\":1,\"cmd\":\"query\",\"req\":{{\"query\":\"{Q}\",\
+                             \"support\":{{\"frac\":{frac}}}}}}}"
+                        )
+                        .unwrap();
+                        let mut reply = String::new();
+                        rd.read_line(&mut reply).unwrap();
+                        replies.push(reply);
+                    }
+                    writeln!(conn, ":quit").unwrap();
+                    replies
+                })
+            })
+            .collect();
+        let replies: Vec<String> =
+            workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+        server.join().unwrap().unwrap();
+
+        let mut ok = 0usize;
+        let mut overloaded = 0usize;
+        for reply in &replies {
+            let v = json::parse(reply)
+                .unwrap_or_else(|e| panic!("non-JSON reply: {reply} ({e})"));
+            assert_eq!(v.get("v").unwrap().as_u64(), Some(1), "{reply}");
+            match (v.get("result"), v.get("error")) {
+                (Some(result), None) => {
+                    assert!(result.get("pair_count").unwrap().as_u64().is_some(), "{reply}");
+                    ok += 1;
+                }
+                (None, Some(err)) => {
+                    // The *only* acceptable error under pure overload.
+                    assert_eq!(
+                        err.get("kind").unwrap().as_str(),
+                        Some("overloaded"),
+                        "{reply}"
+                    );
+                    assert_eq!(err.get("overloaded").unwrap().as_bool(), Some(true), "{reply}");
+                    assert!(
+                        err.get("message").unwrap().as_str().unwrap().starts_with("overloaded:"),
+                        "{reply}"
+                    );
+                    overloaded += 1;
+                }
+                _ => panic!("reply is neither result nor error envelope: {reply}"),
+            }
+        }
+        assert_eq!(ok + overloaded, CLIENTS * 3);
+        assert!(ok >= 1, "at least the first leader must answer");
+        assert!(overloaded >= 1, "the gate must have rejected someone");
     }
 
     #[test]
@@ -1831,6 +1999,41 @@ mod tests {
         let v = json::parse(&obj).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("overloaded"));
         assert_eq!(v.get("overloaded").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn legacy_commands_are_gated_behind_the_flag() {
+        // Default served-connection state: envelope only. Every gated
+        // command answers with one typed JSON object, never prose, and
+        // names both the envelope replacement and the escape hatch.
+        let mut state = ReplState::new(engine()).with_legacy_protocol(false);
+        for (line, replacement) in [
+            (":json {\"query\": \"count(S) >= 1\"}", "\"cmd\":\"query\""),
+            (":metrics", "\"cmd\":\"metrics\""),
+            (":slowlog", "\"cmd\":\"slowlog\""),
+        ] {
+            let reply = handle_line(&mut state, line).unwrap();
+            let v = json::parse(&reply)
+                .unwrap_or_else(|e| panic!("non-JSON rejection for `{line}`: {reply} ({e})"));
+            assert_eq!(
+                v.get("kind").unwrap().as_str(),
+                Some("unsupported_command"),
+                "`{line}` -> {reply}"
+            );
+            let msg = v.get("error").unwrap().as_str().unwrap();
+            assert!(msg.contains(replacement), "`{line}` -> {reply}");
+            assert!(msg.contains("--legacy-protocol"), "`{line}` -> {reply}");
+        }
+        // Everything else still answers: operator commands, bare
+        // queries, and the whole envelope surface.
+        assert!(handle_line(&mut state, ":stats").unwrap().contains("epoch 0"));
+        let scrape = handle_line(&mut state, "{\"v\":1,\"cmd\":\"metrics\"}").unwrap();
+        assert!(scrape.contains("cfq_queries_total"), "{scrape}");
+
+        // The flag restores the old surface.
+        let mut state = ReplState::new(engine()).with_legacy_protocol(true);
+        let text = handle_line(&mut state, ":metrics").unwrap();
+        assert!(text.starts_with("# "), "{text}");
     }
 
     #[test]

@@ -63,6 +63,44 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize
     }
 }
 
+/// A Zipf(θ) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k+1)^theta`. `theta = 0` is uniform;
+/// larger values skew mass onto the lowest ranks — the shape of real
+/// query traffic, where a few hot supports/universes dominate and a long
+/// tail of rare ones keeps caches honest.
+///
+/// The cumulative table is precomputed once, so sampling is a binary
+/// search: build it outside hot loops.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the cumulative weights for `n` ranks at skew `theta`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "Zipf skew must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        weighted_index(rng, &self.cumulative)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,40 @@ impl QueryRequest {
         }
     }
 
+    /// Validates every field whose legal range is known without touching
+    /// the database, returning a typed [`CfqError::Config`] naming the
+    /// offending field. Both entry points call this — `Session::execute`
+    /// before taking an admission slot, and the v1 wire envelope right
+    /// after decoding `req` — so a bad request is rejected identically
+    /// whether it arrives through the builder or off the wire. (Unknown
+    /// backend/strategy *names* never reach this point: they fail JSON
+    /// decoding with a [`CfqError::Parse`], and the typed fields cannot
+    /// hold an invalid variant.)
+    pub fn validate(&self) -> Result<()> {
+        if self.query.trim().is_empty() {
+            return Err(CfqError::Config("`query` must be a non-empty CFQ conjunction".into()));
+        }
+        match self.support {
+            SupportSpec::Frac(f) if !(f > 0.0 && f <= 1.0) => {
+                return Err(CfqError::Config(format!(
+                    "support fraction {f} is outside (0, 1]"
+                )));
+            }
+            SupportSpec::Abs(s, t) if s == 0 || t == 0 => {
+                return Err(CfqError::Config(
+                    "absolute minimum support must be at least 1".into(),
+                ));
+            }
+            _ => {}
+        }
+        if self.shards == Some(0) {
+            return Err(CfqError::Config(
+                "`shards` must be at least 1 (omit it for the engine default)".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Renders the request as one line of JSON. Named strategy families
     /// serialize as their name; hand-rolled flag sets as a bool object.
     pub fn to_json(&self) -> String {
@@ -504,6 +538,32 @@ mod tests {
         }
         let dflt = QueryRequest::from_json(r#"{"query":"q","backend":null}"#).unwrap();
         assert_eq!(dflt.backend, None);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields_with_typed_errors() {
+        let ok = QueryRequest::new("count(S) >= 1");
+        assert!(ok.validate().is_ok());
+
+        let mut req = ok.clone();
+        req.support = SupportSpec::Frac(0.0);
+        let err = req.validate().unwrap_err();
+        assert!(matches!(err, CfqError::Config(_)), "{err}");
+        assert_eq!(err.to_string(), "configuration error: support fraction 0 is outside (0, 1]");
+        req.support = SupportSpec::Frac(1.5);
+        assert!(req.validate().is_err());
+        req.support = SupportSpec::Abs(0, 3);
+        assert!(matches!(req.validate().unwrap_err(), CfqError::Config(_)));
+
+        let mut req = ok.clone();
+        req.shards = Some(0);
+        let err = req.validate().unwrap_err();
+        assert!(err.to_string().contains("shards"), "{err}");
+        req.shards = Some(1);
+        assert!(req.validate().is_ok());
+
+        let empty = QueryRequest::new("   ");
+        assert!(matches!(empty.validate().unwrap_err(), CfqError::Config(_)));
     }
 
     #[test]

@@ -250,6 +250,7 @@ fn full_universe(req: &QueryRequest, var: Var, catalog: &Catalog) -> Vec<ItemId>
 
 /// Plans `req` and renders the EXPLAIN text with predicted provenance.
 pub(crate) fn explain(engine: &Arc<Engine>, req: &QueryRequest) -> Result<String> {
+    req.validate()?;
     let snap = engine.snapshot();
     let bound = bind_query(&parse_query(&req.query)?, &snap.catalog)?;
     let (plan, plan_cached) = engine
@@ -277,6 +278,8 @@ pub(crate) fn explain(engine: &Arc<Engine>, req: &QueryRequest) -> Result<String
 /// Executes `req` against `engine`: admission, snapshot, plan, both
 /// sides cache-first, final pair formation.
 pub(crate) fn execute(engine: &Arc<Engine>, req: &QueryRequest) -> Result<QueryOutcome> {
+    // A request that can never run must not consume an admission slot.
+    req.validate()?;
     // Admission covers the whole execution, including the bypass path —
     // every query holds exactly one slot while it runs.
     let permit = engine.admit()?;

@@ -149,6 +149,13 @@ pub fn parse_envelope(line: &str) -> Result<WireCmd, WireError> {
                 kind: error_kind(&e),
                 message: e.to_string(),
             })?;
+            // Reject out-of-range field values here, at decode time, so a
+            // bad request never reaches the scheduler — same typed errors
+            // the builder path gets from `Session::execute`.
+            req.validate().map_err(|e| WireError {
+                kind: error_kind(&e),
+                message: e.to_string(),
+            })?;
             Ok(WireCmd::Query(req))
         }
         "metrics" => Ok(WireCmd::Metrics),
@@ -203,6 +210,8 @@ mod tests {
             (r#"{"v":1,"cmd":"reboot"}"#, "unknown_command"),
             (r#"{"v":1,"cmd":"query"}"#, "protocol"),
             (r#"{"v":1,"cmd":"query","req":{"quary":"q"}}"#, "parse"),
+            (r#"{"v":1,"cmd":"query","req":{"query":"q","support":{"frac":0}}}"#, "config"),
+            (r#"{"v":1,"cmd":"query","req":{"query":"q","shards":0}}"#, "config"),
             (r#"{"v":1,"cmd":"status","extra":true}"#, "protocol"),
         ] {
             let err = parse_envelope(line).unwrap_err();

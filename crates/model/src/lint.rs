@@ -89,6 +89,18 @@ pub const SHARD_METRICS: &[(&str, &str)] = &[
     ("cfq_mining_shard_merges_total", "counter"),
 ];
 
+/// The closed catalog of load-generator client metric families,
+/// enforced the same way as [`DURABILITY_METRICS`]: the `cfq_loadgen_*`
+/// surface is what `BENCH_loadgen.json` and the CI loadgen stage are
+/// derived from, so new families are a deliberate edit to this table.
+pub const LOADGEN_METRICS: &[(&str, &str)] = &[
+    ("cfq_loadgen_requests_total", "counter"),
+    ("cfq_loadgen_overloaded_total", "counter"),
+    ("cfq_loadgen_request_errors_total", "counter"),
+    ("cfq_loadgen_protocol_errors_total", "counter"),
+    ("cfq_loadgen_latency_seconds", "histogram"),
+];
+
 /// One metric registration site, collected for the cross-file
 /// exactly-once check.
 #[derive(Clone, Debug)]
@@ -627,6 +639,27 @@ pub fn lint_source(path: &str, class: FileClass, src: &str) -> (Vec<Finding>, Ve
                         )),
                         Some(_) => {}
                     }
+                } else if name.starts_with("cfq_loadgen_") {
+                    match LOADGEN_METRICS.iter().find(|(n, _)| *n == name) {
+                        None => findings.push(finding(
+                            t.line,
+                            "loadgen-metric",
+                            format!(
+                                "loadgen metric `{name}` is not in the catalog — add it \
+                                 to LOADGEN_METRICS (lint.rs) or fix the name"
+                            ),
+                        )),
+                        Some((_, kind)) if !t.text.starts_with(kind) => findings.push(finding(
+                            t.line,
+                            "loadgen-metric",
+                            format!(
+                                "loadgen metric `{name}` must be registered as a {kind}, \
+                                 not `{}`",
+                                t.text
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
                 }
                 metrics.push(MetricReg {
                     name,
@@ -978,6 +1011,34 @@ mod tests {
         // Known name, wrong instrument: the level counter is not a gauge.
         assert!(
             hits.iter().any(|x| x.message.contains("cfq_mining_shard_levels_total")
+                && x.message.contains("counter")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn loadgen_metrics_come_from_the_catalog() {
+        let src = r#"
+            fn wire(r: &obs::Registry) {
+                r.counter("cfq_loadgen_requests_total", "d");
+                r.histogram("cfq_loadgen_latency_seconds", "d", &bounds);
+                r.counter("cfq_loadgen_retries_total", "d");
+                r.gauge("cfq_loadgen_requests_total", "d");
+            }
+        "#;
+        let (f, m) = lint_source("crates/loadgen/src/driver.rs", FileClass::Normal, src);
+        assert_eq!(m.len(), 4);
+        let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == "loadgen-metric").collect();
+        assert_eq!(hits.len(), 2, "{f:?}");
+        // Unknown family name: points at the catalog.
+        assert!(
+            hits.iter().any(|x| x.message.contains("cfq_loadgen_retries_total")
+                && x.message.contains("LOADGEN_METRICS")),
+            "{hits:?}"
+        );
+        // Known name, wrong instrument: the request counter is not a gauge.
+        assert!(
+            hits.iter().any(|x| x.message.contains("cfq_loadgen_requests_total")
                 && x.message.contains("counter")),
             "{hits:?}"
         );

@@ -136,8 +136,11 @@ t1=$(date +%s%N)
 printf '%s\n' "$FIG8A" >&3
 read -r WARM_REPLY <&3
 t2=$(date +%s%N)
-printf ':metrics\n:quit\n' >&3
-SCRAPE="$(cat <&3)"
+# In-band metrics are envelope-only now (`:metrics` is gated behind
+# --legacy-protocol): ask through the v1 envelope, then pull the full
+# Prometheus text from the HTTP scrape listener for parsing.
+printf '{"v":1,"cmd":"metrics"}\n:quit\n' >&3
+METRICS_ENVELOPE="$(head -1 <&3)"
 exec 3<&- 3>&-
 COLD_MS=$(( (t1 - t0) / 1000000 ))
 WARM_MS=$(( (t2 - t1) / 1000000 ))
@@ -147,20 +150,21 @@ echo "  warm: $WARM_REPLY"
 echo "$COLD_REPLY" | grep -q 'valid pairs' || { echo "cold fig8a query failed"; exit 1; }
 echo "$WARM_REPLY" | grep -q '| 0 db scans |' \
   || { echo "warm fig8a run was not answered from the cache"; exit 1; }
+echo "$METRICS_ENVELOPE" | grep -q '"v":1' \
+  || { echo "envelope metrics reply malformed: $METRICS_ENVELOPE"; exit 1; }
+echo "$METRICS_ENVELOPE" | grep -q 'cfq_queries_total' \
+  || { echo "envelope metrics missing counters: $METRICS_ENVELOPE"; exit 1; }
+
+exec 4<>"/dev/tcp/127.0.0.1/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+SCRAPE="$(cat <&4)"
+exec 4<&- 4>&-
+echo "$SCRAPE" | grep -q '200 OK' || { echo "metrics listener did not answer"; exit 1; }
 echo "$SCRAPE" | grep -q '^cfq_queries_total 2$' \
   || { echo "metrics disagree: expected cfq_queries_total 2"; echo "$SCRAPE"; exit 1; }
 LATTICE_HITS="$(echo "$SCRAPE" | sed -n 's/^cfq_lattice_hits_total \([0-9][0-9]*\)$/\1/p')"
 [ "${LATTICE_HITS:-0}" -ge 1 ] \
   || { echo "metrics disagree: expected cfq_lattice_hits_total >= 1"; echo "$SCRAPE"; exit 1; }
-
-# The same registry must be reachable over the HTTP scrape listener.
-exec 4<>"/dev/tcp/127.0.0.1/$MPORT"
-printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
-HTTP_SCRAPE="$(cat <&4)"
-exec 4<&- 4>&-
-echo "$HTTP_SCRAPE" | grep -q '200 OK' || { echo "metrics listener did not answer"; exit 1; }
-echo "$HTTP_SCRAPE" | grep -q '^cfq_queries_total 2' \
-  || { echo "HTTP scrape missing cfq_queries_total"; exit 1; }
 
 # SIGINT must drain and exit cleanly, not abort.
 kill -INT "$SERVE_PID"
@@ -196,10 +200,10 @@ if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
 fi
 
 # Four parallel clients: two identical at 10% support, two overlapping at
-# 15%. All four go through `:json`, so each reply is one JSON line.
+# 15%. All four speak the v1 envelope, so each reply is one JSON line.
 sched_client() {
   exec 5<>"/dev/tcp/127.0.0.1/$PORT"
-  printf ':json {"query":"max(S.Price) <= min(T.Price)","support":{"frac":%s}}\n:quit\n' "$1" >&5
+  printf '{"v":1,"cmd":"query","req":{"query":"max(S.Price) <= min(T.Price)","support":{"frac":%s}}}\n:quit\n' "$1" >&5
   cat <&5 > "$2"
   exec 5<&- 5>&-
 }
@@ -247,6 +251,53 @@ printf '{"bench":"scheduler","clients":4,"mining_passes":%s,"coalesced":%s,"batc
 test -s BENCH_scheduler.json
 head -c 400 BENCH_scheduler.json; echo
 
+echo "== cfq loadgen: adversarial scenarios over the v1 envelope (writes BENCH_loadgen.json)"
+# The generator must be byte-reproducible in the seed before anything is
+# replayed: emit the same workload twice and compare.
+./target/release/cfq gen --items 60 --transactions 20 --avg-trans-len 8 --patterns 40 \
+  --out "$SERVE_DIR/delta-loadgen.txt"
+LG_ARGS="--seed 7 --scenario all --items 60 --append-file $SERVE_DIR/delta-loadgen.txt"
+# shellcheck disable=SC2086
+./target/release/cfq loadgen --emit $LG_ARGS > "$SERVE_DIR/emit-a.txt"
+# shellcheck disable=SC2086
+./target/release/cfq loadgen --emit $LG_ARGS > "$SERVE_DIR/emit-b.txt"
+cmp "$SERVE_DIR/emit-a.txt" "$SERVE_DIR/emit-b.txt" \
+  || { echo "loadgen --emit is not deterministic in the seed"; exit 1; }
+test -s "$SERVE_DIR/emit-a.txt"
+
+# A deliberately small admission gate: overload_burst's 10 clients must
+# overrun 2 in flight + 2 queued, while the ≤4-client scenarios fit it
+# exactly; the wide batch window keeps cold leaders holding their slots
+# long enough for the pile-up (and the batching) to be deterministic.
+./target/release/cfq serve --data "$SERVE_DIR/tx.txt" --catalog "$SERVE_DIR/catalog.txt" \
+  --listen 127.0.0.1:0 --max-inflight 2 --queue-depth 2 --batch-window-ms 50 \
+  > "$SERVE_DIR/loadgen.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$SERVE_DIR/loadgen.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/loadgen.log")"
+[ -n "$PORT" ] || { echo "loadgen serve did not come up:"; cat "$SERVE_DIR/loadgen.log"; exit 1; }
+
+# The loadgen exits non-zero on its own gates: protocol errors, missing
+# overloads/batching, unexpected request errors, or a scenario with no
+# successful reply.
+# shellcheck disable=SC2086
+./target/release/cfq loadgen --addr "127.0.0.1:$PORT" $LG_ARGS --out BENCH_loadgen.json \
+  || { echo "loadgen gates failed"; cat "$SERVE_DIR/loadgen.log"; exit 1; }
+test -s BENCH_loadgen.json
+grep -q '"bench":"loadgen"' BENCH_loadgen.json || { echo "bad BENCH_loadgen.json"; exit 1; }
+[ "$(grep -o '"name":"' BENCH_loadgen.json | wc -l)" -eq 6 ] \
+  || { echo "BENCH_loadgen.json does not cover all 6 scenarios"; exit 1; }
+if grep -Eq '"protocol_errors":[1-9]' BENCH_loadgen.json; then
+  echo "protocol errors leaked into BENCH_loadgen.json"; exit 1
+fi
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || { echo "loadgen serve exited non-zero on SIGINT"; cat "$SERVE_DIR/loadgen.log"; exit 1; }
+SERVE_PID=""
+head -c 400 BENCH_loadgen.json; echo
+
 echo "== counting backends: fig8a/fig8b answers agree across horizontal|tidset|bitmap|auto"
 # Same generated data as the serve stages. The pair/set counts printed
 # before the first `|` are timing-free, so byte-equality means the four
@@ -278,16 +329,19 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/backend.log")"
-if [ -z "$PORT" ]; then
+MPORT="$(sed -n 's/^metrics on http:.*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/backend.log")"
+if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
   echo "backend serve did not come up:"; cat "$SERVE_DIR/backend.log"; exit 1
 fi
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-printf ':json {"query":"max(S.Price) <= min(T.Price)","support":{"frac":0.1},"backend":"bitmap"}\n' >&3
+printf '{"v":1,"cmd":"query","req":{"query":"max(S.Price) <= min(T.Price)","support":{"frac":0.1},"backend":"bitmap"}}\n:quit\n' >&3
 read -r BK_REPLY <&3
-printf ':metrics\n:quit\n' >&3
-BK_SCRAPE="$(cat <&3)"
 exec 3<&- 3>&-
-echo "$BK_REPLY" | grep -q '"pair_count"' || { echo "bitmap :json query failed: $BK_REPLY"; exit 1; }
+exec 4<>"/dev/tcp/127.0.0.1/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+BK_SCRAPE="$(cat <&4)"
+exec 4<&- 4>&-
+echo "$BK_REPLY" | grep -q '"pair_count"' || { echo "bitmap envelope query failed: $BK_REPLY"; exit 1; }
 for M in \
   'cfq_mining_backend_selected_total{backend="bitmap"}' \
   'cfq_mining_backend_level_micros_total{backend="bitmap"}' \
@@ -325,16 +379,19 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/shard.log")"
-if [ -z "$PORT" ]; then
+MPORT="$(sed -n 's/^metrics on http:.*:\([0-9][0-9]*\)$/\1/p' "$SERVE_DIR/shard.log")"
+if [ -z "$PORT" ] || [ -z "$MPORT" ]; then
   echo "shard serve did not come up:"; cat "$SERVE_DIR/shard.log"; exit 1
 fi
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-printf ':json {"query":"max(S.Price) <= min(T.Price)","support":{"frac":0.1},"shards":2}\n' >&3
+printf '{"v":1,"cmd":"query","req":{"query":"max(S.Price) <= min(T.Price)","support":{"frac":0.1},"shards":2}}\n:quit\n' >&3
 read -r SH_REPLY <&3
-printf ':metrics\n:quit\n' >&3
-SH_SCRAPE="$(cat <&3)"
 exec 3<&- 3>&-
-echo "$SH_REPLY" | grep -q '"pair_count"' || { echo "sharded :json query failed: $SH_REPLY"; exit 1; }
+exec 4<>"/dev/tcp/127.0.0.1/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+SH_SCRAPE="$(cat <&4)"
+exec 4<&- 4>&-
+echo "$SH_REPLY" | grep -q '"pair_count"' || { echo "sharded envelope query failed: $SH_REPLY"; exit 1; }
 for M in \
   'cfq_mining_shard_levels_total{shards="2"}' \
   'cfq_mining_shard_merges_total'; do
